@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// toyInput is the toy example serialized by cmd/datagen; kept inline so
+// the CLI test is hermetic. It contains the Figure 1 graphs: the three
+// planted anomalies are (b1,r1)=(0,8), (b4,b5)=(3,4), (r7,r8)=(14,15).
+const toyInput = `n 17 t 2
+0 0 1 2
+0 0 2 2
+0 0 7 2
+0 1 2 2
+0 1 6 2
+0 2 3 2
+0 3 4 1
+0 3 5 2
+0 4 5 2
+0 5 6 2
+0 6 7 2
+0 7 9 0.5
+0 8 9 2
+0 9 10 2
+0 10 12 2
+0 12 14 2
+0 8 14 2
+0 9 12 2
+0 11 13 2
+0 13 16 2
+0 15 16 2
+0 11 15 2
+0 11 16 2
+0 14 15 2
+1 0 1 2
+1 0 2 1.5
+1 0 7 2
+1 1 2 2
+1 1 6 2.5
+1 2 3 2
+1 3 4 6
+1 3 5 2
+1 4 5 2
+1 5 6 2
+1 6 7 2
+1 7 9 0.5
+1 8 9 2
+1 9 10 2
+1 10 12 2
+1 12 14 2
+1 8 14 2
+1 9 12 2
+1 11 13 2
+1 13 16 2
+1 15 16 2
+1 11 15 2
+1 11 16 2
+1 14 15 1
+1 0 8 1.5
+`
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = realMain(args, strings.NewReader(toyInput), &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestCLITextOutputFindsPlantedEdges(t *testing.T) {
+	out, errOut, code := runCLI(t, "-in", "-", "-l", "6")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"(v0, v8)", "(v3, v4)", "(v14, v15)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "n=17 T=2") {
+		t.Errorf("summary line missing: %s", out)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	out, errOut, code := runCLI(t, "-in", "-", "-l", "6", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var rep struct {
+		Delta       float64 `json:"delta"`
+		Transitions []struct {
+			Transition int   `json:"transition"`
+			Nodes      []int `json:"nodes"`
+			Edges      []struct {
+				I, J  int
+				Score float64
+			} `json:"edges"`
+		} `json:"transitions"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Transitions) != 1 || len(rep.Transitions[0].Edges) != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	wantNodes := []int{0, 3, 4, 8, 14, 15}
+	if len(rep.Transitions[0].Nodes) != len(wantNodes) {
+		t.Fatalf("nodes = %v, want %v", rep.Transitions[0].Nodes, wantNodes)
+	}
+}
+
+func TestCLIEgoOutput(t *testing.T) {
+	out, _, code := runCLI(t, "-in", "-", "-l", "6", "-ego")
+	if code != 0 {
+		t.Fatal("non-zero exit")
+	}
+	if !strings.Contains(out, "hottest node: v0") {
+		t.Fatalf("ego section missing hottest node:\n%s", out)
+	}
+	if !strings.Contains(out, "ego network at instance 0") ||
+		!strings.Contains(out, "ego network at instance 1") {
+		t.Fatalf("ego networks missing:\n%s", out)
+	}
+}
+
+func TestCLIVariants(t *testing.T) {
+	for _, v := range []string{"cad", "adj", "com", "CAD"} {
+		_, errOut, code := runCLI(t, "-in", "-", "-variant", v)
+		if code != 0 {
+			t.Errorf("variant %q: exit %d (%s)", v, code, errOut)
+		}
+	}
+	_, errOut, code := runCLI(t, "-in", "-", "-variant", "bogus")
+	if code == 0 {
+		t.Fatal("bogus variant accepted")
+	}
+	if !strings.Contains(errOut, "unknown variant") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestCLIMissingInput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain(nil, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want usage exit 2", code)
+	}
+}
+
+func TestCLIBadFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := realMain([]string{"-in", "/nonexistent/x.txt"}, strings.NewReader(""), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestCLIGarbageInput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := realMain([]string{"-in", "-"}, strings.NewReader("not a graph\n"), &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "cadrun:") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestCLIAggregate(t *testing.T) {
+	// Aggregating the two toy instances into one window leaves a
+	// single-instance sequence, which the detector must reject cleanly.
+	_, errOut, code := runCLI(t, "-in", "-", "-aggregate", "2")
+	if code != 1 {
+		t.Fatalf("exit %d, want detector error", code)
+	}
+	if !strings.Contains(errOut, "at least 2 instances") {
+		t.Fatalf("stderr: %s", errOut)
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	out, _, code := runCLI(t, "-in", "-", "-stats")
+	if code != 0 {
+		t.Fatal("non-zero exit")
+	}
+	if !strings.Contains(out, "instance  0: n=17") {
+		t.Fatalf("stats lines missing:\n%s", out)
+	}
+}

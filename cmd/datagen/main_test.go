@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dyngraph/internal/graph"
+)
+
+func TestDatagenToyToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-dataset", "toy"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	seq, err := graph.ReadSequence(&out)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if seq.N() != 17 || seq.T() != 2 {
+		t.Fatalf("toy shape: n=%d T=%d", seq.N(), seq.T())
+	}
+}
+
+func TestDatagenGMMWithSize(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-dataset", "gmm", "-n", "40", "-seed", "3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	seq, err := graph.ReadSequence(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.N() != 40 {
+		t.Fatalf("n = %d", seq.N())
+	}
+}
+
+func TestDatagenUnknownDataset(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-dataset", "bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown dataset") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestDatagenMissingDataset(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestDatagenToFile(t *testing.T) {
+	path := t.TempDir() + "/seq.txt"
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-dataset", "toy", "-out", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Fatal("file mode wrote to stdout")
+	}
+}

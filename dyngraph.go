@@ -1,0 +1,296 @@
+// Package dyngraph localizes anomalous changes in time-evolving
+// graphs. It is a from-scratch Go implementation of CAD (Commute-time
+// based Anomaly detection in Dynamic graphs) from Sricharan & Das,
+// "Localizing anomalous changes in time-evolving graphs", SIGMOD 2014,
+// together with the baselines the paper compares against (ADJ, COM,
+// ACT, CLC) and the substrates they need: sparse linear algebra, a
+// near-linear Laplacian solver, and exact/approximate commute-time
+// oracles.
+//
+// # The problem
+//
+// Given a sequence of weighted undirected graphs G_1..G_T over a fixed
+// vertex set, event-detection methods can tell you *when* the graph
+// structure changed anomalously; CAD additionally tells you *which
+// edges* (and therefore which nodes) are responsible. Each node pair is
+// scored per transition with
+//
+//	ΔE_t(i,j) = |A_{t+1}(i,j) − A_t(i,j)| × |c_{t+1}(i,j) − c_t(i,j)|
+//
+// where c_t is the commute-time distance on G_t. The product is what
+// makes the score selective: a big weight change between tightly
+// coupled nodes moves commute times very little (benign volume churn),
+// and a big commute-time change on a pair whose weight did not change
+// is collateral movement, not a cause. Only changes that are large in
+// both senses — the paper's Cases 1–3 — score high.
+//
+// # Quick start
+//
+//	b0 := dyngraph.NewGraphBuilder(4)
+//	b0.SetEdge(0, 1, 5)
+//	b0.SetEdge(1, 2, 5)
+//	b0.SetEdge(2, 3, 5)
+//	g0, _ := b0.Build()
+//	// ... build g1 with a structural change ...
+//	seq, _ := dyngraph.NewSequence([]*dyngraph.Graph{g0, g1})
+//	det := dyngraph.NewDetector(dyngraph.Options{})
+//	res, _ := det.Run(seq)
+//	rep := res.AutoThreshold(2) // ≈2 anomalous nodes per transition
+//	for _, tr := range rep.Transitions {
+//	    fmt.Println(tr.T, tr.Edges, tr.Nodes)
+//	}
+//
+// Runnable programs live under examples/ (quickstart, insider-threat,
+// collaboration, climate), the experiment harness under cmd/cadbench,
+// and a file-driven detector under cmd/cadrun.
+package dyngraph
+
+import (
+	"fmt"
+	"io"
+
+	"dyngraph/internal/act"
+	"dyngraph/internal/afm"
+	"dyngraph/internal/centrality"
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/eval"
+	"dyngraph/internal/graph"
+)
+
+// Graph is an immutable weighted undirected graph over a fixed vertex
+// set 0..n-1. Build one with a GraphBuilder or FromEdges.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges for a Graph.
+type GraphBuilder = graph.Builder
+
+// Edge is an undirected weighted edge with I < J.
+type Edge = graph.Edge
+
+// Sequence is a temporal sequence of graphs over one vertex set.
+type Sequence = graph.Sequence
+
+// EdgeScore is a node pair with its per-transition anomaly score ΔE.
+type EdgeScore = core.EdgeScore
+
+// Transition holds one transition's full descending score list.
+type Transition = core.Transition
+
+// Report is a thresholded anomaly report (edges and nodes per
+// transition at one global δ).
+type Report = core.Report
+
+// Variant selects the scoring functional: CAD (default), or the ADJ /
+// COM ablations from the paper's §3.4.
+type Variant = core.Variant
+
+// Scoring variants.
+const (
+	CAD = core.VariantCAD
+	ADJ = core.VariantADJ
+	COM = core.VariantCOM
+)
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a Graph directly from an edge list (the fast path
+// for generated data). labels may be nil.
+func FromEdges(n int, edges []Edge, labels []string) (*Graph, error) {
+	return graph.FromEdges(n, edges, labels)
+}
+
+// NewSequence validates and wraps a slice of graphs.
+func NewSequence(graphs []*Graph) (*Sequence, error) { return graph.NewSequence(graphs) }
+
+// ReadSequence parses the plain-text edge-list format ("t i j w" lines,
+// optional "n <count> t <count>" header) used by cmd/cadrun and
+// cmd/datagen.
+func ReadSequence(r io.Reader) (*Sequence, error) { return graph.ReadSequence(r) }
+
+// WriteSequence writes a sequence in the same format.
+func WriteSequence(w io.Writer, s *Sequence) error { return graph.WriteSequence(w, s) }
+
+// Options configures a Detector.
+type Options struct {
+	// Variant selects CAD (default), ADJ or COM.
+	Variant Variant
+	// K is the commute-time embedding dimension for large graphs
+	// (default 50, the paper's choice; the paper finds results
+	// insensitive for K > 10).
+	K int
+	// Seed makes the randomized embedding reproducible.
+	Seed int64
+	// ExactCutoff: graphs with at most this many vertices use the exact
+	// O(n³) commute-time computation instead of the embedding
+	// (default 400).
+	ExactCutoff int
+	// Workers parallelizes the embedding's Laplacian solves across
+	// goroutines (default sequential). Results are identical for any
+	// value.
+	Workers int
+}
+
+// Detector scores the transitions of a sequence.
+type Detector struct {
+	inner *core.Detector
+}
+
+// NewDetector builds a detector from options.
+func NewDetector(opts Options) *Detector {
+	return &Detector{inner: core.New(core.Config{
+		Variant:     opts.Variant,
+		Commute:     commute.Config{K: opts.K, Seed: opts.Seed, Workers: opts.Workers},
+		ExactCutoff: opts.ExactCutoff,
+	})}
+}
+
+// Result holds the scored transitions of one run.
+type Result struct {
+	// Transitions has one entry per transition t → t+1, each with its
+	// full descending ΔE score list.
+	Transitions []Transition
+	n           int
+	seq         *Sequence
+	oracles     []commute.Oracle
+}
+
+// Run scores every transition of seq. It returns an error for
+// sequences with fewer than two instances or when the underlying
+// Laplacian solves fail to converge.
+func (d *Detector) Run(seq *Sequence) (*Result, error) {
+	trs, oracles, err := d.inner.RunDetailed(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Transitions: trs, n: seq.N(), seq: seq, oracles: oracles}, nil
+}
+
+// Threshold applies a single δ to every transition (Algorithm 1 of the
+// paper): a transition's anomalous edge set is the smallest prefix of
+// its score list whose removal drops the residual mass below δ.
+func (r *Result) Threshold(delta float64) Report {
+	return core.Threshold(r.Transitions, delta)
+}
+
+// AutoThreshold picks δ so that the total anomalous-node count across
+// all transitions is about l per transition (the paper's §4.2 rule),
+// then applies it. A single shared δ lets calm transitions report
+// nothing and turbulent ones report more than l.
+func (r *Result) AutoThreshold(l float64) Report {
+	return core.Threshold(r.Transitions, core.SelectDelta(r.Transitions, l))
+}
+
+// NodeScores returns the ΔN node scores for transition index t.
+func (r *Result) NodeScores(t int) []float64 {
+	return r.Transitions[t].Nodes(r.n)
+}
+
+// Explanation decomposes one pair's CAD score into its weight and
+// commute-time factors, with a Case() classification into the paper's
+// §2.1 taxonomy.
+type Explanation = core.Explanation
+
+// Explain decomposes the score of pair (i, j) at transition t. It
+// returns an error when the run kept no commute-time oracles (the ADJ
+// variant) or t is out of range.
+func (r *Result) Explain(t, i, j int) (Explanation, error) {
+	if t < 0 || t >= len(r.Transitions) {
+		return Explanation{}, fmt.Errorf("dyngraph: transition %d out of range [0,%d)", t, len(r.Transitions))
+	}
+	if r.oracles == nil {
+		return Explanation{}, fmt.Errorf("dyngraph: Explain unavailable for the ADJ variant (no commute-time oracles)")
+	}
+	return core.Explain(r.seq.At(t), r.seq.At(t+1), r.oracles[t], r.oracles[t+1], i, j), nil
+}
+
+// TransitionReport is one transition's thresholded anomaly sets.
+type TransitionReport = core.TransitionReport
+
+// OnlineDetector is the streaming variant sketched in the paper's
+// §4.2: push graph instances one at a time; the threshold δ is
+// re-selected after every arrival over the history seen so far.
+type OnlineDetector struct {
+	inner *core.OnlineDetector
+}
+
+// NewOnlineDetector builds a streaming detector targeting l anomalous
+// nodes per transition on average.
+func NewOnlineDetector(opts Options, l float64) *OnlineDetector {
+	return &OnlineDetector{inner: core.NewOnline(core.Config{
+		Variant:     opts.Variant,
+		Commute:     commute.Config{K: opts.K, Seed: opts.Seed, Workers: opts.Workers},
+		ExactCutoff: opts.ExactCutoff,
+	}, l)}
+}
+
+// Push consumes the next instance; nil report for the first one,
+// otherwise the newest transition's anomalies at the current δ.
+func (o *OnlineDetector) Push(g *Graph) (*TransitionReport, error) {
+	return o.inner.Push(g)
+}
+
+// Report re-thresholds the whole observed history at the current δ.
+func (o *OnlineDetector) Report() Report { return o.inner.Report() }
+
+// Delta returns the current global threshold.
+func (o *OnlineDetector) Delta() float64 { return o.inner.Delta() }
+
+// ACTResult is the Ide–Kashima activity-vector baseline's output.
+type ACTResult = act.Result
+
+// RunACT runs the ACT baseline with the given summary window w
+// (w ≤ 0 means 1).
+func RunACT(seq *Sequence, window int) (*ACTResult, error) {
+	return act.Run(seq, act.Config{Window: window})
+}
+
+// AFMResult is the Akoglu–Faloutsos egonet-feature baseline's output.
+type AFMResult = afm.Result
+
+// RunAFM runs the AFM baseline (§3.4 of the paper) with the given
+// feature-history window (w ≤ 0 means 5).
+func RunAFM(seq *Sequence, window int) (*AFMResult, error) {
+	return afm.Run(seq, afm.Config{Window: window})
+}
+
+// ClosenessScores runs the CLC baseline: per-transition node scores
+// |cc_{t+1}(i) − cc_t(i)| from closeness centrality.
+func ClosenessScores(seq *Sequence) [][]float64 {
+	return centrality.NodeScores(seq, centrality.Config{})
+}
+
+// CommuteTimes returns a reusable commute-time oracle for one graph:
+// exact for small graphs, the k-dimensional embedding otherwise (see
+// Options.ExactCutoff semantics; pass 0 for the defaults).
+func CommuteTimes(g *Graph, k int, seed int64, exactCutoff int) (interface{ Distance(i, j int) float64 }, error) {
+	return commute.New(g, commute.Config{K: k, Seed: seed}, exactCutoff)
+}
+
+// AUC computes the area under the ROC curve of scores against binary
+// labels (true = anomalous); a convenience for evaluating detector
+// output against ground truth.
+func AUC(scores []float64, labels []bool) (float64, error) {
+	return eval.AUCFromScores(scores, labels)
+}
+
+// GraphStats summarizes one instance's shape (degrees, components,
+// volume).
+type GraphStats = graph.Stats
+
+// Stats walks g once and returns its summary.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// Ego returns vertex v's h-hop ego network: the original vertex ids
+// (v first) and the induced subgraph relabeled over them — the unit of
+// the paper's Figure 8(b) inspection.
+func Ego(g *Graph, v, h int) (vertices []int, sub *Graph, err error) {
+	return graph.Ego(g, v, h)
+}
+
+// Aggregate sums consecutive windows of width instances into one graph
+// each (the paper's monthly aggregation of raw email events).
+func Aggregate(s *Sequence, width int) (*Sequence, error) {
+	return graph.Aggregate(s, width)
+}

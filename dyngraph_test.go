@@ -1,0 +1,225 @@
+package dyngraph_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dyngraph"
+)
+
+// twoPhaseSequence builds a small sequence with one planted structural
+// change: a new edge bridging two clusters.
+func twoPhaseSequence(t *testing.T) (*dyngraph.Sequence, [2]int) {
+	t.Helper()
+	const n = 12
+	mk := func(bridge bool) *dyngraph.Graph {
+		b := dyngraph.NewGraphBuilder(n)
+		for c := 0; c < 2; c++ {
+			base := c * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					b.SetEdge(base+i, base+j, 3)
+				}
+			}
+		}
+		b.SetEdge(0, 6, 0.2) // permanent weak tie
+		if bridge {
+			b.SetEdge(2, 9, 4) // the planted anomaly
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	seq, err := dyngraph.NewSequence([]*dyngraph.Graph{mk(false), mk(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, [2]int{2, 9}
+}
+
+func TestDetectorFindsPlantedBridge(t *testing.T) {
+	seq, want := twoPhaseSequence(t)
+	det := dyngraph.NewDetector(dyngraph.Options{})
+	res, err := det.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transitions) != 1 {
+		t.Fatalf("transitions = %d", len(res.Transitions))
+	}
+	top := res.Transitions[0].Scores[0]
+	if top.I != want[0] || top.J != want[1] {
+		t.Fatalf("top edge = (%d,%d), want (%d,%d)", top.I, top.J, want[0], want[1])
+	}
+}
+
+func TestAutoThreshold(t *testing.T) {
+	seq, want := twoPhaseSequence(t)
+	res, err := dyngraph.NewDetector(dyngraph.Options{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.AutoThreshold(2)
+	nodes := rep.Transitions[0].Nodes
+	if len(nodes) != 2 || nodes[0] != want[0] || nodes[1] != want[1] {
+		t.Fatalf("nodes = %v, want %v", nodes, want)
+	}
+	// δ above all mass: silence.
+	silent := res.Threshold(math.Inf(1))
+	if silent.Transitions[0].Anomalous() {
+		t.Fatal("infinite δ should silence the report")
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	seq, _ := twoPhaseSequence(t)
+	var scores []float64
+	for _, v := range []dyngraph.Variant{dyngraph.CAD, dyngraph.ADJ, dyngraph.COM} {
+		res, err := dyngraph.NewDetector(dyngraph.Options{Variant: v}).Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, res.Transitions[0].Scores[0].Score)
+	}
+	if scores[0] == scores[1] || scores[1] == scores[2] {
+		t.Fatalf("variants should produce distinct top scores: %v", scores)
+	}
+}
+
+func TestNodeScores(t *testing.T) {
+	seq, want := twoPhaseSequence(t)
+	res, err := dyngraph.NewDetector(dyngraph.Options{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := res.NodeScores(0)
+	if len(ns) != seq.N() {
+		t.Fatalf("node scores length = %d", len(ns))
+	}
+	for i, s := range ns {
+		if (i == want[0] || i == want[1]) && s <= 0 {
+			t.Fatalf("planted node %d has score %g", i, s)
+		}
+	}
+}
+
+func TestRunACTBaseline(t *testing.T) {
+	seq, _ := twoPhaseSequence(t)
+	res, err := dyngraph.RunACT(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TransitionScores) != 1 || len(res.NodeScores[0]) != seq.N() {
+		t.Fatal("ACT output shape wrong")
+	}
+}
+
+func TestClosenessScoresBaseline(t *testing.T) {
+	seq, _ := twoPhaseSequence(t)
+	scores := dyngraph.ClosenessScores(seq)
+	if len(scores) != 1 || len(scores[0]) != seq.N() {
+		t.Fatal("CLC output shape wrong")
+	}
+}
+
+func TestCommuteTimesOracle(t *testing.T) {
+	seq, _ := twoPhaseSequence(t)
+	o, err := dyngraph.CommuteTimes(seq.At(0), 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Distance(0, 1); d <= 0 {
+		t.Fatalf("distance = %g", d)
+	}
+	if o.Distance(3, 3) != 0 {
+		t.Fatal("self distance should be 0")
+	}
+}
+
+func TestSequenceIORoundTrip(t *testing.T) {
+	seq, _ := twoPhaseSequence(t)
+	var buf bytes.Buffer
+	if err := dyngraph.WriteSequence(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dyngraph.ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.T() != seq.T() || back.N() != seq.N() {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+func TestAUCHelper(t *testing.T) {
+	auc, err := dyngraph.AUC([]float64{3, 2, 1}, []bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %g", auc)
+	}
+}
+
+func TestFromEdgesHelper(t *testing.T) {
+	g, err := dyngraph.FromEdges(3, []dyngraph.Edge{{I: 0, J: 1, W: 2}}, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != 2 || g.Label(2) != "c" {
+		t.Fatal("FromEdges lost data")
+	}
+}
+
+func TestOnlineDetectorPublicAPI(t *testing.T) {
+	seq, want := twoPhaseSequence(t)
+	o := dyngraph.NewOnlineDetector(dyngraph.Options{}, 2)
+	rep, err := o.Push(seq.At(0))
+	if err != nil || rep != nil {
+		t.Fatalf("first push: rep=%v err=%v", rep, err)
+	}
+	rep, err = o.Push(seq.At(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != 2 || rep.Nodes[0] != want[0] || rep.Nodes[1] != want[1] {
+		t.Fatalf("online nodes = %v, want %v", rep.Nodes, want)
+	}
+	if o.Delta() <= 0 {
+		t.Fatalf("δ = %g", o.Delta())
+	}
+	if got := o.Report().Transitions; len(got) != 1 {
+		t.Fatalf("history length = %d", len(got))
+	}
+}
+
+func TestExplainPublicAPI(t *testing.T) {
+	seq, want := twoPhaseSequence(t)
+	res, err := dyngraph.NewDetector(dyngraph.Options{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := res.Explain(0, want[0], want[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Case() != "case2" {
+		t.Fatalf("planted bridge case = %s, want case2", ex.Case())
+	}
+	if ex.Score <= 0 {
+		t.Fatalf("score = %g", ex.Score)
+	}
+	if _, err := res.Explain(5, 0, 1); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	adjRes, err := dyngraph.NewDetector(dyngraph.Options{Variant: dyngraph.ADJ}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adjRes.Explain(0, want[0], want[1]); err == nil {
+		t.Fatal("ADJ should refuse Explain")
+	}
+}

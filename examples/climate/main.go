@@ -1,0 +1,69 @@
+// Climate example: the paper's precipitation-teleconnection scenario
+// (§4.2.3, Figures 9 and 10).
+//
+// A simulated global precipitation grid evolves over 21 Januaries.
+// In one year a La Niña-style teleconnection simultaneously (but
+// subtly) shifts rainfall in four distant regions. Each year's graph
+// connects climatically similar locations (10-NN in precipitation
+// value, Gaussian similarity weights); CAD must flag the event year and
+// localize the edges between shifted and reference regions.
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyngraph"
+	"dyngraph/internal/precip"
+)
+
+func main() {
+	data := precip.Generate(precip.Config{Seed: 1})
+	fmt.Printf("simulated grid: %d land cells, %d years, event at transition %d\n\n",
+		data.Seq.N(), data.Seq.T(), data.EventTransition)
+
+	det := dyngraph.NewDetector(dyngraph.Options{K: 50, Seed: 1})
+	res, err := det.Run(data.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.AutoThreshold(30) // the paper's l = 30
+
+	fmt.Println("anomalous cells per transition (the event should dominate):")
+	for _, tr := range rep.Transitions {
+		marker := ""
+		if tr.T == data.EventTransition {
+			marker = "  ← teleconnection event"
+		}
+		fmt.Printf("  transition %2d: %3d cells%s\n", tr.T, len(tr.Nodes), marker)
+	}
+
+	ev := data.EventTransition
+	fmt.Println("\ntop anomalous edges at the event transition (region pairs):")
+	for i, e := range res.Transitions[ev].Scores {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-16s – %-16s  ΔE = %.3g\n", data.Region[e.I], data.Region[e.J], e.Score)
+	}
+
+	// Quantify localization quality against the scripted regions.
+	auc, err := dyngraph.AUC(res.NodeScores(ev), data.EventNodeLabels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnode-level AUC against the shifted-region ground truth: %.3f\n", auc)
+
+	// The Figure 10 point: the event is modest in any single region's
+	// mean-rainfall series, yet CAD pinpoints it because the shifts are
+	// simultaneous.
+	fmt.Println("\nregional mean rainfall (year before → event year → year after):")
+	means := data.RegionMeans()
+	eventYear := data.Config.EventYear
+	for reg := precip.RegionSouthernAfrica; reg <= precip.RegionAmazon; reg++ {
+		series := means[reg]
+		fmt.Printf("  %-16s %.2f → %.2f → %.2f\n", reg, series[eventYear-1], series[eventYear], series[eventYear+1])
+	}
+}

@@ -1,0 +1,66 @@
+// Collaboration example: the paper's DBLP scenario (§4.2.2).
+//
+// A simulated co-authorship network evolves over six years with three
+// scripted anomalies: an author who jumps research fields, an author
+// who moves to an adjacent field, and a strong collaboration that gets
+// severed. CAD must surface all three and rank the cross-field jump
+// above the adjacent move.
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyngraph"
+	"dyngraph/internal/dblp"
+)
+
+func main() {
+	data := dblp.Generate(dblp.Config{Seed: 1})
+	fmt.Printf("simulated co-authorship network: %d authors, %d yearly instances, %.0f edges/year\n\n",
+		data.Seq.N(), data.Seq.T(), data.Seq.AvgEdges())
+
+	det := dyngraph.NewDetector(dyngraph.Options{K: 50, Seed: 1})
+	res, err := det.Run(data.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.AutoThreshold(20) // the paper's l = 20
+
+	fmt.Println("scripted ground truth:")
+	for _, e := range data.Events {
+		fmt.Printf("  transition %d: %s (severity %d, authors %v)\n",
+			e.Transition, e.Description, e.Severity, e.Nodes)
+	}
+
+	fmt.Println("\nCAD's highest-scoring edges per transition:")
+	for _, tr := range res.Transitions {
+		fmt.Printf("  transition %d:", tr.T)
+		for i, e := range tr.Scores {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  a%d–a%d (%.0f)", e.I, e.J, e.Score)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nanomalous authors at auto-δ:")
+	for _, tr := range rep.Transitions {
+		if !tr.Anomalous() {
+			continue
+		}
+		fmt.Printf("  transition %d: %d authors\n", tr.T, len(tr.Nodes))
+	}
+
+	// Verify the anecdotes programmatically.
+	scores0 := res.NodeScores(0)
+	fmt.Printf("\ncross-field jumper a%d ΔN = %.0f, adjacent mover a%d ΔN = %.0f\n",
+		data.FieldJumper, scores0[data.FieldJumper],
+		data.AdjacentMover, scores0[data.AdjacentMover])
+	if scores0[data.FieldJumper] > scores0[data.AdjacentMover] {
+		fmt.Println("→ the cross-field jump out-scores the adjacent move, as the paper reports")
+	}
+}

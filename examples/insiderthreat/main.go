@@ -1,0 +1,90 @@
+// Insider-threat example: the paper's motivating application (§1).
+//
+// A simulated 151-employee organizational email network evolves over 48
+// months with a scripted scandal timeline (see internal/enron for the
+// event list). CAD localizes the employees whose *relationships*
+// changed anomalously, and the program compares its timeline against
+// the ACT baseline and the scripted ground truth — the Figure 7
+// experiment as a runnable program.
+//
+//	go run ./examples/insiderthreat
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dyngraph"
+	"dyngraph/internal/enron"
+)
+
+func main() {
+	data := enron.Generate(enron.Config{Seed: 1})
+	fmt.Printf("simulated corpus: %d employees, %d monthly instances, %.0f edges/month\n\n",
+		data.Seq.N(), data.Seq.T(), data.Seq.AvgEdges())
+
+	det := dyngraph.NewDetector(dyngraph.Options{})
+	res, err := det.Run(data.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.AutoThreshold(5) // the paper's l = 5
+
+	actRes, err := dyngraph.RunACT(data.Seq, 3) // the paper's w = 3
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := make(map[int][]string)
+	for _, e := range data.Events {
+		events[e.Transition] = append(events[e.Transition], e.Description)
+	}
+
+	fmt.Println("timeline (one row per month transition; bars count anomalous nodes):")
+	fmt.Println("  tr  CAD            ACT-z   scripted event")
+	for _, tr := range rep.Transitions {
+		bar := strings.Repeat("█", min(len(tr.Nodes), 30))
+		ev := strings.Join(events[tr.T], "; ")
+		fmt.Printf("  %2d  %-13s  %.3f   %s\n", tr.T, fmt.Sprintf("%2d %s", len(tr.Nodes), bar), actRes.TransitionScores[tr.T], ev)
+	}
+
+	// Zoom into the CEO-broadcast transition (the Kenneth Lay analog).
+	const broadcast = 32
+	fmt.Printf("\ntop employees at transition %d (the CEO-return month):\n", broadcast)
+	scores := res.NodeScores(broadcast)
+	type ranked struct {
+		who   int
+		score float64
+	}
+	var rk []ranked
+	for i, s := range scores {
+		if s > 0 {
+			rk = append(rk, ranked{i, s})
+		}
+	}
+	for a := range rk { // selection sort is fine for a demo's top-5
+		best := a
+		for b := a + 1; b < len(rk); b++ {
+			if rk[b].score > rk[best].score {
+				best = b
+			}
+		}
+		rk[a], rk[best] = rk[best], rk[a]
+		if a == 4 {
+			break
+		}
+	}
+	for a := 0; a < 5 && a < len(rk); a++ {
+		fmt.Printf("  #%d %-14s (%s)  ΔN = %.0f\n",
+			a+1, data.Names[rk[a].who], data.Roles[rk[a].who], rk[a].score)
+	}
+	fmt.Printf("\nground truth: the broadcast was scripted on %q\n", data.Names[data.CEO])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module dyngraph
+
+go 1.22

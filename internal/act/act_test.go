@@ -1,0 +1,163 @@
+package act
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/sparse"
+)
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i, 1)
+	}
+	return b.MustBuild()
+}
+
+func TestActivityVectorStar(t *testing.T) {
+	// For a star K_{1,n-1}, the leading adjacency eigenvector is
+	// (1/√2, 1/√(2(n-1)), ..., 1/√(2(n-1))): the hub carries weight
+	// 1/√2 and the leaves share the rest equally.
+	const n = 9
+	a := ActivityVector(star(n), Config{})
+	if math.Abs(a[0]-1/math.Sqrt2) > 1e-8 {
+		t.Fatalf("hub weight = %g, want %g", a[0], 1/math.Sqrt2)
+	}
+	leaf := 1 / math.Sqrt(2*float64(n-1))
+	for i := 1; i < n; i++ {
+		if math.Abs(a[i]-leaf) > 1e-8 {
+			t.Fatalf("leaf %d weight = %g, want %g", i, a[i], leaf)
+		}
+	}
+}
+
+func TestActivityVectorEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(4).MustBuild()
+	a := ActivityVector(g, Config{})
+	if math.Abs(sparse.Norm2(a)-1) > 1e-12 {
+		t.Fatal("empty-graph activity vector not unit norm")
+	}
+	for _, v := range a {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("empty-graph activity should be uniform, got %v", a)
+		}
+	}
+}
+
+func TestRunIdenticalInstancesScoreZero(t *testing.T) {
+	g := star(6)
+	seq := graph.MustSequence([]*graph.Graph{g, g, g})
+	res, err := Run(seq, Config{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt, z := range res.TransitionScores {
+		if math.Abs(z) > 1e-8 {
+			t.Fatalf("transition %d score = %g, want ~0", tt, z)
+		}
+		for i, s := range res.NodeScores[tt] {
+			if math.Abs(s) > 1e-8 {
+				t.Fatalf("node %d score = %g, want ~0", i, s)
+			}
+		}
+	}
+}
+
+func TestRunDetectsStructuralFlip(t *testing.T) {
+	// Star centered at 0 flips to a star centered at 5: the activity
+	// vector rotates sharply, so the transition score jumps.
+	n := 6
+	g1 := star(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if i != 5 {
+			b.AddEdge(5, i, 1)
+		}
+	}
+	g2 := b.MustBuild()
+	seq := graph.MustSequence([]*graph.Graph{g1, g1, g2})
+	res, err := Run(seq, Config{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransitionScores[1] < 10*math.Abs(res.TransitionScores[0])+1e-6 {
+		t.Fatalf("flip transition %g should dominate calm transition %g",
+			res.TransitionScores[1], res.TransitionScores[0])
+	}
+	// The hubs 0 and 5 must carry the largest node scores.
+	ns := res.NodeScores[1]
+	for i := 1; i < 5; i++ {
+		if ns[i] >= ns[0] || ns[i] >= ns[5] {
+			t.Fatalf("leaf %d score %g should be below hub scores %g/%g", i, ns[i], ns[0], ns[5])
+		}
+	}
+}
+
+func TestRunWindowSummary(t *testing.T) {
+	// With w=3 the summary blends three instances; a brief calm run
+	// followed by the same graph should still score near zero.
+	g := star(7)
+	seq := graph.MustSequence([]*graph.Graph{g, g, g, g})
+	res, err := Run(seq, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range res.TransitionScores {
+		if math.Abs(z) > 1e-8 {
+			t.Fatalf("score = %g, want ~0", z)
+		}
+	}
+}
+
+func TestRunRejectsShortSequence(t *testing.T) {
+	seq := graph.MustSequence([]*graph.Graph{star(3)})
+	if _, err := Run(seq, Config{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// Property: activity vectors are unit-norm with non-negative sum, and
+// transition scores lie in [0, 2] (1 − cosine of unit vectors).
+func TestQuickActivityInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		mk := func() *graph.Graph {
+			b := graph.NewBuilder(n)
+			for k := 0; k < 2*n; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					b.SetEdge(i, j, rng.Float64())
+				}
+			}
+			return b.MustBuild()
+		}
+		seq := graph.MustSequence([]*graph.Graph{mk(), mk(), mk()})
+		res, err := Run(seq, Config{Window: 2})
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Activity {
+			if math.Abs(sparse.Norm2(a)-1) > 1e-6 {
+				return false
+			}
+			if sparse.Sum(a) < -1e-9 {
+				return false
+			}
+		}
+		for _, z := range res.TransitionScores {
+			if z < -1e-9 || z > 2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

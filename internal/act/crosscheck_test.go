@@ -1,0 +1,47 @@
+package act
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/spectral"
+)
+
+// Cross-validate the two leading-eigenvector implementations in this
+// repository: ACT's shifted power iteration and internal/spectral's
+// Lanczos must agree (up to sign) on random graphs.
+func TestActivityVectorMatchesLanczos(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(perm[i-1], perm[i], 0.5+rng.Float64())
+		}
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				b.SetEdge(i, j, 0.5+rng.Float64())
+			}
+		}
+		g := b.MustBuild()
+
+		a := ActivityVector(g, Config{})
+		_, vecs, err := spectral.Largest(g.Adjacency(), 1, spectral.Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vecs[0]
+		// Compare up to sign via |<a, v>| ≈ 1.
+		var dot float64
+		for i := range a {
+			dot += a[i] * v[i]
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Fatalf("trial %d: |<act, lanczos>| = %g, want 1", trial, math.Abs(dot))
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package afm implements the Akoglu–Faloutsos event-detection baseline
+// ("AFM" in the paper's §3.4): per-node local features extracted from
+// egonets, pairwise feature-correlation ("dependency") matrices over a
+// sliding window, and the Ide–Kashima eigenvector machinery applied to
+// those matrices instead of the raw adjacency.
+//
+// The paper declines to benchmark AFM quantitatively because its output
+// depends on the chosen feature set; this package implements it anyway
+// so the repository covers every method the paper discusses, with the
+// feature set the AFM paper itself leads with (degrees, egonet size and
+// weight). The published qualitative claim — local egonet features
+// cannot tell a structurally pivotal change (the toy's r7–r8 bridge)
+// from a benign one (b1–b3) because both look like small weight
+// wiggles locally — is checked in this package's tests.
+package afm
+
+import (
+	"fmt"
+	"math"
+
+	"dyngraph/internal/dense"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/sparse"
+)
+
+// Feature indices extracted per node per instance.
+const (
+	FeatWeightedDegree = iota // total incident weight
+	FeatDegree                // neighbor count
+	FeatEgonetEdges           // edges inside the 1-hop egonet
+	FeatEgonetWeight          // total weight inside the egonet
+	FeatMaxEdgeWeight         // heaviest incident edge
+	NumFeatures
+)
+
+// NodeFeatures extracts the n×NumFeatures local-feature matrix of one
+// graph instance. All features are egonet-local, per the AFM design.
+func NodeFeatures(g *graph.Graph) [][]float64 {
+	n := g.N()
+	out := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		f := make([]float64, NumFeatures)
+		idx, w := g.Neighbors(v)
+		f[FeatDegree] = float64(len(idx))
+		var maxW float64
+		inEgo := make(map[int]bool, len(idx)+1)
+		inEgo[v] = true
+		for k, u := range idx {
+			f[FeatWeightedDegree] += w[k]
+			if w[k] > maxW {
+				maxW = w[k]
+			}
+			inEgo[u] = true
+		}
+		f[FeatMaxEdgeWeight] = maxW
+		// Egonet-internal edges: incident edges plus edges among
+		// neighbors.
+		f[FeatEgonetEdges] = float64(len(idx))
+		f[FeatEgonetWeight] = f[FeatWeightedDegree]
+		for _, u := range idx {
+			uidx, uw := g.Neighbors(u)
+			for k2, x := range uidx {
+				if x > u && x != v && inEgo[x] {
+					f[FeatEgonetEdges]++
+					f[FeatEgonetWeight] += uw[k2]
+				}
+			}
+		}
+		out[v] = f
+	}
+	return out
+}
+
+// Config configures the detector.
+type Config struct {
+	// Window is the number of past instances whose feature series feed
+	// each dependency matrix (default 5, as in the AFM paper's setup).
+	Window int
+	// MaxIter / Tol control the power iterations (defaults 1000/1e-10).
+	MaxIter int
+	Tol     float64
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return 5
+	}
+	return c.Window
+}
+
+// Result is the detector output.
+type Result struct {
+	// TransitionScores[t] is the anomaly score of transition t → t+1,
+	// averaged over features.
+	TransitionScores []float64
+	// NodeScores[t][i] is node i's anomaly score at that transition.
+	NodeScores [][]float64
+}
+
+// Run executes AFM over the sequence. It needs at least two instances;
+// early transitions use however much history exists.
+func Run(seq *graph.Sequence, cfg Config) (*Result, error) {
+	T := seq.T()
+	if T < 2 {
+		return nil, fmt.Errorf("afm: sequence needs at least 2 instances, got %d", T)
+	}
+	n := seq.N()
+	w := cfg.window()
+
+	// Feature series: feats[t][v][f].
+	feats := make([][][]float64, T)
+	for t := 0; t < T; t++ {
+		feats[t] = NodeFeatures(seq.At(t))
+	}
+
+	res := &Result{
+		TransitionScores: make([]float64, T-1),
+		NodeScores:       make([][]float64, T-1),
+	}
+	// Previous activity vector per feature (the Ide–Kashima summary
+	// with w=1 over dependency matrices, which keeps the per-transition
+	// cost at one eigenvector per feature).
+	prev := make([][]float64, NumFeatures)
+	for f := 0; f < NumFeatures; f++ {
+		prev[f] = activityOf(dependencyMatrix(feats, f, 0, w, n), cfg)
+	}
+	for t := 1; t < T; t++ {
+		nodeScores := make([]float64, n)
+		var zSum float64
+		for f := 0; f < NumFeatures; f++ {
+			a := activityOf(dependencyMatrix(feats, f, t, w, n), cfg)
+			zSum += 1 - sparse.Dot(prev[f], a)
+			for i := 0; i < n; i++ {
+				nodeScores[i] += math.Abs(a[i] - prev[f][i])
+			}
+			prev[f] = a
+		}
+		res.TransitionScores[t-1] = zSum / NumFeatures
+		for i := range nodeScores {
+			nodeScores[i] /= NumFeatures
+		}
+		res.NodeScores[t-1] = nodeScores
+	}
+	return res, nil
+}
+
+// dependencyMatrix builds the n×n Pearson-correlation matrix of feature
+// f's per-node time series over the window ending at instance t.
+// Correlations are clamped to [0, 1] (negative dependency is treated as
+// no dependency, keeping the matrix non-negative for the Perron
+// machinery); zero-variance series correlate with nothing.
+func dependencyMatrix(feats [][][]float64, f, t, w, n int) *dense.Matrix {
+	lo := t - w + 1
+	if lo < 0 {
+		lo = 0
+	}
+	length := t - lo + 1
+	series := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		s := make([]float64, length)
+		for k := 0; k < length; k++ {
+			s[k] = feats[lo+k][v][f]
+		}
+		series[v] = normalizeSeries(s)
+	}
+	m := dense.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+		if series[i] == nil {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if series[j] == nil {
+				continue
+			}
+			c := sparse.Dot(series[i], series[j])
+			if c > 0 {
+				m.Set(i, j, c)
+				m.Set(j, i, c)
+			}
+		}
+	}
+	return m
+}
+
+// normalizeSeries mean-centers and unit-normalizes a series so Pearson
+// correlation reduces to a dot product; nil for zero variance.
+func normalizeSeries(s []float64) []float64 {
+	mean := sparse.Sum(s) / float64(len(s))
+	for i := range s {
+		s[i] -= mean
+	}
+	norm := sparse.Norm2(s)
+	if norm < 1e-14 {
+		return nil
+	}
+	sparse.Scale(1/norm, s)
+	return s
+}
+
+// activityOf returns the unit leading eigenvector of a dense
+// non-negative symmetric matrix by shifted power iteration,
+// sign-canonicalized to a non-negative sum.
+func activityOf(m *dense.Matrix, cfg Config) []float64 {
+	n := m.Rows
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	// Shift by the max row sum so the dominant eigenvalue is strictly
+	// largest in magnitude (same trick as internal/act).
+	var shift float64
+	for i := 0; i < n; i++ {
+		var rs float64
+		for _, v := range m.Row(i) {
+			rs += math.Abs(v)
+		}
+		if rs > shift {
+			shift = rs
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	norm(x)
+	y := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		m.MulVec(y, x)
+		sparse.Axpy(shift, x, y)
+		if sparse.Norm2(y) == 0 {
+			break
+		}
+		norm(y)
+		var diff float64
+		for i := range x {
+			d := x[i] - y[i]
+			diff += d * d
+		}
+		copy(x, y)
+		if math.Sqrt(diff) < tol {
+			break
+		}
+	}
+	if sparse.Sum(x) < 0 {
+		sparse.Scale(-1, x)
+	}
+	return x
+}
+
+func norm(v []float64) {
+	n := sparse.Norm2(v)
+	if n == 0 {
+		return
+	}
+	sparse.Scale(1/n, v)
+}

@@ -1,0 +1,155 @@
+package afm
+
+import (
+	"math"
+	"testing"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/graph"
+)
+
+func TestNodeFeaturesTriangle(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(0, 2, 3)
+	// vertex 3 isolated
+	g := b.MustBuild()
+	f := NodeFeatures(g)
+
+	if f[0][FeatWeightedDegree] != 4 || f[0][FeatDegree] != 2 {
+		t.Fatalf("v0 degrees = %v", f[0])
+	}
+	if f[0][FeatMaxEdgeWeight] != 3 {
+		t.Fatalf("v0 max edge = %g", f[0][FeatMaxEdgeWeight])
+	}
+	// v0's egonet is the whole triangle: 3 edges, total weight 6.
+	if f[0][FeatEgonetEdges] != 3 || f[0][FeatEgonetWeight] != 6 {
+		t.Fatalf("v0 egonet = %v", f[0])
+	}
+	for k := 0; k < NumFeatures; k++ {
+		if f[3][k] != 0 {
+			t.Fatalf("isolated vertex feature %d = %g", k, f[3][k])
+		}
+	}
+}
+
+func TestRunStaticSequenceScoresNothing(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for i := 1; i < 8; i++ {
+		b.AddEdge(i-1, i, float64(i))
+	}
+	g := b.MustBuild()
+	seq := graph.MustSequence([]*graph.Graph{g, g, g, g})
+	res, err := Run(seq, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt, z := range res.TransitionScores {
+		if math.Abs(z) > 1e-8 {
+			t.Fatalf("static transition %d scored %g", tt, z)
+		}
+	}
+}
+
+func TestRunDetectsFeatureShift(t *testing.T) {
+	// A hub whose degree collapses produces an activity shift AFM must
+	// notice.
+	mk := func(hubEdges int) *graph.Graph {
+		b := graph.NewBuilder(10)
+		for i := 1; i <= hubEdges; i++ {
+			b.AddEdge(0, i, 2)
+		}
+		for i := 1; i < 9; i++ {
+			b.AddEdge(i, i+1, 1)
+		}
+		return b.MustBuild()
+	}
+	seq := graph.MustSequence([]*graph.Graph{
+		mk(9), mk(9), mk(9), mk(2), // collapse at the last transition
+	})
+	res, err := Run(seq, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.TransitionScores) - 1
+	for tt := 0; tt < last; tt++ {
+		if res.TransitionScores[tt] >= res.TransitionScores[last] {
+			t.Fatalf("calm transition %d (%g) should score below the collapse (%g)",
+				tt, res.TransitionScores[tt], res.TransitionScores[last])
+		}
+	}
+}
+
+func TestRunRejectsShortSequence(t *testing.T) {
+	g := graph.NewBuilder(3).MustBuild()
+	if _, err := Run(graph.MustSequence([]*graph.Graph{g}), Config{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// The paper's §3.4 claim: AFM's egonet-local features barely
+// distinguish the structurally pivotal r7–r8 weakening from the benign
+// b1–b3 weakening (both are small local weight changes), while CAD
+// separates them by an order of magnitude.
+func TestAFMCannotSeparateBridgeFromBenign(t *testing.T) {
+	// Extend the toy example with calm lead-in instances so AFM has a
+	// feature history window.
+	toy := datagen.Toy()
+	g0, g1 := toy.At(0), toy.At(1)
+	seq := graph.MustSequence([]*graph.Graph{g0, g0, g0, g1})
+
+	res, err := Run(seq, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afmScores := res.NodeScores[len(res.NodeScores)-1]
+
+	// Direct comparison of the two weakened pairs' endpoints:
+	// r7/r8 (pivotal) vs b3 (benign endpoint not touched by S1).
+	afmPivotal := math.Max(afmScores[datagen.R7], afmScores[datagen.R8])
+	afmBenign := afmScores[datagen.B3]
+
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	cad := core.NodeScores(seq.N(), core.TransitionScores(g0, g1, o0, o1, core.VariantCAD, false))
+	cadPivotal := math.Max(cad[datagen.R7], cad[datagen.R8])
+	cadBenign := cad[datagen.B3]
+
+	cadRatio := cadPivotal / math.Max(cadBenign, 1e-12)
+	afmSep := afmPivotal / math.Max(afmBenign, 1e-12)
+	if cadRatio < 10 {
+		t.Fatalf("CAD pivotal/benign ratio = %g, want ≥ 10", cadRatio)
+	}
+	if afmSep >= cadRatio {
+		t.Fatalf("AFM separation (%g) should trail CAD's (%g), per §3.4", afmSep, cadRatio)
+	}
+}
+
+func TestDependencyMatrixProperties(t *testing.T) {
+	// Two nodes with identical series correlate at 1; anti-correlated
+	// series clamp to 0; constant series correlate with nothing.
+	feats := [][][]float64{
+		{{1}, {1}, {2}, {5}},
+		{{2}, {2}, {1}, {5}},
+		{{3}, {3}, {0}, {5}},
+	}
+	m := dependencyMatrix(feats, 0, 2, 3, 4)
+	if got := m.At(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical series corr = %g, want 1", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Fatalf("anti-correlated series clamp = %g, want 0", got)
+	}
+	if got := m.At(0, 3); got != 0 {
+		t.Fatalf("constant series corr = %g, want 0", got)
+	}
+	if got := m.At(3, 3); got != 1 {
+		t.Fatalf("diagonal = %g, want 1", got)
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("dependency matrix not symmetric")
+	}
+}

@@ -1,0 +1,221 @@
+// Package asciiplot renders small line charts and bar rows as plain
+// text, so cmd/cadbench can show the paper's *figures* — ROC curves,
+// timeline bars — directly in a terminal next to the numeric tables.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	// X and Y must have equal lengths; X ascending.
+	X, Y []float64
+}
+
+// Lines renders the series on a width×height character grid with a
+// shared scale, one marker rune per series, plus axis annotations.
+// Invalid input (no series, empty or mismatched points) returns an
+// error rather than a garbled chart.
+func Lines(series []Series, width, height int) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	markers := []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m rune) {
+		col := int((x - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+		if grid[row][col] == ' ' {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Dense interpolation so lines read as lines, not dots.
+		for i := 1; i < len(s.X); i++ {
+			steps := 2 * width
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), m)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], m)
+		}
+	}
+
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("        %-10.2f%*s\n", minX, width-2, fmt.Sprintf("%.2f", maxX)))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("        " + strings.Join(legend, "   ") + "\n")
+	return b.String(), nil
+}
+
+// Bars renders one bar row per value: a label, the count and a block
+// bar, clipped at maxBar characters — the Figure 7 timeline shape.
+func Bars(labels []string, values []float64, maxBar int) (string, error) {
+	if len(labels) != len(values) {
+		return "", fmt.Errorf("asciiplot: %d labels vs %d values", len(labels), len(values))
+	}
+	if maxBar <= 0 {
+		maxBar = 40
+	}
+	var peak float64
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if peak > 0 {
+			n = int(v / peak * float64(maxBar))
+		}
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-12s %6.1f %s\n", labels[i], v, strings.Repeat("█", n))
+	}
+	return b.String(), nil
+}
+
+// Scatter renders classed 2-D points on a width×height grid, one
+// marker per class — enough to show cluster structure (the paper's
+// Figure 4a) in a terminal.
+func Scatter(x, y []float64, class []int, width, height int) (string, error) {
+	if len(x) != len(y) || len(x) != len(class) {
+		return "", fmt.Errorf("asciiplot: Scatter length mismatch (%d, %d, %d)", len(x), len(y), len(class))
+	}
+	if len(x) == 0 {
+		return "", fmt.Errorf("asciiplot: Scatter with no points")
+	}
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 20
+	}
+	markers := []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+	minX, maxX := x[0], x[0]
+	minY, maxY := y[0], y[0]
+	for i := range x {
+		minX = math.Min(minX, x[i])
+		maxX = math.Max(maxX, x[i])
+		minY = math.Min(minY, y[i])
+		maxY = math.Max(maxY, y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range x {
+		col := int((x[i] - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((y[i]-minY)/(maxY-minY)*float64(height-1))
+		m := markers[((class[i]%len(markers))+len(markers))%len(markers)]
+		grid[row][col] = m
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return b.String(), nil
+}
+
+// Heatmap renders a matrix of non-negative intensities as shaded
+// characters (the paper's Figure 4b adjacency view), normalizing by
+// the maximum cell.
+func Heatmap(cells [][]float64) (string, error) {
+	if len(cells) == 0 {
+		return "", fmt.Errorf("asciiplot: empty heatmap")
+	}
+	shades := []rune(" .:-=+*#%@")
+	var peak float64
+	width := len(cells[0])
+	for _, row := range cells {
+		if len(row) != width {
+			return "", fmt.Errorf("asciiplot: ragged heatmap rows")
+		}
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range cells {
+		b.WriteString("  ")
+		for _, v := range row {
+			idx := 0
+			if peak > 0 {
+				idx = int(v / peak * float64(len(shades)-1))
+			}
+			b.WriteRune(shades[idx])
+			b.WriteRune(shades[idx]) // double width ≈ square cells
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,120 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out, err := Lines([]Series{
+		{Name: "diag", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "flat", X: []float64{0, 1}, Y: []float64{0.5, 0.5}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* diag") || !strings.Contains(out, "o flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// The diagonal's marker must appear near top-right and bottom-left.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("diagonal missing from top row:\n%s", out)
+	}
+	if !strings.Contains(lines[9], "*") {
+		t.Fatalf("diagonal missing from bottom row:\n%s", out)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	if _, err := Lines(nil, 40, 10); err == nil {
+		t.Fatal("want no-series error")
+	}
+	if _, err := Lines([]Series{{Name: "bad", X: []float64{1}, Y: nil}}, 40, 10); err == nil {
+		t.Fatal("want mismatch error")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Lines([]Series{{Name: "c", X: []float64{2, 2}, Y: []float64{3, 3}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "c") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out, err := Bars([]string{"a", "b", "c"}, []float64{10, 5, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if strings.Count(lines[0], "█") != 10 {
+		t.Fatalf("peak bar length: %q", lines[0])
+	}
+	if strings.Count(lines[1], "█") != 5 {
+		t.Fatalf("half bar length: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "█") {
+		t.Fatalf("zero bar drawn: %q", lines[2])
+	}
+}
+
+func TestBarsMismatch(t *testing.T) {
+	if _, err := Bars([]string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("want mismatch error")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	out, err := Scatter(
+		[]float64{0, 0, 10, 10},
+		[]float64{0, 1, 9, 10},
+		[]int{0, 0, 1, 1},
+		30, 10,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if _, err := Scatter([]float64{1}, []float64{1, 2}, []int{0}, 10, 5); err == nil {
+		t.Fatal("want mismatch error")
+	}
+	if _, err := Scatter(nil, nil, nil, 10, 5); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out, err := Heatmap([][]float64{{0, 1}, {0.5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "@") {
+		t.Fatalf("peak shade missing: %q", lines[0])
+	}
+	if strings.Contains(lines[0], "@@@@") {
+		t.Fatalf("zero cell shaded: %q", lines[0])
+	}
+	if _, err := Heatmap(nil); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := Heatmap([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("want ragged error")
+	}
+}

@@ -1,0 +1,169 @@
+// Package centrality implements the closeness-centrality baseline
+// ("CLC") from the paper's §4: node anomaly scores are
+// |cc_{t+1}(i) − cc_t(i)|, where cc is the closeness centrality of a
+// node under shortest-path distances with edge length 1/weight
+// (heavier similarity edges are shorter).
+//
+// Closeness uses the standard disconnected-graph correction
+// (Wasserman–Faust): cc(i) = ((r−1)/(n−1)) · ((r−1)/Σd), with r the
+// number of vertices reachable from i. Exact computation runs one
+// Dijkstra per vertex — the O(n·m log n) cost that makes CLC the
+// slowest baseline in the paper's scalability study; a pivot-sampled
+// approximation is available for large graphs.
+package centrality
+
+import (
+	"container/heap"
+	"math"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/xrand"
+)
+
+// Config configures closeness computation.
+type Config struct {
+	// SamplePivots, when positive and less than n, approximates
+	// closeness using Dijkstra runs from that many random pivot
+	// vertices only (Eppstein–Wang style). Zero means exact.
+	SamplePivots int
+	// Seed drives pivot sampling.
+	Seed int64
+}
+
+// Closeness returns every vertex's closeness centrality in g.
+func Closeness(g *graph.Graph, cfg Config) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	if cfg.SamplePivots > 0 && cfg.SamplePivots < n {
+		return sampledCloseness(g, cfg)
+	}
+	dist := make([]float64, n)
+	for s := 0; s < n; s++ {
+		dijkstra(g, s, dist)
+		out[s] = closenessFrom(dist, s, n)
+	}
+	return out
+}
+
+// closenessFrom folds one source's distance vector into a closeness
+// value with the disconnected correction.
+func closenessFrom(dist []float64, s, n int) float64 {
+	var sum float64
+	reach := 0
+	for j, d := range dist {
+		if j == s || math.IsInf(d, 1) {
+			continue
+		}
+		sum += d
+		reach++
+	}
+	if reach == 0 || sum == 0 {
+		return 0
+	}
+	r := float64(reach)
+	return (r / float64(n-1)) * (r / sum)
+}
+
+// sampledCloseness estimates Σ_j d(i,j) from pivot sources: each
+// Dijkstra from pivot p contributes d(p, i) to every i (distances are
+// symmetric on undirected graphs), and the sums are rescaled by n/k.
+func sampledCloseness(g *graph.Graph, cfg Config) []float64 {
+	n := g.N()
+	k := cfg.SamplePivots
+	rng := xrand.New(cfg.Seed)
+	perm := rng.Perm(n)
+	pivots := perm[:k]
+
+	sums := make([]float64, n)
+	reach := make([]int, n)
+	dist := make([]float64, n)
+	for _, p := range pivots {
+		dijkstra(g, p, dist)
+		for i, d := range dist {
+			if i == p || math.IsInf(d, 1) {
+				continue
+			}
+			sums[i] += d
+			reach[i]++
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if reach[i] == 0 || sums[i] == 0 {
+			continue
+		}
+		// Scale the mean pivot distance up to an estimated full sum,
+		// and the pivot reach fraction up to an estimated reach count.
+		estSum := sums[i] / float64(reach[i]) * float64(n-1)
+		estReach := float64(reach[i]) / float64(k) * float64(n-1)
+		out[i] = (estReach / float64(n-1)) * (estReach / estSum)
+	}
+	return out
+}
+
+// NodeScores returns the CLC anomaly scores |cc_{t+1}(i) − cc_t(i)| for
+// every transition of seq.
+func NodeScores(seq *graph.Sequence, cfg Config) [][]float64 {
+	cc := make([][]float64, seq.T())
+	for t := 0; t < seq.T(); t++ {
+		cc[t] = Closeness(seq.At(t), cfg)
+	}
+	out := make([][]float64, seq.T()-1)
+	for t := 0; t < seq.T()-1; t++ {
+		s := make([]float64, seq.N())
+		for i := range s {
+			s[i] = math.Abs(cc[t+1][i] - cc[t][i])
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// dijkstra fills dist with shortest-path distances from s, using edge
+// length 1/weight. Unreachable vertices get +Inf.
+func dijkstra(g *graph.Graph, s int, dist []float64) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = 0
+	pq := &distHeap{items: []distItem{{v: s, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		idx, w := g.Neighbors(it.v)
+		for k, u := range idx {
+			if w[k] <= 0 {
+				continue
+			}
+			nd := it.d + 1/w[k]
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{v: u, d: nd})
+			}
+		}
+	}
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

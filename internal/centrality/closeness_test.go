@@ -1,0 +1,170 @@
+package centrality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyngraph/internal/graph"
+)
+
+func path(n int, w float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i-1, i, w)
+	}
+	return b.MustBuild()
+}
+
+func TestClosenessPathSymmetry(t *testing.T) {
+	// On a symmetric path, closeness is symmetric around the middle and
+	// maximal at the center.
+	cc := Closeness(path(5, 1), Config{})
+	if math.Abs(cc[0]-cc[4]) > 1e-12 || math.Abs(cc[1]-cc[3]) > 1e-12 {
+		t.Fatalf("asymmetric closeness on a path: %v", cc)
+	}
+	if cc[2] <= cc[1] || cc[1] <= cc[0] {
+		t.Fatalf("closeness not peaked at center: %v", cc)
+	}
+}
+
+func TestClosenessKnownValue(t *testing.T) {
+	// Unit-weight path 0-1-2: distances (edge length 1/w = 1) from the
+	// center sum to 2 over 2 reachable nodes → cc = (2/2)·(2/2) = 1.
+	cc := Closeness(path(3, 1), Config{})
+	if math.Abs(cc[1]-1) > 1e-12 {
+		t.Fatalf("center closeness = %g, want 1", cc[1])
+	}
+	// Endpoints: Σd = 1+2 = 3, cc = (2/2)·(2/3) = 2/3.
+	if math.Abs(cc[0]-2.0/3) > 1e-12 {
+		t.Fatalf("endpoint closeness = %g, want 2/3", cc[0])
+	}
+}
+
+func TestClosenessWeightsShortenDistance(t *testing.T) {
+	// Heavier edges mean shorter distances, hence larger closeness.
+	light := Closeness(path(4, 1), Config{})
+	heavy := Closeness(path(4, 2), Config{})
+	for i := range light {
+		if heavy[i] <= light[i] {
+			t.Fatalf("heavier graph should raise closeness at %d: %g vs %g", i, heavy[i], light[i])
+		}
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	// vertex 4 isolated
+	cc := Closeness(b.MustBuild(), Config{})
+	if cc[4] != 0 {
+		t.Fatalf("isolated vertex closeness = %g, want 0", cc[4])
+	}
+	// Pair members see 1 of 4 others at distance 1:
+	// cc = (1/4)·(1/1) = 0.25.
+	if math.Abs(cc[0]-0.25) > 1e-12 {
+		t.Fatalf("pair closeness = %g, want 0.25", cc[0])
+	}
+}
+
+func TestClosenessTinyGraphs(t *testing.T) {
+	if got := Closeness(graph.NewBuilder(0).MustBuild(), Config{}); len(got) != 0 {
+		t.Fatal("n=0 should return empty")
+	}
+	if got := Closeness(graph.NewBuilder(1).MustBuild(), Config{}); got[0] != 0 {
+		t.Fatal("n=1 closeness should be 0")
+	}
+}
+
+func TestSampledClosenessApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := graph.NewBuilder(120)
+	perm := rng.Perm(120)
+	for i := 1; i < 120; i++ {
+		b.AddEdge(perm[i-1], perm[i], 0.5+rng.Float64())
+	}
+	for k := 0; k < 300; k++ {
+		i, j := rng.Intn(120), rng.Intn(120)
+		if i != j {
+			b.SetEdge(i, j, 0.5+rng.Float64())
+		}
+	}
+	g := b.MustBuild()
+	exact := Closeness(g, Config{})
+	approx := Closeness(g, Config{SamplePivots: 60, Seed: 9})
+	var relSum float64
+	for i := range exact {
+		relSum += math.Abs(approx[i]-exact[i]) / exact[i]
+	}
+	if mean := relSum / float64(len(exact)); mean > 0.2 {
+		t.Fatalf("mean sampled error %g too large", mean)
+	}
+}
+
+func TestNodeScoresZeroOnIdenticalInstances(t *testing.T) {
+	g := path(6, 1)
+	seq := graph.MustSequence([]*graph.Graph{g, g})
+	scores := NodeScores(seq, Config{})
+	for _, s := range scores[0] {
+		if s != 0 {
+			t.Fatalf("identical instances gave score %g", s)
+		}
+	}
+}
+
+func TestNodeScoresDetectBridgeRemoval(t *testing.T) {
+	// Removing the middle edge of a path changes everyone's closeness;
+	// scores must be strictly positive for all vertices.
+	g1 := path(6, 1)
+	b := graph.NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		if i != 3 {
+			b.AddEdge(i-1, i, 1)
+		}
+	}
+	seq := graph.MustSequence([]*graph.Graph{g1, b.MustBuild()})
+	scores := NodeScores(seq, Config{})
+	for i, s := range scores[0] {
+		if s <= 0 {
+			t.Fatalf("vertex %d score = %g, want > 0", i, s)
+		}
+	}
+}
+
+// Property: closeness lies in [0, maxW·(n-1)/... ] — concretely it is
+// non-negative and zero only for isolated vertices; and scaling all
+// weights by c scales closeness by c.
+func TestQuickClosenessScaling(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		b1 := graph.NewBuilder(n)
+		b2 := graph.NewBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			w := 0.5 + rng.Float64()
+			b1.SetEdge(i, j, w)
+			b2.SetEdge(i, j, 3*w)
+		}
+		c1 := Closeness(b1.MustBuild(), Config{})
+		c2 := Closeness(b2.MustBuild(), Config{})
+		for i := range c1 {
+			if c1[i] < 0 {
+				return false
+			}
+			if math.Abs(c2[i]-3*c1[i]) > 1e-9*(1+c1[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/graph"
+)
+
+// Ablation: COM scored on all n² pairs versus the changed-adjacency
+// support (the internal/core design decision) — plus the raw scoring
+// and thresholding throughput that sits on CAD's critical path after
+// the commute-time work.
+
+func benchPair(n int) (*graph.Graph, *graph.Graph) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func(perturb bool) *graph.Graph {
+		b := graph.NewBuilder(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(perm[i-1], perm[i], 1)
+		}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				b.SetEdge(i, j, 0.5+rng.Float64())
+			}
+		}
+		if perturb {
+			for k := 0; k < n/10; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					b.SetEdge(i, j, 2)
+				}
+			}
+		}
+		return b.MustBuild()
+	}
+	return mk(false), mk(true)
+}
+
+func BenchmarkCOMSupportAblation(b *testing.B) {
+	const n = 300
+	g0, g1 := benchPair(n)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	b.Run("allpairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = TransitionScores(g0, g1, o0, o1, VariantCOM, true)
+		}
+	})
+	b.Run("diffsupport", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = TransitionScores(g0, g1, o0, o1, VariantCOM, false)
+		}
+	})
+}
+
+func BenchmarkTransitionScoresCAD(b *testing.B) {
+	const n = 300
+	g0, g1 := benchPair(n)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TransitionScores(g0, g1, o0, o1, VariantCAD, false)
+	}
+}
+
+func BenchmarkThresholdAndSelectDelta(b *testing.B) {
+	const n = 300
+	g0, g1 := benchPair(n)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	scores := TransitionScores(g0, g1, o0, o1, VariantCAD, false)
+	trs := []Transition{{T: 0, Scores: scores, Total: TotalScore(scores)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := SelectDelta(trs, 10)
+		_ = Threshold(trs, delta)
+	}
+}
+
+func BenchmarkNodeScores(b *testing.B) {
+	const n = 300
+	g0, g1 := benchPair(n)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	scores := TransitionScores(g0, g1, o0, o1, VariantCAD, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NodeScores(n, scores)
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/graph"
+)
+
+// toyTransition runs a variant on the toy example with exact oracles
+// and returns the transition.
+func toyTransition(t *testing.T, v Variant) Transition {
+	t.Helper()
+	seq := datagen.Toy()
+	det := New(Config{Variant: v})
+	trs, err := det.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 {
+		t.Fatalf("transitions = %d, want 1", len(trs))
+	}
+	return trs[0]
+}
+
+func scoreOf(scores []EdgeScore, i, j int) float64 {
+	k := graph.MakeKey(i, j)
+	for _, s := range scores {
+		if s.I == k.I && s.J == k.J {
+			return s.Score
+		}
+	}
+	return 0
+}
+
+// Table 1's shape: the three planted anomalies (b1,r1), (b4,b5),
+// (r7,r8) must dominate the two benign changes (b1,b3), (b2,b7), and
+// every untouched pair must score exactly zero.
+func TestToyTable1Shape(t *testing.T) {
+	tr := toyTransition(t, VariantCAD)
+
+	var anomalyMin = math.Inf(1)
+	var benignMax float64
+	for _, c := range datagen.ToyChanges() {
+		s := scoreOf(tr.Scores, c.I, c.J)
+		if s <= 0 {
+			t.Fatalf("changed edge %s has zero score", c.Name)
+		}
+		if c.Anomalous && s < anomalyMin {
+			anomalyMin = s
+		}
+		if !c.Anomalous && s > benignMax {
+			benignMax = s
+		}
+	}
+	if anomalyMin < 5*benignMax {
+		t.Fatalf("anomalous scores (min %g) should dominate benign (max %g)", anomalyMin, benignMax)
+	}
+	// Only the five changed pairs may carry non-zero CAD scores.
+	if len(tr.Scores) != 5 {
+		t.Fatalf("non-zero scores = %d, want exactly the 5 changed edges", len(tr.Scores))
+	}
+}
+
+// Table 2's shape: node scores ΔN are high exactly on the six
+// ground-truth nodes.
+func TestToyTable2NodeScores(t *testing.T) {
+	tr := toyTransition(t, VariantCAD)
+	ns := tr.Nodes(datagen.ToyN)
+
+	truth := make(map[int]bool)
+	for _, v := range datagen.ToyAnomalousNodes() {
+		truth[v] = true
+	}
+	var minTrue = math.Inf(1)
+	var maxFalse float64
+	for i, s := range ns {
+		if truth[i] {
+			if s < minTrue {
+				minTrue = s
+			}
+		} else if s > maxFalse {
+			maxFalse = s
+		}
+	}
+	if minTrue < 5*maxFalse {
+		t.Fatalf("true-node scores (min %g) should dominate others (max %g)", minTrue, maxFalse)
+	}
+}
+
+// §3.4: ADJ cannot separate the benign (b2,b7) change from the new
+// cross-cluster edge (b1,r1) when the weight deltas are comparable,
+// while CAD can.
+func TestADJConfusesBenignEdge(t *testing.T) {
+	adj := toyTransition(t, VariantADJ)
+	cad := toyTransition(t, VariantCAD)
+
+	adjBenign := scoreOf(adj.Scores, datagen.B2, datagen.B7)
+	adjAnom := scoreOf(adj.Scores, datagen.B1, datagen.R1)
+	// |ΔA| is 0.5 for S5 and 1.5 for S1: same order of magnitude.
+	if adjAnom/adjBenign > 10 {
+		t.Fatalf("ADJ separation unexpectedly large: %g vs %g", adjAnom, adjBenign)
+	}
+	cadBenign := scoreOf(cad.Scores, datagen.B2, datagen.B7)
+	cadAnom := scoreOf(cad.Scores, datagen.B1, datagen.R1)
+	if cadAnom/cadBenign < 20 {
+		t.Fatalf("CAD separation too small: %g vs %g", cadAnom, cadBenign)
+	}
+}
+
+// §3.4: COM (all pairs) assigns large scores to untouched red pairs
+// straddling the weakened bridge — the false-alarm mode CAD avoids.
+func TestCOMFalseAlarmsOnAffectedPairs(t *testing.T) {
+	com := toyTransition(t, VariantCOM)
+	cad := toyTransition(t, VariantCAD)
+
+	// (r4, r9) is untouched by any change but straddles nothing — both
+	// in RB. (r1, r4) straddles the bridge: r1 ∈ RA, r4 ∈ RB.
+	comAffected := scoreOf(com.Scores, datagen.R1, datagen.R4)
+	if comAffected == 0 {
+		t.Fatal("COM should score the affected pair (r1,r4)")
+	}
+	comChanged := scoreOf(com.Scores, datagen.R7, datagen.R8)
+	if comAffected < comChanged/10 {
+		t.Fatalf("COM affected-pair score %g should rival changed-edge score %g", comAffected, comChanged)
+	}
+	if s := scoreOf(cad.Scores, datagen.R1, datagen.R4); s != 0 {
+		t.Fatalf("CAD scored the untouched pair (r1,r4): %g", s)
+	}
+}
+
+func TestAnomalousEdgesThresholding(t *testing.T) {
+	scores := []EdgeScore{
+		{I: 0, J: 1, Score: 10},
+		{I: 2, J: 3, Score: 5},
+		{I: 4, J: 5, Score: 1},
+	}
+	// Total mass 16. δ=17 → nothing anomalous.
+	if got := AnomalousEdges(scores, 17); got != nil {
+		t.Fatalf("δ above mass: got %v, want none", got)
+	}
+	// δ=7: peel 10 → residual 6 ≥ 7? no: 6 < 7 → stop after 1.
+	if got := AnomalousEdges(scores, 7); len(got) != 1 {
+		t.Fatalf("δ=7: got %d edges, want 1", len(got))
+	}
+	// δ=2: peel 10 (res 6), peel 5 (res 1 < 2) → 2 edges.
+	if got := AnomalousEdges(scores, 2); len(got) != 2 {
+		t.Fatalf("δ=2: got %d edges, want 2", len(got))
+	}
+	// δ=0: residual can never drop below 0 → everything anomalous.
+	if got := AnomalousEdges(scores, 0); len(got) != 3 {
+		t.Fatalf("δ=0: got %d edges, want all 3", len(got))
+	}
+}
+
+func TestAnomalousNodes(t *testing.T) {
+	nodes := AnomalousNodes([]EdgeScore{{I: 3, J: 1}, {I: 1, J: 5}})
+	want := []int{1, 3, 5}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestSelectDeltaHitsTarget(t *testing.T) {
+	tr := toyTransition(t, VariantCAD)
+	trs := []Transition{tr}
+	// Ask for 6 nodes on average: exactly the three planted edges'
+	// endpoints.
+	delta := SelectDelta(trs, 6)
+	rep := Threshold(trs, delta)
+	got := rep.Transitions[0].Nodes
+	want := datagen.ToyAnomalousNodes()
+	if len(got) != len(want) {
+		t.Fatalf("nodes at auto-δ = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nodes at auto-δ = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectDeltaZeroTarget(t *testing.T) {
+	tr := toyTransition(t, VariantCAD)
+	delta := SelectDelta([]Transition{tr}, 0)
+	rep := Threshold([]Transition{tr}, delta)
+	if rep.Transitions[0].Anomalous() {
+		t.Fatal("l=0 should produce no anomalies")
+	}
+}
+
+func TestIdenticalGraphsScoreNothing(t *testing.T) {
+	seq := datagen.Toy()
+	same := graph.MustSequence([]*graph.Graph{seq.At(0), seq.At(0)})
+	det := New(Config{Variant: VariantCAD})
+	trs, err := det.Run(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs[0].Scores) != 0 {
+		t.Fatalf("identical graphs produced %d scores", len(trs[0].Scores))
+	}
+}
+
+func TestRunRejectsShortSequence(t *testing.T) {
+	seq := datagen.Toy()
+	one := graph.MustSequence([]*graph.Graph{seq.At(0)})
+	if _, err := New(Config{}).Run(one); err == nil {
+		t.Fatal("want error for single-instance sequence")
+	}
+}
+
+func TestScoresSortedDescending(t *testing.T) {
+	tr := toyTransition(t, VariantCAD)
+	if !sort.SliceIsSorted(tr.Scores, func(a, b int) bool {
+		return tr.Scores[a].Score > tr.Scores[b].Score
+	}) {
+		t.Fatal("scores not sorted descending")
+	}
+}
+
+// Property: CAD scores are invariant under relabeling of the vertices
+// (permutation equivariance): permuting both graphs permutes the score
+// map but preserves the multiset of scores.
+func TestQuickPermutationEquivariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := datagen.Toy()
+		n := seq.N()
+		perm := rng.Perm(n)
+
+		permute := func(g *graph.Graph) *graph.Graph {
+			b := graph.NewBuilder(n)
+			for _, e := range g.Edges() {
+				b.SetEdge(perm[e.I], perm[e.J], e.W)
+			}
+			return b.MustBuild()
+		}
+		pseq := graph.MustSequence([]*graph.Graph{permute(seq.At(0)), permute(seq.At(1))})
+
+		det := New(Config{Variant: VariantCAD})
+		a, err1 := det.Run(seq)
+		b, err2 := det.Run(pseq)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(a[0].Scores) != len(b[0].Scores) {
+			return false
+		}
+		// Compare score multisets.
+		sa := make([]float64, len(a[0].Scores))
+		sb := make([]float64, len(b[0].Scores))
+		for i := range sa {
+			sa[i] = a[0].Scores[i].Score
+			sb[i] = b[0].Scores[i].Score
+		}
+		sort.Float64s(sa)
+		sort.Float64s(sb)
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-6*(1+sa[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: node scores sum to twice the edge-score total (each edge
+// contributes to both endpoints).
+func TestQuickNodeScoreConservation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		scores := make([]EdgeScore, 0, 10)
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			key := graph.MakeKey(i, j)
+			scores = append(scores, EdgeScore{I: key.I, J: key.J, Score: rng.Float64()})
+		}
+		ns := NodeScores(n, scores)
+		var nodeSum float64
+		for _, s := range ns {
+			nodeSum += s
+		}
+		return math.Abs(nodeSum-2*TotalScore(scores)) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Infinite commute deltas (component changes) must be clamped to finite
+// scores that still rank above everything else.
+func TestInfClampOnComponentChange(t *testing.T) {
+	// Instance 0: two components. Instance 1: joined by a new edge plus
+	// a small benign change inside one component.
+	b0 := graph.NewBuilder(6)
+	b0.AddEdge(0, 1, 1)
+	b0.AddEdge(1, 2, 1)
+	b0.AddEdge(3, 4, 1)
+	b0.AddEdge(4, 5, 1)
+	g0 := b0.MustBuild()
+
+	b1 := graph.NewBuilder(6)
+	b1.AddEdge(0, 1, 1)
+	b1.AddEdge(1, 2, 1.1) // benign tweak
+	b1.AddEdge(3, 4, 1)
+	b1.AddEdge(4, 5, 1)
+	b1.AddEdge(2, 3, 1) // joins the components
+	g1 := b1.MustBuild()
+
+	og := commute.NewExact(g0)
+	oh := commute.NewExact(g1)
+	scores := TransitionScores(g0, g1, og, oh, VariantCAD, false)
+	if len(scores) == 0 {
+		t.Fatal("no scores")
+	}
+	top := scores[0]
+	if top.I != 2 || top.J != 3 {
+		t.Fatalf("top edge = (%d,%d), want the joining edge (2,3)", top.I, top.J)
+	}
+	if math.IsInf(top.Score, 1) || math.IsNaN(top.Score) {
+		t.Fatalf("clamp failed: %v", top.Score)
+	}
+	if len(scores) > 1 && top.Score <= scores[1].Score {
+		t.Fatal("joining edge should outrank benign change")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/datagen"
+)
+
+func TestExplainToyCases(t *testing.T) {
+	seq := datagen.Toy()
+	g0, g1 := seq.At(0), seq.At(1)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+
+	// S1: new edge (b1, r1) → case 2.
+	e := Explain(g0, g1, o0, o1, datagen.B1, datagen.R1)
+	if e.Case() != "case2" {
+		t.Fatalf("S1 case = %s, want case2 (%s)", e.Case(), e)
+	}
+	if e.WeightBefore != 0 || e.WeightAfter != 1.5 {
+		t.Fatalf("S1 weights = %g → %g", e.WeightBefore, e.WeightAfter)
+	}
+	if e.CommuteAfter >= e.CommuteBefore {
+		t.Fatal("new edge should shrink commute distance")
+	}
+
+	// S2: weakened bridge (r7, r8) → case 3.
+	if got := Explain(g0, g1, o0, o1, datagen.R7, datagen.R8).Case(); got != "case3" {
+		t.Fatalf("S2 case = %s, want case3", got)
+	}
+
+	// S3: large increase (b4, b5) → case 1.
+	if got := Explain(g0, g1, o0, o1, datagen.B4, datagen.B5).Case(); got != "case1" {
+		t.Fatalf("S3 case = %s, want case1", got)
+	}
+
+	// Untouched pair → benign with zero score.
+	e = Explain(g0, g1, o0, o1, datagen.R2, datagen.R3)
+	if e.Case() != "benign" || e.Score != 0 {
+		t.Fatalf("untouched pair = %s", e)
+	}
+}
+
+func TestExplainMatchesTransitionScores(t *testing.T) {
+	seq := datagen.Toy()
+	g0, g1 := seq.At(0), seq.At(1)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	for _, s := range TransitionScores(g0, g1, o0, o1, VariantCAD, false) {
+		e := Explain(g0, g1, o0, o1, s.I, s.J)
+		if diff := e.Score - s.Score; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Explain score %g != transition score %g for (%d,%d)", e.Score, s.Score, s.I, s.J)
+		}
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	seq := datagen.Toy()
+	g0, g1 := seq.At(0), seq.At(1)
+	o0 := commute.NewExact(g0)
+	o1 := commute.NewExact(g1)
+	s := Explain(g0, g1, o0, o1, datagen.B1, datagen.R1).String()
+	for _, want := range []string{"case2", "|ΔA|", "|Δc|"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}

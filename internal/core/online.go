@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/graph"
+)
+
+// OnlineDetector is the streaming variant sketched in the paper's §4.2:
+// graph instances arrive one at a time, scores are aggregated over the
+// transitions seen so far, and the threshold δ is re-selected after
+// every arrival so that the anomalous-node budget (l per transition on
+// average) always refers to the observed history.
+//
+// The commute-time oracle of the previous instance is cached, so each
+// Push costs one oracle build plus one transition scoring — the same
+// asymptotic work per instance as the batch Detector.
+//
+// An OnlineDetector is not safe for concurrent use.
+type OnlineDetector struct {
+	cfg     Config
+	l       float64
+	n       int // vertex count, fixed by the first instance
+	t       int // instances consumed
+	prev    *graph.Graph
+	prevOra commute.Oracle
+	history []Transition
+	delta   float64
+}
+
+// NewOnline returns a streaming detector targeting l anomalous nodes
+// per transition on average.
+func NewOnline(cfg Config, l float64) *OnlineDetector {
+	return &OnlineDetector{cfg: cfg, l: l}
+}
+
+// Push consumes the next graph instance. For the first instance it
+// returns (nil, nil); afterwards it returns the newest transition's
+// anomaly report at the freshly re-selected global δ. Earlier
+// transitions' reports may change as δ moves; call Report for a
+// re-thresholded view of the whole history.
+func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: Push(nil)")
+	}
+	if o.t == 0 {
+		o.n = g.N()
+	} else if g.N() != o.n {
+		return nil, fmt.Errorf("core: instance %d has %d vertices, want %d (fixed vertex set)", o.t, g.N(), o.n)
+	}
+
+	var oracle commute.Oracle
+	if o.cfg.Variant != VariantADJ {
+		cfg := o.cfg.Commute
+		cfg.Seed = cfg.Seed*1000003 + int64(o.t)
+		var err error
+		oracle, err = commute.New(g, cfg, o.cfg.ExactCutoff)
+		if err != nil {
+			return nil, fmt.Errorf("core: oracle for instance %d: %w", o.t, err)
+		}
+	}
+
+	defer func() {
+		o.prev, o.prevOra = g, oracle
+		o.t++
+	}()
+
+	if o.t == 0 {
+		return nil, nil
+	}
+
+	scores := TransitionScores(o.prev, g, o.prevOra, oracle, o.cfg.Variant, o.cfg.comAllPairs(o.n))
+	o.history = append(o.history, Transition{T: o.t - 1, Scores: scores, Total: TotalScore(scores)})
+	o.delta = SelectDelta(o.history, o.l)
+
+	edges := AnomalousEdges(scores, o.delta)
+	rep := &TransitionReport{T: o.t - 1, Edges: edges, Nodes: AnomalousNodes(edges)}
+	return rep, nil
+}
+
+// Delta returns the current global threshold (0 until the second
+// instance arrives).
+func (o *OnlineDetector) Delta() float64 { return o.delta }
+
+// Transitions returns the scored history. The slice must not be
+// modified.
+func (o *OnlineDetector) Transitions() []Transition { return o.history }
+
+// Report re-thresholds the entire observed history at the current δ —
+// the batch-equivalent view after the stream consumed so far.
+func (o *OnlineDetector) Report() Report {
+	return Threshold(o.history, o.delta)
+}

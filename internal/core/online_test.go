@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/graph"
+)
+
+func TestOnlineFirstPushReturnsNil(t *testing.T) {
+	seq := datagen.Toy()
+	o := NewOnline(Config{}, 2)
+	rep, err := o.Push(seq.At(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatal("first Push should return nil report")
+	}
+	if o.Delta() != 0 {
+		t.Fatalf("δ before any transition = %g, want 0", o.Delta())
+	}
+}
+
+func TestOnlineMatchesBatchAfterFullStream(t *testing.T) {
+	// Stream a multi-transition sequence through the online detector;
+	// the final re-thresholded Report must equal the batch pipeline's.
+	seq := multiTransitionSequence(t)
+	l := 3.0
+
+	o := NewOnline(Config{}, l)
+	for tt := 0; tt < seq.T(); tt++ {
+		if _, err := o.Push(seq.At(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batchTrs, err := New(Config{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Threshold(batchTrs, SelectDelta(batchTrs, l))
+	online := o.Report()
+
+	if len(batch.Transitions) != len(online.Transitions) {
+		t.Fatalf("transition counts differ: %d vs %d", len(batch.Transitions), len(online.Transitions))
+	}
+	for i := range batch.Transitions {
+		if !reflect.DeepEqual(batch.Transitions[i].Nodes, online.Transitions[i].Nodes) {
+			t.Fatalf("transition %d nodes differ: %v vs %v",
+				i, batch.Transitions[i].Nodes, online.Transitions[i].Nodes)
+		}
+	}
+}
+
+func TestOnlineRejectsVertexCountChange(t *testing.T) {
+	o := NewOnline(Config{}, 1)
+	g3 := graph.NewBuilder(3).MustBuild()
+	g4 := graph.NewBuilder(4).MustBuild()
+	if _, err := o.Push(g3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Push(g4); err == nil {
+		t.Fatal("want error on vertex-count change")
+	}
+}
+
+func TestOnlineRejectsNil(t *testing.T) {
+	o := NewOnline(Config{}, 1)
+	if _, err := o.Push(nil); err == nil {
+		t.Fatal("want error on nil instance")
+	}
+}
+
+func TestOnlineNewestReportUsesCurrentDelta(t *testing.T) {
+	seq := multiTransitionSequence(t)
+	o := NewOnline(Config{}, 3)
+	var last *TransitionReport
+	for tt := 0; tt < seq.T(); tt++ {
+		rep, err := o.Push(seq.At(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt > 0 {
+			if rep == nil {
+				t.Fatalf("Push %d returned nil report", tt)
+			}
+			if rep.T != tt-1 {
+				t.Fatalf("report transition = %d, want %d", rep.T, tt-1)
+			}
+			last = rep
+		}
+	}
+	// The newest per-push report must agree with the full re-threshold.
+	full := o.Report().Transitions[seq.T()-2]
+	if !reflect.DeepEqual(last.Nodes, full.Nodes) {
+		t.Fatalf("newest report %v disagrees with full report %v", last.Nodes, full.Nodes)
+	}
+}
+
+// multiTransitionSequence builds a 4-instance sequence: calm, calm,
+// one planted bridge, bridge removed.
+func multiTransitionSequence(t *testing.T) *graph.Sequence {
+	t.Helper()
+	mk := func(bridge bool, jitter float64) *graph.Graph {
+		b := graph.NewBuilder(10)
+		for c := 0; c < 2; c++ {
+			base := c * 5
+			for i := 0; i < 5; i++ {
+				for j := i + 1; j < 5; j++ {
+					b.SetEdge(base+i, base+j, 2+jitter)
+				}
+			}
+		}
+		b.SetEdge(0, 5, 0.2)
+		if bridge {
+			b.SetEdge(2, 7, 3)
+		}
+		return b.MustBuild()
+	}
+	return graph.MustSequence([]*graph.Graph{
+		mk(false, 0), mk(false, 0.05), mk(true, 0.05), mk(false, 0.1),
+	})
+}

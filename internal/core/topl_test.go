@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"dyngraph/internal/graph"
+)
+
+// calmAndStormSequence: three near-identical instances (tiny benign
+// wiggles) followed by one with a massive structural change.
+func calmAndStormSequence(t *testing.T) *graph.Sequence {
+	t.Helper()
+	mk := func(wiggle float64, storm bool) *graph.Graph {
+		b := graph.NewBuilder(12)
+		for c := 0; c < 2; c++ {
+			base := c * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					b.SetEdge(base+i, base+j, 2+wiggle)
+				}
+			}
+		}
+		b.SetEdge(0, 6, 0.2)
+		if storm {
+			b.SetEdge(1, 8, 4)
+			b.SetEdge(2, 9, 4)
+		}
+		return b.MustBuild()
+	}
+	return graph.MustSequence([]*graph.Graph{
+		mk(0, false), mk(0.01, false), mk(0.02, false), mk(0.02, true),
+	})
+}
+
+func TestGlobalDeltaBeatsTopLOnCalmStreams(t *testing.T) {
+	seq := calmAndStormSequence(t)
+	trs, err := New(Config{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// l=1: a three-node budget the storm alone (two edges, four nodes)
+	// can cover, so the shared δ never has to dip into the calm noise.
+	global := Threshold(trs, SelectDelta(trs, 1))
+	topl := TopLPerTransition(trs, 1)
+
+	// The paper's §4.2 argument: per-transition top-l forces alarms on
+	// the calm transitions; the shared δ stays silent there and spends
+	// the budget on the storm.
+	var calmAlarmsTopL, calmAlarmsGlobal int
+	for tt := 0; tt < 2; tt++ { // transitions 0 and 1 are calm wiggles
+		if topl.Transitions[tt].Anomalous() {
+			calmAlarmsTopL++
+		}
+		if global.Transitions[tt].Anomalous() {
+			calmAlarmsGlobal++
+		}
+	}
+	if calmAlarmsTopL == 0 {
+		t.Fatal("top-l should force alarms on calm transitions (the failure the paper describes)")
+	}
+	if calmAlarmsGlobal >= calmAlarmsTopL {
+		t.Fatalf("global δ should flag fewer calm transitions: global %d vs top-l %d",
+			calmAlarmsGlobal, calmAlarmsTopL)
+	}
+	// Both must catch the storm.
+	if !global.Transitions[2].Anomalous() || !topl.Transitions[2].Anomalous() {
+		t.Fatal("storm transition missed")
+	}
+	// And the global policy spends more of its budget on the storm.
+	if len(global.Transitions[2].Nodes) < 4 {
+		t.Fatalf("global δ storm nodes = %d, want ≥ 4", len(global.Transitions[2].Nodes))
+	}
+}
+
+func TestTopLRespectsBudget(t *testing.T) {
+	seq := calmAndStormSequence(t)
+	trs, err := New(Config{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := TopLPerTransition(trs, 2)
+	for _, tr := range rep.Transitions {
+		if len(tr.Nodes) > 2+1 { // one extra node possible on the last edge
+			t.Fatalf("transition %d exceeded budget: %d nodes", tr.T, len(tr.Nodes))
+		}
+	}
+}

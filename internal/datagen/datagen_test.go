@@ -1,0 +1,202 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"dyngraph/internal/graph"
+)
+
+func TestToyStructure(t *testing.T) {
+	seq := Toy()
+	if seq.T() != 2 || seq.N() != ToyN {
+		t.Fatalf("T=%d N=%d", seq.T(), seq.N())
+	}
+	g0, g1 := seq.At(0), seq.At(1)
+	if !g0.IsConnected() {
+		t.Fatal("instance 0 disconnected")
+	}
+	if !g1.IsConnected() {
+		t.Fatal("instance 1 disconnected")
+	}
+	for _, c := range ToyChanges() {
+		if got := g0.Weight(c.I, c.J); got != c.Before {
+			t.Errorf("%s before = %g, want %g", c.Name, got, c.Before)
+		}
+		if got := g1.Weight(c.I, c.J); got != c.After {
+			t.Errorf("%s after = %g, want %g", c.Name, got, c.After)
+		}
+	}
+	// Exactly the scripted changes differ.
+	diff := graph.DiffSupport(g0, g1)
+	if len(diff) != len(ToyChanges()) {
+		t.Fatalf("diff support = %d pairs, want %d", len(diff), len(ToyChanges()))
+	}
+	if g0.Label(B1) != "b1" || g0.Label(R9) != "r9" {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestToyBridgeSeparatesSubgroups(t *testing.T) {
+	// Removing the (r7, r8) bridge from instance 0 must split the red
+	// subgroup RB = {r4, r6, r8, r9} from RA, as §3.4 requires.
+	seq := Toy()
+	b := graph.NewBuilder(ToyN)
+	for _, e := range seq.At(0).Edges() {
+		if graph.MakeKey(e.I, e.J) == graph.MakeKey(R7, R8) {
+			continue
+		}
+		b.SetEdge(e.I, e.J, e.W)
+	}
+	g := b.MustBuild()
+	comp, _ := g.Components()
+	if comp[R4] == comp[R1] {
+		t.Fatal("bridge removal should disconnect RB from RA")
+	}
+	if comp[R4] != comp[R6] || comp[R4] != comp[R8] || comp[R4] != comp[R9] {
+		t.Fatal("RB should stay internally connected")
+	}
+}
+
+func TestGMMGroundTruth(t *testing.T) {
+	inst := GMM(GMMConfig{N: 120, Seed: 1})
+	if inst.Seq.T() != 2 || inst.Seq.N() != 120 {
+		t.Fatalf("T=%d N=%d", inst.Seq.T(), inst.Seq.N())
+	}
+	if len(inst.AnomalousEdges) == 0 {
+		t.Fatal("no injected anomalies")
+	}
+	var nTrue int
+	for _, l := range inst.NodeLabels {
+		if l {
+			nTrue++
+		}
+	}
+	if nTrue == 0 || nTrue == 120 {
+		t.Fatalf("degenerate node labels: %d true", nTrue)
+	}
+	// Every anomalous edge crosses clusters and exists in instance 1
+	// but carries extra weight relative to instance 0's similarity.
+	for _, k := range inst.AnomalousEdges {
+		if inst.Cluster[k.I] == inst.Cluster[k.J] {
+			t.Fatal("anomalous edge within a cluster")
+		}
+		if inst.Seq.At(1).Weight(k.I, k.J) <= inst.Seq.At(0).Weight(k.I, k.J) {
+			t.Fatal("anomalous edge did not gain weight")
+		}
+	}
+}
+
+func TestGMMDeterministicBySeed(t *testing.T) {
+	a := GMM(GMMConfig{N: 60, Seed: 7})
+	b := GMM(GMMConfig{N: 60, Seed: 7})
+	if len(a.AnomalousEdges) != len(b.AnomalousEdges) {
+		t.Fatal("same seed, different anomalies")
+	}
+	if a.Seq.At(1).Weight(3, 17) != b.Seq.At(1).Weight(3, 17) {
+		t.Fatal("same seed, different weights")
+	}
+	c := GMM(GMMConfig{N: 60, Seed: 8})
+	if len(a.AnomalousEdges) == len(c.AnomalousEdges) &&
+		a.Seq.At(1).Weight(3, 17) == c.Seq.At(1).Weight(3, 17) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestGMMClusterSimilarityStructure(t *testing.T) {
+	inst := GMM(GMMConfig{N: 80, Seed: 3})
+	g := inst.Seq.At(0)
+	// Average intra-cluster weight must far exceed inter-cluster.
+	var intra, inter float64
+	var nIntra, nInter int
+	for _, e := range g.Edges() {
+		if inst.Cluster[e.I] == inst.Cluster[e.J] {
+			intra += e.W
+			nIntra++
+		} else {
+			inter += e.W
+			nInter++
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("degenerate structure")
+	}
+	if intra/float64(nIntra) < 10*inter/float64(nInter) {
+		t.Fatalf("weak cluster separation: intra %g vs inter %g",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestGMMMinWeightSparsifies(t *testing.T) {
+	dense := GMM(GMMConfig{N: 60, Seed: 2})
+	sparse := GMM(GMMConfig{N: 60, Seed: 2, MinWeight: 0.05})
+	if sparse.Seq.At(0).NumEdges() >= dense.Seq.At(0).NumEdges() {
+		t.Fatal("MinWeight did not sparsify")
+	}
+}
+
+func TestRandomSequenceShape(t *testing.T) {
+	seq := RandomSequence(RandomConfig{N: 500, EdgesPerNode: 3, Seed: 1})
+	if seq.T() != 2 || seq.N() != 500 {
+		t.Fatalf("T=%d N=%d", seq.T(), seq.N())
+	}
+	m := seq.At(0).NumEdges()
+	if m < 1400 || m > 1700 {
+		t.Fatalf("m = %d, want ≈ 1500", m)
+	}
+	if !seq.At(0).IsConnected() {
+		t.Fatal("instance 0 should be connected by default")
+	}
+	// The transition must actually change something.
+	if len(graph.DiffSupport(seq.At(0), seq.At(1))) == 0 {
+		t.Fatal("no transition changes")
+	}
+}
+
+func TestRandomSequenceDeterministic(t *testing.T) {
+	a := RandomSequence(RandomConfig{N: 100, Seed: 5})
+	b := RandomSequence(RandomConfig{N: 100, Seed: 5})
+	if a.At(0).NumEdges() != b.At(0).NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestKNN(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}, {10}}
+	nb := KNN(points, 2)
+	if len(nb) != 4 {
+		t.Fatalf("rows = %d", len(nb))
+	}
+	// Point 0's nearest two are 1 then 2.
+	if nb[0][0] != 1 || nb[0][1] != 2 {
+		t.Fatalf("nb[0] = %v", nb[0])
+	}
+	// Point 3's nearest is 2.
+	if nb[3][0] != 2 {
+		t.Fatalf("nb[3] = %v", nb[3])
+	}
+	// k clamped to n-1.
+	nb = KNN(points, 10)
+	if len(nb[0]) != 3 {
+		t.Fatalf("clamped k = %d", len(nb[0]))
+	}
+}
+
+func TestSimilarityKNNGraph(t *testing.T) {
+	neighbors := [][]int{{1}, {0, 2}, {1}}
+	values := []float64{1, 1, 5}
+	g := SimilarityKNNGraph(neighbors, values, 1)
+	// Equal values → weight exp(0) = 1.
+	if got := g.Weight(0, 1); got != 1 {
+		t.Fatalf("w(0,1) = %g, want 1", got)
+	}
+	// Far values → weight exp(-16/2) small.
+	want := math.Exp(-8)
+	if got := g.Weight(1, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("w(1,2) = %g, want %g", got, want)
+	}
+	// Symmetrized: edge exists even though 2 only lists 1.
+	if g.Weight(2, 1) != g.Weight(1, 2) {
+		t.Fatal("asymmetric weight")
+	}
+}

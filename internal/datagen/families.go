@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/xrand"
+)
+
+// Family names a random-graph topology for the scalability study.
+// The paper's §4.1.3 uses uniform random graphs; real deployments run
+// CAD on heavy-tailed (communication) and locally clustered (social,
+// spatial) networks, so the harness can sweep those shapes too.
+type Family string
+
+// Supported graph families.
+const (
+	// FamilyUniform is the paper's G(n, m): m uniformly random weighted
+	// edges (plus a connecting path).
+	FamilyUniform Family = "uniform"
+	// FamilyPreferential is Barabási–Albert preferential attachment:
+	// heavy-tailed degrees, like email and collaboration networks.
+	FamilyPreferential Family = "preferential"
+	// FamilySmallWorld is Watts–Strogatz: a ring lattice with rewired
+	// shortcuts, high clustering plus short paths.
+	FamilySmallWorld Family = "smallworld"
+)
+
+// ParseFamily validates a family name from a CLI flag.
+func ParseFamily(s string) (Family, error) {
+	switch Family(s) {
+	case FamilyUniform, FamilyPreferential, FamilySmallWorld:
+		return Family(s), nil
+	case "":
+		return FamilyUniform, nil
+	default:
+		return "", fmt.Errorf("datagen: unknown graph family %q (want uniform, preferential or smallworld)", s)
+	}
+}
+
+// FamilyGraph generates one connected random graph of the given family
+// with m ≈ edgesPerNode·n weighted edges.
+func FamilyGraph(family Family, n int, edgesPerNode float64, rng *xrand.Source) *graph.Graph {
+	switch family {
+	case FamilyPreferential:
+		return preferentialAttachment(n, edgesPerNode, rng)
+	case FamilySmallWorld:
+		return smallWorld(n, edgesPerNode, rng)
+	default:
+		return uniformRandom(n, edgesPerNode, rng)
+	}
+}
+
+// FamilySequence wraps FamilyGraph into a two-instance sequence with a
+// perturbed second instance, mirroring RandomSequence's transition
+// model so every detector has work to do.
+func FamilySequence(family Family, cfg RandomConfig) *graph.Sequence {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(cfg.Seed)
+	g0 := FamilyGraph(family, cfg.N, cfg.EdgesPerNode, rng)
+	edges := g0.Edges()
+	next := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		switch {
+		case rng.Float64() < cfg.ChangeFraction/10:
+			// dropped
+		case rng.Float64() < cfg.ChangeFraction:
+			e.W = 0.1 + rng.Float64()
+			next = append(next, e)
+		default:
+			next = append(next, e)
+		}
+	}
+	g1 := graph.MustFromEdges(cfg.N, next, nil)
+	return graph.MustSequence([]*graph.Graph{g0, g1})
+}
+
+// uniformRandom is G(n, m) plus a random connecting path.
+func uniformRandom(n int, edgesPerNode float64, rng *xrand.Source) *graph.Graph {
+	m := int(edgesPerNode * float64(n))
+	seen := make(map[graph.Key]struct{}, m+n)
+	edges := make([]graph.Edge, 0, m+n)
+	add := func(i, j int) {
+		if i == j {
+			return
+		}
+		k := graph.MakeKey(i, j)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{I: k.I, J: k.J, W: 0.1 + rng.Float64()})
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i-1], perm[i])
+	}
+	for len(edges) < m {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+// preferentialAttachment grows a Barabási–Albert graph: each arriving
+// vertex attaches to ⌈edgesPerNode⌉ existing vertices chosen with
+// probability proportional to degree (implemented with the classic
+// endpoint-repetition list, O(m) memory).
+func preferentialAttachment(n int, edgesPerNode float64, rng *xrand.Source) *graph.Graph {
+	m0 := int(edgesPerNode + 0.5)
+	if m0 < 1 {
+		m0 = 1
+	}
+	if m0 >= n {
+		m0 = n - 1
+	}
+	edges := make([]graph.Edge, 0, n*m0)
+	// targets holds one entry per edge endpoint: sampling uniformly
+	// from it is degree-proportional sampling.
+	targets := make([]int, 0, 2*n*m0)
+	// Seed clique over the first m0+1 vertices.
+	for i := 0; i <= m0; i++ {
+		for j := i + 1; j <= m0; j++ {
+			edges = append(edges, graph.Edge{I: i, J: j, W: 0.1 + rng.Float64()})
+			targets = append(targets, i, j)
+		}
+	}
+	for v := m0 + 1; v < n; v++ {
+		attached := make(map[int]bool, m0)
+		for len(attached) < m0 {
+			u := targets[rng.Intn(len(targets))]
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			edges = append(edges, graph.Edge{I: u, J: v, W: 0.1 + rng.Float64()})
+			targets = append(targets, u, v)
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}
+
+// smallWorld builds a Watts–Strogatz ring: each vertex connects to its
+// `half` nearest forward ring neighbors (so m ≈ half·n = edgesPerNode·n
+// after symmetry), then every edge's far endpoint is rewired to a
+// random vertex with probability 0.1.
+func smallWorld(n int, edgesPerNode float64, rng *xrand.Source) *graph.Graph {
+	half := int(edgesPerNode + 0.5)
+	if half < 1 {
+		half = 1
+	}
+	const rewireProb = 0.1
+	seen := make(map[graph.Key]struct{}, n*half)
+	edges := make([]graph.Edge, 0, n*half)
+	add := func(i, j int) bool {
+		if i == j {
+			return false
+		}
+		k := graph.MakeKey(i, j)
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{I: k.I, J: k.J, W: 0.1 + rng.Float64()})
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= half; d++ {
+			j := (i + d) % n
+			if rng.Float64() < rewireProb {
+				// Try a few random far endpoints before falling back to
+				// the lattice edge (keeps the graph connected with high
+				// probability and the edge count exact enough).
+				rewired := false
+				for tries := 0; tries < 8 && !rewired; tries++ {
+					rewired = add(i, rng.Intn(n))
+				}
+				if rewired {
+					continue
+				}
+			}
+			add(i, j)
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}

@@ -1,0 +1,126 @@
+package datagen
+
+import (
+	"sort"
+	"testing"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/xrand"
+)
+
+func TestParseFamily(t *testing.T) {
+	for _, name := range []string{"uniform", "preferential", "smallworld", ""} {
+		if _, err := ParseFamily(name); err != nil {
+			t.Errorf("ParseFamily(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseFamily("nope"); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}
+
+func TestFamilyGraphShapes(t *testing.T) {
+	const n = 2000
+	rng := xrand.New(1)
+	for _, fam := range []Family{FamilyUniform, FamilyPreferential, FamilySmallWorld} {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			g := FamilyGraph(fam, n, 4, xrand.New(rng.Int63()))
+			if g.N() != n {
+				t.Fatalf("N = %d", g.N())
+			}
+			m := g.NumEdges()
+			if m < 3*n || m > 6*n {
+				t.Fatalf("m = %d, want ≈ 4n", m)
+			}
+			for _, e := range g.Edges() {
+				if e.W <= 0 {
+					t.Fatal("non-positive weight")
+				}
+			}
+		})
+	}
+}
+
+func TestPreferentialAttachmentIsHeavyTailed(t *testing.T) {
+	// BA graphs have hubs: the max degree should far exceed the mean;
+	// uniform graphs of the same size should not show the same ratio.
+	const n = 3000
+	ba := FamilyGraph(FamilyPreferential, n, 3, xrand.New(7))
+	uni := FamilyGraph(FamilyUniform, n, 3, xrand.New(7))
+	maxDeg := func(g *graph.Graph) int {
+		var mx int
+		for v := 0; v < g.N(); v++ {
+			idx, _ := g.Neighbors(v)
+			if len(idx) > mx {
+				mx = len(idx)
+			}
+		}
+		return mx
+	}
+	baMax, uniMax := maxDeg(ba), maxDeg(uni)
+	if baMax < 3*uniMax {
+		t.Fatalf("BA max degree %d should dwarf uniform's %d", baMax, uniMax)
+	}
+}
+
+func TestSmallWorldHasHighClustering(t *testing.T) {
+	// A WS graph keeps most lattice triangles; a uniform random graph
+	// of equal density has almost none.
+	const n = 1000
+	ws := FamilyGraph(FamilySmallWorld, n, 6, xrand.New(3))
+	uni := FamilyGraph(FamilyUniform, n, 6, xrand.New(3))
+	if cw, cu := triangles(ws), triangles(uni); cw < 10*cu+1 {
+		t.Fatalf("WS triangles %d should far exceed uniform's %d", cw, cu)
+	}
+}
+
+// triangles counts the graph's triangles (each once).
+func triangles(g *graph.Graph) int {
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		idx, _ := g.Neighbors(v)
+		nb := append([]int(nil), idx...)
+		sort.Ints(nb)
+		for a := 0; a < len(nb); a++ {
+			if nb[a] <= v {
+				continue
+			}
+			for b := a + 1; b < len(nb); b++ {
+				if g.Weight(nb[a], nb[b]) > 0 {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestFamilyGraphsConnected(t *testing.T) {
+	for _, fam := range []Family{FamilyUniform, FamilyPreferential} {
+		g := FamilyGraph(fam, 500, 2, xrand.New(11))
+		if !g.IsConnected() {
+			t.Fatalf("%s graph disconnected", fam)
+		}
+	}
+}
+
+func TestFamilySequenceTransitionHasWork(t *testing.T) {
+	for _, fam := range []Family{FamilyUniform, FamilyPreferential, FamilySmallWorld} {
+		seq := FamilySequence(fam, RandomConfig{N: 400, EdgesPerNode: 3, Seed: 2})
+		if seq.T() != 2 {
+			t.Fatalf("%s: T = %d", fam, seq.T())
+		}
+		if len(graph.DiffSupport(seq.At(0), seq.At(1))) == 0 {
+			t.Fatalf("%s: no transition changes", fam)
+		}
+	}
+}
+
+func TestFamilyDeterministicBySeed(t *testing.T) {
+	a := FamilyGraph(FamilyPreferential, 300, 2, xrand.New(9))
+	b := FamilyGraph(FamilyPreferential, 300, 2, xrand.New(9))
+	if a.NumEdges() != b.NumEdges() || a.Volume() != b.Volume() {
+		t.Fatal("same seed diverged")
+	}
+}

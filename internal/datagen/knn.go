@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+
+	"dyngraph/internal/graph"
+)
+
+// KNN computes, for each point, the indices of its k nearest neighbors
+// under Euclidean distance (brute force, O(n² log k) via partial sort —
+// ample for the grid sizes in this repository). Points are rows of
+// arbitrary equal dimension. The result excludes the point itself.
+func KNN(points [][]float64, k int) [][]int {
+	n := len(points)
+	if k >= n {
+		k = n - 1
+	}
+	out := make([][]int, n)
+	type cand struct {
+		idx int
+		d2  float64
+	}
+	cands := make([]cand, 0, n)
+	for i := 0; i < n; i++ {
+		cands = cands[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			cands = append(cands, cand{idx: j, d2: sqDist(points[i], points[j])})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d2 != cands[b].d2 {
+				return cands[a].d2 < cands[b].d2
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		nb := make([]int, k)
+		for t := 0; t < k; t++ {
+			nb[t] = cands[t].idx
+		}
+		out[i] = nb
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SimilarityKNNGraph builds the weighted kNN graph the precipitation
+// experiment uses (§4.2.3): vertices are locations with fixed neighbor
+// sets, and the weight between a location and each of its neighbors is
+// exp(−(v_i − v_j)² / 2σ²) for scalar per-vertex values v (e.g. that
+// month's precipitation). The neighbor relation is symmetrized: an edge
+// exists if either endpoint lists the other.
+func SimilarityKNNGraph(neighbors [][]int, values []float64, sigma float64) *graph.Graph {
+	n := len(neighbors)
+	seen := make(map[graph.Key]struct{})
+	edges := make([]graph.Edge, 0, n*8)
+	inv := 1 / (2 * sigma * sigma)
+	for i, nbs := range neighbors {
+		for _, j := range nbs {
+			k := graph.MakeKey(i, j)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			d := values[i] - values[j]
+			w := math.Exp(-d * d * inv)
+			if w > 0 {
+				edges = append(edges, graph.Edge{I: k.I, J: k.J, W: w})
+			}
+		}
+	}
+	return graph.MustFromEdges(n, edges, nil)
+}

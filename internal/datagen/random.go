@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"dyngraph/internal/graph"
+	"dyngraph/internal/xrand"
+)
+
+// RandomConfig parameterizes the sparse random graphs of the
+// scalability study (§4.1.3).
+type RandomConfig struct {
+	// N is the vertex count.
+	N int
+	// EdgesPerNode sets m ≈ EdgesPerNode·N. The paper's "sparsity 1/n"
+	// corresponds to 1 (m = O(n)); its stress case m = 10n to 10.
+	// Zero means 1.
+	EdgesPerNode float64
+	// ChangeFraction is the fraction of edges whose weight is
+	// re-randomized between the two instances (default 0.01).
+	ChangeFraction float64
+	// Connect adds a random spanning path so the instance is connected
+	// (default true behaviour when ConnectOff is false); commute times
+	// across components are infinite, and the scalability experiment is
+	// about runtime, not component bookkeeping.
+	ConnectOff bool
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.EdgesPerNode <= 0 {
+		c.EdgesPerNode = 1
+	}
+	if c.ChangeFraction <= 0 {
+		c.ChangeFraction = 0.01
+	}
+	return c
+}
+
+// RandomSequence generates a two-instance sparse random graph sequence
+// for runtime measurements: instance 0 is a random graph with m ≈
+// EdgesPerNode·N weighted edges, instance 1 re-randomizes the weight of
+// a ChangeFraction of them (and deletes a handful), so every detector
+// has genuine work to do at the transition.
+func RandomSequence(cfg RandomConfig) *graph.Sequence {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(cfg.Seed)
+	n := cfg.N
+	m := int(cfg.EdgesPerNode * float64(n))
+
+	seen := make(map[graph.Key]struct{}, m+n)
+	edges := make([]graph.Edge, 0, m+n)
+	add := func(i, j int, w float64) {
+		if i == j {
+			return
+		}
+		k := graph.MakeKey(i, j)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{I: k.I, J: k.J, W: w})
+	}
+	if !cfg.ConnectOff {
+		// Random spanning path through a permutation.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			add(perm[i-1], perm[i], 0.1+rng.Float64())
+		}
+	}
+	for len(edges) < m {
+		add(rng.Intn(n), rng.Intn(n), 0.1+rng.Float64())
+	}
+	g0 := graph.MustFromEdges(n, edges, nil)
+
+	// Instance 1: re-randomize a fraction of weights, delete a few.
+	next := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		switch {
+		case rng.Float64() < cfg.ChangeFraction/10:
+			// drop the edge entirely
+		case rng.Float64() < cfg.ChangeFraction:
+			e.W = 0.1 + rng.Float64()
+			next = append(next, e)
+		default:
+			next = append(next, e)
+		}
+	}
+	// A few brand-new edges (skipping duplicates and self-loops).
+	for k := 0; k < int(cfg.ChangeFraction*float64(m))+1; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		key := graph.MakeKey(i, j)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		next = append(next, graph.Edge{I: key.I, J: key.J, W: 0.1 + rng.Float64()})
+	}
+	g1 := graph.MustFromEdges(n, next, nil)
+	return graph.MustSequence([]*graph.Graph{g0, g1})
+}

@@ -1,0 +1,126 @@
+// Package datagen generates the synthetic workloads of the paper's
+// evaluation: the 17-node toy example of Figure 1, the 4-component
+// Gaussian-mixture graphs of §4.1 (with ground-truth anomaly
+// injection), sparse random graph sequences for the scalability study,
+// and a generic kNN similarity-graph builder.
+package datagen
+
+import "dyngraph/internal/graph"
+
+// Toy vertex indices. Blue nodes b1..b8 are 0..7, red nodes r1..r9 are
+// 8..16, matching the labeling in Figure 1 of the paper.
+const (
+	B1 = iota
+	B2
+	B3
+	B4
+	B5
+	B6
+	B7
+	B8
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	ToyN // 17
+)
+
+// ToyLabels are the human-readable names of the toy vertices.
+func ToyLabels() []string {
+	return []string{
+		"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+		"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9",
+	}
+}
+
+// ToyChange describes one scripted edge modification S1..S5 (§2.2).
+type ToyChange struct {
+	Name      string
+	I, J      int
+	Before    float64
+	After     float64
+	Anomalous bool // S1, S2, S3 are the planted anomalies
+}
+
+// ToyChanges returns the five scripted scenarios of §2.2:
+//
+//	S1: new edge (b1, r1)               — Case 2, anomalous
+//	S2: decrease on bridge (r7, r8)     — Case 3, anomalous
+//	S3: large increase (b4, b5)         — Case 1, anomalous
+//	S4: small decrease (b1, b3)         — benign
+//	S5: small increase (b2, b7)         — benign
+func ToyChanges() []ToyChange {
+	return []ToyChange{
+		{Name: "S1", I: B1, J: R1, Before: 0, After: 1.5, Anomalous: true},
+		{Name: "S2", I: R7, J: R8, Before: 2, After: 1, Anomalous: true},
+		{Name: "S3", I: B4, J: B5, Before: 1, After: 6, Anomalous: true},
+		{Name: "S4", I: B1, J: B3, Before: 2, After: 1.5, Anomalous: false},
+		{Name: "S5", I: B2, J: B7, Before: 2, After: 2.5, Anomalous: false},
+	}
+}
+
+// toyBaseEdges is the time-t structure: a well-connected blue cluster,
+// a red cluster made of two tight subgroups joined only by the bridge
+// (r7, r8) — so that weakening the bridge pushes {r4, r6, r8, r9} away
+// from the rest, exactly the effect §3.4 discusses — and a single weak
+// blue↔red tie keeping the whole graph loosely connected.
+func toyBaseEdges() []graph.Edge {
+	return []graph.Edge{
+		// Blue cluster.
+		{I: B1, J: B2, W: 2}, {I: B1, J: B3, W: 2}, {I: B2, J: B3, W: 2},
+		{I: B2, J: B7, W: 2}, {I: B3, J: B4, W: 2}, {I: B4, J: B5, W: 1},
+		{I: B4, J: B6, W: 2}, {I: B5, J: B6, W: 2}, {I: B6, J: B7, W: 2},
+		{I: B7, J: B8, W: 2}, {I: B1, J: B8, W: 2},
+		// Red subgroup RA = {r1, r2, r3, r5, r7}.
+		{I: R1, J: R2, W: 2}, {I: R2, J: R3, W: 2}, {I: R3, J: R5, W: 2},
+		{I: R5, J: R7, W: 2}, {I: R1, J: R7, W: 2}, {I: R2, J: R5, W: 2},
+		// Red subgroup RB = {r4, r6, r8, r9}.
+		{I: R4, J: R6, W: 2}, {I: R6, J: R9, W: 2}, {I: R8, J: R9, W: 2},
+		{I: R4, J: R8, W: 2}, {I: R4, J: R9, W: 2},
+		// The bridge between the red subgroups (S2's target).
+		{I: R7, J: R8, W: 2},
+		// Weak blue↔red tie: "limited interactions" between the groups.
+		{I: B8, J: R2, W: 0.5},
+	}
+}
+
+// Toy returns the two-instance toy sequence of Figure 1: instance 0 is
+// time slice t, instance 1 applies the five scripted changes.
+func Toy() *graph.Sequence {
+	labels := ToyLabels()
+	g0 := graph.MustFromEdges(ToyN, toyBaseEdges(), labels)
+
+	edges := toyBaseEdges()
+	changed := make(map[graph.Key]float64)
+	for _, c := range ToyChanges() {
+		changed[graph.MakeKey(c.I, c.J)] = c.After
+	}
+	out := edges[:0]
+	for _, e := range edges {
+		if after, ok := changed[graph.MakeKey(e.I, e.J)]; ok {
+			e.W = after
+			delete(changed, graph.MakeKey(e.I, e.J))
+		}
+		if e.W != 0 {
+			out = append(out, e)
+		}
+	}
+	for k, w := range changed { // brand-new edges (S1)
+		if w != 0 {
+			out = append(out, graph.Edge{I: k.I, J: k.J, W: w})
+		}
+	}
+	g1 := graph.MustFromEdges(ToyN, out, labels)
+	return graph.MustSequence([]*graph.Graph{g0, g1})
+}
+
+// ToyAnomalousNodes returns the ground-truth anomalous node set of the
+// toy transition: endpoints of S1, S2, S3 (b1, b4, b5, r1, r7, r8).
+func ToyAnomalousNodes() []int {
+	return []int{B1, B4, B5, R1, R7, R8}
+}

@@ -1,0 +1,127 @@
+package dblp
+
+import "testing"
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Seq.T() != 6 {
+		t.Fatalf("T = %d, want 6", d.Seq.T())
+	}
+	if d.Seq.N() != 800 {
+		t.Fatalf("N = %d, want 800", d.Seq.N())
+	}
+	if d.Seq.AvgEdges() < 500 {
+		t.Fatalf("avg edges = %g, too sparse", d.Seq.AvgEdges())
+	}
+}
+
+func TestAreasPartitionAuthors(t *testing.T) {
+	d := Generate(Config{Authors: 100, Areas: 5, Seed: 1})
+	counts := make(map[int]int)
+	for _, a := range d.Area {
+		counts[a]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("areas = %d, want 5", len(counts))
+	}
+	for a, c := range counts {
+		if c != 20 {
+			t.Fatalf("area %d has %d members", a, c)
+		}
+	}
+}
+
+func TestFieldJumperSwitches(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	// Year 0: no HPC (area 1) collaborators. Year 1+: several.
+	countHPC := func(year int) int {
+		idx, _ := d.Seq.At(year).Neighbors(d.FieldJumper)
+		var c int
+		for _, j := range idx {
+			if d.Area[j] == 1 {
+				c++
+			}
+		}
+		return c
+	}
+	if countHPC(0) != 0 {
+		t.Fatalf("jumper already has %d HPC ties in year 0", countHPC(0))
+	}
+	if countHPC(1) < 3 {
+		t.Fatalf("jumper has only %d HPC ties in year 1", countHPC(1))
+	}
+}
+
+func TestSeveredPairStructure(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	a, b := d.Severed[0], d.Severed[1]
+	// Strong mutual tie in year 0..3, gone in later years.
+	for y := 0; y <= 3; y++ {
+		if d.Seq.At(y).Weight(a, b) < 4 {
+			t.Fatalf("severed pair weight %g at year %d, want ≥ 4", d.Seq.At(y).Weight(a, b), y)
+		}
+	}
+	for y := 4; y < d.Seq.T(); y++ {
+		if d.Seq.At(y).Weight(a, b) != 0 {
+			t.Fatalf("severed pair still tied at year %d", y)
+		}
+	}
+	// The pair is a near-isolated duo: few other ties each.
+	for _, v := range []int{a, b} {
+		idx, _ := d.Seq.At(0).Neighbors(v)
+		if len(idx) > 3 {
+			t.Fatalf("severed-pair member %d has %d ties, want a near-duo", v, len(idx))
+		}
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if len(d.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(d.Events))
+	}
+	// Severity ordering: cross-field jump (3) > adjacent move (2).
+	var jump, move int
+	for _, e := range d.Events {
+		for _, n := range e.Nodes {
+			if n == d.FieldJumper {
+				jump = e.Severity
+			}
+			if n == d.AdjacentMover {
+				move = e.Severity
+			}
+		}
+	}
+	if jump <= move {
+		t.Fatalf("severity ordering wrong: jump %d, move %d", jump, move)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(Config{Seed: 4})
+	b := Generate(Config{Seed: 4})
+	for y := 0; y < a.Seq.T(); y++ {
+		if a.Seq.At(y).NumEdges() != b.Seq.At(y).NumEdges() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestYearlyGraphsMostlyConnected(t *testing.T) {
+	// The giant component should dominate, as in the real snapshot.
+	d := Generate(Config{Seed: 1})
+	comp, count := d.Seq.At(0).Components()
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	var giant int
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	if giant < d.Seq.N()*5/10 {
+		t.Fatalf("giant component = %d of %d, want a majority", giant, d.Seq.N())
+	}
+}

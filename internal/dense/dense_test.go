@@ -1,0 +1,259 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Addo(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Fatalf("At = %g, want 7", got)
+	}
+	tr := m.Transpose()
+	if got := tr.At(1, 0); got != 7 {
+		t.Fatalf("Transpose At = %g, want 7", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	p := a.Mul(Identity(2))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatalf("A*I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, vecs := EigenSym(a)
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if !approxEq(vals[i], w, 1e-12) {
+			t.Errorf("vals[%d] = %g, want %g", i, vals[i], w)
+		}
+	}
+	// Eigenvectors must be signed unit coordinate vectors.
+	for k := 0; k < 3; k++ {
+		var norm float64
+		for i := 0; i < 3; i++ {
+			v := vecs.At(i, k)
+			norm += v * v
+		}
+		if !approxEq(norm, 1, 1e-12) {
+			t.Errorf("eigenvector %d norm² = %g", k, norm)
+		}
+	}
+}
+
+func TestEigenSym2x2KnownSpectrum(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, _ := EigenSym(a)
+	if !approxEq(vals[0], 1, 1e-12) || !approxEq(vals[1], 3, 1e-12) {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+}
+
+// randomSymmetric returns a random symmetric matrix.
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: A V = V diag(vals) and VᵀV = I for random symmetric A.
+func TestQuickEigenSymReconstruction(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSymmetric(rng, n)
+		vals, vecs := EigenSym(a)
+		scale := 1 + a.MaxAbs()
+		// Check A v_k = λ_k v_k columnwise.
+		v := make([]float64, n)
+		av := make([]float64, n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, k)
+			}
+			a.MulVec(av, v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*v[i]) > 1e-8*scale {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		for k := 0; k < n; k++ {
+			for l := k; l < n; l++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += vecs.At(i, k) * vecs.At(i, l)
+				}
+				want := 0.0
+				if k == l {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Ascending order.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pseudoinverse satisfies the Moore–Penrose identities
+// A A⁺ A = A and A⁺ A A⁺ = A⁺ on random symmetric singular matrices.
+func TestQuickPseudoInverseMoorePenrose(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Build a rank-deficient symmetric matrix: B Bᵀ with B n×(n-1).
+		b := NewMatrix(n, n-1)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.Mul(b.Transpose())
+		ap := PseudoInverse(a)
+		scale := 1 + a.MaxAbs()
+
+		aapa := a.Mul(ap).Mul(a)
+		apaap := ap.Mul(a).Mul(ap)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(aapa.At(i, j)-a.At(i, j)) > 1e-6*scale {
+					return false
+				}
+				if math.Abs(apaap.At(i, j)-ap.At(i, j)) > 1e-6*(1+ap.MaxAbs()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoInverseOfInvertible(t *testing.T) {
+	// For an SPD matrix the pseudoinverse is the inverse.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	ap := PseudoInverse(a)
+	prod := a.Mul(ap)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approxEq(prod.At(i, j), want, 1e-9) {
+				t.Fatalf("A·A⁺ not identity: %v", prod.Data)
+			}
+		}
+	}
+}
+
+func TestCholeskySolveMatchesKnown(t *testing.T) {
+	// SPD system with a known solution.
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	l, ok := Cholesky(a)
+	if !ok {
+		t.Fatal("Cholesky failed on SPD matrix")
+	}
+	want := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	a.MulVec(b, want)
+	got := CholeskySolve(l, b)
+	for i := range want {
+		if !approxEq(got[i], want[i], 1e-10) {
+			t.Fatalf("solve = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3 and -1
+	if _, ok := Cholesky(a); ok {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	if a.IsSymmetric(0) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	a.Set(1, 0, 1)
+	if !a.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+}

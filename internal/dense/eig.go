@@ -1,0 +1,225 @@
+package dense
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi method. It returns the eigenvalues in
+// ascending order and the matching orthonormal eigenvectors as the
+// columns of V (V.At(i, k) is component i of eigenvector k), so that
+// A = V diag(values) Vᵀ.
+//
+// Jacobi is O(n³) with a modest constant and is backward stable, which
+// makes it the right tool for the exact commute-time path (n ≤ a few
+// thousand) and for the 2-D Laplacian eigenmap in Figure 2.
+// EigenSym panics if a is not square; symmetry is assumed and only the
+// upper triangle is read.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic("dense: EigenSym requires a square matrix")
+	}
+	n := a.Rows
+	w := a.Clone() // working copy, destroyed by rotations
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off == 0 || off < 1e-14*(1+w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Stable computation of the rotation (Golub & Van Loan §8.5).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	// Extract, sort ascending, and permute eigenvectors to match.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for k, p := range pairs {
+		values[k] = p.val
+		for i := 0; i < n; i++ {
+			vectors.Set(i, k, v.At(i, p.idx))
+		}
+	}
+	return values, vectors
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := m.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(2 * s)
+}
+
+// applyJacobiRotation applies the Givens rotation G(p,q,θ) to w on both
+// sides (w ← GᵀwG) and accumulates it into the eigenvector matrix v.
+// It indexes the backing arrays directly: this is the innermost loop of
+// the O(n³) eigensolve and dominates exact commute-time computation.
+func applyJacobiRotation(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	wd, vd := w.Data, v.Data
+	for i := 0; i < n; i++ {
+		ip, iq := i*n+p, i*n+q
+		wip, wiq := wd[ip], wd[iq]
+		wd[ip] = c*wip - s*wiq
+		wd[iq] = s*wip + c*wiq
+	}
+	prow := wd[p*n : p*n+n]
+	qrow := wd[q*n : q*n+n]
+	for j := 0; j < n; j++ {
+		wpj, wqj := prow[j], qrow[j]
+		prow[j] = c*wpj - s*wqj
+		qrow[j] = s*wpj + c*wqj
+	}
+	for i := 0; i < n; i++ {
+		ip, iq := i*n+p, i*n+q
+		vip, viq := vd[ip], vd[iq]
+		vd[ip] = c*vip - s*viq
+		vd[iq] = s*vip + c*viq
+	}
+}
+
+// PseudoInverse returns the Moore–Penrose pseudoinverse of a symmetric
+// matrix, computed from its eigendecomposition by inverting every
+// eigenvalue whose magnitude exceeds a relative tolerance and zeroing
+// the rest. For a connected graph's Laplacian exactly one eigenvalue
+// (the constant mode) is dropped, matching equation (3) of the paper.
+func PseudoInverse(a *Matrix) *Matrix {
+	vals, vecs := EigenSym(a)
+	n := a.Rows
+	// Relative cutoff in the spirit of LAPACK's pinv: eps * n * max|λ|.
+	var maxAbs float64
+	for _, v := range vals {
+		if m := math.Abs(v); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	cut := 1e-10 * float64(n) * maxAbs
+	if cut == 0 {
+		cut = 1e-14
+	}
+	out := NewMatrix(n, n)
+	col := make([]float64, n)
+	for k := 0; k < n; k++ {
+		if math.Abs(vals[k]) <= cut {
+			continue
+		}
+		inv := 1 / vals[k]
+		for i := 0; i < n; i++ {
+			col[i] = vecs.Data[i*n+k]
+		}
+		for i := 0; i < n; i++ {
+			f := inv * col[i]
+			if f == 0 {
+				continue
+			}
+			row := out.Row(i)
+			for j := 0; j < n; j++ {
+				row[j] += f * col[j]
+			}
+		}
+	}
+	return out
+}
+
+// Cholesky computes the lower-triangular factor L with A = LLᵀ for a
+// symmetric positive-definite matrix. It returns false if a
+// non-positive pivot is encountered (matrix not PD to working
+// precision). Used by tests as an independent reference solver.
+func Cholesky(a *Matrix) (l *Matrix, ok bool) {
+	if a.Rows != a.Cols {
+		panic("dense: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l = NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, true
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A, by
+// forward then backward substitution. The result is written into a new
+// slice.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("dense: CholeskySolve dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

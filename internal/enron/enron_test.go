@@ -1,0 +1,164 @@
+package enron
+
+import (
+	"testing"
+
+	"dyngraph/internal/graph"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Seq.T() != 48 {
+		t.Fatalf("T = %d, want 48", d.Seq.T())
+	}
+	if d.Seq.N() != NumEmployees {
+		t.Fatalf("N = %d, want %d", d.Seq.N(), NumEmployees)
+	}
+	// The paper's corpus peaks near 300 edges per instance; the
+	// surrogate should be in the same sparse regime.
+	m := d.Seq.AvgEdges()
+	if m < 150 || m > 500 {
+		t.Fatalf("avg edges = %g, want a few hundred", m)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 9})
+	b := Generate(Config{Seed: 9})
+	for tt := 0; tt < 5; tt++ {
+		if a.Seq.At(tt).NumEdges() != b.Seq.At(tt).NumEdges() {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+	c := Generate(Config{Seed: 10})
+	if a.Seq.At(3).NumEdges() == c.Seq.At(3).NumEdges() &&
+		a.Seq.At(7).NumEdges() == c.Seq.At(7).NumEdges() &&
+		a.Seq.At(11).NumEdges() == c.Seq.At(11).NumEdges() {
+		t.Fatal("different seeds suspiciously identical")
+	}
+}
+
+func TestRolesAssigned(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	counts := make(map[Role]int)
+	for _, r := range d.Roles {
+		counts[r]++
+	}
+	if counts[RoleCEO] != 1 || counts[RoleIncomingCEO] != 1 {
+		t.Fatalf("CEO counts wrong: %v", counts)
+	}
+	if counts[RoleVP] != numVPs || counts[RoleLegal] != numLegal || counts[RoleTrader] != numTraders {
+		t.Fatalf("role counts wrong: %v", counts)
+	}
+	if d.Roles[d.CEO] != RoleCEO || d.Roles[d.VolumeVP] != RoleVP || d.Roles[d.BurstTrader] != RoleTrader {
+		t.Fatal("protagonist roles wrong")
+	}
+}
+
+func TestCEOBroadcastInjected(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	degAt := func(t int) int {
+		idx, _ := d.Seq.At(t).Neighbors(d.CEO)
+		return len(idx)
+	}
+	if degAt(33) < degAt(32)+15 {
+		t.Fatalf("CEO degree should jump at month 33: %d → %d", degAt(32), degAt(33))
+	}
+	// One-shot: back to baseline the next month.
+	if degAt(34) > degAt(32)+10 {
+		t.Fatalf("CEO broadcast should not persist: deg(34) = %d", degAt(34))
+	}
+}
+
+func TestVolumeVPKeepsContacts(t *testing.T) {
+	// The Steffes analog multiplies volume on existing edges; its
+	// neighbor *set* must overlap heavily between months 32 and 33.
+	d := Generate(Config{Seed: 1})
+	n32, _ := d.Seq.At(32).Neighbors(d.VolumeVP)
+	n33, _ := d.Seq.At(33).Neighbors(d.VolumeVP)
+	set := make(map[int]bool)
+	for _, v := range n32 {
+		set[v] = true
+	}
+	var overlap int
+	for _, v := range n33 {
+		if set[v] {
+			overlap++
+		}
+	}
+	if len(n33) == 0 || float64(overlap)/float64(len(n33)) < 0.5 {
+		t.Fatalf("volume VP rewired contacts: overlap %d of %d", overlap, len(n33))
+	}
+	// But the volume must surge on the boosted contacts: the scripted
+	// edge to the CEO jumps to 30 from a baseline rate of at most 7.
+	if d.Seq.At(33).Weight(d.VolumeVP, d.CEO) < 4*d.Seq.At(32).Weight(d.VolumeVP, d.CEO) {
+		t.Fatalf("volume surge missing: %g → %g",
+			d.Seq.At(32).Weight(d.VolumeVP, d.CEO), d.Seq.At(33).Weight(d.VolumeVP, d.CEO))
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if len(d.Events) < 5 {
+		t.Fatalf("events = %d, want at least the five scripted kinds", len(d.Events))
+	}
+	var volumeSeen bool
+	for _, e := range d.Events {
+		if e.Transition < 0 || e.Transition >= d.Seq.T()-1 {
+			t.Fatalf("event transition %d out of range", e.Transition)
+		}
+		if len(e.Nodes) == 0 {
+			t.Fatal("event without nodes")
+		}
+		if !e.Structural {
+			volumeSeen = true
+		}
+	}
+	if !volumeSeen {
+		t.Fatal("the volume-only event must be recorded as non-structural")
+	}
+}
+
+func TestCalmTransitionsExcludeEvents(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	hot := make(map[int]bool)
+	for _, e := range d.Events {
+		hot[e.Transition] = true
+		hot[e.Transition+1] = true
+	}
+	calm := d.CalmTransitions()
+	if len(calm) == 0 {
+		t.Fatal("no calm transitions")
+	}
+	for _, tr := range calm {
+		if hot[tr] {
+			t.Fatalf("calm transition %d overlaps an event", tr)
+		}
+	}
+}
+
+func TestShortCorpusHasNoOutOfRangeEvents(t *testing.T) {
+	d := Generate(Config{Months: 10, Seed: 1})
+	if d.Seq.T() != 10 {
+		t.Fatalf("T = %d", d.Seq.T())
+	}
+	for _, e := range d.Events {
+		if e.Transition >= 9 {
+			t.Fatalf("event at transition %d beyond short corpus", e.Transition)
+		}
+	}
+}
+
+func TestGraphsAreValid(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	for tt := 0; tt < d.Seq.T(); tt++ {
+		g := d.Seq.At(tt)
+		for _, e := range g.Edges() {
+			if e.W <= 0 {
+				t.Fatalf("non-positive weight at t=%d", tt)
+			}
+		}
+	}
+	// Fixed vertex set across time, per the problem framework.
+	var _ *graph.Sequence = d.Seq
+}

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"dyngraph/internal/xrand"
+)
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the mean of values: resample with replacement `resamples` times, take
+// the (1−conf)/2 and (1+conf)/2 quantiles of the resampled means. It is
+// the uncertainty band attached to the repeated-realization experiments
+// (Figure 6 averages 100 draws; the band says how stable that average
+// is). Deterministic for a fixed seed.
+func BootstrapCI(values []float64, resamples int, conf float64, seed int64) (lo, hi float64, err error) {
+	if len(values) == 0 {
+		return 0, 0, fmt.Errorf("eval: BootstrapCI on empty sample")
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("eval: BootstrapCI confidence %g outside (0,1)", conf)
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := xrand.New(seed)
+	means := make([]float64, resamples)
+	n := len(values)
+	for r := range means {
+		var sum float64
+		for k := 0; k < n; k++ {
+			sum += values[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	quantile := func(q float64) float64 {
+		pos := q * float64(resamples-1)
+		i := int(pos)
+		if i >= resamples-1 {
+			return means[resamples-1]
+		}
+		frac := pos - float64(i)
+		return means[i]*(1-frac) + means[i+1]*frac
+	}
+	alpha := (1 - conf) / 2
+	return quantile(alpha), quantile(1 - alpha), nil
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}

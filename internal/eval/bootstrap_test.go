@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapCIBracketsTrueMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = 5 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(values, 2000, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 5 || hi < 5 {
+		t.Fatalf("CI [%g, %g] misses the true mean 5", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%g, %g] implausibly wide for n=200, σ=1", lo, hi)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, hi, err := BootstrapCI([]float64{3, 3, 3}, 100, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 3 || hi != 3 {
+		t.Fatalf("constant sample CI = [%g, %g], want [3, 3]", lo, hi)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, 100, 0.9, 1); err == nil {
+		t.Fatal("want empty-sample error")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 100, 1.5, 1); err == nil {
+		t.Fatal("want confidence-range error")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	lo1, hi1, _ := BootstrapCI(v, 500, 0.9, 42)
+	lo2, hi2, _ := BootstrapCI(v, 500, 0.9, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same seed diverged")
+	}
+}
+
+// Property: lo ≤ mean ≤ hi never inverts and the interval contains the
+// sample mean for symmetric-ish samples... more robustly: lo ≤ hi and
+// both lie within [min, max] of the sample.
+func TestQuickBootstrapBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		v := make([]float64, n)
+		mn, mx := 1e300, -1e300
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			if v[i] < mn {
+				mn = v[i]
+			}
+			if v[i] > mx {
+				mx = v[i]
+			}
+		}
+		lo, hi, err := BootstrapCI(v, 300, 0.9, seed)
+		if err != nil {
+			return false
+		}
+		return lo <= hi && lo >= mn-1e-12 && hi <= mx+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}

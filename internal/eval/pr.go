@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PRPoint is one precision-recall operating point.
+type PRPoint struct {
+	Recall, Precision float64
+}
+
+// PRCurve computes the precision-recall curve of scores against binary
+// labels, sweeping the threshold from the top score down. Tie groups
+// collapse into single steps, mirroring ROC. The curve is sorted by
+// ascending recall. It returns an error on length mismatch or when no
+// positive labels exist.
+func PRCurve(scores []float64, labels []bool) ([]PRPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: PRCurve length mismatch: %d scores, %d labels", len(scores), len(labels))
+	}
+	var pos int
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return nil, fmt.Errorf("eval: PRCurve needs at least one positive label")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var curve []PRPoint
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		s := scores[idx[k]]
+		for k < len(idx) && scores[idx[k]] == s {
+			if labels[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		curve = append(curve, PRPoint{
+			Recall:    float64(tp) / float64(pos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+	}
+	return curve, nil
+}
+
+// AveragePrecision computes AP — the precision-weighted integral of the
+// PR curve (the usual step-interpolation: Σ (R_k − R_{k−1})·P_k).
+func AveragePrecision(scores []float64, labels []bool) (float64, error) {
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap, nil
+}
+
+// F1AtK returns the F1 score of the top-k items.
+func F1AtK(scores []float64, labels []bool, k int) float64 {
+	p, r := PrecisionRecall(scores, labels, k)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRCurvePerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != 1 {
+		t.Fatalf("AP = %g, want 1", ap)
+	}
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curve[len(curve)-1]; got.Recall != 1 || got.Precision != 0.5 {
+		t.Fatalf("final point = %+v, want recall 1, precision 0.5", got)
+	}
+}
+
+func TestPRCurveInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positives arrive after both negatives: the recall steps land at
+	// 0.5 (precision 1/3) and 1.0 (precision 2/4), so
+	// AP = 0.5·(1/3) + 0.5·(1/2) = 5/12.
+	if want := 5.0 / 12; math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("AP = %g, want %g", ap, want)
+	}
+}
+
+func TestPRCurveErrors(t *testing.T) {
+	if _, err := PRCurve([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := PRCurve([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Fatal("want no-positives error")
+	}
+}
+
+func TestF1AtK(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	labels := []bool{true, false, true, false}
+	// Top-2: P = 0.5, R = 0.5 → F1 = 0.5.
+	if got := F1AtK(scores, labels, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F1@2 = %g, want 0.5", got)
+	}
+	if got := F1AtK(scores, labels, 0); got != 0 {
+		t.Fatalf("F1@0 = %g, want 0", got)
+	}
+}
+
+// Property: AP lies in [0, 1] and recall on the curve is non-decreasing.
+func TestQuickPRBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		labels[0] = true
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if i > 0 {
+				labels[i] = rng.Float64() < 0.4
+			}
+		}
+		ap, err := AveragePrecision(scores, labels)
+		if err != nil || ap < 0 || ap > 1 {
+			return false
+		}
+		curve, err := PRCurve(scores, labels)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < len(curve); k++ {
+			if curve[k].Recall < curve[k-1].Recall {
+				return false
+			}
+			if curve[k].Precision < 0 || curve[k].Precision > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

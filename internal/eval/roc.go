@@ -1,0 +1,175 @@
+// Package eval provides the evaluation machinery for the paper's
+// quantitative experiments: ROC curves, AUC, precision/recall at a
+// threshold, score normalization, and ROC averaging across repeated
+// realizations (Figure 6 averages 100 synthetic draws).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one ROC operating point.
+type Point struct {
+	FPR, TPR float64
+}
+
+// ROC computes the ROC curve of scores against binary labels (true =
+// anomalous), sweeping the decision threshold from +inf down. Ties are
+// handled by grouping equal scores into a single step, which is what
+// makes the curve threshold-sweep faithful (the paper sweeps δ). The
+// returned curve starts at (0,0) and ends at (1,1). It returns an error
+// if inputs mismatch in length or one class is empty.
+func ROC(scores []float64, labels []bool) ([]Point, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: ROC length mismatch: %d scores, %d labels", len(scores), len(labels))
+	}
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes (pos=%d, neg=%d)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	curve := []Point{{0, 0}}
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		// Consume the whole tie group at this score.
+		s := scores[idx[k]]
+		for k < len(idx) && scores[idx[k]] == s {
+			if labels[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		curve = append(curve, Point{
+			FPR: float64(fp) / float64(neg),
+			TPR: float64(tp) / float64(pos),
+		})
+	}
+	return curve, nil
+}
+
+// AUC returns the area under a ROC curve by trapezoidal integration.
+// The curve must be sorted by FPR (as ROC returns).
+func AUC(curve []Point) float64 {
+	var area float64
+	for k := 1; k < len(curve); k++ {
+		dx := curve[k].FPR - curve[k-1].FPR
+		area += dx * (curve[k].TPR + curve[k-1].TPR) / 2
+	}
+	return area
+}
+
+// AUCFromScores is the one-shot ROC+AUC convenience.
+func AUCFromScores(scores []float64, labels []bool) (float64, error) {
+	c, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	return AUC(c), nil
+}
+
+// InterpolateTPR evaluates the curve's TPR at the given FPR by linear
+// interpolation; used to average ROC curves on a shared FPR grid.
+func InterpolateTPR(curve []Point, fpr float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	if fpr <= curve[0].FPR {
+		return curve[0].TPR
+	}
+	for k := 1; k < len(curve); k++ {
+		if curve[k].FPR >= fpr {
+			lo, hi := curve[k-1], curve[k]
+			if hi.FPR == lo.FPR {
+				return hi.TPR
+			}
+			frac := (fpr - lo.FPR) / (hi.FPR - lo.FPR)
+			return lo.TPR + frac*(hi.TPR-lo.TPR)
+		}
+	}
+	return curve[len(curve)-1].TPR
+}
+
+// AverageROC resamples each curve at gridSize evenly spaced FPR values
+// and returns the pointwise mean curve — how Figure 6's "averaged over
+// 100 realizations" curves are produced.
+func AverageROC(curves [][]Point, gridSize int) []Point {
+	if gridSize < 2 {
+		gridSize = 101
+	}
+	out := make([]Point, gridSize)
+	for g := 0; g < gridSize; g++ {
+		fpr := float64(g) / float64(gridSize-1)
+		var sum float64
+		for _, c := range curves {
+			sum += InterpolateTPR(c, fpr)
+		}
+		out[g] = Point{FPR: fpr, TPR: sum / float64(len(curves))}
+	}
+	return out
+}
+
+// NormalizeMax divides scores by their maximum absolute value in place
+// (no-op for an all-zero slice), the normalization used when comparing
+// CAD and ACT node scores in Figure 3.
+func NormalizeMax(scores []float64) {
+	var mx float64
+	for _, s := range scores {
+		if a := math.Abs(s); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return
+	}
+	for i := range scores {
+		scores[i] /= mx
+	}
+}
+
+// PrecisionRecall returns precision and recall of the top-k scored
+// items against the labels. k past the slice length is clamped.
+func PrecisionRecall(scores []float64, labels []bool, k int) (precision, recall float64) {
+	if k <= 0 {
+		return 0, 0
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var tp, pos int
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	for _, i := range idx[:k] {
+		if labels[i] {
+			tp++
+		}
+	}
+	precision = float64(tp) / float64(k)
+	if pos > 0 {
+		recall = float64(tp) / float64(pos)
+	}
+	return precision, recall
+}

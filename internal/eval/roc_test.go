@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %g, want 1", auc)
+	}
+}
+
+func TestROCInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("AUC = %g, want 0", auc)
+	}
+}
+
+func TestROCAllTiedIsChance(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	auc, err := AUCFromScores(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("AUC = %g, want 0.5 for fully tied scores", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Fatal("want single-class error")
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	curve, err := ROC([]float64{3, 2, 1}, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("curve start = %v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve end = %v", last)
+	}
+}
+
+func TestInterpolateTPR(t *testing.T) {
+	curve := []Point{{0, 0}, {0.5, 1}, {1, 1}}
+	if got := InterpolateTPR(curve, 0.25); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("interp(0.25) = %g, want 0.5", got)
+	}
+	if got := InterpolateTPR(curve, 0.75); got != 1 {
+		t.Fatalf("interp(0.75) = %g, want 1", got)
+	}
+	if got := InterpolateTPR(curve, 0); got != 0 {
+		t.Fatalf("interp(0) = %g, want 0", got)
+	}
+}
+
+func TestAverageROC(t *testing.T) {
+	perfect := []Point{{0, 0}, {0, 1}, {1, 1}}
+	chance := []Point{{0, 0}, {1, 1}}
+	avg := AverageROC([][]Point{perfect, chance}, 11)
+	// At FPR = 0.5: perfect gives 1, chance gives 0.5, mean 0.75.
+	if got := avg[5].TPR; math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("avg TPR(0.5) = %g, want 0.75", got)
+	}
+	if auc := AUC(avg); auc < 0.7 || auc > 0.8 {
+		t.Fatalf("avg AUC = %g, want ≈ 0.75", auc)
+	}
+}
+
+func TestNormalizeMax(t *testing.T) {
+	s := []float64{2, -4, 1}
+	NormalizeMax(s)
+	if s[1] != -1 || s[0] != 0.5 {
+		t.Fatalf("normalized = %v", s)
+	}
+	z := []float64{0, 0}
+	NormalizeMax(z) // must not divide by zero
+	if z[0] != 0 {
+		t.Fatal("zero slice changed")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	labels := []bool{true, false, true, false}
+	p, r := PrecisionRecall(scores, labels, 2)
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("P=%g R=%g, want 0.5/0.5", p, r)
+	}
+	p, r = PrecisionRecall(scores, labels, 10) // clamped to len
+	if p != 0.5 || r != 1 {
+		t.Fatalf("clamped P=%g R=%g", p, r)
+	}
+	if p, r = PrecisionRecall(scores, labels, 0); p != 0 || r != 0 {
+		t.Fatal("k=0 should give zeros")
+	}
+}
+
+// Property: AUC is always within [0,1], and random scores on balanced
+// labels give AUC near 0.5 on average.
+func TestQuickAUCBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		labels[0], labels[1] = true, false // guarantee both classes
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if i >= 2 {
+				labels[i] = rng.Float64() < 0.5
+			}
+		}
+		auc, err := AUCFromScores(scores, labels)
+		if err != nil {
+			return false
+		}
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AUC is invariant to strictly monotone transforms of the
+// scores.
+func TestQuickAUCMonotoneInvariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		scores := make([]float64, n)
+		trans := make([]float64, n)
+		labels := make([]bool, n)
+		labels[0], labels[1] = true, false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			trans[i] = math.Exp(scores[i]) // strictly increasing
+			if i >= 2 {
+				labels[i] = rng.Float64() < 0.3
+			}
+		}
+		a1, err1 := AUCFromScores(scores, labels)
+		a2, err2 := AUCFromScores(trans, labels)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

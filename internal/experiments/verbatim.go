@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/eval"
+	"dyngraph/internal/graph"
+)
+
+// Fig6Verbatim runs the §4.1 accuracy experiment with the paper's
+// *literal* noise density (P[R(i,j)≠0] = 0.05) — which, as EXPERIMENTS
+// E6 explains, makes node-level ground truth degenerate — and therefore
+// evaluates at the **edge level**, where the injected cross-cluster
+// pairs remain a proper minority class. Only the three edge-scoring
+// methods (CAD, ADJ, COM) participate; ACT and CLC are node-level
+// detectors with no edge ranking to evaluate.
+//
+// The published claim this variant checks: CAD's multiplicative
+// combination separates injected cross-cluster edges from both benign
+// perturbation noise (which fools COM) and within-cluster injections
+// (which fool ADJ).
+
+// VerbatimResult holds the edge-level AUCs.
+type VerbatimResult struct {
+	Config SyntheticConfig
+	AUC    map[string]float64 // CAD, ADJ, COM
+	AP     map[string]float64 // average precision, same methods
+}
+
+// Fig6Verbatim runs the experiment. Trials are averaged.
+func Fig6Verbatim(cfg SyntheticConfig) (*VerbatimResult, error) {
+	cfg = cfg.withDefaults()
+	methods := []string{MethodCAD, MethodADJ, MethodCOM}
+	res := &VerbatimResult{
+		Config: cfg,
+		AUC:    make(map[string]float64),
+		AP:     make(map[string]float64),
+	}
+	used := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		inst := datagen.GMM(datagen.GMMConfig{
+			N:         cfg.N,
+			NoiseProb: 0.05, // the paper's literal density
+			Seed:      cfg.Seed + int64(trial),
+		})
+		if len(inst.AnomalousEdges) == 0 {
+			continue
+		}
+		g0, g1 := inst.Seq.At(0), inst.Seq.At(1)
+		workers := runtime.NumCPU()
+		o0, err := commute.New(g0, commute.Config{K: cfg.K, Seed: cfg.Seed + int64(trial), Workers: workers}, cfg.ExactCutoff)
+		if err != nil {
+			return nil, fmt.Errorf("verbatim trial %d: %w", trial, err)
+		}
+		o1, err := commute.New(g1, commute.Config{K: cfg.K, Seed: cfg.Seed + int64(trial) + 1, Workers: workers}, cfg.ExactCutoff)
+		if err != nil {
+			return nil, fmt.Errorf("verbatim trial %d: %w", trial, err)
+		}
+
+		truth := make(map[graph.Key]bool, len(inst.AnomalousEdges))
+		for _, k := range inst.AnomalousEdges {
+			truth[k] = true
+		}
+		for _, method := range methods {
+			variant := core.VariantCAD
+			switch method {
+			case MethodADJ:
+				variant = core.VariantADJ
+			case MethodCOM:
+				variant = core.VariantCOM
+			}
+			// Edge-level evaluation over the scored support plus the
+			// injected edges (anything unscored has score 0; scored
+			// non-injected pairs are the negatives that matter — the
+			// complement is all-zero on both sides of the ROC and only
+			// rescales FPR uniformly).
+			scores := core.TransitionScores(g0, g1, o0, o1, variant, false)
+			seen := make(map[graph.Key]bool, len(scores))
+			var vals []float64
+			var labels []bool
+			for _, s := range scores {
+				k := graph.Key{I: s.I, J: s.J}
+				seen[k] = true
+				vals = append(vals, s.Score)
+				labels = append(labels, truth[k])
+			}
+			for k := range truth {
+				if !seen[k] {
+					vals = append(vals, 0)
+					labels = append(labels, true)
+				}
+			}
+			auc, err := eval.AUCFromScores(vals, labels)
+			if err != nil {
+				return nil, fmt.Errorf("verbatim trial %d %s: %w", trial, method, err)
+			}
+			ap, err := eval.AveragePrecision(vals, labels)
+			if err != nil {
+				return nil, fmt.Errorf("verbatim trial %d %s: %w", trial, method, err)
+			}
+			res.AUC[method] += auc
+			res.AP[method] += ap
+		}
+		used++
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("verbatim: no usable trials")
+	}
+	for _, m := range methods {
+		res.AUC[m] /= float64(used)
+		res.AP[m] /= float64(used)
+	}
+	return res, nil
+}
+
+// Table renders the verbatim-noise comparison.
+func (r *VerbatimResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("§4.1 with the paper's literal noise density 0.05, edge-level evaluation (n=%d, %d trials)",
+			r.Config.N, r.Config.Trials),
+		Header: []string{"method", "edge AUC", "edge AP"},
+	}
+	for _, m := range []string{MethodCAD, MethodADJ, MethodCOM} {
+		t.Rows = append(t.Rows, []string{m, f3(r.AUC[m]), f3(r.AP[m])})
+	}
+	return t
+}

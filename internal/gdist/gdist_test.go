@@ -1,0 +1,198 @@
+package gdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyngraph/internal/core"
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/graph"
+)
+
+func pair(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	b1 := graph.NewBuilder(5)
+	b1.AddEdge(0, 1, 2)
+	b1.AddEdge(1, 2, 3)
+	b2 := graph.NewBuilder(5)
+	b2.AddEdge(0, 1, 2)   // unchanged
+	b2.AddEdge(1, 2, 1)   // −2
+	b2.AddEdge(3, 4, 1.5) // +1.5
+	return b1.MustBuild(), b2.MustBuild()
+}
+
+func TestEditDistance(t *testing.T) {
+	a, b := pair(t)
+	if got := EditDistance(a, b); got != 3.5 {
+		t.Fatalf("EditDistance = %g, want 3.5", got)
+	}
+	if got := EditDistance(a, a); got != 0 {
+		t.Fatalf("self distance = %g", got)
+	}
+	if got, want := EditDistance(a, b), EditDistance(b, a); got != want {
+		t.Fatalf("asymmetric: %g vs %g", got, want)
+	}
+}
+
+func TestSpectralDistanceBasics(t *testing.T) {
+	a, b := pair(t)
+	d, err := SpectralDistance(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("distance = %g, want > 0 for different graphs", d)
+	}
+	self, err := SpectralDistance(a, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 0 {
+		t.Fatalf("self distance = %g", self)
+	}
+	if _, err := SpectralDistance(a, graph.NewBuilder(3).MustBuild(), 2); err == nil {
+		t.Fatal("want vertex-set mismatch error")
+	}
+}
+
+func TestSpectralDistanceLargeUsesLanczos(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(extra bool) *graph.Graph {
+		b := graph.NewBuilder(120)
+		for i := 1; i < 120; i++ {
+			b.AddEdge(i-1, i, 1)
+		}
+		for k := 0; k < 200; k++ {
+			i, j := rng.Intn(120), rng.Intn(120)
+			if i != j {
+				b.SetEdge(i, j, 1)
+			}
+		}
+		if extra {
+			b.SetEdge(0, 60, 50) // a heavy edge shifts the top eigenvalue
+		}
+		return b.MustBuild()
+	}
+	// Note: both graphs must come from the same stream position to
+	// share structure; regenerate deterministically instead.
+	rng = rand.New(rand.NewSource(2))
+	g1 := mk(false)
+	rng = rand.New(rand.NewSource(2))
+	g2 := mk(true)
+	d, err := SpectralDistance(g1, g2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 10 {
+		t.Fatalf("heavy edge should shift the spectrum strongly, got %g", d)
+	}
+}
+
+func TestDetectSeriesFlagsEventOnly(t *testing.T) {
+	// Stable sequence with one big rewiring: only that transition's
+	// residual should cross the threshold.
+	mk := func(w float64) *graph.Graph {
+		b := graph.NewBuilder(10)
+		for i := 1; i < 10; i++ {
+			b.AddEdge(i-1, i, 2)
+		}
+		b.SetEdge(0, 5, w)
+		return b.MustBuild()
+	}
+	graphs := []*graph.Graph{
+		mk(0.1), mk(0.12), mk(0.11), mk(0.1), mk(9), mk(0.1), mk(0.11),
+	}
+	seq := graph.MustSequence(graphs)
+	res, err := DetectSeries(seq, Edit, SeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged[3] { // transition into the spike
+		t.Fatalf("event transition not flagged: %+v", res.Flagged)
+	}
+	for tt, f := range res.Flagged {
+		if f && tt != 3 && tt != 4 {
+			t.Fatalf("calm transition %d flagged", tt)
+		}
+	}
+}
+
+func TestDetectSeriesConstant(t *testing.T) {
+	g := graph.NewBuilder(4)
+	g.AddEdge(0, 1, 1)
+	gg := g.MustBuild()
+	seq := graph.MustSequence([]*graph.Graph{gg, gg, gg})
+	res, err := DetectSeries(seq, Edit, SeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Flagged {
+		if f {
+			t.Fatal("constant series flagged a transition")
+		}
+	}
+}
+
+func TestDetectSeriesShortSequence(t *testing.T) {
+	g := graph.NewBuilder(2).MustBuild()
+	if _, err := DetectSeries(graph.MustSequence([]*graph.Graph{g}), Edit, SeriesConfig{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// The package's reason for existing, executably: on the toy example the
+// series detector can flag the transition, but — unlike CAD — its
+// output contains nothing that ranks (b1,r1) above the benign (b2,b7).
+func TestSeriesDetectsButCannotLocalize(t *testing.T) {
+	toy := datagen.Toy()
+	g0, g1 := toy.At(0), toy.At(1)
+	seq := graph.MustSequence([]*graph.Graph{g0, g0, g0, g1, g0, g0})
+	res, err := DetectSeries(seq, Edit, SeriesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged[2] {
+		t.Fatalf("the toy transition should be flagged: %+v", res.Flagged)
+	}
+	// The result type has distances and flags only — assert the
+	// absence of localization structurally (this is a compile-time
+	// property, restated here for the record) and contrast with CAD.
+	trs, err := core.New(core.Config{}).Run(graph.MustSequence([]*graph.Graph{g0, g1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs[0].Scores) == 0 {
+		t.Fatal("CAD produced no edge attribution")
+	}
+	top := trs[0].Scores[0]
+	if k := graph.MakeKey(datagen.B1, datagen.R1); top.I != k.I || top.J != k.J {
+		t.Fatalf("CAD top edge = (%d,%d), want (b1,r1)", top.I, top.J)
+	}
+}
+
+func TestSpectralDistanceSymmetricAndNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(20)
+		mk := func() *graph.Graph {
+			b := graph.NewBuilder(n)
+			for k := 0; k < 3*n; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					b.SetEdge(i, j, rng.Float64()*3)
+				}
+			}
+			return b.MustBuild()
+		}
+		a, b := mk(), mk()
+		dab, err1 := SpectralDistance(a, b, 4)
+		dba, err2 := SpectralDistance(b, a, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if dab < 0 || math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("not a symmetric non-negative distance: %g vs %g", dab, dba)
+		}
+	}
+}

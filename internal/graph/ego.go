@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ego returns the h-hop ego network of vertex v: the set of vertices
+// within h hops (v itself first, then sorted ascending) and the induced
+// subgraph on them, with vertices relabeled 0..len(vertices)-1 in that
+// order. Labels carry over when the source graph has them. h < 0 is an
+// error; h = 0 yields the single-vertex graph.
+//
+// Ego networks are the unit of the paper's Figure 8(b) (Kenneth Lay's
+// email neighborhood before and during the broadcast month) and of the
+// AFM baseline's local features discussed in §3.4.
+func Ego(g *Graph, v, h int) (vertices []int, sub *Graph, err error) {
+	if v < 0 || v >= g.N() {
+		return nil, nil, fmt.Errorf("graph: Ego vertex %d out of range [0,%d)", v, g.N())
+	}
+	if h < 0 {
+		return nil, nil, fmt.Errorf("graph: Ego negative hop count %d", h)
+	}
+	dist := map[int]int{v: 0}
+	frontier := []int{v}
+	for hop := 1; hop <= h; hop++ {
+		var next []int
+		for _, u := range frontier {
+			idx, _ := g.Neighbors(u)
+			for _, w := range idx {
+				if _, seen := dist[w]; !seen {
+					dist[w] = hop
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	vertices = make([]int, 0, len(dist))
+	for u := range dist {
+		if u != v {
+			vertices = append(vertices, u)
+		}
+	}
+	sort.Ints(vertices)
+	vertices = append([]int{v}, vertices...)
+
+	index := make(map[int]int, len(vertices))
+	for i, u := range vertices {
+		index[u] = i
+	}
+	b := NewBuilder(len(vertices))
+	if g.Labels() != nil {
+		labels := make([]string, len(vertices))
+		for i, u := range vertices {
+			labels[i] = g.Label(u)
+		}
+		b.SetLabels(labels)
+	}
+	for i, u := range vertices {
+		idx, w := g.Neighbors(u)
+		for k, x := range idx {
+			if j, ok := index[x]; ok && j > i {
+				b.SetEdge(i, j, w[k])
+			}
+		}
+	}
+	sub, err = b.Build()
+	return vertices, sub, err
+}
+
+// Aggregate sums consecutive windows of `width` instances into one
+// graph each (edge weights add), the operation behind the paper's
+// "aggregate the data on a monthly basis". A trailing partial window is
+// kept. width must be positive.
+func Aggregate(s *Sequence, width int) (*Sequence, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("graph: Aggregate width %d must be positive", width)
+	}
+	n := s.N()
+	var out []*Graph
+	for start := 0; start < s.T(); start += width {
+		b := NewBuilder(n)
+		if lbl := s.At(0).Labels(); lbl != nil {
+			b.SetLabels(lbl)
+		}
+		for t := start; t < start+width && t < s.T(); t++ {
+			for _, e := range s.At(t).Edges() {
+				b.AddEdge(e.I, e.J, e.W)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return NewSequence(out)
+}

@@ -1,0 +1,103 @@
+package graph
+
+import "testing"
+
+// egoFixture: star 0-(1,2,3) plus edge 3-4 plus far vertex 5-6.
+func egoFixture(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(7)
+	b.SetLabels([]string{"hub", "a", "b", "c", "d", "x", "y"})
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 2)
+	b.AddEdge(0, 3, 3)
+	b.AddEdge(3, 4, 4)
+	b.AddEdge(5, 6, 5)
+	return b.MustBuild()
+}
+
+func TestEgoOneHop(t *testing.T) {
+	g := egoFixture(t)
+	vertices, sub, err := Ego(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(vertices) != len(want) {
+		t.Fatalf("vertices = %v, want %v", vertices, want)
+	}
+	for i := range want {
+		if vertices[i] != want[i] {
+			t.Fatalf("vertices = %v, want %v", vertices, want)
+		}
+	}
+	// Induced edges: the three star edges, not 3-4.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub edges = %d, want 3", sub.NumEdges())
+	}
+	if sub.Weight(0, 3) != 3 {
+		t.Fatalf("relabeled weight = %g", sub.Weight(0, 3))
+	}
+	if sub.Label(0) != "hub" || sub.Label(3) != "c" {
+		t.Fatal("labels not carried over")
+	}
+}
+
+func TestEgoTwoHops(t *testing.T) {
+	g := egoFixture(t)
+	vertices, sub, err := Ego(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vertices) != 5 { // 0,1,2,3,4
+		t.Fatalf("vertices = %v", vertices)
+	}
+	if sub.NumEdges() != 4 {
+		t.Fatalf("sub edges = %d, want 4", sub.NumEdges())
+	}
+}
+
+func TestEgoZeroHops(t *testing.T) {
+	g := egoFixture(t)
+	vertices, sub, err := Ego(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vertices) != 1 || vertices[0] != 5 || sub.N() != 1 || sub.NumEdges() != 0 {
+		t.Fatalf("zero-hop ego wrong: %v, n=%d", vertices, sub.N())
+	}
+}
+
+func TestEgoErrors(t *testing.T) {
+	g := egoFixture(t)
+	if _, _, err := Ego(g, -1, 1); err == nil {
+		t.Fatal("want vertex range error")
+	}
+	if _, _, err := Ego(g, 0, -1); err == nil {
+		t.Fatal("want negative hop error")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mk := func(w float64) *Graph {
+		b := NewBuilder(3)
+		b.AddEdge(0, 1, w)
+		return b.MustBuild()
+	}
+	seq := MustSequence([]*Graph{mk(1), mk(2), mk(3), mk(4), mk(5)})
+	agg, err := Aggregate(seq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.T() != 3 { // windows {1,2}, {3,4}, {5}
+		t.Fatalf("T = %d, want 3", agg.T())
+	}
+	if got := agg.At(0).Weight(0, 1); got != 3 {
+		t.Fatalf("window 0 weight = %g, want 3", got)
+	}
+	if got := agg.At(2).Weight(0, 1); got != 5 {
+		t.Fatalf("trailing window weight = %g, want 5", got)
+	}
+	if _, err := Aggregate(seq, 0); err == nil {
+		t.Fatal("want width error")
+	}
+}

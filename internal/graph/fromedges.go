@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"dyngraph/internal/sparse"
+)
+
+// FromEdges builds a Graph directly from an edge list, bypassing the
+// Builder's map. Duplicate pairs are summed, self-loops are ignored,
+// and negative or non-finite accumulated weights are rejected. This is
+// the fast path for generators that materialize millions of edges
+// (dense Gaussian-mixture adjacencies, scalability sweeps).
+func FromEdges(n int, edges []Edge, labels []string) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: FromEdges negative n")
+	}
+	if labels != nil && len(labels) != n {
+		return nil, fmt.Errorf("graph: FromEdges labels length %d != n %d", len(labels), n)
+	}
+	coo := sparse.NewCOO(n, n)
+	for _, e := range edges {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			return nil, fmt.Errorf("graph: FromEdges vertex out of range: (%d,%d)", e.I, e.J)
+		}
+		if e.I == e.J || e.W == 0 {
+			continue
+		}
+		if math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return nil, fmt.Errorf("graph: FromEdges non-finite weight on (%d,%d)", e.I, e.J)
+		}
+		coo.AddSym(e.I, e.J, e.W)
+	}
+	adj := coo.ToCSR()
+	// Validate accumulated weights (duplicates may have been summed).
+	for i := 0; i < n; i++ {
+		lo, hi := adj.RowPtr[i], adj.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			if adj.Val[k] < 0 {
+				return nil, fmt.Errorf("graph: FromEdges negative accumulated weight on (%d,%d)", i, adj.ColIdx[k])
+			}
+		}
+	}
+	var lbl []string
+	if labels != nil {
+		lbl = append([]string(nil), labels...)
+	}
+	return &Graph{n: n, adj: adj, labels: lbl}, nil
+}
+
+// MustFromEdges is FromEdges but panics on error.
+func MustFromEdges(n int, edges []Edge, labels []string) *Graph {
+	g, err := FromEdges(n, edges, labels)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

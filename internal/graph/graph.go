@@ -1,0 +1,337 @@
+// Package graph provides the weighted undirected graph substrate the
+// paper's framework is defined on: graphs over a fixed vertex set
+// V = {0..n-1} with symmetric weighted adjacency, their Laplacians,
+// degree/volume bookkeeping, temporal sequences, and edge-list I/O.
+//
+// Following Section 2 of the paper, the edge set is conceptually all
+// n² node pairs; an absent edge simply has weight zero. The concrete
+// representation is sparse (CSR), since every real workload in the
+// evaluation is sparse with m = O(n).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dyngraph/internal/dense"
+	"dyngraph/internal/sparse"
+)
+
+// Edge is an undirected weighted edge with I < J by convention.
+type Edge struct {
+	I, J int
+	W    float64
+}
+
+// Key is a canonical undirected node-pair identifier usable as a map key.
+type Key struct{ I, J int }
+
+// MakeKey returns the canonical (min, max) key for the pair (i, j).
+func MakeKey(i, j int) Key {
+	if i > j {
+		i, j = j, i
+	}
+	return Key{I: i, J: j}
+}
+
+// Graph is an immutable weighted undirected graph on vertices 0..n-1.
+// Construct one with a Builder. The zero value is an empty graph on
+// zero vertices.
+type Graph struct {
+	n      int
+	adj    *sparse.CSR // symmetric, zero diagonal
+	labels []string    // optional, len n or nil
+}
+
+// Builder accumulates edges for a Graph. Adding the same pair twice
+// sums the weights; negative accumulated weights are rejected at Build
+// time because commute times are defined for non-negative weights.
+type Builder struct {
+	n      int
+	w      map[Key]float64
+	labels []string
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+// It panics if n is negative.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: NewBuilder negative n")
+	}
+	return &Builder{n: n, w: make(map[Key]float64)}
+}
+
+// AddEdge adds w to the weight of the undirected edge (i, j).
+// Self-loops (i == j) are ignored: they do not affect commute times or
+// any detector in this repository and the paper's adjacency matrices
+// have empty diagonals. It panics on out-of-range vertices.
+func (b *Builder) AddEdge(i, j int, w float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("graph: AddEdge vertex out of range: (%d,%d) with n=%d", i, j, b.n))
+	}
+	if i == j || w == 0 {
+		return
+	}
+	b.w[MakeKey(i, j)] += w
+}
+
+// SetEdge overwrites the weight of the undirected edge (i, j).
+// A zero weight removes the edge.
+func (b *Builder) SetEdge(i, j int, w float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("graph: SetEdge vertex out of range: (%d,%d) with n=%d", i, j, b.n))
+	}
+	if i == j {
+		return
+	}
+	k := MakeKey(i, j)
+	if w == 0 {
+		delete(b.w, k)
+		return
+	}
+	b.w[k] = w
+}
+
+// Weight returns the current accumulated weight of (i, j).
+func (b *Builder) Weight(i, j int) float64 { return b.w[MakeKey(i, j)] }
+
+// SetLabels attaches human-readable vertex labels (e.g. employee or
+// author names). It panics if the length does not equal n.
+func (b *Builder) SetLabels(labels []string) {
+	if len(labels) != b.n {
+		panic("graph: SetLabels length mismatch")
+	}
+	b.labels = append([]string(nil), labels...)
+}
+
+// Build freezes the builder into an immutable Graph. It returns an
+// error if any accumulated edge weight is negative or non-finite.
+func (b *Builder) Build() (*Graph, error) {
+	coo := sparse.NewCOO(b.n, b.n)
+	for k, w := range b.w {
+		if w < 0 {
+			return nil, fmt.Errorf("graph: negative weight %g on edge (%d,%d)", w, k.I, k.J)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: non-finite weight on edge (%d,%d)", k.I, k.J)
+		}
+		coo.AddSym(k.I, k.J, w)
+	}
+	return &Graph{n: b.n, adj: coo.ToCSR(), labels: b.labels}, nil
+}
+
+// MustBuild is Build but panics on error; for tests and generators
+// whose inputs are non-negative by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of undirected edges with non-zero weight
+// (the paper's m).
+func (g *Graph) NumEdges() int {
+	if g.adj == nil {
+		return 0
+	}
+	return g.adj.NNZ() / 2
+}
+
+// Weight returns the weight of edge (i, j) (zero if absent).
+func (g *Graph) Weight(i, j int) float64 {
+	if g.adj == nil {
+		return 0
+	}
+	return g.adj.At(i, j)
+}
+
+// Label returns the label of vertex i, or "v<i>" if no labels are set.
+func (g *Graph) Label(i int) string {
+	if g.labels != nil {
+		return g.labels[i]
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+// Labels returns the label slice (nil if unset). The slice must not be
+// modified.
+func (g *Graph) Labels() []string { return g.labels }
+
+// Neighbors returns the adjacency row of vertex i: neighbor indices and
+// the matching weights. The slices alias internal storage.
+func (g *Graph) Neighbors(i int) (idx []int, w []float64) {
+	if g.adj == nil {
+		return nil, nil
+	}
+	return g.adj.Row(i)
+}
+
+// Degree returns the weighted degree of vertex i.
+func (g *Graph) Degree(i int) float64 {
+	_, w := g.Neighbors(i)
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+// Degrees returns all weighted degrees.
+func (g *Graph) Degrees() []float64 {
+	if g.adj == nil {
+		return make([]float64, g.n)
+	}
+	return g.adj.RowSums()
+}
+
+// Volume returns V_G = Σ_i D(i,i), the total weighted degree.
+func (g *Graph) Volume() float64 {
+	return sparse.Sum(g.Degrees())
+}
+
+// Adjacency returns the symmetric CSR adjacency matrix. It aliases
+// internal storage and must not be modified.
+func (g *Graph) Adjacency() *sparse.CSR {
+	if g.adj == nil {
+		return sparse.NewCOO(g.n, g.n).ToCSR()
+	}
+	return g.adj
+}
+
+// Laplacian returns L = D − A as a CSR matrix.
+func (g *Graph) Laplacian() *sparse.CSR {
+	coo := sparse.NewCOO(g.n, g.n)
+	deg := g.Degrees()
+	for i := 0; i < g.n; i++ {
+		if deg[i] != 0 {
+			coo.Add(i, i, deg[i])
+		}
+		idx, w := g.Neighbors(i)
+		for k, j := range idx {
+			coo.Add(i, j, -w[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// DenseAdjacency materializes the adjacency as a dense matrix, for the
+// exact commute-time path on small graphs.
+func (g *Graph) DenseAdjacency() *dense.Matrix {
+	m := dense.NewMatrix(g.n, g.n)
+	for i := 0; i < g.n; i++ {
+		idx, w := g.Neighbors(i)
+		for k, j := range idx {
+			m.Set(i, j, w[k])
+		}
+	}
+	return m
+}
+
+// DenseLaplacian materializes L = D − A as a dense matrix.
+func (g *Graph) DenseLaplacian() *dense.Matrix {
+	m := dense.NewMatrix(g.n, g.n)
+	deg := g.Degrees()
+	for i := 0; i < g.n; i++ {
+		m.Set(i, i, deg[i])
+		idx, w := g.Neighbors(i)
+		for k, j := range idx {
+			m.Set(i, j, -w[k])
+		}
+	}
+	return m
+}
+
+// Edges returns all undirected edges with I < J, sorted by (I, J).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for i := 0; i < g.n; i++ {
+		idx, w := g.Neighbors(i)
+		for k, j := range idx {
+			if j > i {
+				out = append(out, Edge{I: i, J: j, W: w[k]})
+			}
+		}
+	}
+	return out
+}
+
+// Components returns a component id for every vertex (ids are dense,
+// starting at 0 in order of first appearance) and the component count.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			idx, _ := g.Neighbors(v)
+			for _, u := range idx {
+				if comp[u] == -1 {
+					comp[u] = count
+					stack = append(stack, u)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has a single component
+// (isolated vertices count as their own components).
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// DiffSupport returns the canonical keys of every node pair whose
+// weight differs between g and h — the support of A_{t+1} − A_t, which
+// is the only place a CAD score ΔE_t can be non-zero. The keys are
+// sorted. It panics if the vertex counts differ (the paper's framework
+// fixes V across time).
+func DiffSupport(g, h *Graph) []Key {
+	if g.N() != h.N() {
+		panic("graph: DiffSupport on graphs with different vertex sets")
+	}
+	seen := make(map[Key]struct{})
+	collect := func(a, b *Graph) {
+		for i := 0; i < a.N(); i++ {
+			idx, w := a.Neighbors(i)
+			for k, j := range idx {
+				if j <= i {
+					continue
+				}
+				if w[k] != b.Weight(i, j) {
+					seen[Key{I: i, J: j}] = struct{}{}
+				}
+			}
+		}
+	}
+	collect(g, h)
+	collect(h, g)
+	out := make([]Key, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}

@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(0, 2, 3)
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if got := g.Weight(1, 0); got != 1 {
+		t.Fatalf("Weight(1,0) = %g, want symmetric 1", got)
+	}
+	if got := g.Weight(0, 2); got != 3 {
+		t.Fatalf("Weight(0,2) = %g", got)
+	}
+	if got := g.Degree(0); got != 4 {
+		t.Fatalf("Degree(0) = %g, want 4", got)
+	}
+	if got := g.Volume(); got != 12 {
+		t.Fatalf("Volume = %g, want 12", got)
+	}
+}
+
+func TestBuilderAddAccumulates(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 2.5)
+	g := b.MustBuild()
+	if got := g.Weight(0, 1); got != 3.5 {
+		t.Fatalf("accumulated weight = %g, want 3.5", got)
+	}
+}
+
+func TestBuilderSetOverwritesAndDeletes(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	b.SetEdge(0, 1, 9)
+	if b.Weight(0, 1) != 9 {
+		t.Fatal("SetEdge did not overwrite")
+	}
+	b.SetEdge(1, 0, 0)
+	g := b.MustBuild()
+	if g.NumEdges() != 0 {
+		t.Fatal("SetEdge(0) did not delete")
+	}
+}
+
+func TestBuilderIgnoresSelfLoops(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(1, 1, 5)
+	g := b.MustBuild()
+	if g.NumEdges() != 0 || g.Weight(1, 1) != 0 {
+		t.Fatal("self-loop was stored")
+	}
+}
+
+func TestBuilderRejectsNegativeWeight(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, -1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+}
+
+func TestBuilderRejectsNaN(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, math.NaN())
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for NaN weight")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder(2)
+	b.SetLabels([]string{"alice", "bob"})
+	g := b.MustBuild()
+	if g.Label(0) != "alice" || g.Label(1) != "bob" {
+		t.Fatal("labels lost")
+	}
+	g2 := NewBuilder(1).MustBuild()
+	if g2.Label(0) != "v0" {
+		t.Fatalf("default label = %q", g2.Label(0))
+	}
+}
+
+func TestLaplacianRowsSumToZero(t *testing.T) {
+	g := triangle(t)
+	l := g.Laplacian()
+	sums := l.RowSums()
+	for i, s := range sums {
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("Laplacian row %d sums to %g", i, s)
+		}
+	}
+	if got := l.At(0, 0); got != 4 {
+		t.Fatalf("L(0,0) = %g, want degree 4", got)
+	}
+	if got := l.At(0, 1); got != -1 {
+		t.Fatalf("L(0,1) = %g, want -1", got)
+	}
+}
+
+func TestDenseMatchesSparse(t *testing.T) {
+	g := triangle(t)
+	da := g.DenseAdjacency()
+	dl := g.DenseLaplacian()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if da.At(i, j) != g.Weight(i, j) {
+				t.Fatal("dense adjacency mismatch")
+			}
+			if dl.At(i, j) != g.Laplacian().At(i, j) {
+				t.Fatal("dense Laplacian mismatch")
+			}
+		}
+	}
+}
+
+func TestEdgesSortedCanonical(t *testing.T) {
+	g := triangle(t)
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for k, e := range edges {
+		if e.I >= e.J {
+			t.Fatalf("edge %d not canonical: %v", k, e)
+		}
+		if k > 0 && (edges[k-1].I > e.I || (edges[k-1].I == e.I && edges[k-1].J > e.J)) {
+			t.Fatal("edges not sorted")
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("comp = %v", comp)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !triangle(t).IsConnected() {
+		t.Fatal("triangle reported disconnected")
+	}
+}
+
+func TestDiffSupport(t *testing.T) {
+	b1 := NewBuilder(4)
+	b1.AddEdge(0, 1, 1)
+	b1.AddEdge(1, 2, 1)
+	g1 := b1.MustBuild()
+
+	b2 := NewBuilder(4)
+	b2.AddEdge(0, 1, 1) // unchanged
+	b2.AddEdge(1, 2, 2) // modified
+	b2.AddEdge(2, 3, 1) // added
+	g2 := b2.MustBuild()
+
+	diff := DiffSupport(g1, g2)
+	want := []Key{{1, 2}, {2, 3}}
+	if len(diff) != len(want) {
+		t.Fatalf("diff = %v, want %v", diff, want)
+	}
+	for i := range want {
+		if diff[i] != want[i] {
+			t.Fatalf("diff = %v, want %v", diff, want)
+		}
+	}
+	// Symmetric: deletion detected from the other side.
+	diffRev := DiffSupport(g2, g1)
+	if len(diffRev) != len(want) {
+		t.Fatalf("reverse diff = %v", diffRev)
+	}
+}
+
+func TestSequenceValidation(t *testing.T) {
+	g3 := triangle(t)
+	g2 := NewBuilder(2).MustBuild()
+	if _, err := NewSequence(nil); err == nil {
+		t.Fatal("want error for empty sequence")
+	}
+	if _, err := NewSequence([]*Graph{g3, g2}); err == nil {
+		t.Fatal("want error for mismatched vertex counts")
+	}
+	s, err := NewSequence([]*Graph{g3, g3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 2 || s.N() != 3 {
+		t.Fatalf("T=%d N=%d", s.T(), s.N())
+	}
+	if s.AvgEdges() != 3 {
+		t.Fatalf("AvgEdges = %g", s.AvgEdges())
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	g := triangle(t)
+	b := NewBuilder(3)
+	b.AddEdge(0, 2, 0.25)
+	seq := MustSequence([]*Graph{g, b.MustBuild()})
+
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T() != 2 || got.N() != 3 {
+		t.Fatalf("T=%d N=%d", got.T(), got.N())
+	}
+	for tt := 0; tt < 2; tt++ {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if got.At(tt).Weight(i, j) != seq.At(tt).Weight(i, j) {
+					t.Fatalf("weight mismatch at t=%d (%d,%d)", tt, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestReadSequenceHeaderless(t *testing.T) {
+	in := "# comment\n0 0 1 2.5\n1 1 2 1\n"
+	s, err := ReadSequence(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 || s.T() != 2 {
+		t.Fatalf("inferred N=%d T=%d", s.N(), s.T())
+	}
+	if s.At(0).Weight(0, 1) != 2.5 {
+		t.Fatal("weight lost")
+	}
+}
+
+func TestReadSequenceErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"0 0 1\n",           // wrong field count
+		"0 0 1 x\n",         // bad weight
+		"-1 0 1 1\n",        // negative time
+		"n 2 t 1\n0 5 1 1x", // bad weight with header
+		"n 2 t 1\n0 5 1 1",  // vertex exceeds header
+	}
+	for _, in := range cases {
+		if _, err := ReadSequence(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 1}, {1, 0, 2}, {1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Weight(0, 1); got != 3 {
+		t.Fatalf("summed weight = %g, want 3", got)
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5, 1}}, nil); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 1, -2}}, nil); err == nil {
+		t.Fatal("want negative-weight error")
+	}
+	if _, err := FromEdges(2, nil, []string{"a"}); err == nil {
+		t.Fatal("want label-length error")
+	}
+}
+
+// Property: Builder and FromEdges construct identical graphs from the
+// same random edge stream.
+func TestQuickBuilderMatchesFromEdges(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		var edges []Edge
+		b := NewBuilder(n)
+		for k := 0; k < 30; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			w := rng.Float64()
+			edges = append(edges, Edge{I: i, J: j, W: w})
+			b.AddEdge(i, j, w)
+		}
+		g1 := b.MustBuild()
+		g2, err := FromEdges(n, edges, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(g1.Weight(i, j)-g2.Weight(i, j)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Laplacian is positive semi-definite (xᵀLx ≥ 0).
+func TestQuickLaplacianPSD(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		b := NewBuilder(n)
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				b.SetEdge(i, j, rng.Float64())
+			}
+		}
+		g := b.MustBuild()
+		l := g.Laplacian()
+		x := make([]float64, n)
+		lx := make([]float64, n)
+		for trial := 0; trial < 5; trial++ {
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			l.MulVec(lx, x)
+			var quad float64
+			for i := range x {
+				quad += x[i] * lx[i]
+			}
+			if quad < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

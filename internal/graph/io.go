@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format for temporal graph sequences is a plain text
+// edge list, one record per line:
+//
+//	t i j w
+//
+// with 0-based time index t, 0-based vertex ids i and j, and float
+// weight w, whitespace-separated. Lines beginning with '#' and blank
+// lines are ignored. A header line "n <count> t <count>" may declare
+// the vertex and time counts explicitly; otherwise both are inferred
+// as max+1 over the records. The format round-trips through
+// WriteSequence and ReadSequence and is what cmd/cadrun consumes.
+
+// WriteSequence writes s in the edge-list format described above.
+func WriteSequence(w io.Writer, s *Sequence) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d t %d\n", s.N(), s.T()); err != nil {
+		return err
+	}
+	for t := 0; t < s.T(); t++ {
+		for _, e := range s.At(t).Edges() {
+			if _, err := fmt.Fprintf(bw, "%d %d %d %g\n", t, e.I, e.J, e.W); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSequence parses the edge-list format described above.
+func ReadSequence(r io.Reader) (*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	type rec struct {
+		t, i, j int
+		w       float64
+	}
+	var (
+		recs       []rec
+		n, T       int
+		haveHeader bool
+		lineNo     int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !haveHeader && len(fields) == 4 && fields[0] == "n" && fields[2] == "t" {
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[1])
+			T, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n < 0 || T <= 0 {
+				return nil, fmt.Errorf("graph: bad header at line %d: %q", lineNo, line)
+			}
+			haveHeader = true
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("graph: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		t, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad time index: %v", lineNo, err)
+		}
+		i, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex: %v", lineNo, err)
+		}
+		j, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex: %v", lineNo, err)
+		}
+		w, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+		}
+		if t < 0 || i < 0 || j < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative index", lineNo)
+		}
+		recs = append(recs, rec{t: t, i: i, j: j, w: w})
+		if !haveHeader {
+			if t+1 > T {
+				T = t + 1
+			}
+			if i+1 > n {
+				n = i + 1
+			}
+			if j+1 > n {
+				n = j + 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if T == 0 {
+		return nil, fmt.Errorf("graph: empty sequence input")
+	}
+	// Allocation bound: a tiny corrupt or hostile file must not be able
+	// to demand gigabytes (one record "1 1 44444444 4" would otherwise
+	// materialize 44M-vertex graphs). The dominant cost is the CSR row
+	// pointers, (n+1) ints per instance; 2²⁶ cells ≈ half a gigabyte of
+	// index arrays is the ceiling. This deliberately applies to the
+	// declared header too, so any sequence ReadSequence accepts also
+	// round-trips through WriteSequence.
+	const (
+		maxCells     = 1 << 26
+		maxInstances = 1 << 16 // builders are far costlier per unit than vertices
+	)
+	if T > maxInstances {
+		return nil, fmt.Errorf("graph: instance count %d exceeds the %d-instance parser limit", T, maxInstances)
+	}
+	if cells := (n + 1) * T; cells > maxCells || cells < 0 {
+		return nil, fmt.Errorf("graph: sequence dimensions n=%d, t=%d exceed the %d-cell parser limit", n, T, maxCells)
+	}
+	builders := make([]*Builder, T)
+	for t := range builders {
+		builders[t] = NewBuilder(n)
+	}
+	for _, r := range recs {
+		if r.t >= T || r.i >= n || r.j >= n {
+			return nil, fmt.Errorf("graph: record (t=%d,%d,%d) exceeds declared header n=%d t=%d", r.t, r.i, r.j, n, T)
+		}
+		builders[r.t].AddEdge(r.i, r.j, r.w)
+	}
+	graphs := make([]*Graph, T)
+	for t, b := range builders {
+		g, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("graph: instance %d: %w", t, err)
+		}
+		graphs[t] = g
+	}
+	return NewSequence(graphs)
+}

@@ -1,0 +1,59 @@
+package graph
+
+import "fmt"
+
+// Sequence is a temporal sequence of graphs G_1..G_T over a fixed
+// vertex set, the input object of the paper's problem statement.
+type Sequence struct {
+	graphs []*Graph
+}
+
+// NewSequence validates that every graph shares the same vertex count
+// and returns the sequence. It returns an error on an empty input or a
+// vertex-count mismatch.
+func NewSequence(graphs []*Graph) (*Sequence, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("graph: empty sequence")
+	}
+	n := graphs[0].N()
+	for t, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("graph: nil graph at index %d", t)
+		}
+		if g.N() != n {
+			return nil, fmt.Errorf("graph: vertex count mismatch at index %d: %d != %d", t, g.N(), n)
+		}
+	}
+	return &Sequence{graphs: append([]*Graph(nil), graphs...)}, nil
+}
+
+// MustSequence is NewSequence but panics on error.
+func MustSequence(graphs []*Graph) *Sequence {
+	s, err := NewSequence(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// T returns the number of time instances.
+func (s *Sequence) T() int { return len(s.graphs) }
+
+// N returns the (shared) vertex count.
+func (s *Sequence) N() int { return s.graphs[0].N() }
+
+// At returns the graph at time index t (0-based).
+func (s *Sequence) At(t int) *Graph { return s.graphs[t] }
+
+// Graphs returns the underlying slice. It must not be modified.
+func (s *Sequence) Graphs() []*Graph { return s.graphs }
+
+// AvgEdges returns the average number of non-zero-weight edges per
+// instance — the paper's m.
+func (s *Sequence) AvgEdges() float64 {
+	var total int
+	for _, g := range s.graphs {
+		total += g.NumEdges()
+	}
+	return float64(total) / float64(len(s.graphs))
+}

@@ -1,0 +1,48 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph instance — the shape information an analyst
+// wants before trusting a detector run (and what cadrun prints under
+// -stats).
+type Stats struct {
+	N          int     // vertices
+	M          int     // non-zero-weight edges
+	Volume     float64 // Σ weighted degree
+	MinDegree  int     // smallest neighbor count
+	MaxDegree  int     // largest neighbor count
+	AvgDegree  float64 // 2M / N
+	Components int     // connected components (isolated vertices count)
+	Isolated   int     // vertices with no edges
+}
+
+// ComputeStats walks the graph once and returns its summary.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{N: g.N(), M: g.NumEdges(), Volume: g.Volume()}
+	if s.N == 0 {
+		return s
+	}
+	s.MinDegree = int(^uint(0) >> 1)
+	for v := 0; v < g.N(); v++ {
+		idx, _ := g.Neighbors(v)
+		d := len(idx)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = 2 * float64(s.M) / float64(s.N)
+	_, s.Components = g.Components()
+	return s
+}
+
+// String renders the summary on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d vol=%.4g deg[min=%d avg=%.1f max=%d] components=%d isolated=%d",
+		s.N, s.M, s.Volume, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Components, s.Isolated)
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	// vertices 3, 4 isolated
+	s := ComputeStats(b.MustBuild())
+	if s.N != 5 || s.M != 2 {
+		t.Fatalf("N=%d M=%d", s.N, s.M)
+	}
+	if s.Volume != 10 {
+		t.Fatalf("Volume = %g, want 10", s.Volume)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 2 {
+		t.Fatalf("degrees [%d, %d]", s.MinDegree, s.MaxDegree)
+	}
+	if s.Components != 3 || s.Isolated != 2 {
+		t.Fatalf("components=%d isolated=%d", s.Components, s.Isolated)
+	}
+	if got := s.String(); !strings.Contains(got, "n=5 m=2") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0).MustBuild())
+	if s.N != 0 || s.M != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}

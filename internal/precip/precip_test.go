@@ -1,0 +1,154 @@
+package precip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Seq.T() != 21 {
+		t.Fatalf("T = %d, want 21", d.Seq.T())
+	}
+	if d.Seq.N() != 24*48 {
+		t.Fatalf("N = %d, want %d", d.Seq.N(), 24*48)
+	}
+	if d.EventTransition != 12 {
+		t.Fatalf("event transition = %d, want 12", d.EventTransition)
+	}
+	// kNN graph: between k/2 and k edges per node after symmetrization
+	// and deduplication.
+	m := d.Seq.AvgEdges()
+	n := float64(d.Seq.N())
+	if m < 5*n/2 || m > 10*n {
+		t.Fatalf("avg edges = %g for n = %g, outside kNN range", m, n)
+	}
+}
+
+func TestRegionsPresent(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	counts := make(map[Region]int)
+	for _, r := range d.Region {
+		counts[r]++
+	}
+	for reg := RegionSouthernAfrica; reg <= RegionAmazon; reg++ {
+		if counts[reg] == 0 {
+			t.Fatalf("region %v empty", reg)
+		}
+	}
+	if counts[RegionNone] < d.Seq.N()/2 {
+		t.Fatalf("background too small: %d", counts[RegionNone])
+	}
+}
+
+func TestEventShiftsRegions(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	means := d.RegionMeans()
+	ev := d.Config.EventYear
+	check := func(reg Region, sign float64) {
+		t.Helper()
+		diff := means[reg][ev] - means[reg][ev-1]
+		if diff*sign < 1 { // shift is 2, noise ≤ ~0.7
+			t.Fatalf("%v shift = %g, want sign %g and magnitude ≳ 1", reg, diff, sign)
+		}
+	}
+	check(RegionSouthernAfrica, 1)
+	check(RegionBrazil, 1)
+	check(RegionPeru, -1)
+	check(RegionAustralia, -1)
+	// Reference regions stay on climatology.
+	for _, reg := range []Region{RegionEqAfrica, RegionAmazon} {
+		diff := math.Abs(means[reg][ev] - means[reg][ev-1])
+		if diff > 1 {
+			t.Fatalf("reference region %v moved by %g", reg, diff)
+		}
+	}
+}
+
+func TestEventIsTransient(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	means := d.RegionMeans()
+	ev := d.Config.EventYear
+	// The year after the event, southern Africa returns to climatology.
+	back := math.Abs(means[RegionSouthernAfrica][ev+1] - means[RegionSouthernAfrica][ev-1])
+	if back > 1 {
+		t.Fatalf("event did not revert: residual %g", back)
+	}
+}
+
+func TestEventNodeLabels(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	labels := d.EventNodeLabels()
+	var nTrue int
+	for i, l := range labels {
+		if l {
+			nTrue++
+			switch d.Region[i] {
+			case RegionSouthernAfrica, RegionBrazil, RegionPeru, RegionAustralia:
+			default:
+				t.Fatalf("cell %d labeled true but in region %v", i, d.Region[i])
+			}
+		}
+	}
+	if nTrue == 0 || nTrue > d.Seq.N()/2 {
+		t.Fatalf("true labels = %d, degenerate", nTrue)
+	}
+}
+
+func TestSimilarityGraphKNNProperties(t *testing.T) {
+	values := []float64{0, 0.1, 0.2, 0.3, 5, 5.1, 5.2}
+	g := similarityGraph(values, 2, 0.5)
+	// Every node has at least k neighbors after symmetrization.
+	for i := 0; i < len(values); i++ {
+		idx, _ := g.Neighbors(i)
+		if len(idx) < 2 {
+			t.Fatalf("node %d has %d neighbors, want ≥ 2", i, len(idx))
+		}
+	}
+	// Close values get high weight, far values low (or no) weight.
+	if g.Weight(0, 1) < 0.9 {
+		t.Fatalf("w(0,1) = %g, want near 1", g.Weight(0, 1))
+	}
+	if g.Weight(3, 4) > g.Weight(0, 1) {
+		t.Fatal("cross-gap weight should be smaller")
+	}
+}
+
+func TestSimilarityGraphSymmetrized(t *testing.T) {
+	// Node 3 (value 10) is far from the tight cluster; it selects two
+	// cluster members, which would not select it — the edge must exist
+	// anyway.
+	values := []float64{0, 0.01, 0.02, 10}
+	g := similarityGraph(values, 2, 5)
+	idx, _ := g.Neighbors(3)
+	if len(idx) != 2 {
+		t.Fatalf("node 3 has %d neighbors, want 2", len(idx))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(Config{Rows: 8, Cols: 8, Years: 4, Seed: 3})
+	b := Generate(Config{Rows: 8, Cols: 8, Years: 4, Seed: 3})
+	for y := 0; y < 4; y++ {
+		for i := 0; i < a.Seq.N(); i++ {
+			if a.Values[y][i] != b.Values[y][i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestRegionOfDisjointPatches(t *testing.T) {
+	const rows, cols = 24, 48
+	seen := make(map[Region]bool)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			seen[regionOf(r, c, rows, cols)] = true
+		}
+	}
+	for reg := RegionSouthernAfrica; reg <= RegionAmazon; reg++ {
+		if !seen[reg] {
+			t.Fatalf("region %v missing from layout", reg)
+		}
+	}
+}

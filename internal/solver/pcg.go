@@ -1,0 +1,265 @@
+// Package solver provides fast solvers for graph-Laplacian linear
+// systems L x = b. The paper relies on the Spielman–Teng near-linear
+// SDD solver (via Khoa & Chawla's commute-time embedding); this package
+// is our from-scratch, stdlib-only substitute: preconditioned conjugate
+// gradient with a density-aware choice between a max-weight
+// spanning-tree preconditioner (sparse, tree-like graphs) and a Jacobi
+// diagonal (dense similarity graphs), plus the null-space projection
+// that makes the singular Laplacian system well posed.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/sparse"
+)
+
+// Precond selects the PCG preconditioner.
+type Precond int
+
+const (
+	// PrecondAuto (the default) picks by graph density: the spanning
+	// forest for sparse, tree-like graphs (average degree ≤ 4 — the
+	// m = O(n) regime of the paper's scalability study, where it beats
+	// Jacobi by orders of magnitude) and the Jacobi diagonal for
+	// denser graphs (similarity graphs, expanders — where a tree is a
+	// poor spectral sketch and each tree solve is wasted O(n) work).
+	// The crossover was measured on this repository's own workloads;
+	// see BenchmarkPCGPreconditionerAblation.
+	PrecondAuto Precond = iota
+	// PrecondTree uses the exact pseudoinverse of a max-weight
+	// spanning forest of the graph.
+	PrecondTree
+	// PrecondJacobi uses the inverse degree diagonal.
+	PrecondJacobi
+	// PrecondNone runs plain CG.
+	PrecondNone
+)
+
+// String implements fmt.Stringer.
+func (p Precond) String() string {
+	switch p {
+	case PrecondAuto:
+		return "auto"
+	case PrecondTree:
+		return "tree"
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Precond(%d)", int(p))
+	}
+}
+
+// autoDegreeCutoff is the average-degree boundary between the tree and
+// Jacobi preconditioners under PrecondAuto.
+const autoDegreeCutoff = 4
+
+// Options configures a Laplacian solver.
+type Options struct {
+	// Tol is the relative residual target ‖b−Lx‖₂ ≤ Tol·‖b‖₂.
+	// Zero means the default 1e-8.
+	Tol float64
+	// MaxIter caps PCG iterations. Zero means 10·n + 100.
+	MaxIter int
+	// Precond selects the preconditioner (default PrecondAuto).
+	Precond Precond
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-8
+	}
+	return o.Tol
+}
+
+func (o Options) maxIter(n int) int {
+	if o.MaxIter <= 0 {
+		return 10*n + 100
+	}
+	return o.MaxIter
+}
+
+// Stats reports the work done by a solve.
+type Stats struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// ErrNoConvergence is returned when PCG exhausts MaxIter without
+// reaching the residual target. The best iterate found is still
+// returned alongside the error.
+var ErrNoConvergence = errors.New("solver: PCG did not converge")
+
+// Laplacian is a reusable solver for systems in one graph's Laplacian.
+// Building it once amortizes preconditioner setup across the k solves
+// performed by the commute-time embedding. It is safe for concurrent
+// Solve calls only if each goroutine uses its own Laplacian value;
+// Solve reuses internal scratch buffers.
+type Laplacian struct {
+	n    int
+	l    *sparse.CSR
+	comp []int // graph component per vertex
+	size []int // component sizes
+
+	precond Precond
+	invDiag []float64     // Jacobi
+	tree    *spanningTree // Tree
+
+	opt Options
+
+	// scratch buffers reused across Solve calls
+	r, z, p, q, s1 []float64
+}
+
+// NewLaplacian prepares a solver for the Laplacian of g.
+func NewLaplacian(g *graph.Graph, opt Options) *Laplacian {
+	n := g.N()
+	comp, ncomp := g.Components()
+	size := make([]int, ncomp)
+	for _, c := range comp {
+		size[c]++
+	}
+	precond := opt.Precond
+	if precond == PrecondAuto {
+		if n > 0 && 2*float64(g.NumEdges())/float64(n) <= autoDegreeCutoff {
+			precond = PrecondTree
+		} else {
+			precond = PrecondJacobi
+		}
+	}
+	s := &Laplacian{
+		n:       n,
+		l:       g.Laplacian(),
+		comp:    comp,
+		size:    size,
+		precond: precond,
+		opt:     opt,
+		r:       make([]float64, n),
+		z:       make([]float64, n),
+		p:       make([]float64, n),
+		q:       make([]float64, n),
+		s1:      make([]float64, n),
+	}
+	switch precond {
+	case PrecondJacobi:
+		s.invDiag = make([]float64, n)
+		for i, d := range g.Degrees() {
+			if d > 0 {
+				s.invDiag[i] = 1 / d
+			}
+		}
+	case PrecondTree:
+		s.tree = maxWeightSpanningTree(g)
+	}
+	return s
+}
+
+// N returns the system dimension.
+func (s *Laplacian) N() int { return s.n }
+
+// project removes each component's mean from x in place, mapping it
+// into the range of L (the orthogonal complement of the null space).
+func (s *Laplacian) project(x []float64) {
+	sums := make([]float64, len(s.size))
+	for v, c := range s.comp {
+		sums[c] += x[v]
+	}
+	for c := range sums {
+		sums[c] /= float64(s.size[c])
+	}
+	for v, c := range s.comp {
+		x[v] -= sums[c]
+	}
+}
+
+// applyPrecond computes z = M⁻¹ r.
+func (s *Laplacian) applyPrecond(z, r []float64) {
+	switch s.precond {
+	case PrecondTree:
+		s.tree.solve(z, r, s.s1)
+	case PrecondJacobi:
+		for i, v := range r {
+			z[i] = v * s.invDiag[i]
+		}
+	default:
+		copy(z, r)
+	}
+}
+
+// Solve computes the minimum-norm solution of L x = b, first projecting
+// b onto the range of L (per-component mean removal, as the paper's
+// commute-time right-hand sides require). The result is written into a
+// new slice. If PCG stalls before reaching the tolerance the best
+// iterate is returned together with ErrNoConvergence.
+func (s *Laplacian) Solve(b []float64) ([]float64, Stats, error) {
+	if len(b) != s.n {
+		return nil, Stats{}, fmt.Errorf("solver: Solve dimension mismatch: len(b)=%d, n=%d", len(b), s.n)
+	}
+	x := make([]float64, s.n)
+	copy(s.r, b)
+	s.project(s.r) // r = P b  (x = 0 initially)
+	normB := sparse.Norm2(s.r)
+	if normB == 0 {
+		return x, Stats{}, nil
+	}
+	tol := s.opt.tol()
+	maxIter := s.opt.maxIter(s.n)
+
+	s.applyPrecond(s.z, s.r)
+	s.project(s.z)
+	copy(s.p, s.z)
+	rz := sparse.Dot(s.r, s.z)
+
+	var st Stats
+	for it := 1; it <= maxIter; it++ {
+		s.l.MulVec(s.q, s.p)
+		pq := sparse.Dot(s.p, s.q)
+		if pq <= 0 || math.IsNaN(pq) {
+			// Numerical breakdown: direction fell into the null space.
+			st.Residual = sparse.Norm2(s.r) / normB
+			return x, st, ErrNoConvergence
+		}
+		alpha := rz / pq
+		sparse.Axpy(alpha, s.p, x)
+		sparse.Axpy(-alpha, s.q, s.r)
+		s.project(s.r) // guard against drift back into the null space
+
+		st.Iterations = it
+		res := sparse.Norm2(s.r) / normB
+		st.Residual = res
+		if res <= tol {
+			s.project(x) // return the minimum-norm representative
+			return x, st, nil
+		}
+		s.applyPrecond(s.z, s.r)
+		s.project(s.z)
+		rzNew := sparse.Dot(s.r, s.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range s.p {
+			s.p[i] = s.z[i] + beta*s.p[i]
+		}
+	}
+	s.project(x)
+	return x, st, ErrNoConvergence
+}
+
+// Residual returns ‖b − L x‖₂ / ‖b‖₂ with b projected onto range(L);
+// a convenience for tests and diagnostics.
+func (s *Laplacian) Residual(x, b []float64) float64 {
+	pb := append([]float64(nil), b...)
+	s.project(pb)
+	nb := sparse.Norm2(pb)
+	if nb == 0 {
+		return 0
+	}
+	lx := make([]float64, s.n)
+	s.l.MulVec(lx, x)
+	sparse.Sub(lx, pb, lx)
+	return sparse.Norm2(lx) / nb
+}

@@ -1,0 +1,122 @@
+package solver
+
+import (
+	"sort"
+
+	"dyngraph/internal/graph"
+)
+
+// spanningTree is a rooted spanning forest of a graph together with the
+// traversal order needed to solve its Laplacian system in O(n). It
+// doubles as the combinatorial preconditioner for PCG: solving against
+// the forest Laplacian is our stand-in for the low-stretch-tree
+// preconditioning inside the Spielman–Teng solver the paper borrows.
+type spanningTree struct {
+	n        int
+	parent   []int     // parent[v] = parent vertex, -1 for roots
+	upWeight []float64 // weight of the edge to the parent, 0 for roots
+	order    []int     // vertices in BFS (root-first) order per component
+	comp     []int     // component id per vertex
+	compSize []int     // vertices per component
+}
+
+// maxWeightSpanningTree builds a maximum-weight spanning forest with
+// Kruskal's algorithm. Heavy edges carry most of the random-walk flux,
+// so keeping them makes the forest a good spectral approximation of the
+// graph — the same intuition as low-stretch trees, achievable with
+// stdlib-only machinery.
+func maxWeightSpanningTree(g *graph.Graph) *spanningTree {
+	n := g.N()
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool { return edges[a].W > edges[b].W })
+
+	uf := newUnionFind(n)
+	adj := make([][]graph.Edge, n) // forest adjacency
+	for _, e := range edges {
+		if uf.union(e.I, e.J) {
+			adj[e.I] = append(adj[e.I], e)
+			adj[e.J] = append(adj[e.J], graph.Edge{I: e.J, J: e.I, W: e.W})
+		}
+	}
+
+	t := &spanningTree{
+		n:        n,
+		parent:   make([]int, n),
+		upWeight: make([]float64, n),
+		comp:     make([]int, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = -1
+		t.comp[i] = -1
+	}
+	// BFS from every unvisited vertex to root each component.
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if t.comp[s] != -1 {
+			continue
+		}
+		id := len(t.compSize)
+		size := 0
+		t.comp[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			t.order = append(t.order, v)
+			size++
+			for _, e := range adj[v] {
+				u := e.J
+				if t.comp[u] != -1 {
+					continue
+				}
+				t.comp[u] = id
+				t.parent[u] = v
+				t.upWeight[u] = e.W
+				queue = append(queue, u)
+			}
+		}
+		t.compSize = append(t.compSize, size)
+	}
+	return t
+}
+
+// solve computes x with L_T x = b exactly, where L_T is the forest
+// Laplacian, assuming b sums to zero on every component (the caller
+// projects). The returned x is mean-centered per component, which makes
+// the map b ↦ x the symmetric PSD pseudoinverse L_T⁺ — a valid PCG
+// preconditioner. dst and scratch must have length n; dst receives x.
+//
+// The algorithm uses the flow interpretation of tree Laplacian systems:
+// summing L x = b over the subtree below v shows the potential drop
+// across the edge (v, parent) is (subtree sum of b)/weight.
+func (t *spanningTree) solve(dst, b, scratch []float64) {
+	n := t.n
+	// scratch accumulates subtree sums of b, leaf-to-root.
+	copy(scratch, b)
+	for k := n - 1; k >= 0; k-- {
+		v := t.order[k]
+		if p := t.parent[v]; p >= 0 {
+			scratch[p] += scratch[v]
+		}
+	}
+	// Potentials root-to-leaf: x_v = x_parent + subtreeSum_v / w.
+	for _, v := range t.order {
+		p := t.parent[v]
+		if p < 0 {
+			dst[v] = 0
+			continue
+		}
+		dst[v] = dst[p] + scratch[v]/t.upWeight[v]
+	}
+	// Mean-center per component so the operator is symmetric (L_T⁺).
+	means := make([]float64, len(t.compSize))
+	for v := 0; v < n; v++ {
+		means[t.comp[v]] += dst[v]
+	}
+	for c := range means {
+		means[c] /= float64(t.compSize[c])
+	}
+	for v := 0; v < n; v++ {
+		dst[v] -= means[t.comp[v]]
+	}
+}

@@ -1,0 +1,41 @@
+package solver
+
+// unionFind is a classic disjoint-set forest with union by rank and
+// path halving, used by the max-weight spanning tree construction.
+type unionFind struct {
+	parent []int
+	rank   []uint8
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]uint8, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets containing x and y and reports whether they
+// were previously distinct.
+func (u *unionFind) union(x, y int) bool {
+	rx, ry := u.find(x), u.find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	return true
+}

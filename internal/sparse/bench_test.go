@@ -1,0 +1,55 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCSR(n, perRow int) (*CSR, []float64) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perRow; k++ {
+			c.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return c.ToCSR(), x
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, x := benchCSR(10000, 8)
+	dst := make([]float64, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 5000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := NewCOO(n, n)
+		for k := 0; k < 8*n; k++ {
+			c.Add(rng.Intn(n), rng.Intn(n), 1)
+		}
+		b.StartTimer()
+		_ = c.ToCSR()
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	_, x := benchCSR(100000, 1)
+	y := append([]float64(nil), x...)
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Dot(x, y)
+	}
+	_ = s
+}

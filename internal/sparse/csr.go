@@ -1,0 +1,228 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one coordinate-format entry: value Val at (Row, Col).
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO accumulates triplets before conversion to CSR. Duplicate (row,col)
+// entries are summed during conversion, which lets graph builders emit
+// contributions independently (e.g. Laplacian assembly).
+type COO struct {
+	rows, cols int
+	entries    []Triplet
+}
+
+// NewCOO returns an empty COO accumulator with the given dimensions.
+// It panics if either dimension is negative.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic("sparse: NewCOO negative dimension")
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Add appends the value v at (i, j). Zero values are dropped eagerly.
+// It panics if the index is out of range.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	if v == 0 {
+		return
+	}
+	c.entries = append(c.entries, Triplet{Row: i, Col: j, Val: v})
+}
+
+// AddSym appends v at both (i,j) and (j,i); diagonal entries are added
+// once. Convenience for building symmetric adjacency matrices.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated (pre-deduplication) triplets.
+func (c *COO) NNZ() int { return len(c.entries) }
+
+// ToCSR converts the accumulated triplets to CSR, summing duplicates
+// and dropping entries that cancel to zero.
+func (c *COO) ToCSR() *CSR {
+	if len(c.entries) == 0 {
+		// Fast path for empty matrices: parsers and generators build
+		// many of them, and the general path's allocations add up.
+		return &CSR{Rows: c.rows, Cols: c.cols, RowPtr: make([]int, c.rows+1)}
+	}
+	ents := make([]Triplet, len(c.entries))
+	copy(ents, c.entries)
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].Row != ents[b].Row {
+			return ents[a].Row < ents[b].Row
+		}
+		return ents[a].Col < ents[b].Col
+	})
+	// Merge duplicates in place.
+	merged := ents[:0]
+	for _, e := range ents {
+		if n := len(merged); n > 0 && merged[n-1].Row == e.Row && merged[n-1].Col == e.Col {
+			merged[n-1].Val += e.Val
+			continue
+		}
+		merged = append(merged, e)
+	}
+	// Drop exact zeros produced by cancellation.
+	kept := merged[:0]
+	for _, e := range merged {
+		if e.Val != 0 {
+			kept = append(kept, e)
+		}
+	}
+	m := &CSR{
+		Rows:   c.rows,
+		Cols:   c.cols,
+		RowPtr: make([]int, c.rows+1),
+		ColIdx: make([]int, len(kept)),
+		Val:    make([]float64, len(kept)),
+	}
+	for i, e := range kept {
+		m.RowPtr[e.Row+1]++
+		m.ColIdx[i] = e.Col
+		m.Val[i] = e.Val
+	}
+	for i := 0; i < c.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed sparse row matrix. The representation is the
+// classic three-array layout: row i owns the half-open slice
+// [RowPtr[i], RowPtr[i+1]) of ColIdx/Val, with column indices sorted
+// ascending within each row.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the value at (i, j), zero if the entry is not stored.
+// It uses binary search within the row; prefer Row for bulk access.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: CSR.At index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// Row returns the stored column indices and values of row i. The slices
+// alias the matrix storage and must not be modified.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// MulVec computes dst = M*x. It panics on dimension mismatch.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("sparse: CSR.MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// Diag returns the main diagonal as a dense vector.
+func (m *CSR) Diag() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// RowSums returns the vector of row sums (weighted degrees for an
+// adjacency matrix).
+func (m *CSR) RowSums() []float64 {
+	s := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s[i] += m.Val[k]
+		}
+	}
+	return s
+}
+
+// Scale returns a new CSR with every value multiplied by alpha.
+// Scaling by zero returns an empty matrix of the same shape.
+func (m *CSR) Scale(alpha float64) *CSR {
+	if alpha == 0 {
+		return &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	}
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for i, v := range m.Val {
+		out.Val[i] = alpha * v
+	}
+	return out
+}
+
+// IsSymmetric reports whether the matrix equals its transpose to within
+// tol on every stored entry.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			d := vals[k] - m.At(j, i)
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dense materializes the matrix as a row-major dense slice-of-slices.
+// Intended for tests and small-graph exact computations only.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.Rows)
+	backing := make([]float64, m.Rows*m.Cols)
+	for i := range out {
+		out[i] = backing[i*m.Cols : (i+1)*m.Cols]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out[i][m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return out
+}

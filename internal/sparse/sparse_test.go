@@ -1,0 +1,235 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	if !reflect.DeepEqual(y, want) {
+		t.Fatalf("Axpy = %v, want %v", y, want)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Errorf("NormInf(nil) = %g, want 0", got)
+	}
+}
+
+func TestSubAddSum(t *testing.T) {
+	a, b := []float64{5, 7}, []float64{2, 3}
+	dst := make([]float64, 2)
+	Sub(dst, a, b)
+	if !reflect.DeepEqual(dst, []float64{3, 4}) {
+		t.Errorf("Sub = %v", dst)
+	}
+	Add(dst, a, b)
+	if !reflect.DeepEqual(dst, []float64{7, 10}) {
+		t.Errorf("Add = %v", dst)
+	}
+	if got := Sum(a); got != 12 {
+		t.Errorf("Sum = %g", got)
+	}
+}
+
+func TestSquaredDistance(t *testing.T) {
+	got := SquaredDistance([]float64{0, 0}, []float64{3, 4})
+	if got != 25 {
+		t.Fatalf("SquaredDistance = %g, want 25", got)
+	}
+}
+
+func TestCOOToCSRBasic(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 2)
+	c.Add(2, 2, 5)
+	c.Add(0, 1, 1) // duplicate, summed
+	m := c.ToCSR()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 3 {
+		t.Errorf("At(0,1) = %g, want 3", got)
+	}
+	if got := m.At(1, 0); got != 2 {
+		t.Errorf("At(1,0) = %g, want 2", got)
+	}
+	if got := m.At(2, 2); got != 5 {
+		t.Errorf("At(2,2) = %g, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %g, want 0", got)
+	}
+}
+
+func TestCOOCancellationDropped(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 1)
+	c.Add(0, 1, -1)
+	m := c.ToCSR()
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entry kept: NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCOOZeroDropped(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 0)
+	if c.NNZ() != 0 {
+		t.Fatal("zero entry stored")
+	}
+}
+
+func TestCOOAddSym(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.AddSym(0, 2, 4)
+	c.AddSym(1, 1, 7) // diagonal: added once
+	m := c.ToCSR()
+	if m.At(0, 2) != 4 || m.At(2, 0) != 4 {
+		t.Error("off-diagonal not symmetric")
+	}
+	if m.At(1, 1) != 7 {
+		t.Errorf("diagonal = %g, want 7", m.At(1, 1))
+	}
+	if !m.IsSymmetric(0) {
+		t.Error("IsSymmetric = false")
+	}
+}
+
+func TestCSRRowSumsAndDiag(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 2)
+	c.Add(1, 1, 3)
+	m := c.ToCSR()
+	if got := m.RowSums(); !reflect.DeepEqual(got, []float64{3, 3}) {
+		t.Errorf("RowSums = %v", got)
+	}
+	if got := m.Diag(); !reflect.DeepEqual(got, []float64{1, 3}) {
+		t.Errorf("Diag = %v", got)
+	}
+}
+
+func TestCSRScale(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 1, 2)
+	m := c.ToCSR().Scale(3)
+	if got := m.At(0, 1); got != 6 {
+		t.Errorf("scaled At = %g, want 6", got)
+	}
+	z := m.Scale(0)
+	if z.NNZ() != 0 {
+		t.Error("Scale(0) kept entries")
+	}
+}
+
+// randomCSR builds a random sparse matrix and its dense mirror.
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) (*CSR, [][]float64) {
+	c := NewCOO(rows, cols)
+	d := make([][]float64, rows)
+	for i := range d {
+		d[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				c.Add(i, j, v)
+				d[i][j] += v
+			}
+		}
+	}
+	return c.ToCSR(), d
+}
+
+// Property: CSR SpMV agrees with the dense reference product.
+func TestQuickMulVecMatchesDense(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(20)
+		m, d := randomCSR(rng, rows, cols, 0.3)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		for i := 0; i < rows; i++ {
+			var want float64
+			for j := 0; j < cols; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dense() round-trips every entry accessible via At.
+func TestQuickDenseMatchesAt(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(15)
+		cols := 1 + rng.Intn(15)
+		m, _ := randomCSR(rng, rows, cols, 0.25)
+		d := m.Dense()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if d[i][j] != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRAtPanicsOutOfRange(t *testing.T) {
+	m := NewCOO(2, 2).ToCSR()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.At(2, 0)
+}

@@ -1,0 +1,45 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyngraph/internal/dense"
+)
+
+// Ablation: sparse Lanczos / inverse-Lanczos vs the dense O(n³)
+// eigensolver for the spectral quantities the reproduction needs
+// (ACT's top adjacency eigenvector, Figure 2's eigenmap).
+
+func BenchmarkLargestLanczos(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 2000)
+	a := g.Adjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Largest(a, 1, Options{Seed: 1, MaxIter: 80}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmallestLaplacianSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(rng, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SmallestLaplacian(g, 2, Options{Seed: 1, MaxIter: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseEigenReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 300)
+	m := g.DenseLaplacian()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = dense.EigenSym(m)
+	}
+}

