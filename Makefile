@@ -1,0 +1,28 @@
+# Tier-1 verification (what every PR must keep green) plus the race
+# gate for the serving layer. CI runs `make ci`.
+
+GO ?= go
+
+.PHONY: tier1 vet build test race ci bench
+
+tier1: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector gates the serving layer (and everything else):
+# internal/service's stress test fires overlapping snapshot POSTs at
+# multiple streams and must reproduce sequential detector results.
+race:
+	$(GO) test -race ./...
+
+ci: tier1 race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,112 @@
+// Command cadd is the streaming anomaly-detection daemon: a
+// long-running HTTP server that maintains many independent named
+// detection streams, each wrapping an online CAD detector behind a
+// bounded ingest queue.
+//
+// Usage:
+//
+//	cadd [-addr :8470] [-queue 64] [-max-streams 1024]
+//	     [-shutdown-timeout 30s]
+//
+// API (all JSON; see internal/service for the wire types):
+//
+//	PUT    /v1/streams/{id}                 create a stream
+//	GET    /v1/streams                      list streams
+//	GET    /v1/streams/{id}                 stream status
+//	DELETE /v1/streams/{id}                 drop a stream
+//	POST   /v1/streams/{id}/snapshots       ingest one graph instance
+//	                                        (?sync=1 waits for scoring;
+//	                                        429 = queue full, retry later)
+//	GET    /v1/streams/{id}/report          re-thresholded history
+//	GET    /v1/streams/{id}/transitions/{t} one transition's anomalies
+//	GET    /healthz                         liveness
+//	GET    /metrics                         Prometheus text format
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains every
+// stream's queue (bounded by -shutdown-timeout), and exits — accepted
+// snapshots are never silently dropped.
+//
+// Example session:
+//
+//	cadd -addr :8470 &
+//	curl -X PUT localhost:8470/v1/streams/emails -d '{"l":5}'
+//	datagen -dataset enron -out /tmp/enron.txt   # then replay months
+//	curl localhost:8470/v1/streams/emails/report
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyngraph/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole daemon behind flag plumbing, factored out so tests
+// can drive a full boot/serve/shutdown cycle with a cancellable
+// context and in-memory streams.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cadd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr            = fs.String("addr", ":8470", "listen address (host:port; :0 picks a free port)")
+		queue           = fs.Int("queue", 64, "default per-stream ingest queue bound")
+		maxStreams      = fs.Int("max-streams", 1024, "maximum concurrently live streams")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 30*time.Second, "drain budget after SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := service.New(service.Config{DefaultQueueSize: *queue, MaxStreams: *maxStreams})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "cadd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop taking requests first, then drain every
+	// stream's queue so accepted snapshots are scored before exit.
+	fmt.Fprintln(stdout, "cadd: shutting down, draining streams")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "cadd: http shutdown:", err)
+		code = 1
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "cadd: bye")
+	return code
+}

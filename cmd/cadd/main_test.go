@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBootServeShutdown drives the daemon end-to-end: boot on a free
+// port, create a stream over HTTP, push two snapshots, read the
+// report, then cancel the context (the SIGTERM path) and verify a
+// clean drain-and-exit.
+func TestBootServeShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	var wg sync.WaitGroup
+	var code int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pw.Close()
+		code = run(ctx, []string{"-addr", "127.0.0.1:0", "-shutdown-timeout", "10s"}, pw, &stderr)
+	}()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	i := strings.LastIndex(line, " ")
+	base := "http://" + line[i+1:]
+	go io.Copy(io.Discard, pr) // keep the pipe drained
+
+	put, err := http.NewRequest(http.MethodPut, base+"/v1/streams/s", strings.NewReader(`{"l":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create stream: %s", resp.Status)
+	}
+	for range [2]int{} {
+		resp, err = http.Post(base+"/v1/streams/s/snapshots?sync=1", "application/json",
+			strings.NewReader(`{"n":4,"edges":[{"i":0,"j":1,"w":1},{"i":1,"j":2,"w":1},{"i":2,"j":3,"w":1}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("push: %s", resp.Status)
+		}
+	}
+	resp, err = http.Get(base + "/v1/streams/s/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"transitions"`) {
+		t.Fatalf("report: %s %s", resp.Status, body)
+	}
+
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestBadFlagsExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestBadAddrExit1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -106,7 +105,7 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	rep := res.AutoThreshold(*l)
 
 	if *asJSON {
-		if err := writeJSON(stdout, rep); err != nil {
+		if err := dyngraph.WriteReportJSON(stdout, rep); err != nil {
 			fmt.Fprintln(stderr, "cadrun:", err)
 			return 1
 		}
@@ -140,37 +139,6 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
-}
-
-type jsonEdge struct {
-	I     int     `json:"i"`
-	J     int     `json:"j"`
-	Score float64 `json:"score"`
-}
-
-type jsonTransition struct {
-	Transition int        `json:"transition"`
-	Edges      []jsonEdge `json:"edges"`
-	Nodes      []int      `json:"nodes"`
-}
-
-type jsonReport struct {
-	Delta       float64          `json:"delta"`
-	Transitions []jsonTransition `json:"transitions"`
-}
-
-func writeJSON(w io.Writer, rep dyngraph.Report) error {
-	out := jsonReport{Delta: rep.Delta}
-	for _, tr := range rep.Transitions {
-		jt := jsonTransition{Transition: tr.T, Nodes: tr.Nodes}
-		for _, e := range tr.Edges {
-			jt.Edges = append(jt.Edges, jsonEdge{I: e.I, J: e.J, Score: e.Score})
-		}
-		out.Transitions = append(out.Transitions, jt)
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
 }
 
 // printHottestEgo locates the globally highest ΔN (node, transition)

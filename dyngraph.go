@@ -41,13 +41,16 @@
 //	}
 //
 // Runnable programs live under examples/ (quickstart, insider-threat,
-// collaboration, climate), the experiment harness under cmd/cadbench,
-// and a file-driven detector under cmd/cadrun.
+// collaboration, climate, streaming, serving), the experiment harness
+// under cmd/cadbench, a file-driven detector under cmd/cadrun, and the
+// streaming HTTP serving daemon under cmd/cadd (drive it with
+// StreamClient).
 package dyngraph
 
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"dyngraph/internal/act"
 	"dyngraph/internal/afm"
@@ -56,6 +59,7 @@ import (
 	"dyngraph/internal/core"
 	"dyngraph/internal/eval"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/service"
 )
 
 // Graph is an immutable weighted undirected graph over a fixed vertex
@@ -208,6 +212,20 @@ func (r *Result) Explain(t, i, j int) (Explanation, error) {
 // TransitionReport is one transition's thresholded anomaly sets.
 type TransitionReport = core.TransitionReport
 
+// ReportJSON is the canonical wire form of a Report, shared by
+// cmd/cadrun's -json output and the cadd server's /report endpoint;
+// the two surfaces emit byte-identical documents.
+type ReportJSON = core.ReportJSON
+
+// TransitionJSON is the wire form of one transition's anomaly sets.
+type TransitionJSON = core.TransitionJSON
+
+// WriteReportJSON writes the canonical two-space-indented JSON
+// encoding of rep (frozen by a golden-file test in internal/core).
+func WriteReportJSON(w io.Writer, rep Report) error {
+	return core.WriteReportJSON(w, rep)
+}
+
 // OnlineDetector is the streaming variant sketched in the paper's
 // §4.2: push graph instances one at a time; the threshold δ is
 // re-selected after every arrival over the history seen so far.
@@ -236,6 +254,43 @@ func (o *OnlineDetector) Report() Report { return o.inner.Report() }
 
 // Delta returns the current global threshold.
 func (o *OnlineDetector) Delta() float64 { return o.inner.Delta() }
+
+// StreamClient is a typed HTTP client for a cadd serving daemon (see
+// cmd/cadd): create named detection streams, push graph snapshots with
+// explicit backpressure, and read reports that are byte-identical to
+// cadrun -json output. It is safe for concurrent use.
+type StreamClient = service.Client
+
+// StreamConfig configures a cadd detection stream (variant, l, oracle
+// parameters, ingest-queue bound, max-history window).
+type StreamConfig = service.StreamConfig
+
+// StreamInfo is one cadd stream's status snapshot (counters, queue
+// depth, current δ).
+type StreamInfo = service.StreamInfo
+
+// StreamPushResult is the response to a snapshot push; sync pushes
+// carry the newest transition's report.
+type StreamPushResult = service.PushResult
+
+// Snapshot is the wire form of one graph instance sent to cadd.
+type Snapshot = service.Snapshot
+
+// ErrStreamQueueFull is returned by StreamClient.Push when the
+// server's bounded ingest queue rejected the snapshot (HTTP 429);
+// callers should back off and retry.
+var ErrStreamQueueFull = service.ErrQueueFull
+
+// NewStreamClient returns a client for the cadd server at baseURL
+// (e.g. "http://localhost:8470"). A nil httpClient uses
+// http.DefaultClient.
+func NewStreamClient(baseURL string, httpClient *http.Client) *StreamClient {
+	return service.NewClient(baseURL, httpClient)
+}
+
+// SnapshotFromGraph converts a graph to the wire form the cadd
+// snapshot endpoint accepts.
+func SnapshotFromGraph(g *Graph) Snapshot { return service.SnapshotFromGraph(g) }
 
 // ACTResult is the Ide–Kashima activity-vector baseline's output.
 type ACTResult = act.Result

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file is the canonical wire encoding of a thresholded Report,
+// shared by every surface that emits one (cmd/cadrun's -json flag, the
+// cadd server's /report endpoint, the Go client). The shape is frozen
+// by a golden-file test: cadrun and cadd must emit byte-identical
+// reports for the same detection output.
+
+// EdgeJSON is the wire form of an EdgeScore.
+type EdgeJSON struct {
+	I     int     `json:"i"`
+	J     int     `json:"j"`
+	Score float64 `json:"score"`
+}
+
+// TransitionJSON is the wire form of a TransitionReport.
+type TransitionJSON struct {
+	Transition int        `json:"transition"`
+	Edges      []EdgeJSON `json:"edges"`
+	Nodes      []int      `json:"nodes"`
+}
+
+// ReportJSON is the wire form of a Report.
+type ReportJSON struct {
+	Delta       float64          `json:"delta"`
+	Transitions []TransitionJSON `json:"transitions"`
+}
+
+// JSON converts one transition's anomaly sets to their wire form.
+func (tr TransitionReport) JSON() TransitionJSON {
+	jt := TransitionJSON{Transition: tr.T, Nodes: tr.Nodes}
+	for _, e := range tr.Edges {
+		jt.Edges = append(jt.Edges, EdgeJSON{I: e.I, J: e.J, Score: e.Score})
+	}
+	return jt
+}
+
+// JSON converts the report to its wire form.
+func (r Report) JSON() ReportJSON {
+	out := ReportJSON{Delta: r.Delta}
+	for _, tr := range r.Transitions {
+		out.Transitions = append(out.Transitions, tr.JSON())
+	}
+	return out
+}
+
+// WriteReportJSON writes the canonical two-space-indented encoding of
+// rep, terminated by a newline.
+func WriteReportJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep.JSON())
+}

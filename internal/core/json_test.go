@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fixed report exercising the wire encoding's edge
+// cases: a transition with edges and nodes, a calm transition with
+// neither (both must encode as null, not []), and a non-integral δ.
+func goldenReport() Report {
+	return Report{
+		Delta: 12.5,
+		Transitions: []TransitionReport{
+			{
+				T: 0,
+				Edges: []EdgeScore{
+					{I: 2, J: 7, Score: 31.25},
+					{I: 0, J: 7, Score: 14.062500000000002},
+				},
+				Nodes: []int{0, 2, 7},
+			},
+			{T: 1}, // calm: no anomalous edges or nodes
+			{
+				T:     2,
+				Edges: []EdgeScore{{I: 1, J: 3, Score: 13}},
+				Nodes: []int{1, 3},
+			},
+		},
+	}
+}
+
+// TestReportJSONGolden freezes the wire shape shared by cadrun -json
+// and the cadd /report endpoint. If this test fails because of an
+// intentional format change, regenerate with
+//
+//	go test ./internal/core -run TestReportJSONGolden -update
+//
+// and audit the diff: every consumer of either surface sees it.
+func TestReportJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoding drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReportJSONEmpty pins the degenerate encoding: a zero report's
+// transitions marshal as null (matching the pre-extraction cadrun
+// behaviour), not as an empty array.
+func TestReportJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportJSON(&buf, Report{}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"delta\": 0,\n  \"transitions\": null\n}\n"
+	if buf.String() != want {
+		t.Errorf("empty report = %q, want %q", buf.String(), want)
+	}
+}

@@ -19,14 +19,16 @@ import (
 //
 // An OnlineDetector is not safe for concurrent use.
 type OnlineDetector struct {
-	cfg     Config
-	l       float64
-	n       int // vertex count, fixed by the first instance
-	t       int // instances consumed
-	prev    *graph.Graph
-	prevOra commute.Oracle
-	history []Transition
-	delta   float64
+	cfg        Config
+	l          float64
+	n          int // vertex count, fixed by the first instance
+	t          int // instances consumed
+	prev       *graph.Graph
+	prevOra    commute.Oracle
+	history    []Transition
+	delta      float64
+	maxHistory int
+	evicted    int
 }
 
 // NewOnline returns a streaming detector targeting l anomalous nodes
@@ -34,6 +36,30 @@ type OnlineDetector struct {
 func NewOnline(cfg Config, l float64) *OnlineDetector {
 	return &OnlineDetector{cfg: cfg, l: l}
 }
+
+// SetMaxHistory bounds the retained transition history to the most
+// recent m transitions; m <= 0 (the default) retains everything.
+// Without a bound a long-lived stream's history — and the per-push
+// δ re-selection over it — grows without limit, so any server wrapping
+// an OnlineDetector should set a window.
+//
+// δ semantics under a window: after eviction the threshold is
+// re-selected so that the anomalous-node budget l·|window| refers to
+// the retained transitions only. The detector forgets how calm or
+// turbulent evicted history was, so δ tracks the recent regime — a
+// long-calm stream entering a turbulent phase raises δ faster than the
+// unbounded detector would, and vice versa. Report and Transitions
+// likewise cover only the retained window; Evicted counts what was
+// dropped. Scoring is unaffected: ΔE for a new transition never
+// depends on history.
+//
+// Lowering m takes effect at the next Push; it never truncates
+// retroactively on its own.
+func (o *OnlineDetector) SetMaxHistory(m int) { o.maxHistory = m }
+
+// Evicted returns the number of transitions dropped from the front of
+// the history by the max-history window.
+func (o *OnlineDetector) Evicted() int { return o.evicted }
 
 // Push consumes the next graph instance. For the first instance it
 // returns (nil, nil); afterwards it returns the newest transition's
@@ -72,6 +98,18 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 
 	scores := TransitionScores(o.prev, g, o.prevOra, oracle, o.cfg.Variant, o.cfg.comAllPairs(o.n))
 	o.history = append(o.history, Transition{T: o.t - 1, Scores: scores, Total: TotalScore(scores)})
+	if o.maxHistory > 0 && len(o.history) > o.maxHistory {
+		// Evict the oldest transitions in place, zeroing the vacated
+		// tail so their score slices are released rather than pinned by
+		// the backing array.
+		drop := len(o.history) - o.maxHistory
+		keep := copy(o.history, o.history[drop:])
+		for i := keep; i < len(o.history); i++ {
+			o.history[i] = Transition{}
+		}
+		o.history = o.history[:keep]
+		o.evicted += drop
+	}
 	o.delta = SelectDelta(o.history, o.l)
 
 	edges := AnomalousEdges(scores, o.delta)
@@ -83,12 +121,14 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 // instance arrives).
 func (o *OnlineDetector) Delta() float64 { return o.delta }
 
-// Transitions returns the scored history. The slice must not be
+// Transitions returns the scored history retained under the
+// max-history window (all of it by default). The slice must not be
 // modified.
 func (o *OnlineDetector) Transitions() []Transition { return o.history }
 
-// Report re-thresholds the entire observed history at the current δ —
-// the batch-equivalent view after the stream consumed so far.
+// Report re-thresholds the retained history at the current δ — the
+// batch-equivalent view of the stream consumed so far (of the window
+// only, when SetMaxHistory bounds it).
 func (o *OnlineDetector) Report() Report {
 	return Threshold(o.history, o.delta)
 }

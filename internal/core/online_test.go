@@ -123,3 +123,77 @@ func multiTransitionSequence(t *testing.T) *graph.Sequence {
 		mk(false, 0), mk(false, 0.05), mk(true, 0.05), mk(false, 0.1),
 	})
 }
+
+func TestOnlineMaxHistoryBoundsRetention(t *testing.T) {
+	seq := multiTransitionSequence(t)
+	const window = 2
+	o := NewOnline(Config{}, 3)
+	o.SetMaxHistory(window)
+	for tt := 0; tt < seq.T(); tt++ {
+		if _, err := o.Push(seq.At(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(o.Transitions()); got > window {
+			t.Fatalf("after push %d: %d retained transitions, window is %d", tt, got, window)
+		}
+	}
+	// 3 transitions total, window 2 ⇒ exactly one evicted, and the
+	// retained ones are the newest with their original indices.
+	if o.Evicted() != 1 {
+		t.Fatalf("Evicted() = %d, want 1", o.Evicted())
+	}
+	trs := o.Transitions()
+	if len(trs) != window || trs[0].T != 1 || trs[1].T != 2 {
+		t.Fatalf("retained transitions %v, want T=1,2", []int{trs[0].T, trs[1].T})
+	}
+	if got := len(o.Report().Transitions); got != window {
+		t.Fatalf("Report covers %d transitions, want %d", got, window)
+	}
+}
+
+func TestOnlineMaxHistoryDeltaMatchesWindowedSelection(t *testing.T) {
+	// The windowed detector's δ must equal SelectDelta over exactly the
+	// retained transitions — i.e. the budget l·|window| refers to the
+	// window, not the full stream.
+	seq := multiTransitionSequence(t)
+	l := 3.0
+	full := NewOnline(Config{}, l)
+	windowed := NewOnline(Config{}, l)
+	windowed.SetMaxHistory(2)
+	for tt := 0; tt < seq.T(); tt++ {
+		if _, err := full.Push(seq.At(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := windowed.Push(seq.At(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := SelectDelta(windowed.Transitions(), l)
+	if windowed.Delta() != want {
+		t.Fatalf("windowed δ = %g, want SelectDelta over window = %g", windowed.Delta(), want)
+	}
+	// Per-transition scores are history-independent: the retained
+	// window must carry the same scores the unbounded detector holds
+	// for those transitions.
+	fullTrs := full.Transitions()
+	for _, tr := range windowed.Transitions() {
+		if !reflect.DeepEqual(tr.Scores, fullTrs[tr.T].Scores) {
+			t.Fatalf("transition %d scores differ between windowed and full detectors", tr.T)
+		}
+	}
+}
+
+func TestOnlineMaxHistoryZeroKeepsEverything(t *testing.T) {
+	seq := multiTransitionSequence(t)
+	o := NewOnline(Config{}, 3)
+	o.SetMaxHistory(0)
+	for tt := 0; tt < seq.T(); tt++ {
+		if _, err := o.Push(seq.At(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(o.Transitions()) != seq.T()-1 || o.Evicted() != 0 {
+		t.Fatalf("unbounded detector retained %d transitions (evicted %d), want %d (0)",
+			len(o.Transitions()), o.Evicted(), seq.T()-1)
+	}
+}

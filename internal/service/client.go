@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+)
+
+// ErrQueueFull is returned by Client.Push when the server answered 429
+// — the stream's bounded ingest queue rejected the snapshot. Callers
+// implement their own backoff; the server never buffers past the
+// bound.
+var ErrQueueFull = errors.New("service: stream ingest queue full")
+
+// ErrNotFound is returned for unknown streams or transitions.
+var ErrNotFound = errors.New("service: not found")
+
+// Client drives a cadd server over its HTTP API with typed methods.
+// It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8470"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// do issues one request and decodes a JSON response into out (when
+// non-nil), translating error statuses into Go errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae)
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("%w: %s", ErrQueueFull, ae.Error)
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, ae.Error)
+		default:
+			if ae.Error == "" {
+				ae.Error = resp.Status
+			}
+			return fmt.Errorf("service: %s %s: %s", method, path, ae.Error)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateStream creates a named stream with the given config.
+func (c *Client) CreateStream(ctx context.Context, id string, cfg StreamConfig) error {
+	return c.do(ctx, http.MethodPut, "/v1/streams/"+id, cfg, nil)
+}
+
+// DeleteStream stops and removes a stream.
+func (c *Client) DeleteStream(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/streams/"+id, nil, nil)
+}
+
+// Streams lists every live stream's status.
+func (c *Client) Streams(ctx context.Context) ([]StreamInfo, error) {
+	var out []StreamInfo
+	err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &out)
+	return out, err
+}
+
+// StreamInfo returns one stream's status.
+func (c *Client) StreamInfo(ctx context.Context, id string) (StreamInfo, error) {
+	var out StreamInfo
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+id, nil, &out)
+	return out, err
+}
+
+// Push sends one graph instance to a stream. With sync true it waits
+// for scoring and the result carries the newest transition's report
+// (nil after the very first instance); otherwise the snapshot is
+// queued and the result only records the arrival index. ErrQueueFull
+// signals backpressure.
+func (c *Client) Push(ctx context.Context, id string, g *graph.Graph, sync bool) (PushResult, error) {
+	return c.PushSnapshot(ctx, id, SnapshotFromGraph(g), sync)
+}
+
+// PushSnapshot is Push for callers that already hold the wire form.
+func (c *Client) PushSnapshot(ctx context.Context, id string, snap Snapshot, sync bool) (PushResult, error) {
+	path := "/v1/streams/" + id + "/snapshots"
+	if sync {
+		path += "?sync=1"
+	}
+	var out PushResult
+	err := c.do(ctx, http.MethodPost, path, snap, &out)
+	return out, err
+}
+
+// Report fetches the stream's re-thresholded history in the canonical
+// wire form.
+func (c *Client) Report(ctx context.Context, id string) (core.ReportJSON, error) {
+	var out core.ReportJSON
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+id+"/report", nil, &out)
+	return out, err
+}
+
+// Transition fetches one transition's anomaly sets at the current δ.
+func (c *Client) Transition(ctx context.Context, id string, t int) (core.TransitionJSON, error) {
+	var out core.TransitionJSON
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/streams/%s/transitions/%d", id, t), nil, &out)
+	return out, err
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dyngraph/internal/core"
+)
+
+// maxSnapshotBytes bounds a snapshot POST body (64 MiB ≈ 2M edges) so
+// a single request cannot exhaust memory before the queue bound even
+// applies.
+const maxSnapshotBytes = 64 << 20
+
+// Handler builds the server's HTTP API. Routes use the Go 1.22 method
+// + wildcard mux patterns.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreateStream)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
+	mux.HandleFunc("POST /v1/streams/{id}/snapshots", s.handlePostSnapshot)
+	mux.HandleFunc("GET /v1/streams/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/streams/{id}/transitions/{t}", s.handleTransition)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Streams: s.NumStreams()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w)
+
+	// Live gauges, computed at scrape time from the registry itself.
+	infos := s.ListStreams()
+	fmt.Fprintf(w, "# HELP cadd_streams Live detection streams.\n# TYPE cadd_streams gauge\n")
+	writeGauge(w, "cadd_streams", "", float64(len(infos)))
+	if len(infos) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP cadd_queue_depth Snapshots waiting in a stream's bounded queue.\n# TYPE cadd_queue_depth gauge\n")
+	for _, info := range infos {
+		writeGauge(w, "cadd_queue_depth", labels("stream", info.ID), float64(info.QueueDepth))
+	}
+	fmt.Fprintf(w, "# HELP cadd_stream_delta Current global anomaly threshold per stream.\n# TYPE cadd_stream_delta gauge\n")
+	for _, info := range infos {
+		writeGauge(w, "cadd_stream_delta", labels("stream", info.ID), info.Delta)
+	}
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	infos := s.ListStreams()
+	if infos == nil {
+		infos = []StreamInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var cfg StreamConfig
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad stream config: %v", err)
+			return
+		}
+	}
+	if err := s.CreateStream(id, cfg); err != nil {
+		status := http.StatusBadRequest
+		if _, exists := s.lookup(id); exists {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	info, _ := s.StreamInfo(id)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleStreamInfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.StreamInfo(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.DeleteStream(id) {
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+		return
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSnapshotBytes)).Decode(&snap); err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	g, err := snap.Graph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	sync := r.URL.Query().Get("sync") == "1"
+	res, err := st.enqueue(g, sync)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "stream %q: ingest queue full (%d pending)", id, st.queue.capacity())
+		return
+	case errors.Is(err, errStreamClosed):
+		writeError(w, http.StatusConflict, "stream %q is closed", id)
+		return
+	case err != nil:
+		// The snapshot was accepted but scoring failed (e.g. a vertex
+		// count that does not match the stream's fixed set).
+		writeError(w, http.StatusUnprocessableEntity, "stream %q: %v", id, err)
+		return
+	}
+	status := http.StatusOK
+	if res.Queued {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, res)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+		return
+	}
+	rep := st.report()
+	w.Header().Set("Content-Type", "application/json")
+	// The canonical shared encoding: byte-identical to cadrun -json.
+	if err := core.WriteReportJSON(w, rep); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding report: %v", err)
+	}
+}
+
+func (s *Server) handleTransition(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+		return
+	}
+	t, err := strconv.Atoi(r.PathValue("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad transition index %q", r.PathValue("t"))
+		return
+	}
+	tr, ok := st.transition(t)
+	if !ok {
+		writeError(w, http.StatusNotFound, "stream %q has no transition %d in its retained history", id, t)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.JSON())
+}

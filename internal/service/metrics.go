@@ -1,0 +1,174 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metrics is a minimal Prometheus-text-format registry (stdlib only,
+// per the repo's no-dependency rule): monotonic counters and fixed-
+// bucket histograms, keyed by name plus a canonical label string.
+// Gauges that mirror live state (queue depth, per-stream δ) are not
+// stored here — the server computes them at scrape time from the
+// streams themselves, so a scrape never shows a stale gauge.
+type metrics struct {
+	mu     sync.Mutex
+	counts map[string]map[string]float64    // name → labels → value
+	hists  map[string]map[string]*histogram // name → labels → histogram
+	help   map[string]string
+}
+
+// pushBuckets are the solve-latency histogram bounds in seconds: the
+// exact oracle on paper-sized graphs lands in the low milliseconds,
+// embedding solves on large graphs in the 0.1–10 s decades.
+var pushBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	buckets []float64 // cumulative counts per pushBuckets bound
+	count   float64
+	sum     float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		counts: make(map[string]map[string]float64),
+		hists:  make(map[string]map[string]*histogram),
+		help:   make(map[string]string),
+	}
+}
+
+// labels renders a canonical label string from key/value pairs:
+// `{k1="v1",k2="v2"}` with keys sorted, or "" for none.
+func labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func (m *metrics) describe(name, help string) {
+	m.mu.Lock()
+	m.help[name] = help
+	m.mu.Unlock()
+}
+
+// add increments a counter series.
+func (m *metrics) add(name, labelStr string, v float64) {
+	m.mu.Lock()
+	series := m.counts[name]
+	if series == nil {
+		series = make(map[string]float64)
+		m.counts[name] = series
+	}
+	series[labelStr] += v
+	m.mu.Unlock()
+}
+
+// observe records one value in a histogram series.
+func (m *metrics) observe(name, labelStr string, v float64) {
+	m.mu.Lock()
+	series := m.hists[name]
+	if series == nil {
+		series = make(map[string]*histogram)
+		m.hists[name] = series
+	}
+	h := series[labelStr]
+	if h == nil {
+		h = &histogram{buckets: make([]float64, len(pushBuckets))}
+		series[labelStr] = h
+	}
+	for i, bound := range pushBuckets {
+		if v <= bound {
+			h.buckets[i]++
+		}
+	}
+	h.count++
+	h.sum += v
+	m.mu.Unlock()
+}
+
+// counterValue reads one counter series (0 when absent); used by
+// tests and status endpoints.
+func (m *metrics) counterValue(name, labelStr string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[name][labelStr]
+}
+
+// writeTo renders every stored series in Prometheus text exposition
+// format, deterministically ordered (names, then label strings).
+func (m *metrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(m.counts)+len(m.hists))
+	for name := range m.counts {
+		names = append(names, name)
+	}
+	for name := range m.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if help := m.help[name]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		if series, ok := m.counts[name]; ok {
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			for _, ls := range sortedKeys(series) {
+				fmt.Fprintf(w, "%s%s %s\n", name, ls, formatValue(series[ls]))
+			}
+			continue
+		}
+		series := m.hists[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, ls := range sortedKeys(series) {
+			h := series[ls]
+			for i, bound := range pushBuckets {
+				fmt.Fprintf(w, "%s_bucket%s %s\n", name,
+					mergeLabel(ls, "le", formatValue(bound)), formatValue(h.buckets[i]))
+			}
+			fmt.Fprintf(w, "%s_bucket%s %s\n", name, mergeLabel(ls, "le", "+Inf"), formatValue(h.count))
+			fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, formatValue(h.sum))
+			fmt.Fprintf(w, "%s_count%s %s\n", name, ls, formatValue(h.count))
+		}
+	}
+}
+
+// writeGauge renders one gauge sample with its TYPE header handled by
+// the caller (the server emits gauges grouped per metric name).
+func writeGauge(w io.Writer, name, labelStr string, v float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelStr, formatValue(v))
+}
+
+// mergeLabel appends one extra label to a canonical label string.
+func mergeLabel(labelStr, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if labelStr == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labelStr, "}") + "," + extra + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+)
+
+// job is one enqueued snapshot. done is non-nil for synchronous pushes
+// and receives exactly one result when the worker has scored (or
+// failed to score) the instance.
+type job struct {
+	g        *graph.Graph
+	instance int64
+	done     chan jobResult
+}
+
+// jobResult is what a synchronous pusher waits for.
+type jobResult struct {
+	report *core.TransitionReport
+	delta  float64
+	err    error
+}
+
+// ingestQueue is a bounded FIFO between HTTP handlers and a stream's
+// worker goroutine. The bound is the backpressure mechanism: when the
+// worker falls behind, TryPush fails and the handler answers 429
+// instead of buffering without limit. Closing the queue lets the
+// worker drain whatever is already buffered and then exit — that is
+// the graceful-shutdown path.
+type ingestQueue struct {
+	ch chan job
+}
+
+func newIngestQueue(size int) *ingestQueue {
+	if size < 1 {
+		size = 1
+	}
+	return &ingestQueue{ch: make(chan job, size)}
+}
+
+// tryPush enqueues without blocking; false means the queue is full.
+// The caller must guarantee the queue is not closed (stream.enqueue
+// serializes pushes against close with its own mutex).
+func (q *ingestQueue) tryPush(j job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobs is the worker's receive side; it yields buffered jobs after
+// close and then terminates.
+func (q *ingestQueue) jobs() <-chan job { return q.ch }
+
+// close stops intake. Buffered jobs remain receivable.
+func (q *ingestQueue) close() { close(q.ch) }
+
+// depth is the number of buffered jobs (racy by nature; used for
+// metrics and status only).
+func (q *ingestQueue) depth() int { return len(q.ch) }
+
+// capacity is the queue bound.
+func (q *ingestQueue) capacity() int { return cap(q.ch) }

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DefaultQueueSize is the ingest-queue bound for streams that do
+	// not set their own (default 64).
+	DefaultQueueSize int
+	// MaxStreams caps concurrently live streams (default 1024); stream
+	// creation beyond it fails.
+	MaxStreams int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultQueueSize <= 0 {
+		c.DefaultQueueSize = 64
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1024
+	}
+	return c
+}
+
+// Server owns the stream registry and the metrics it exposes. Wrap
+// Handler() in an http.Server to serve it; call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+
+	mu       sync.RWMutex
+	streams  map[string]*stream
+	shutdown bool
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	m := newMetrics()
+	m.describe("cadd_snapshots_ingested_total", "Snapshots accepted into a stream's queue.")
+	m.describe("cadd_snapshots_processed_total", "Snapshots scored by a stream's worker.")
+	m.describe("cadd_snapshots_rejected_total", "Snapshots rejected with 429 because the bounded queue was full.")
+	m.describe("cadd_push_errors_total", "Detector Push failures (e.g. vertex-count mismatch).")
+	m.describe("cadd_push_seconds", "Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.")
+	return &Server{cfg: cfg.withDefaults(), metrics: m, streams: make(map[string]*stream)}
+}
+
+// CreateStream registers and starts a new stream. It fails on invalid
+// ids or configs, duplicate ids, a full registry, or a shut-down
+// server.
+func (s *Server) CreateStream(id string, cfg StreamConfig) error {
+	if err := validateStreamID(id); err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults(s.cfg.DefaultQueueSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return fmt.Errorf("service: server is shutting down")
+	}
+	if _, ok := s.streams[id]; ok {
+		return fmt.Errorf("service: stream %q already exists", id)
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		return fmt.Errorf("service: stream limit %d reached", s.cfg.MaxStreams)
+	}
+	st, err := newStream(id, cfg, s.metrics)
+	if err != nil {
+		return fmt.Errorf("service: stream %q: %w", id, err)
+	}
+	s.streams[id] = st
+	return nil
+}
+
+// DeleteStream stops intake, waits for the stream's queue to drain,
+// and drops it from the registry. False when the id is unknown.
+func (s *Server) DeleteStream(id string) bool {
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	delete(s.streams, id)
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	st.close()
+	<-st.drained()
+	return true
+}
+
+// lookup returns a live stream.
+func (s *Server) lookup(id string) (*stream, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.streams[id]
+	return st, ok
+}
+
+// StreamInfo returns one stream's status.
+func (s *Server) StreamInfo(id string) (StreamInfo, bool) {
+	st, ok := s.lookup(id)
+	if !ok {
+		return StreamInfo{}, false
+	}
+	return st.info(), true
+}
+
+// ListStreams returns every live stream's status, ordered by id.
+func (s *Server) ListStreams() []StreamInfo {
+	s.mu.RLock()
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.RUnlock()
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
+	out := make([]StreamInfo, len(streams))
+	for i, st := range streams {
+		out[i] = st.info()
+	}
+	return out
+}
+
+// NumStreams returns the live stream count.
+func (s *Server) NumStreams() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.streams)
+}
+
+// Shutdown stops intake on every stream and waits for all queues to
+// drain (so accepted snapshots are never silently dropped), or for ctx
+// to expire, whichever comes first. Call it after http.Server.Shutdown
+// has stopped new requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	streams := make([]*stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+
+	for _, st := range streams {
+		st.close()
+	}
+	for _, st := range streams {
+		select {
+		case <-st.drained():
+		case <-ctx.Done():
+			return fmt.Errorf("service: shutdown: %w (stream %q still draining)", ctx.Err(), st.id)
+		}
+	}
+	return nil
+}
+
+// validateStreamID keeps ids path- and label-safe.
+func validateStreamID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("service: stream id must be 1–64 characters, got %d", len(id))
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("service: stream id %q contains %q (want [a-zA-Z0-9._-])", id, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/enron"
+	"dyngraph/internal/graph"
+)
+
+// newTestServer boots a full HTTP stack: Server → Handler → httptest →
+// Client.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, NewClient(hs.URL, hs.Client())
+}
+
+// testSequence builds a deterministic T-instance sequence on a 12-node
+// two-cluster graph: jittered intra-cluster weights plus a bridge
+// planted at the middle transition. seed varies the jitter so
+// different streams carry different data.
+func testSequence(t *testing.T, T int, seed int64) *graph.Sequence {
+	t.Helper()
+	mk := func(step int) *graph.Graph {
+		b := graph.NewBuilder(12)
+		for c := 0; c < 2; c++ {
+			base := c * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					jitter := float64((seed+int64(step*7+i*3+j))%5) * 0.01
+					b.SetEdge(base+i, base+j, 2+jitter)
+				}
+			}
+		}
+		b.SetEdge(0, 6, 0.2) // weak constant bridge keeps it connected
+		if step == T/2 {
+			b.SetEdge(2, 9, 3) // planted anomaly
+		}
+		return b.MustBuild()
+	}
+	gs := make([]*graph.Graph, T)
+	for i := range gs {
+		gs[i] = mk(i)
+	}
+	return graph.MustSequence(gs)
+}
+
+// onlineConfig mirrors a StreamConfig into the core config the service
+// builds internally, for sequential reference runs.
+func onlineConfig(cfg StreamConfig) core.Config {
+	variant, _ := cfg.variant()
+	return core.Config{
+		Variant:     variant,
+		Commute:     commute.Config{K: cfg.K, Seed: cfg.Seed, Workers: cfg.Workers},
+		ExactCutoff: cfg.ExactCutoff,
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	if err := cl.CreateStream(ctx, "emails", StreamConfig{L: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateStream(ctx, "emails", StreamConfig{}); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	if err := cl.CreateStream(ctx, "bad id!", StreamConfig{}); err == nil {
+		t.Fatal("invalid id should fail")
+	}
+	if err := cl.CreateStream(ctx, "bad-variant", StreamConfig{Variant: "nope"}); err == nil {
+		t.Fatal("unknown variant should fail")
+	}
+
+	infos, err := cl.Streams(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != "emails" {
+		t.Fatalf("Streams() = %+v, want exactly [emails]", infos)
+	}
+	if infos[0].Config.L != 3 || infos[0].Config.QueueSize != 64 {
+		t.Fatalf("config defaults not applied: %+v", infos[0].Config)
+	}
+
+	info, err := cl.StreamInfo(ctx, "emails")
+	if err != nil || info.ID != "emails" {
+		t.Fatalf("StreamInfo = %+v, %v", info, err)
+	}
+
+	if err := cl.DeleteStream(ctx, "emails"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StreamInfo(ctx, "emails"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete want ErrNotFound, got %v", err)
+	}
+	if err := cl.DeleteStream(ctx, "emails"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete want ErrNotFound, got %v", err)
+	}
+}
+
+func TestSyncPushMatchesSequentialDetector(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	seq := testSequence(t, 5, 1)
+	scfg := StreamConfig{L: 2, Seed: 7}
+
+	if err := cl.CreateStream(ctx, "s", scfg); err != nil {
+		t.Fatal(err)
+	}
+	var lastSync PushResult
+	for i := 0; i < seq.T(); i++ {
+		res, err := cl.Push(ctx, "s", seq.At(i), true)
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if res.Instance != i {
+			t.Fatalf("push %d assigned instance %d", i, res.Instance)
+		}
+		if i == 0 && res.Report != nil {
+			t.Fatal("first push should carry no report")
+		}
+		if i > 0 && res.Report == nil {
+			t.Fatalf("push %d missing report", i)
+		}
+		lastSync = res
+	}
+
+	// Sequential reference with the identical configuration.
+	ref := core.NewOnline(onlineConfig(scfg.withDefaults(64)), scfg.L)
+	for i := 0; i < seq.T(); i++ {
+		if _, err := ref.Push(seq.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := cl.Report(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Report().JSON()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("served report =\n%+v\nwant\n%+v", got, want)
+	}
+	if lastSync.Delta != ref.Delta() {
+		t.Fatalf("sync push δ = %g, want %g", lastSync.Delta, ref.Delta())
+	}
+
+	// Transition endpoint agrees with the full report.
+	tr, err := cl.Transition(ctx, "s", seq.T()/2-0)
+	if err == nil {
+		var found *core.TransitionJSON
+		for i := range want.Transitions {
+			if want.Transitions[i].Transition == tr.Transition {
+				found = &want.Transitions[i]
+			}
+		}
+		if found == nil || !reflect.DeepEqual(tr, *found) {
+			t.Fatalf("transition endpoint %+v disagrees with report", tr)
+		}
+	} else {
+		t.Fatal(err)
+	}
+	if _, err := cl.Transition(ctx, "s", 99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("out-of-range transition want ErrNotFound, got %v", err)
+	}
+}
+
+func TestQueueOverflowReturns429(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	const queueSize = 2
+	if err := cl.CreateStream(ctx, "narrow", StreamConfig{QueueSize: queueSize, L: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := srv.lookup("narrow")
+	if !ok {
+		t.Fatal("stream not registered")
+	}
+
+	// Stall the worker: it needs detMu for every Push, so holding it
+	// pins the worker with at most one in-flight job while the queue
+	// fills behind it.
+	st.detMu.Lock()
+	g := testSequence(t, 2, 1).At(0)
+	var full int
+	for i := 0; i < queueSize+3; i++ {
+		_, err := cl.Push(ctx, "narrow", g, false)
+		if errors.Is(err, ErrQueueFull) {
+			full++
+		} else if err != nil {
+			st.detMu.Unlock()
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	st.detMu.Unlock()
+	if full == 0 {
+		t.Fatal("no push hit the bounded queue (want at least one 429)")
+	}
+
+	waitDrained(t, cl, "narrow")
+	info, err := cl.StreamInfo(ctx, "narrow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rejected != int64(full) {
+		t.Fatalf("rejected counter = %d, want %d", info.Rejected, full)
+	}
+	if info.Processed != info.Ingested {
+		t.Fatalf("drained stream has processed %d != ingested %d", info.Processed, info.Ingested)
+	}
+	if got := srv.metrics.counterValue("cadd_snapshots_rejected_total", labels("stream", "narrow")); got != float64(full) {
+		t.Fatalf("rejected metric = %g, want %d", got, full)
+	}
+}
+
+// waitDrained polls until the stream has scored everything it
+// accepted.
+func waitDrained(t *testing.T, cl *Client, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := cl.StreamInfo(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Processed == info.Ingested {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("stream %q did not drain in time", id)
+}
+
+func TestPushVertexMismatchIs422(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := cl.CreateStream(ctx, "s", StreamConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Push(ctx, "s", graph.NewBuilder(5).MustBuild(), true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Push(ctx, "s", graph.NewBuilder(6).MustBuild(), true)
+	if err == nil || !strings.Contains(err.Error(), "vertices") {
+		t.Fatalf("vertex mismatch push: %v, want detector error", err)
+	}
+	info, ierr := cl.StreamInfo(ctx, "s")
+	if ierr != nil {
+		t.Fatal(ierr)
+	}
+	if info.LastError == "" {
+		t.Fatal("LastError not recorded after failed push")
+	}
+}
+
+func TestShutdownDrainsAcceptedSnapshots(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	seq := testSequence(t, 6, 3)
+	if err := cl.CreateStream(ctx, "s", StreamConfig{L: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seq.T(); i++ {
+		if _, err := cl.Push(ctx, "s", seq.At(i), false); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	// Accepted snapshots were all scored before Shutdown returned.
+	st, _ := srv.lookup("s")
+	st.detMu.Lock()
+	processed := st.processed
+	st.detMu.Unlock()
+	if processed != int64(seq.T()) {
+		t.Fatalf("processed %d of %d accepted snapshots at shutdown", processed, seq.T())
+	}
+	if err := srv.CreateStream("late", StreamConfig{}); err == nil {
+		t.Fatal("create after shutdown should fail")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateStream(ctx, "m1", StreamConfig{L: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 3, 9)
+	for i := 0; i < seq.T(); i++ {
+		if _, err := cl.Push(ctx, "m1", seq.At(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`cadd_snapshots_ingested_total{stream="m1"} 3`,
+		`cadd_snapshots_processed_total{stream="m1"} 3`,
+		`cadd_push_seconds_bucket{oracle="exact",le="+Inf"} 3`,
+		"# TYPE cadd_push_seconds histogram",
+		"cadd_streams 1",
+		`cadd_queue_depth{stream="m1"} 0`,
+		`cadd_stream_delta{stream="m1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, body)
+		}
+	}
+}
+
+func TestStreamMaxHistoryWindow(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := cl.CreateStream(ctx, "w", StreamConfig{L: 2, MaxHistory: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 6, 5)
+	for i := 0; i < seq.T(); i++ {
+		if _, err := cl.Push(ctx, "w", seq.At(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := cl.StreamInfo(ctx, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Transitions != 2 || info.Evicted != 3 {
+		t.Fatalf("windowed stream retained %d / evicted %d, want 2 / 3", info.Transitions, info.Evicted)
+	}
+	// Evicted transitions are gone from the endpoint, retained ones
+	// are addressable by their original indices.
+	if _, err := cl.Transition(ctx, "w", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted transition should 404, got %v", err)
+	}
+	if _, err := cl.Transition(ctx, "w", 4); err != nil {
+		t.Fatalf("retained transition errored: %v", err)
+	}
+}
+
+// TestEnronReplayMatchesBatchCadrun is the acceptance check: a full
+// Enron-simulator replay through the HTTP API must reproduce exactly
+// the report the batch cadrun path prints — byte-identical JSON, since
+// both sides share core.WriteReportJSON and the same oracle seeds.
+func TestEnronReplayMatchesBatchCadrun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 48-month replay in -short mode")
+	}
+	_, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	data := enron.Generate(enron.Config{Seed: 1})
+	const l, seed = 5.0, 1
+
+	if err := cl.CreateStream(ctx, "enron", StreamConfig{L: l, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Seq.T(); i++ {
+		if _, err := cl.Push(ctx, "enron", data.Seq.At(i), true); err != nil {
+			t.Fatalf("month %d: %v", i, err)
+		}
+	}
+
+	// Raw served bytes.
+	resp, err := http.Get(cl.base + "/v1/streams/enron/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The batch cadrun path: Detector → SelectDelta → shared encoder.
+	det := core.New(core.Config{Commute: commute.Config{Seed: seed}})
+	trs, err := det.Run(data.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.Threshold(trs, core.SelectDelta(trs, l))
+	var batch bytes.Buffer
+	if err := core.WriteReportJSON(&batch, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(served, batch.Bytes()) {
+		t.Fatalf("served report differs from batch cadrun encoding\nserved %d bytes, batch %d bytes", len(served), batch.Len())
+	}
+
+	// And the report localizes the scripted scandal: the CEO anecdote
+	// at transition 32 must be flagged with the CEO implicated.
+	var found bool
+	for _, tr := range rep.Transitions {
+		if tr.T == 32 {
+			for _, n := range tr.Nodes {
+				if n == data.CEO {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("replayed report does not implicate the CEO at transition 32")
+	}
+}

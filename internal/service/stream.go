@@ -1,0 +1,237 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+)
+
+// errQueueFull is mapped to HTTP 429 by the snapshot handler.
+var errQueueFull = errors.New("service: ingest queue full")
+
+// errStreamClosed is returned for pushes that race a delete/shutdown.
+var errStreamClosed = errors.New("service: stream closed")
+
+// stream is one named detection stream: a core.OnlineDetector owned by
+// a single worker goroutine fed from a bounded queue.
+//
+// Locking discipline (the detector is not concurrent-safe):
+//
+//   - detMu guards every detector access. The worker holds it across
+//     Push; read handlers hold it across Report/Delta/Transitions.
+//     No other goroutine ever touches det.
+//   - enqMu serializes enqueue against close, so tryPush never races a
+//     close(channel), and arrival indices match queue order.
+type stream struct {
+	id      string
+	cfg     StreamConfig
+	queue   *ingestQueue
+	metrics *metrics
+	oracle  string // metrics label: "exact", "embedding" or "none"
+
+	enqMu    sync.Mutex
+	closed   bool
+	ingested int64 // arrival counter, guarded by enqMu
+	rejected int64 // guarded by enqMu
+
+	detMu     sync.Mutex
+	det       *core.OnlineDetector
+	processed int64
+	lastErr   error
+
+	done chan struct{} // closed when the worker has drained and exited
+}
+
+// newStream validates cfg and starts the worker. cfg must already have
+// defaults applied.
+func newStream(id string, cfg StreamConfig, m *metrics) (*stream, error) {
+	variant, err := cfg.variant()
+	if err != nil {
+		return nil, err
+	}
+	det := core.NewOnline(core.Config{
+		Variant:     variant,
+		Commute:     commute.Config{K: cfg.K, Seed: cfg.Seed, Workers: cfg.Workers},
+		ExactCutoff: cfg.ExactCutoff,
+	}, cfg.L)
+	det.SetMaxHistory(cfg.MaxHistory)
+	s := &stream{
+		id:      id,
+		cfg:     cfg,
+		queue:   newIngestQueue(cfg.QueueSize),
+		metrics: m,
+		det:     det,
+		done:    make(chan struct{}),
+	}
+	s.oracle = oracleKind(variant)
+	go s.run()
+	return s, nil
+}
+
+// oracleKind seeds the latency-histogram label, so "which oracle
+// regime is slow" is visible per scrape. The vertex count is unknown
+// until the first snapshot, so non-ADJ streams start "unsized" and are
+// re-labeled exact/embedding once n is known.
+func oracleKind(v core.Variant) string {
+	if v == core.VariantADJ {
+		return "none"
+	}
+	return "unsized"
+}
+
+// resolveOracle fixes the oracle label once the vertex count is known.
+func (s *stream) resolveOracle(n int) {
+	if s.oracle != "unsized" {
+		return
+	}
+	cutoff := s.cfg.ExactCutoff
+	if cutoff <= 0 {
+		cutoff = 400 // commute.New's documented default
+	}
+	if n <= cutoff {
+		s.oracle = "exact"
+	} else {
+		s.oracle = "embedding"
+	}
+}
+
+// run is the worker: the only goroutine that Pushes into the detector.
+// It exits when the queue is closed and drained, then signals done.
+func (s *stream) run() {
+	defer close(s.done)
+	for j := range s.queue.jobs() {
+		start := time.Now()
+		s.detMu.Lock()
+		s.resolveOracle(j.g.N())
+		rep, err := s.det.Push(j.g)
+		delta := s.det.Delta()
+		s.processed++
+		if err != nil {
+			s.lastErr = err
+		}
+		s.detMu.Unlock()
+
+		elapsed := time.Since(start).Seconds()
+		s.metrics.observe("cadd_push_seconds", labels("oracle", s.oracle), elapsed)
+		s.metrics.add("cadd_snapshots_processed_total", labels("stream", s.id), 1)
+		if err != nil {
+			s.metrics.add("cadd_push_errors_total", labels("stream", s.id), 1)
+		}
+		if j.done != nil {
+			j.done <- jobResult{report: rep, delta: delta, err: err}
+		}
+	}
+}
+
+// enqueue accepts one snapshot. Synchronous pushes return the worker's
+// result; asynchronous ones return immediately with the assigned
+// arrival index. errQueueFull means the bounded queue rejected it.
+func (s *stream) enqueue(g *graph.Graph, sync bool) (PushResult, error) {
+	j := job{g: g}
+	if sync {
+		j.done = make(chan jobResult, 1)
+	}
+
+	s.enqMu.Lock()
+	if s.closed {
+		s.enqMu.Unlock()
+		return PushResult{}, errStreamClosed
+	}
+	j.instance = s.ingested
+	if !s.queue.tryPush(j) {
+		s.rejected++
+		s.enqMu.Unlock()
+		s.metrics.add("cadd_snapshots_rejected_total", labels("stream", s.id), 1)
+		return PushResult{}, errQueueFull
+	}
+	s.ingested++
+	s.enqMu.Unlock()
+	s.metrics.add("cadd_snapshots_ingested_total", labels("stream", s.id), 1)
+
+	res := PushResult{Stream: s.id, Instance: int(j.instance)}
+	if !sync {
+		res.Queued = true
+		return res, nil
+	}
+	out := <-j.done
+	if out.err != nil {
+		return PushResult{}, fmt.Errorf("instance %d: %w", j.instance, out.err)
+	}
+	if out.report != nil {
+		jt := out.report.JSON()
+		res.Report = &jt
+	}
+	res.Delta = out.delta
+	return res, nil
+}
+
+// report returns the re-thresholded retained history.
+func (s *stream) report() core.Report {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return s.det.Report()
+}
+
+// transition returns transition t's anomaly sets at the current δ;
+// false when t is not in the retained history.
+func (s *stream) transition(t int) (core.TransitionReport, bool) {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	for _, tr := range s.det.Transitions() {
+		if tr.T == t {
+			edges := core.AnomalousEdges(tr.Scores, s.det.Delta())
+			return core.TransitionReport{T: tr.T, Edges: edges, Nodes: core.AnomalousNodes(edges)}, true
+		}
+	}
+	return core.TransitionReport{}, false
+}
+
+// info snapshots the stream's status.
+func (s *stream) info() StreamInfo {
+	s.enqMu.Lock()
+	ingested, rejected := s.ingested, s.rejected
+	s.enqMu.Unlock()
+	s.detMu.Lock()
+	processed := s.processed
+	delta := s.det.Delta()
+	transitions := len(s.det.Transitions())
+	evicted := s.det.Evicted()
+	lastErr := ""
+	if s.lastErr != nil {
+		lastErr = s.lastErr.Error()
+	}
+	s.detMu.Unlock()
+	return StreamInfo{
+		ID:          s.id,
+		Config:      s.cfg,
+		Ingested:    ingested,
+		Processed:   processed,
+		Rejected:    rejected,
+		QueueDepth:  s.queue.depth(),
+		Transitions: transitions,
+		Evicted:     evicted,
+		Delta:       delta,
+		LastError:   lastErr,
+	}
+}
+
+// close stops intake; the worker drains buffered snapshots and exits.
+// Safe to call more than once.
+func (s *stream) close() {
+	s.enqMu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.queue.close()
+	}
+	s.enqMu.Unlock()
+}
+
+// drained blocks until the worker has exited or ctx-style cancellation
+// via the returned channel select at the call site.
+func (s *stream) drained() <-chan struct{} { return s.done }

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dyngraph/internal/core"
+)
+
+// TestConcurrentStreamsStress is the service's race-detector gauntlet:
+// many streams ingesting overlapping snapshot POSTs (a mix of sync and
+// backpressured-async senders) while reader goroutines hammer /report,
+// /metrics, stream listing and per-stream status, and a churn
+// goroutine creates and deletes throwaway streams. Afterwards every
+// stream's served report must equal the sequential OnlineDetector run
+// over the same data — the proof that the service layer's locking
+// discipline preserves the non-concurrent-safe detector's semantics.
+//
+// Run it the way CI does: go test -race ./internal/service/...
+func TestConcurrentStreamsStress(t *testing.T) {
+	srv, cl := newTestServer(t, Config{DefaultQueueSize: 4})
+	ctx := context.Background()
+	const (
+		numStreams = 6
+		T          = 6
+	)
+
+	type streamCase struct {
+		id   string
+		cfg  StreamConfig
+		seed int64
+	}
+	cases := make([]streamCase, numStreams)
+	for i := range cases {
+		cases[i] = streamCase{
+			id:   fmt.Sprintf("s%d", i),
+			cfg:  StreamConfig{L: 2, Seed: int64(i), QueueSize: 4},
+			seed: int64(i * 11),
+		}
+		if i%3 == 1 {
+			cases[i].cfg.Variant = "adj"
+		}
+		if i%3 == 2 {
+			cases[i].cfg.MaxHistory = 3
+		}
+		if err := cl.CreateStream(ctx, cases[i].id, cases[i].cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: one goroutine per stream so per-stream order is
+	// preserved (the API makes no ordering promise across concurrent
+	// posters); across streams everything overlaps. Even-indexed
+	// streams push synchronously, odd ones asynchronously with retry
+	// on 429 — the explicit-backpressure path.
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, c streamCase) {
+			defer wg.Done()
+			seq := testSequence(t, T, c.seed)
+			sync := i%2 == 0
+			for s := 0; s < seq.T(); s++ {
+				for {
+					_, err := cl.Push(ctx, c.id, seq.At(s), sync)
+					if errors.Is(err, ErrQueueFull) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						t.Errorf("stream %s push %d: %v", c.id, s, err)
+					}
+					break
+				}
+			}
+		}(i, c)
+	}
+
+	// Readers: reports, listings, status and metrics scrapes race the
+	// ingestion the whole time.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := cases[r%numStreams].id
+				if _, err := cl.Report(ctx, id); err != nil {
+					t.Errorf("report %s: %v", id, err)
+					return
+				}
+				if _, err := cl.Streams(ctx); err != nil {
+					t.Errorf("list: %v", err)
+					return
+				}
+				rec := httptest.NewRecorder()
+				srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					t.Errorf("metrics scrape: %d", rec.Code)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Churn: stream lifecycle races ingestion and reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g := testSequence(t, 2, 99).At(0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("churn%d", i%3)
+			if err := cl.CreateStream(ctx, id, StreamConfig{L: 1}); err != nil {
+				continue // may race a previous delete; fine
+			}
+			_, _ = cl.Push(ctx, id, g, false)
+			_ = cl.DeleteStream(ctx, id)
+		}
+	}()
+
+	// Wait for the writers, then stop the background noise.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	writersDone := make(chan struct{})
+	go func() {
+		// Writers are the first numStreams Adds; detect their
+		// completion by polling stream status.
+		for {
+			all := true
+			for _, c := range cases {
+				info, err := cl.StreamInfo(ctx, c.id)
+				if err != nil || info.Processed != int64(T) {
+					all = false
+					break
+				}
+			}
+			if all {
+				close(writersDone)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	select {
+	case <-writersDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writers did not finish in time")
+	}
+	close(stop)
+	<-done
+
+	// Every stream's served report equals its sequential reference.
+	for _, c := range cases {
+		got, err := cl.Report(ctx, c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := c.cfg.withDefaults(srv.cfg.DefaultQueueSize)
+		ref := core.NewOnline(onlineConfig(cfg), cfg.L)
+		ref.SetMaxHistory(cfg.MaxHistory)
+		seq := testSequence(t, T, c.seed)
+		for s := 0; s < seq.T(); s++ {
+			if _, err := ref.Push(seq.At(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := ref.Report().JSON()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream %s: concurrent report diverged from sequential reference\ngot  %+v\nwant %+v", c.id, got, want)
+		}
+	}
+}

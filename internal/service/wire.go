@@ -1,0 +1,175 @@
+// Package service is the serving layer around the streaming detector:
+// a long-running HTTP server (cmd/cadd) that maintains many
+// independent named detection streams, each wrapping a
+// core.OnlineDetector behind a single worker goroutine and a bounded
+// ingest queue.
+//
+// The API surface (all JSON):
+//
+//	PUT    /v1/streams/{id}                 create a stream (StreamConfig body)
+//	GET    /v1/streams                      list streams (StreamInfo array)
+//	GET    /v1/streams/{id}                 one stream's status
+//	DELETE /v1/streams/{id}                 stop and drop a stream
+//	POST   /v1/streams/{id}/snapshots       ingest one graph instance
+//	                                        (?sync=1 waits and returns the
+//	                                        newest transition's report;
+//	                                        429 when the queue is full)
+//	GET    /v1/streams/{id}/report          re-thresholded history
+//	                                        (byte-identical to cadrun -json)
+//	GET    /v1/streams/{id}/transitions/{t} one transition at the current δ
+//	GET    /healthz                         liveness
+//	GET    /metrics                         Prometheus text format
+//
+// Concurrency discipline: core.OnlineDetector is not safe for
+// concurrent use, so every detector access — the worker's Push and any
+// handler's Report — happens under the stream's mutex, with the worker
+// goroutine as the only Pusher. `go test -race ./internal/service/...`
+// exercises this under overlapping multi-stream load.
+package service
+
+import (
+	"fmt"
+
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+)
+
+// StreamConfig configures a detection stream at creation time. The
+// zero value is a usable default (CAD variant, l=5, the detector
+// package's embedding and cutoff defaults, queue of 64, unbounded
+// history).
+type StreamConfig struct {
+	// Variant is "cad" (default), "adj" or "com".
+	Variant string `json:"variant,omitempty"`
+	// L is the anomalous-node budget per transition for auto-δ
+	// (default 5).
+	L float64 `json:"l,omitempty"`
+	// K is the commute-embedding dimension for large graphs.
+	K int `json:"k,omitempty"`
+	// Seed makes the randomized embedding reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// ExactCutoff: graphs with at most this many vertices use the
+	// exact O(n³) commute oracle (0 = the package default of 400).
+	ExactCutoff int `json:"exact_cutoff,omitempty"`
+	// Workers parallelizes each oracle's Laplacian solves.
+	Workers int `json:"workers,omitempty"`
+	// QueueSize bounds the ingest queue; snapshots beyond it are
+	// rejected with HTTP 429 (0 = server default).
+	QueueSize int `json:"queue_size,omitempty"`
+	// MaxHistory bounds the retained transition history (see
+	// core.OnlineDetector.SetMaxHistory); 0 keeps everything.
+	MaxHistory int `json:"max_history,omitempty"`
+}
+
+func (c StreamConfig) withDefaults(defaultQueue int) StreamConfig {
+	if c.Variant == "" {
+		c.Variant = "cad"
+	}
+	if c.L <= 0 {
+		c.L = 5
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = defaultQueue
+	}
+	return c
+}
+
+// variant parses the config's variant name.
+func (c StreamConfig) variant() (core.Variant, error) {
+	switch c.Variant {
+	case "", "cad":
+		return core.VariantCAD, nil
+	case "adj":
+		return core.VariantADJ, nil
+	case "com":
+		return core.VariantCOM, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want cad, adj or com)", c.Variant)
+	}
+}
+
+// SnapshotEdge is one weighted edge of a snapshot.
+type SnapshotEdge struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	W float64 `json:"w"`
+}
+
+// Snapshot is one graph instance posted to a stream. N is required and
+// must match the stream's fixed vertex set after the first snapshot.
+type Snapshot struct {
+	N      int            `json:"n"`
+	Edges  []SnapshotEdge `json:"edges"`
+	Labels []string       `json:"labels,omitempty"`
+}
+
+// Graph validates and builds the snapshot's graph.
+func (s Snapshot) Graph() (*graph.Graph, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("snapshot needs n > 0, got %d", s.N)
+	}
+	edges := make([]graph.Edge, len(s.Edges))
+	for i, e := range s.Edges {
+		edges[i] = graph.Edge{I: e.I, J: e.J, W: e.W}
+	}
+	return graph.FromEdges(s.N, edges, s.Labels)
+}
+
+// SnapshotFromGraph converts a graph to its wire form (the client's
+// send path).
+func SnapshotFromGraph(g *graph.Graph) Snapshot {
+	ge := g.Edges()
+	s := Snapshot{N: g.N(), Edges: make([]SnapshotEdge, len(ge))}
+	for i, e := range ge {
+		s.Edges[i] = SnapshotEdge{I: e.I, J: e.J, W: e.W}
+	}
+	return s
+}
+
+// PushResult is the response to a snapshot POST.
+type PushResult struct {
+	Stream string `json:"stream"`
+	// Instance is the 0-based arrival index assigned at enqueue.
+	Instance int `json:"instance"`
+	// Queued is true for asynchronous accepts (the snapshot is in the
+	// queue but not yet scored).
+	Queued bool `json:"queued,omitempty"`
+	// Report is the newest transition's anomaly report at the freshly
+	// re-selected δ; only present for ?sync=1 pushes after the first
+	// instance.
+	Report *core.TransitionJSON `json:"report,omitempty"`
+	// Delta is the stream's threshold after this push (sync only).
+	Delta float64 `json:"delta,omitempty"`
+}
+
+// StreamInfo is one stream's status snapshot.
+type StreamInfo struct {
+	ID     string       `json:"id"`
+	Config StreamConfig `json:"config"`
+	// Ingested counts accepted snapshots; Processed those scored so
+	// far; Rejected those bounced off the full queue with 429.
+	Ingested  int64 `json:"ingested"`
+	Processed int64 `json:"processed"`
+	Rejected  int64 `json:"rejected"`
+	// QueueDepth is the number of snapshots waiting in the queue.
+	QueueDepth int `json:"queue_depth"`
+	// Transitions is the retained scored-history length; Evicted the
+	// number dropped by the max-history window.
+	Transitions int `json:"transitions"`
+	Evicted     int `json:"evicted"`
+	// Delta is the current global threshold.
+	Delta float64 `json:"delta"`
+	// LastError is the most recent Push failure, if any ("" otherwise).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status  string `json:"status"`
+	Streams int    `json:"streams"`
+}
