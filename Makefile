@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench
+.PHONY: tier1 vet build test race ci bench benchsmoke
 
 tier1: vet build test
 
@@ -24,5 +24,13 @@ race:
 
 ci: tier1 race
 
+# Full Go benchmark pass, then the streaming cold-vs-warm experiment
+# with its machine-readable artifact (ns/push, PCG iterations, allocs).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/cadbench -exp stream -benchout BENCH_stream.json
+
+# One-iteration compile-and-run of every benchmark: catches bit-rotted
+# benchmark code without paying for real measurements. CI runs this.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cadbench -exp table1|table2|fig2|fig3|fig4|fig5|fig6|verbatim|scale|
-//	              ablation|distance|enron|dblp|precip|all [flags]
+//	              stream|ablation|distance|enron|dblp|precip|all [flags]
 //
 // The quantitative experiments accept -n, -trials, -k and -seed so you
 // can trade fidelity against runtime; the defaults are sized to finish
@@ -35,6 +35,7 @@ type benchConfig struct {
 	seed          int64
 	sizes, family string
 	detail, plot  bool
+	benchout      string
 	out           io.Writer
 }
 
@@ -44,15 +45,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, ablation, distance, enron, dblp, precip, or all")
-		n      = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
-		trials = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
-		k      = fs.Int("k", 50, "commute-embedding dimension")
-		seed   = fs.Int64("seed", 1, "master random seed")
-		sizes  = fs.String("sizes", "", "comma-separated n values for -exp scale (default 1000,5000,20000,50000)")
-		detail = fs.Bool("detail", false, "print per-transition / per-year detail tables")
-		family = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
-		plot   = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
+		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, ablation, distance, enron, dblp, precip, or all")
+		n        = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
+		trials   = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
+		k        = fs.Int("k", 50, "commute-embedding dimension")
+		seed     = fs.Int64("seed", 1, "master random seed")
+		sizes    = fs.String("sizes", "", "comma-separated n values for -exp scale (default 1000,5000,20000,50000)")
+		detail   = fs.Bool("detail", false, "print per-transition / per-year detail tables")
+		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
+		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
+		benchout = fs.String("benchout", "", "write -exp stream results as JSON to this file (e.g. BENCH_stream.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,7 +66,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := benchConfig{
 		n: *n, trials: *trials, k: *k, seed: *seed,
-		sizes: *sizes, family: *family, detail: *detail, plot: *plot, out: stdout,
+		sizes: *sizes, family: *family, detail: *detail, plot: *plot,
+		benchout: *benchout, out: stdout,
 	}
 	for _, id := range ids {
 		if err := run(id, cfg); err != nil {
@@ -218,6 +221,39 @@ func run(id string, cfg benchConfig) error {
 			return err
 		}
 		return res10.Table().Fprint(cfg.out)
+	case "stream":
+		scfg := experiments.StreamConfig{K: 12, Seed: seed}
+		if sizes != "" {
+			for _, s := range strings.Split(sizes, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return fmt.Errorf("bad -sizes entry %q: %v", s, err)
+				}
+				scfg.Sizes = append(scfg.Sizes, v)
+			}
+		}
+		res, err := experiments.Stream(scfg)
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Fprint(cfg.out); err != nil {
+			return err
+		}
+		if cfg.benchout != "" {
+			f, err := os.Create(cfg.benchout)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "wrote %s\n", cfg.benchout)
+		}
+		return nil
 	case "enron":
 		res, err := experiments.Enron(experiments.EnronConfig{Seed: seed})
 		if err != nil {

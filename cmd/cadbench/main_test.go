@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -25,6 +28,42 @@ func TestBenchToyExperiments(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "separation") {
 		t.Fatalf("fig3 output missing separation line:\n%s", out.String())
+	}
+}
+
+func TestBenchStreamWritesJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	code := realMain([]string{"-exp", "stream", "-sizes", "120,200", "-benchout", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "iter saving") {
+		t.Fatalf("stream table missing saving column:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Experiment string `json:"experiment"`
+		Results    []struct {
+			N               int     `json:"n"`
+			Mode            string  `json:"mode"`
+			NsPerPush       float64 `json:"ns_per_push"`
+			PCGItersPerPush float64 `json:"pcg_iters_per_push"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("benchout is not valid JSON: %v\n%s", err, raw)
+	}
+	if rec.Experiment != "stream" || len(rec.Results) != 4 {
+		t.Fatalf("unexpected benchout record: %+v", rec)
+	}
+	for _, c := range rec.Results {
+		if c.NsPerPush <= 0 || c.PCGItersPerPush <= 0 {
+			t.Fatalf("cell not populated: %+v", c)
+		}
 	}
 }
 

@@ -134,6 +134,25 @@ type Options struct {
 	// goroutines (default sequential). Results are identical for any
 	// value.
 	Workers int
+	// SharedProjections shares one set of random projection streams
+	// across all graph instances (common random numbers) instead of the
+	// paper's independent per-instance projections. This reduces the
+	// variance of commute-time *differences* and, in the streaming
+	// detector, lets each embedding build warm-start from the previous
+	// instance's — the incremental fast path for sparse streams of
+	// small edits. Off by default.
+	SharedProjections bool
+}
+
+// commuteConfig maps the public options onto the internal embedding
+// configuration (shared by the batch and streaming constructors).
+func (o Options) commuteConfig() commute.Config {
+	return commute.Config{
+		K:                 o.K,
+		Seed:              o.Seed,
+		Workers:           o.Workers,
+		SharedProjections: o.SharedProjections,
+	}
 }
 
 // Detector scores the transitions of a sequence.
@@ -145,7 +164,7 @@ type Detector struct {
 func NewDetector(opts Options) *Detector {
 	return &Detector{inner: core.New(core.Config{
 		Variant:     opts.Variant,
-		Commute:     commute.Config{K: opts.K, Seed: opts.Seed, Workers: opts.Workers},
+		Commute:     opts.commuteConfig(),
 		ExactCutoff: opts.ExactCutoff,
 	})}
 }
@@ -238,7 +257,7 @@ type OnlineDetector struct {
 func NewOnlineDetector(opts Options, l float64) *OnlineDetector {
 	return &OnlineDetector{inner: core.NewOnline(core.Config{
 		Variant:     opts.Variant,
-		Commute:     commute.Config{K: opts.K, Seed: opts.Seed, Workers: opts.Workers},
+		Commute:     opts.commuteConfig(),
 		ExactCutoff: opts.ExactCutoff,
 	}, l)}
 }
@@ -254,6 +273,14 @@ func (o *OnlineDetector) Report() Report { return o.inner.Report() }
 
 // Delta returns the current global threshold.
 func (o *OnlineDetector) Delta() float64 { return o.inner.Delta() }
+
+// OracleStats describes the commute-oracle build behind the most
+// recent Push — whether it was warm-started and what it cost in PCG
+// iterations versus a cold-build estimate.
+type OracleStats = core.OracleStats
+
+// LastOracleStats reports the most recent Push's oracle build.
+func (o *OnlineDetector) LastOracleStats() OracleStats { return o.inner.LastOracleStats() }
 
 // StreamClient is a typed HTTP client for a cadd serving daemon (see
 // cmd/cadd): create named detection streams, push graph snapshots with

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"dyngraph/internal/dense"
 	"dyngraph/internal/graph"
@@ -103,13 +104,25 @@ type Config struct {
 	// embeddings regardless of Workers (each projection row has its own
 	// derived stream).
 	Seed int64
+	// SharedProjections switches the projection's Rademacher draws from
+	// a per-build sequential stream to a hash of (Seed, row, edge), so
+	// the coefficient of every edge is independent of which other edges
+	// exist. Across consecutive snapshots of a stream this gives common
+	// random numbers: a row's right-hand side changes only where edges
+	// changed, which is what lets NewEmbeddingFrom warm-start each
+	// solve from the previous snapshot's solution, and it reduces the
+	// variance of commute-time *differences* between snapshots (the
+	// quantity CAD scores). The paper's experiments instead draw
+	// independent projections per instance; leave this false to
+	// reproduce them. Either way each single embedding is an unbiased
+	// Johnson–Lindenstrauss sketch of the same quality.
+	SharedProjections bool
 	// Solver configures the Laplacian solves.
 	Solver solver.Options
 	// Workers is the number of goroutines solving projection rows
-	// concurrently. Zero or one means sequential. Each worker carries
-	// its own solver (preconditioner setup is per-worker), so choose
-	// Workers ≈ CPU cores for large graphs and leave it at 1 for small
-	// ones.
+	// concurrently. Zero or one means sequential. Workers share one
+	// preconditioner setup via cloned solvers, so choose Workers ≈ CPU
+	// cores for large graphs and leave it at 1 for small ones.
 	Workers int
 }
 
@@ -130,6 +143,36 @@ func (c Config) workers() int {
 	return c.Workers
 }
 
+// embedKey fingerprints the configuration an embedding was built with,
+// for deciding whether a later build may warm-start from it.
+type embedKey struct {
+	k      int
+	seed   int64
+	shared bool
+	solver solver.Options
+}
+
+func (c Config) key() embedKey {
+	return embedKey{k: c.k(), seed: c.Seed, shared: c.SharedProjections, solver: c.Solver}
+}
+
+// BuildStats reports the work one embedding build performed.
+type BuildStats struct {
+	// Rows is the number of Laplacian systems solved (the embedding
+	// dimension k).
+	Rows int
+	// PCGIterations is the total preconditioned-CG iteration count
+	// across all rows — the embedding's dominant cost, and the quantity
+	// warm starts shrink.
+	PCGIterations int
+	// Warm is true when the rows were warm-started from a previous
+	// snapshot's embedding (NewEmbeddingFrom with a compatible prev).
+	Warm bool
+	// PrecondReused is true when the solver's preconditioner setup was
+	// shared or patched from the previous snapshot instead of rebuilt.
+	PrecondReused bool
+}
+
 // Embedding is the approximate commute-time oracle. Vertex i's
 // embedding vector is stored contiguously, so Distance is a k-length
 // squared-distance scan.
@@ -138,13 +181,53 @@ type Embedding struct {
 	k      int
 	volume float64
 	z      []float64 // n*k, z[i*k:(i+1)*k] is vertex i's vector
+
+	// Retained for incremental rebuilds (NewEmbeddingFrom): the graph
+	// this embedding belongs to, the solver whose preconditioner the
+	// next snapshot may patch, and the config fingerprint that gates
+	// reuse. g and lap are immutable once built.
+	g     *graph.Graph
+	lap   *solver.Laplacian
+	key   embedKey
+	stats BuildStats
 }
+
+// Stats reports the work this embedding's build performed.
+func (e *Embedding) Stats() BuildStats { return e.stats }
 
 // NewEmbedding builds the approximate oracle by performing k Laplacian
 // solves. A solver convergence failure on any projection is reported as
 // an error (the partial embedding is not returned: a silently skewed
 // metric is worse than a loud failure).
 func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
+	return buildEmbedding(g, nil, cfg)
+}
+
+// NewEmbeddingFrom builds the oracle for g incrementally from the
+// previous snapshot's embedding: the solver reuses (or patches) prev's
+// preconditioner where sound, and — because SharedProjections makes
+// each row's right-hand side change only where edges changed — every
+// row's solve is warm-started from prev's solution for that row.
+// Consecutive snapshots of a sparse stream differ by a few edges, so
+// warm-started PCG typically needs a small fraction of a cold build's
+// iterations; on an unchanged graph the rebuild is free and
+// bit-identical to prev.
+//
+// prev is ignored (cold build) when it is nil, or when reuse would be
+// unsound: SharedProjections off, or a different vertex count, K, Seed
+// or solver configuration. The built embedding records which path was
+// taken in Stats.
+func NewEmbeddingFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
+		prev.n != g.N() || prev.key != cfg.key() {
+		prev = nil
+	}
+	return buildEmbedding(g, prev, cfg)
+}
+
+// buildEmbedding is the shared build loop; prev non-nil selects the
+// warm-started incremental path and must already be validated.
+func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
 	n := g.N()
 	k := cfg.k()
 	emb := &Embedding{
@@ -152,7 +235,18 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 		k:      k,
 		volume: g.Volume(),
 		z:      make([]float64, n*k),
+		g:      g,
+		key:    cfg.key(),
 	}
+	var lap *solver.Laplacian
+	if prev != nil {
+		lap = solver.NewLaplacianFrom(g, prev.g, prev.lap, cfg.Solver)
+	} else {
+		lap = solver.NewLaplacian(g, cfg.Solver)
+	}
+	emb.lap = lap
+	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: lap.ReusedPrecond()}
+
 	edges := g.Edges()
 	scale := 1 / math.Sqrt(float64(k))
 	workers := cfg.workers()
@@ -164,31 +258,56 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 		const golden = 0x9E3779B97F4A7C15
 		return cfg.Seed ^ int64(uint64(row+1)*golden)
 	}
-	solveRow := func(lap *solver.Laplacian, y []float64, row int) error {
-		// y = (Q W^{1/2} B)ᵀ row: each edge contributes ±√(w)/√k to
-		// its endpoints with opposite signs.
-		rng := xrand.New(rowSeed(row))
+	// solveRow computes y = (Q W^{1/2} B)ᵀ for one projection row —
+	// each edge contributes ±√(w)/√k to its endpoints with opposite
+	// signs — solves L x = y into the reusable scratch x, and scatters
+	// the solution into the embedding's column. It returns the solve's
+	// PCG iteration count.
+	solveRow := func(lap *solver.Laplacian, y, x []float64, row int) (int, error) {
 		sparse.Zero(y)
-		for _, e := range edges {
-			q := rng.Rademacher() * scale * math.Sqrt(e.W)
-			y[e.I] += q
-			y[e.J] -= q
+		if cfg.SharedProjections {
+			rs := rowSeed(row)
+			for _, e := range edges {
+				q := edgeSign(rs, e.I, e.J) * scale * math.Sqrt(e.W)
+				y[e.I] += q
+				y[e.J] -= q
+			}
+		} else {
+			rng := xrand.New(rowSeed(row))
+			for _, e := range edges {
+				q := rng.Rademacher() * scale * math.Sqrt(e.W)
+				y[e.I] += q
+				y[e.J] -= q
+			}
 		}
-		x, _, err := lap.Solve(y)
+		var st solver.Stats
+		var err error
+		if prev != nil {
+			// Warm start from the previous snapshot's solution of this
+			// row's (slightly different) system.
+			for i := 0; i < n; i++ {
+				x[i] = prev.z[i*k+row]
+			}
+			st, err = lap.SolveFromInto(x, y)
+		} else {
+			st, err = lap.SolveInto(x, y)
+		}
 		if err != nil {
-			return fmt.Errorf("commute: embedding row %d: %w", row, err)
+			return st.Iterations, fmt.Errorf("commute: embedding row %d: %w", row, err)
 		}
 		for i := 0; i < n; i++ {
 			emb.z[i*k+row] = x[i]
 		}
-		return nil
+		return st.Iterations, nil
 	}
 
 	if workers == 1 {
-		lap := solver.NewLaplacian(g, cfg.Solver)
 		y := make([]float64, n)
+		x := make([]float64, n)
 		for row := 0; row < k; row++ {
-			if err := solveRow(lap, y, row); err != nil {
+			iters, err := solveRow(lap, y, x, row)
+			emb.stats.PCGIterations += iters
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -196,22 +315,27 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 	}
 
 	// The row channel is pre-filled and buffered so a worker bailing
-	// out on error can never leave a blocked sender behind.
+	// out on error can never leave a blocked sender behind. Workers
+	// clone the one solver setup instead of rebuilding it per worker.
 	rows := make(chan int, k)
 	for row := 0; row < k; row++ {
 		rows <- row
 	}
 	close(rows)
 	errs := make(chan error, workers)
+	var iterTotal atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lap := solver.NewLaplacian(g, cfg.Solver)
+			wlap := lap.Clone()
 			y := make([]float64, n)
+			x := make([]float64, n)
 			for row := range rows {
-				if err := solveRow(lap, y, row); err != nil {
+				iters, err := solveRow(wlap, y, x, row)
+				iterTotal.Add(int64(iters))
+				if err != nil {
 					errs <- err
 					return
 				}
@@ -219,12 +343,32 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 		}()
 	}
 	wg.Wait()
+	emb.stats.PCGIterations = int(iterTotal.Load())
 	select {
 	case err := <-errs:
 		return nil, err
 	default:
 	}
 	return emb, nil
+}
+
+// edgeSign derives a deterministic Rademacher ±1 for one (row, edge)
+// pair by hashing rather than by drawing from a sequential stream, so
+// an edge's projection coefficient does not depend on which other
+// edges exist (splitmix64 finalizer; rowSeed is already well mixed).
+// This positional independence is the "common random numbers" property
+// SharedProjections promises.
+func edgeSign(rowSeed int64, i, j int) float64 {
+	x := uint64(rowSeed) ^ (uint64(uint32(i))<<32 | uint64(uint32(j)))
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x>>63 == 0 {
+		return 1
+	}
+	return -1
 }
 
 // N implements Oracle.
@@ -262,4 +406,20 @@ func New(g *graph.Graph, cfg Config, exactCutoff int) (Oracle, error) {
 		return NewExact(g), nil
 	}
 	return NewEmbedding(g, cfg)
+}
+
+// NewFrom is New with incremental reuse: when prev is an embedding
+// compatible with cfg (see NewEmbeddingFrom), the build warm-starts
+// from it; otherwise — including the small-n exact regime, where
+// builds are cheap and incremental machinery would buy nothing — it
+// behaves exactly like New.
+func NewFrom(g *graph.Graph, prev Oracle, cfg Config, exactCutoff int) (Oracle, error) {
+	if exactCutoff <= 0 {
+		exactCutoff = 400
+	}
+	if g.N() <= exactCutoff {
+		return NewExact(g), nil
+	}
+	prevEmb, _ := prev.(*Embedding)
+	return NewEmbeddingFrom(g, prevEmb, cfg)
 }

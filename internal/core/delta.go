@@ -1,0 +1,133 @@
+package core
+
+import "sort"
+
+// This file makes the per-Push δ re-selection of the streaming
+// detector cheap. SelectDelta needs Σ_t |V_t| at many candidate
+// thresholds; evaluating that with AnomalousEdges+AnomalousNodes costs
+// O(E) time and a fresh node-set map per transition per candidate —
+// up to 200 candidates per Push in the old bisection. Instead, each
+// transition's |V_t| as a function of δ is a non-increasing step
+// function whose breakpoints are the residual masses of its score
+// prefixes; precomputing it once per transition turns every evaluation
+// into a binary search, and the candidate set collapses from a
+// continuous bisection to an exact search over the merged breakpoints.
+
+// deltaSteps is one transition's precomputed (δ → |V_t|) step
+// function. residuals[p] is the score mass left after removing the top
+// p edges (residuals[0] = the transition's total); nodes[p] is the
+// node count touched by those p edges. Both come from the descending
+// score order, matching AnomalousEdges exactly, including its
+// floating-point subtraction sequence.
+type deltaSteps struct {
+	residuals []float64
+	nodes     []int
+}
+
+// nodeMarker is a reusable epoch-stamped membership set over node ids;
+// reset is O(1), so building many step functions allocates nothing
+// after the mark slice has grown to the largest node id.
+type nodeMarker struct {
+	mark  []int
+	epoch int
+}
+
+func (m *nodeMarker) reset() { m.epoch++ }
+
+// add inserts v and reports whether it was new this epoch.
+func (m *nodeMarker) add(v int) bool {
+	if v >= len(m.mark) {
+		grown := make([]int, v+1+len(m.mark))
+		copy(grown, m.mark)
+		m.mark = grown
+	}
+	if m.mark[v] == m.epoch {
+		return false
+	}
+	m.mark[v] = m.epoch
+	return true
+}
+
+// newDeltaSteps precomputes tr's step function. scores must be sorted
+// descending (as TransitionScores returns them).
+func newDeltaSteps(tr Transition, marks *nodeMarker) deltaSteps {
+	d := deltaSteps{
+		residuals: make([]float64, len(tr.Scores)+1),
+		nodes:     make([]int, len(tr.Scores)+1),
+	}
+	marks.reset()
+	residual := TotalScore(tr.Scores)
+	d.residuals[0] = residual
+	count := 0
+	for p, s := range tr.Scores {
+		residual -= s.Score
+		if marks.add(s.I) {
+			count++
+		}
+		if marks.add(s.J) {
+			count++
+		}
+		d.residuals[p+1] = residual
+		d.nodes[p+1] = count
+	}
+	return d
+}
+
+// nodesAt returns |V_t| at threshold delta — by construction exactly
+// len(AnomalousNodes(AnomalousEdges(tr.Scores, delta))).
+func (d deltaSteps) nodesAt(delta float64) int {
+	e := len(d.nodes) - 1
+	// AnomalousEdges keeps the smallest prefix p with residuals[p] <
+	// delta, or everything when no prefix qualifies.
+	p := sort.Search(len(d.residuals), func(i int) bool { return d.residuals[i] < delta })
+	if p > e {
+		p = e
+	}
+	return d.nodes[p]
+}
+
+// selectDeltaFromSteps returns the largest δ whose total node count
+// over all transitions is at least l per transition — the exact answer
+// the old 200-step bisection converged toward. breaks must hold every
+// transition's residuals (duplicates are fine); it is sorted in place,
+// so callers may pass a reusable scratch slice.
+//
+// Correctness: Σ nodesAt is non-increasing in δ and constant on every
+// interval (bᵢ, bᵢ₊₁] between consecutive merged breakpoints, so the
+// supremum of {δ : total(δ) ≥ target} is attained at a breakpoint and
+// an exact binary search over the sorted breakpoints finds it.
+func selectDeltaFromSteps(steps []deltaSteps, breaks []float64, l float64) float64 {
+	target := int(l * float64(len(steps)))
+	if target <= 0 {
+		// δ above every total mass: no anomalies anywhere.
+		var hi float64
+		for _, d := range steps {
+			if d.residuals[0] > hi {
+				hi = d.residuals[0]
+			}
+		}
+		return hi + 1
+	}
+	totalAt := func(delta float64) int {
+		var total int
+		for _, d := range steps {
+			total += d.nodesAt(delta)
+		}
+		return total
+	}
+	if totalAt(0) < target {
+		return 0 // even reporting everything cannot reach the target
+	}
+	sort.Float64s(breaks)
+	idx := sort.Search(len(breaks), func(i int) bool { return totalAt(breaks[i]) < target })
+	if idx == 0 {
+		return 0
+	}
+	delta := breaks[idx-1]
+	if delta < 0 {
+		// Residuals of full prefixes can dip a hair below zero in
+		// floating point; δ is a threshold on non-negative mass.
+		delta = 0
+	}
+	return delta
+}

@@ -90,8 +90,14 @@ func (d *Detector) RunDetailed(seq *graph.Sequence) ([]Transition, []commute.Ora
 		buildOracle := func(t int) error {
 			cfg := d.cfg.Commute
 			// Decorrelate projections across instances while keeping
-			// the whole run reproducible from the one configured seed.
-			cfg.Seed = cfg.Seed*1000003 + int64(t)
+			// the whole run reproducible from the one configured seed —
+			// the paper's independent-projections setup. Under
+			// SharedProjections one seed is deliberately shared across
+			// instances (common random numbers), so the batch run
+			// scores the same systems the warm streaming path solves.
+			if !cfg.SharedProjections {
+				cfg.Seed = cfg.Seed*1000003 + int64(t)
+			}
 			o, err := commute.New(seq.At(t), cfg, d.cfg.ExactCutoff)
 			if err != nil {
 				return fmt.Errorf("core: oracle for instance %d: %w", t, err)
@@ -214,42 +220,25 @@ func totalNodesAt(transitions []Transition, delta float64) int {
 // what lets calm transitions report nothing and turbulent ones report
 // more than l.
 //
-// |V_t| is a non-increasing step function of δ, so a binary search over
-// δ ∈ [0, max total score] converges to the crossing; we return the
+// |V_t| is a non-increasing step function of δ whose breakpoints are
+// the residual masses of each transition's score prefixes, so the
 // largest δ whose node total is at least the target (the conservative
 // side: never fewer alarms than asked for unless even δ=0 cannot reach
-// the target).
+// the target) is found exactly by a binary search over the merged
+// breakpoints — see delta.go. The streaming detector keeps the per-
+// transition step functions cached across pushes; this batch entry
+// point computes them on the spot.
 func SelectDelta(transitions []Transition, l float64) float64 {
-	target := int(l * float64(len(transitions)))
-	if target <= 0 {
-		// δ above every total mass: no anomalies anywhere.
-		var hi float64
-		for _, tr := range transitions {
-			if tr.Total > hi {
-				hi = tr.Total
-			}
-		}
-		return hi + 1
-	}
-	if totalNodesAt(transitions, 0) < target {
-		return 0 // even reporting everything cannot reach the target
-	}
-	var hi float64
+	var marks nodeMarker
+	steps := make([]deltaSteps, len(transitions))
+	nb := 0
 	for _, tr := range transitions {
-		if tr.Total > hi {
-			hi = tr.Total
-		}
+		nb += len(tr.Scores) + 1
 	}
-	lo := 0.0
-	// Invariant: totalNodesAt(lo) >= target; shrink (lo, hi] toward the
-	// crossing. 200 halvings are plenty for float64.
-	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+hi); iter++ {
-		mid := lo + (hi-lo)/2
-		if totalNodesAt(transitions, mid) >= target {
-			lo = mid
-		} else {
-			hi = mid
-		}
+	breaks := make([]float64, 0, nb)
+	for i, tr := range transitions {
+		steps[i] = newDeltaSteps(tr, &marks)
+		breaks = append(breaks, steps[i].residuals...)
 	}
-	return lo
+	return selectDeltaFromSteps(steps, breaks, l)
 }

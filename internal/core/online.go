@@ -15,7 +15,14 @@ import (
 //
 // The commute-time oracle of the previous instance is cached, so each
 // Push costs one oracle build plus one transition scoring — the same
-// asymptotic work per instance as the batch Detector.
+// asymptotic work per instance as the batch Detector. With
+// Config.Commute.SharedProjections enabled, the oracle build itself
+// becomes incremental: each new embedding reuses the previous one's
+// preconditioner setup and warm-starts every Laplacian solve from the
+// previous solution, so a Push on a sparse stream that changed a few
+// edges costs a small fraction of a cold build (see LastOracleStats
+// for the measured saving). Cold builds still happen for the first
+// instance and whenever reuse would be unsound.
 //
 // An OnlineDetector is not safe for concurrent use.
 type OnlineDetector struct {
@@ -29,6 +36,42 @@ type OnlineDetector struct {
 	delta      float64
 	maxHistory int
 	evicted    int
+
+	// δ re-selection cache: one precomputed step function per retained
+	// transition (aligned with history), plus reusable scratch, so the
+	// per-Push SelectDelta over the whole window allocates nothing.
+	steps  []deltaSteps
+	breaks []float64
+	marks  nodeMarker
+
+	// Incremental-build accounting for LastOracleStats.
+	lastStats      OracleStats
+	coldIterPerRow float64 // per-row PCG cost of the latest cold embedding build
+}
+
+// OracleStats describes the commute-oracle build behind the most
+// recent Push — the serving layer's window into how much work the
+// incremental pipeline is saving.
+type OracleStats struct {
+	// Built is false when no oracle was needed (the ADJ variant).
+	Built bool
+	// Kind is "exact" (small-n pseudoinverse) or "embedding".
+	Kind string
+	// Warm is true when the embedding was rebuilt incrementally from
+	// the previous instance's (SharedProjections streams only).
+	Warm bool
+	// PrecondReused is true when the solver preconditioner was shared
+	// or patched rather than rebuilt.
+	PrecondReused bool
+	// PCGIterations is the total PCG iteration count the build
+	// performed across its k solves (0 for exact oracles).
+	PCGIterations int
+	// ColdEstimateIterations estimates what a cold build of the same
+	// oracle would have cost, extrapolated from the per-row cost of
+	// this stream's most recent cold build. For cold builds it equals
+	// PCGIterations, so accumulating both counters and taking the
+	// ratio gives the stream's overall saving.
+	ColdEstimateIterations int
 }
 
 // NewOnline returns a streaming detector targeting l anomalous nodes
@@ -61,6 +104,46 @@ func (o *OnlineDetector) SetMaxHistory(m int) { o.maxHistory = m }
 // the history by the max-history window.
 func (o *OnlineDetector) Evicted() int { return o.evicted }
 
+// LastOracleStats reports the oracle build performed by the most
+// recent Push (the zero value before any Push, or when the last Push
+// failed before building one).
+func (o *OnlineDetector) LastOracleStats() OracleStats { return o.lastStats }
+
+// buildOracle constructs the commute oracle for the next instance,
+// incrementally from the cached previous oracle when the configuration
+// allows it, and records the build stats.
+func (o *OnlineDetector) buildOracle(g *graph.Graph) (commute.Oracle, error) {
+	cfg := o.cfg.Commute
+	// Decorrelate projections across instances (the paper's setup) —
+	// unless projections are deliberately shared so that consecutive
+	// embeddings can warm-start each other.
+	if !cfg.SharedProjections {
+		cfg.Seed = cfg.Seed*1000003 + int64(o.t)
+	}
+	oracle, err := commute.NewFrom(g, o.prevOra, cfg, o.cfg.ExactCutoff)
+	if err != nil {
+		return nil, err
+	}
+	st := OracleStats{Built: true, Kind: "exact"}
+	if emb, ok := oracle.(*commute.Embedding); ok {
+		bs := emb.Stats()
+		st.Kind = "embedding"
+		st.Warm = bs.Warm
+		st.PrecondReused = bs.PrecondReused
+		st.PCGIterations = bs.PCGIterations
+		if bs.Warm {
+			st.ColdEstimateIterations = int(o.coldIterPerRow*float64(bs.Rows) + 0.5)
+		} else {
+			if bs.Rows > 0 {
+				o.coldIterPerRow = float64(bs.PCGIterations) / float64(bs.Rows)
+			}
+			st.ColdEstimateIterations = bs.PCGIterations
+		}
+	}
+	o.lastStats = st
+	return oracle, nil
+}
+
 // Push consumes the next graph instance. For the first instance it
 // returns (nil, nil); afterwards it returns the newest transition's
 // anomaly report at the freshly re-selected global δ. Earlier
@@ -78,13 +161,14 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 
 	var oracle commute.Oracle
 	if o.cfg.Variant != VariantADJ {
-		cfg := o.cfg.Commute
-		cfg.Seed = cfg.Seed*1000003 + int64(o.t)
 		var err error
-		oracle, err = commute.New(g, cfg, o.cfg.ExactCutoff)
+		oracle, err = o.buildOracle(g)
 		if err != nil {
+			o.lastStats = OracleStats{}
 			return nil, fmt.Errorf("core: oracle for instance %d: %w", o.t, err)
 		}
+	} else {
+		o.lastStats = OracleStats{}
 	}
 
 	defer func() {
@@ -97,20 +181,31 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 	}
 
 	scores := TransitionScores(o.prev, g, o.prevOra, oracle, o.cfg.Variant, o.cfg.comAllPairs(o.n))
-	o.history = append(o.history, Transition{T: o.t - 1, Scores: scores, Total: TotalScore(scores)})
+	tr := Transition{T: o.t - 1, Scores: scores, Total: TotalScore(scores)}
+	o.history = append(o.history, tr)
+	o.steps = append(o.steps, newDeltaSteps(tr, &o.marks))
 	if o.maxHistory > 0 && len(o.history) > o.maxHistory {
 		// Evict the oldest transitions in place, zeroing the vacated
 		// tail so their score slices are released rather than pinned by
-		// the backing array.
+		// the backing array. The δ step-function cache evicts in step.
 		drop := len(o.history) - o.maxHistory
 		keep := copy(o.history, o.history[drop:])
 		for i := keep; i < len(o.history); i++ {
 			o.history[i] = Transition{}
 		}
 		o.history = o.history[:keep]
+		copy(o.steps, o.steps[drop:])
+		for i := keep; i < len(o.steps); i++ {
+			o.steps[i] = deltaSteps{}
+		}
+		o.steps = o.steps[:keep]
 		o.evicted += drop
 	}
-	o.delta = SelectDelta(o.history, o.l)
+	o.breaks = o.breaks[:0]
+	for i := range o.steps {
+		o.breaks = append(o.breaks, o.steps[i].residuals...)
+	}
+	o.delta = selectDeltaFromSteps(o.steps, o.breaks, o.l)
 
 	edges := AnomalousEdges(scores, o.delta)
 	rep := &TransitionReport{T: o.t - 1, Edges: edges, Nodes: AnomalousNodes(edges)}

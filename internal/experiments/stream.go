@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/solver"
+)
+
+// StreamConfig shapes the streaming cold-vs-warm benchmark: the cost
+// of one OnlineDetector Push with and without the incremental
+// warm-started embedding pipeline (SharedProjections), on a sparse
+// stream whose consecutive snapshots differ by a few edge reweights.
+type StreamConfig struct {
+	// Sizes is the list of vertex counts to sweep (default 1000, 5000,
+	// 20000 — the scalability study's lower tiers).
+	Sizes []int `json:"sizes"`
+	// Pushes is the number of timed pushes per (size, mode) cell; one
+	// untimed cold push precedes them so both modes measure steady
+	// state. Zero selects 12.
+	Pushes int `json:"pushes"`
+	// Edits is the number of ±10% edge reweights between consecutive
+	// snapshots. Zero selects 4.
+	Edits int `json:"edits"`
+	// K is the embedding dimension. Zero selects 12.
+	K int `json:"k"`
+	// Tol is the PCG relative-residual target. Zero selects 1e-5, the
+	// serving tolerance: a k≈12 projection carries ~30% distance error,
+	// so the library's exactness default of 1e-8 buys nothing here.
+	Tol float64 `json:"tol"`
+	// Seed drives the base graph and the edit stream.
+	Seed int64 `json:"seed"`
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 5000, 20000}
+	}
+	if c.Pushes <= 0 {
+		c.Pushes = 12
+	}
+	if c.Edits <= 0 {
+		c.Edits = 4
+	}
+	if c.K <= 0 {
+		c.K = 12
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-5
+	}
+	if c.Seed == 0 {
+		c.Seed = 71
+	}
+	return c
+}
+
+// StreamCell is one (size, mode) measurement, averaged over the timed
+// pushes.
+type StreamCell struct {
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	Mode string `json:"mode"` // "cold" or "warm"
+	// NsPerPush is the mean wall-clock nanoseconds per Push (oracle
+	// build + scoring + δ re-selection).
+	NsPerPush float64 `json:"ns_per_push"`
+	// PCGItersPerPush is the mean PCG iteration count of the push's
+	// embedding build — the size-independent cost driver.
+	PCGItersPerPush float64 `json:"pcg_iters_per_push"`
+	// AllocsPerPush is the mean heap-allocation count per Push.
+	AllocsPerPush float64 `json:"allocs_per_push"`
+}
+
+// StreamResult holds the cold/warm grid plus the configuration that
+// produced it.
+type StreamResult struct {
+	Config StreamConfig `json:"config"`
+	Cells  []StreamCell `json:"results"`
+}
+
+// streamSnapshots builds a connected sparse base graph (spanning path
+// plus ~2n random edges) and a chain of variants differing by a few
+// ±10% edge reweights — the strongly-correlated stream the incremental
+// pipeline targets.
+func streamSnapshots(cfg StreamConfig, n, count int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		base.AddEdge(perm[i-1], perm[i], 1)
+	}
+	for k := 0; k < 2*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			base.SetEdge(i, j, 0.5+rng.Float64())
+		}
+	}
+	g0 := base.MustBuild()
+	out := make([]*graph.Graph, count)
+	out[0] = g0
+	edges := g0.Edges()
+	for v := 1; v < count; v++ {
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.SetEdge(e.I, e.J, e.W)
+		}
+		for k := 0; k < cfg.Edits; k++ {
+			e := edges[rng.Intn(len(edges))]
+			b.SetEdge(e.I, e.J, e.W*(0.9+0.2*rng.Float64()))
+		}
+		out[v] = b.MustBuild()
+	}
+	return out
+}
+
+// Stream measures the streaming hot path cold (fresh embedding per
+// push, the default configuration) versus warm (SharedProjections:
+// each embedding warm-starts from the previous one).
+func Stream(cfg StreamConfig) (*StreamResult, error) {
+	cfg = cfg.withDefaults()
+	res := &StreamResult{Config: cfg}
+	for _, n := range cfg.Sizes {
+		snaps := streamSnapshots(cfg, n, 9)
+		for _, mode := range []string{"cold", "warm"} {
+			det := core.NewOnline(core.Config{
+				Commute: commute.Config{
+					K:                 cfg.K,
+					Seed:              cfg.Seed,
+					Solver:            solver.Options{Tol: cfg.Tol},
+					SharedProjections: mode == "warm",
+				},
+				ExactCutoff: 1, // always exercise the embedding path
+			}, 5)
+			det.SetMaxHistory(32)
+			if _, err := det.Push(snaps[0]); err != nil {
+				return nil, fmt.Errorf("stream n=%d %s: %w", n, mode, err)
+			}
+			var ms0, ms1 runtime.MemStats
+			var iters int
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			for p := 0; p < cfg.Pushes; p++ {
+				if _, err := det.Push(snaps[(p+1)%len(snaps)]); err != nil {
+					return nil, fmt.Errorf("stream n=%d %s push %d: %w", n, mode, p, err)
+				}
+				iters += det.LastOracleStats().PCGIterations
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			res.Cells = append(res.Cells, StreamCell{
+				N:               n,
+				M:               snaps[0].NumEdges(),
+				Mode:            mode,
+				NsPerPush:       float64(elapsed.Nanoseconds()) / float64(cfg.Pushes),
+				PCGItersPerPush: float64(iters) / float64(cfg.Pushes),
+				AllocsPerPush:   float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Pushes),
+			})
+		}
+	}
+	return res, nil
+}
+
+// cell finds the (n, mode) measurement.
+func (r *StreamResult) cell(n int, mode string) *StreamCell {
+	for i := range r.Cells {
+		if r.Cells[i].N == n && r.Cells[i].Mode == mode {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the grid with per-size warm/cold saving ratios.
+func (r *StreamResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("streaming hot path: cold vs warm-started embedding builds (k=%d, tol=%g, %d reweights/snapshot)",
+			r.Config.K, r.Config.Tol, r.Config.Edits),
+		Header: []string{"n", "m", "mode", "ms/push", "pcg-iters/push", "allocs/push", "iter saving"},
+	}
+	for _, n := range r.Config.Sizes {
+		cold := r.cell(n, "cold")
+		for _, mode := range []string{"cold", "warm"} {
+			c := r.cell(n, mode)
+			if c == nil {
+				continue
+			}
+			saving := "—"
+			if mode == "warm" && cold != nil && c.PCGItersPerPush > 0 {
+				saving = fmt.Sprintf("%.1f×", cold.PCGItersPerPush/c.PCGItersPerPush)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", c.N),
+				fmt.Sprintf("%d", c.M),
+				c.Mode,
+				fmt.Sprintf("%.2f", c.NsPerPush/1e6),
+				fmt.Sprintf("%.1f", c.PCGItersPerPush),
+				fmt.Sprintf("%.0f", c.AllocsPerPush),
+				saving,
+			})
+		}
+	}
+	return t
+}
+
+// WriteJSON emits the machine-readable benchmark record (the
+// BENCH_stream.json artifact).
+func (r *StreamResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string       `json:"experiment"`
+		Config     StreamConfig `json:"config"`
+		Results    []StreamCell `json:"results"`
+	}{Experiment: "stream", Config: r.Config, Results: r.Cells})
+}

@@ -68,8 +68,13 @@ func testSequence(t *testing.T, T int, seed int64) *graph.Sequence {
 func onlineConfig(cfg StreamConfig) core.Config {
 	variant, _ := cfg.variant()
 	return core.Config{
-		Variant:     variant,
-		Commute:     commute.Config{K: cfg.K, Seed: cfg.Seed, Workers: cfg.Workers},
+		Variant: variant,
+		Commute: commute.Config{
+			K:                 cfg.K,
+			Seed:              cfg.Seed,
+			Workers:           cfg.Workers,
+			SharedProjections: cfg.SharedProjections,
+		},
 		ExactCutoff: cfg.ExactCutoff,
 	}
 }
@@ -429,5 +434,81 @@ func TestEnronReplayMatchesBatchCadrun(t *testing.T) {
 	}
 	if !found {
 		t.Error("replayed report does not implicate the CEO at transition 32")
+	}
+}
+
+// TestWarmStreamMatchesBatchDetector replays a sequence through a
+// stream configured for the incremental fast path (shared projections,
+// embedding oracle forced via exact_cutoff=1) and checks that (a) the
+// served anomaly sets match the batch detector run with the identical
+// configuration, and (b) the warm/cold build counters and PCG
+// iteration counters show the incremental pipeline actually engaged.
+// Runs under -race in CI, so it also exercises the locking around
+// LastOracleStats.
+func TestWarmStreamMatchesBatchDetector(t *testing.T) {
+	srv, cl := newTestServer(t, Config{})
+	ctx := context.Background()
+	seq := testSequence(t, 6, 3)
+	scfg := StreamConfig{L: 3, K: 24, Seed: 7, ExactCutoff: 1, SharedProjections: true}
+
+	if err := cl.CreateStream(ctx, "warm", scfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seq.T(); i++ {
+		if _, err := cl.Push(ctx, "warm", seq.At(i), true); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+
+	got, err := cl.Report(ctx, "warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCfg := onlineConfig(scfg.withDefaults(64))
+	trs, err := core.New(batchCfg).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Threshold(trs, core.SelectDelta(trs, scfg.L)).JSON()
+	// Warm solves converge to slightly different points than cold ones,
+	// so scores agree only to solver tolerance; the localized anomaly
+	// sets must be identical.
+	if len(got.Transitions) != len(want.Transitions) {
+		t.Fatalf("transition counts differ: %d vs %d", len(got.Transitions), len(want.Transitions))
+	}
+	scale := seq.At(0).Volume()
+	for i := range want.Transitions {
+		gt, wt := got.Transitions[i], want.Transitions[i]
+		if !reflect.DeepEqual(gt.Nodes, wt.Nodes) {
+			t.Fatalf("transition %d nodes differ: %v vs %v", i, gt.Nodes, wt.Nodes)
+		}
+		if len(gt.Edges) != len(wt.Edges) {
+			t.Fatalf("transition %d edge counts differ: %d vs %d", i, len(gt.Edges), len(wt.Edges))
+		}
+		for p := range wt.Edges {
+			if gt.Edges[p].I != wt.Edges[p].I || gt.Edges[p].J != wt.Edges[p].J {
+				t.Fatalf("transition %d edge %d identity differs", i, p)
+			}
+			if d := gt.Edges[p].Score - wt.Edges[p].Score; d > 1e-5*scale || d < -1e-5*scale {
+				t.Fatalf("transition %d edge %d: streamed score %g, batch %g",
+					i, p, gt.Edges[p].Score, wt.Edges[p].Score)
+			}
+		}
+	}
+
+	// The first build is cold, every later one warm.
+	if c := srv.metrics.counterValue("cadd_oracle_builds_total", labels("stream", "warm", "mode", "cold")); c != 1 {
+		t.Errorf("cold builds = %g, want 1", c)
+	}
+	if w := srv.metrics.counterValue("cadd_oracle_builds_total", labels("stream", "warm", "mode", "warm")); w != float64(seq.T()-1) {
+		t.Errorf("warm builds = %g, want %d", w, seq.T()-1)
+	}
+	iters := srv.metrics.counterValue("cadd_pcg_iterations_total", labels("stream", "warm"))
+	est := srv.metrics.counterValue("cadd_pcg_cold_estimate_total", labels("stream", "warm"))
+	if iters <= 0 || est <= 0 {
+		t.Fatalf("PCG counters not populated: iterations %g, cold estimate %g", iters, est)
+	}
+	if iters >= est {
+		t.Errorf("warm stream spent %g PCG iterations vs cold estimate %g — no saving", iters, est)
 	}
 }

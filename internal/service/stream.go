@@ -56,8 +56,13 @@ func newStream(id string, cfg StreamConfig, m *metrics) (*stream, error) {
 		return nil, err
 	}
 	det := core.NewOnline(core.Config{
-		Variant:     variant,
-		Commute:     commute.Config{K: cfg.K, Seed: cfg.Seed, Workers: cfg.Workers},
+		Variant: variant,
+		Commute: commute.Config{
+			K:                 cfg.K,
+			Seed:              cfg.Seed,
+			Workers:           cfg.Workers,
+			SharedProjections: cfg.SharedProjections,
+		},
 		ExactCutoff: cfg.ExactCutoff,
 	}, cfg.L)
 	det.SetMaxHistory(cfg.MaxHistory)
@@ -111,6 +116,7 @@ func (s *stream) run() {
 		s.resolveOracle(j.g.N())
 		rep, err := s.det.Push(j.g)
 		delta := s.det.Delta()
+		ost := s.det.LastOracleStats()
 		s.processed++
 		if err != nil {
 			s.lastErr = err
@@ -122,6 +128,21 @@ func (s *stream) run() {
 		s.metrics.add("cadd_snapshots_processed_total", labels("stream", s.id), 1)
 		if err != nil {
 			s.metrics.add("cadd_push_errors_total", labels("stream", s.id), 1)
+		}
+		if ost.Built {
+			mode := "cold"
+			if ost.Warm {
+				mode = "warm"
+			}
+			s.metrics.add("cadd_oracle_builds_total", labels("stream", s.id, "mode", mode), 1)
+			if ost.Kind == "embedding" {
+				// The cold-estimate counter accumulates what the same
+				// stream would have cost without warm starts, so
+				// iterations_total / cold_estimate_total is the live
+				// saving ratio of the incremental pipeline.
+				s.metrics.add("cadd_pcg_iterations_total", labels("stream", s.id), float64(ost.PCGIterations))
+				s.metrics.add("cadd_pcg_cold_estimate_total", labels("stream", s.id), float64(ost.ColdEstimateIterations))
+			}
 		}
 		if j.done != nil {
 			j.done <- jobResult{report: rep, delta: delta, err: err}

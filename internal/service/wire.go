@@ -53,6 +53,12 @@ type StreamConfig struct {
 	ExactCutoff int `json:"exact_cutoff,omitempty"`
 	// Workers parallelizes each oracle's Laplacian solves.
 	Workers int `json:"workers,omitempty"`
+	// SharedProjections shares one set of projection streams across all
+	// snapshots (common random numbers), which lets each embedding
+	// rebuild warm-start from the previous one — the fast path for
+	// sparse streams of small edits. Off by default, matching the
+	// paper's independent per-instance projections.
+	SharedProjections bool `json:"shared_projections,omitempty"`
 	// QueueSize bounds the ingest queue; snapshots beyond it are
 	// rejected with HTTP 429 (0 = server default).
 	QueueSize int `json:"queue_size,omitempty"`

@@ -109,11 +109,27 @@ type Laplacian struct {
 	precond Precond
 	invDiag []float64     // Jacobi
 	tree    *spanningTree // Tree
+	reused  bool          // preconditioner carried over from a previous snapshot
 
 	opt Options
 
 	// scratch buffers reused across Solve calls
 	r, z, p, q, s1 []float64
+	csum           []float64 // per-component sums for project
+	tsum           []float64 // per-component means for the tree solve
+}
+
+// resolvePrecond applies the PrecondAuto density rule for g.
+func resolvePrecond(g *graph.Graph, opt Options) Precond {
+	precond := opt.Precond
+	if precond == PrecondAuto {
+		if n := g.N(); n > 0 && 2*float64(g.NumEdges())/float64(n) <= autoDegreeCutoff {
+			precond = PrecondTree
+		} else {
+			precond = PrecondJacobi
+		}
+	}
+	return precond
 }
 
 // NewLaplacian prepares a solver for the Laplacian of g.
@@ -124,14 +140,7 @@ func NewLaplacian(g *graph.Graph, opt Options) *Laplacian {
 	for _, c := range comp {
 		size[c]++
 	}
-	precond := opt.Precond
-	if precond == PrecondAuto {
-		if n > 0 && 2*float64(g.NumEdges())/float64(n) <= autoDegreeCutoff {
-			precond = PrecondTree
-		} else {
-			precond = PrecondJacobi
-		}
-	}
+	precond := resolvePrecond(g, opt)
 	s := &Laplacian{
 		n:       n,
 		l:       g.Laplacian(),
@@ -139,11 +148,6 @@ func NewLaplacian(g *graph.Graph, opt Options) *Laplacian {
 		size:    size,
 		precond: precond,
 		opt:     opt,
-		r:       make([]float64, n),
-		z:       make([]float64, n),
-		p:       make([]float64, n),
-		q:       make([]float64, n),
-		s1:      make([]float64, n),
 	}
 	switch precond {
 	case PrecondJacobi:
@@ -156,16 +160,104 @@ func NewLaplacian(g *graph.Graph, opt Options) *Laplacian {
 	case PrecondTree:
 		s.tree = maxWeightSpanningTree(g)
 	}
+	s.allocScratch()
 	return s
+}
+
+// NewLaplacianFrom prepares a solver for the Laplacian of g, reusing
+// the setup prev built for the previous snapshot prevG (same vertex
+// set) wherever that is sound; neither prev nor prevG is modified.
+// Reuse rules:
+//
+//   - If no edge weight changed, the whole setup (matrix, component
+//     labelling, preconditioner) is shared.
+//   - Tree preconditioner: the previous max-weight spanning forest is
+//     kept — with patched edge weights — as long as no forest edge was
+//     deleted and no new edge bridges two forest components. Both
+//     conditions together also pin the component structure, so the
+//     null-space projection carries over. The patched forest may no
+//     longer be the maximum-weight one, which degrades convergence
+//     gracefully (a few extra PCG iterations) but never correctness:
+//     any spanning forest of the graph's components is a valid SPD
+//     preconditioner on range(L).
+//   - Jacobi: the degree diagonal is O(n+m) to rebuild — cheaper than
+//     proving the component structure unchanged — so only the no-change
+//     case is reused.
+//
+// Anything else falls back to a cold NewLaplacian build. ReusedPrecond
+// reports which path was taken.
+func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Laplacian {
+	if prev == nil || prevG == nil || prev.n != g.N() {
+		return NewLaplacian(g, opt)
+	}
+	precond := resolvePrecond(g, opt)
+	if precond != prev.precond {
+		return NewLaplacian(g, opt)
+	}
+	diff := graph.DiffSupport(prevG, g)
+	if len(diff) == 0 {
+		cl := prev.Clone()
+		cl.opt = opt
+		cl.reused = true
+		return cl
+	}
+	if precond != PrecondTree {
+		return NewLaplacian(g, opt)
+	}
+	tree, ok := prev.tree.patched(g, diff)
+	if !ok {
+		return NewLaplacian(g, opt)
+	}
+	s := &Laplacian{
+		n:       prev.n,
+		l:       g.Laplacian(),
+		comp:    prev.comp, // component structure unchanged by the patch rules
+		size:    prev.size,
+		precond: precond,
+		tree:    tree,
+		reused:  true,
+		opt:     opt,
+	}
+	s.allocScratch()
+	return s
+}
+
+// Clone returns a solver sharing s's immutable setup (matrix, component
+// labelling, preconditioner) with fresh scratch buffers, so another
+// goroutine can Solve concurrently.
+func (s *Laplacian) Clone() *Laplacian {
+	cl := *s
+	cl.allocScratch()
+	return &cl
+}
+
+func (s *Laplacian) allocScratch() {
+	s.r = make([]float64, s.n)
+	s.z = make([]float64, s.n)
+	s.p = make([]float64, s.n)
+	s.q = make([]float64, s.n)
+	s.s1 = make([]float64, s.n)
+	s.csum = make([]float64, len(s.size))
+	if s.tree != nil {
+		s.tsum = make([]float64, len(s.tree.compSize))
+	}
 }
 
 // N returns the system dimension.
 func (s *Laplacian) N() int { return s.n }
 
+// ReusedPrecond reports whether this solver's preconditioner setup was
+// carried over (shared or patched) from a previous snapshot's by
+// NewLaplacianFrom instead of being built cold.
+func (s *Laplacian) ReusedPrecond() bool { return s.reused }
+
 // project removes each component's mean from x in place, mapping it
 // into the range of L (the orthogonal complement of the null space).
 func (s *Laplacian) project(x []float64) {
-	sums := make([]float64, len(s.size))
+	sums := s.csum
+	for c := range sums {
+		sums[c] = 0
+	}
 	for v, c := range s.comp {
 		sums[c] += x[v]
 	}
@@ -181,7 +273,7 @@ func (s *Laplacian) project(x []float64) {
 func (s *Laplacian) applyPrecond(z, r []float64) {
 	switch s.precond {
 	case PrecondTree:
-		s.tree.solve(z, r, s.s1)
+		s.tree.solve(z, r, s.s1, s.tsum)
 	case PrecondJacobi:
 		for i, v := range r {
 			z[i] = v * s.invDiag[i]
@@ -197,18 +289,79 @@ func (s *Laplacian) applyPrecond(z, r []float64) {
 // new slice. If PCG stalls before reaching the tolerance the best
 // iterate is returned together with ErrNoConvergence.
 func (s *Laplacian) Solve(b []float64) ([]float64, Stats, error) {
-	if len(b) != s.n {
-		return nil, Stats{}, fmt.Errorf("solver: Solve dimension mismatch: len(b)=%d, n=%d", len(b), s.n)
+	x := make([]float64, s.n)
+	st, err := s.solve(x, b, false)
+	return x, st, err
+}
+
+// SolveInto is the allocation-free Solve: the minimum-norm solution is
+// written into x (whose incoming contents are ignored). x and b must
+// both have length N.
+func (s *Laplacian) SolveInto(x, b []float64) (Stats, error) {
+	return s.solve(x, b, false)
+}
+
+// SolveFrom is Solve warm-started from the initial guess x0 (which is
+// not modified). A good guess — e.g. the solution of the same row's
+// system on the previous snapshot of a slowly changing graph — lets PCG
+// converge in a handful of iterations instead of O(√κ); a guess that is
+// already within tolerance returns unchanged with zero iterations.
+func (s *Laplacian) SolveFrom(x0, b []float64) ([]float64, Stats, error) {
+	if len(x0) != s.n {
+		return nil, Stats{}, fmt.Errorf("solver: SolveFrom dimension mismatch: len(x0)=%d, n=%d", len(x0), s.n)
 	}
 	x := make([]float64, s.n)
+	copy(x, x0)
+	st, err := s.solve(x, b, true)
+	return x, st, err
+}
+
+// SolveFromInto is the allocation-free warm start: x's incoming
+// contents are the initial guess, and the solution overwrites it.
+func (s *Laplacian) SolveFromInto(x, b []float64) (Stats, error) {
+	return s.solve(x, b, true)
+}
+
+// solve is the shared PCG loop behind every Solve variant. When warm is
+// true, x's incoming contents are the initial guess; otherwise x is
+// zeroed first. Either way the converged minimum-norm (per-component
+// mean-centered) solution is left in x.
+func (s *Laplacian) solve(x, b []float64, warm bool) (Stats, error) {
+	if len(b) != s.n || len(x) != s.n {
+		return Stats{}, fmt.Errorf("solver: Solve dimension mismatch: len(x)=%d, len(b)=%d, n=%d", len(x), len(b), s.n)
+	}
 	copy(s.r, b)
-	s.project(s.r) // r = P b  (x = 0 initially)
+	s.project(s.r) // r = P b  (before subtracting L x0)
 	normB := sparse.Norm2(s.r)
 	if normB == 0 {
-		return x, Stats{}, nil
+		sparse.Zero(x) // the minimum-norm solution of L x = 0
+		return Stats{}, nil
 	}
 	tol := s.opt.tol()
 	maxIter := s.opt.maxIter(s.n)
+
+	if warm {
+		// r = P b − L x0. L x0 is already in range(L), but project r
+		// anyway to guard against floating-point drift. A guess that is
+		// already within tolerance is returned bit-for-bit unchanged —
+		// the property that makes rebuilding an embedding of an
+		// unchanged snapshot free and exactly reproducible. (L is blind
+		// to per-component means, so a caller warm-starting from an
+		// uncentered guess gets that guess's means back on this path;
+		// guesses taken from a previous Solve are already centered.)
+		s.l.MulVec(s.q, x)
+		sparse.Axpy(-1, s.q, s.r)
+		s.project(s.r)
+		if res := sparse.Norm2(s.r) / normB; res <= tol {
+			return Stats{Residual: res}, nil
+		}
+		// Center the guess now so every iterate — and therefore the
+		// returned solution — is the minimum-norm representative.
+		// Shifting x by component constants does not change r.
+		s.project(x)
+	} else {
+		sparse.Zero(x)
+	}
 
 	s.applyPrecond(s.z, s.r)
 	s.project(s.z)
@@ -222,7 +375,7 @@ func (s *Laplacian) Solve(b []float64) ([]float64, Stats, error) {
 		if pq <= 0 || math.IsNaN(pq) {
 			// Numerical breakdown: direction fell into the null space.
 			st.Residual = sparse.Norm2(s.r) / normB
-			return x, st, ErrNoConvergence
+			return st, ErrNoConvergence
 		}
 		alpha := rz / pq
 		sparse.Axpy(alpha, s.p, x)
@@ -234,7 +387,7 @@ func (s *Laplacian) Solve(b []float64) ([]float64, Stats, error) {
 		st.Residual = res
 		if res <= tol {
 			s.project(x) // return the minimum-norm representative
-			return x, st, nil
+			return st, nil
 		}
 		s.applyPrecond(s.z, s.r)
 		s.project(s.z)
@@ -246,7 +399,7 @@ func (s *Laplacian) Solve(b []float64) ([]float64, Stats, error) {
 		}
 	}
 	s.project(x)
-	return x, st, ErrNoConvergence
+	return st, ErrNoConvergence
 }
 
 // Residual returns ‖b − L x‖₂ / ‖b‖₂ with b projected onto range(L);

@@ -150,7 +150,7 @@ func TestQuickTreeSolveExactOnTrees(t *testing.T) {
 		b := projectedRHS(rng, n)
 		x := make([]float64, n)
 		scratch := make([]float64, n)
-		tr.solve(x, b, scratch)
+		tr.solve(x, b, scratch, make([]float64, len(tr.compSize)))
 		// Check L x = b directly.
 		l := g.Laplacian()
 		lx := make([]float64, n)

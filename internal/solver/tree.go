@@ -80,16 +80,58 @@ func maxWeightSpanningTree(g *graph.Graph) *spanningTree {
 	return t
 }
 
+// patched returns a copy of t that is a valid spanning forest of g,
+// where g differs from the graph t was built for exactly on the node
+// pairs in diff. Forest-edge weight changes are patched in place
+// (copy-on-write on upWeight; the shared traversal structure is never
+// mutated). It reports false — patching impossible — when a forest edge
+// was deleted or a new edge bridges two forest components: either event
+// changes the component structure the solver's projection depends on.
+// Non-forest edge churn inside a component leaves the forest valid; it
+// may just no longer be the maximum-weight one.
+func (t *spanningTree) patched(g *graph.Graph, diff []graph.Key) (*spanningTree, bool) {
+	up := t.upWeight
+	copied := false
+	for _, k := range diff {
+		w := g.Weight(k.I, k.J)
+		child := -1
+		switch {
+		case t.parent[k.I] == k.J:
+			child = k.I
+		case t.parent[k.J] == k.I:
+			child = k.J
+		}
+		if child >= 0 {
+			if w == 0 {
+				return nil, false // forest edge deleted
+			}
+			if !copied {
+				up = append([]float64(nil), t.upWeight...)
+				copied = true
+			}
+			up[child] = w
+			continue
+		}
+		if w > 0 && t.comp[k.I] != t.comp[k.J] {
+			return nil, false // new edge merges two components
+		}
+	}
+	cl := *t
+	cl.upWeight = up
+	return &cl, true
+}
+
 // solve computes x with L_T x = b exactly, where L_T is the forest
 // Laplacian, assuming b sums to zero on every component (the caller
 // projects). The returned x is mean-centered per component, which makes
 // the map b ↦ x the symmetric PSD pseudoinverse L_T⁺ — a valid PCG
-// preconditioner. dst and scratch must have length n; dst receives x.
+// preconditioner. dst and scratch must have length n and means the
+// component count; dst receives x.
 //
 // The algorithm uses the flow interpretation of tree Laplacian systems:
 // summing L x = b over the subtree below v shows the potential drop
 // across the edge (v, parent) is (subtree sum of b)/weight.
-func (t *spanningTree) solve(dst, b, scratch []float64) {
+func (t *spanningTree) solve(dst, b, scratch, means []float64) {
 	n := t.n
 	// scratch accumulates subtree sums of b, leaf-to-root.
 	copy(scratch, b)
@@ -109,7 +151,9 @@ func (t *spanningTree) solve(dst, b, scratch []float64) {
 		dst[v] = dst[p] + scratch[v]/t.upWeight[v]
 	}
 	// Mean-center per component so the operator is symmetric (L_T⁺).
-	means := make([]float64, len(t.compSize))
+	for c := range means {
+		means[c] = 0
+	}
 	for v := 0; v < n; v++ {
 		means[t.comp[v]] += dst[v]
 	}
