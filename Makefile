@@ -24,13 +24,16 @@ race:
 
 ci: tier1 race
 
-# Full Go benchmark pass, then the streaming cold-vs-warm experiment
-# with its machine-readable artifact (ns/push, PCG iterations, allocs).
+# Full Go benchmark pass, then the streaming cold-vs-warm and the
+# blocked-vs-per-row experiments with their machine-readable artifacts.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/cadbench -exp stream -benchout BENCH_stream.json
+	$(GO) run ./cmd/cadbench -exp block -benchout BENCH_block.json
 
-# One-iteration compile-and-run of every benchmark: catches bit-rotted
-# benchmark code without paying for real measurements. CI runs this.
+# One-iteration compile-and-run of every benchmark plus a small-size
+# run of the block experiment: catches bit-rotted benchmark code
+# without paying for real measurements. CI runs this.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/cadbench -exp block -sizes 300

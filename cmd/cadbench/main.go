@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cadbench -exp table1|table2|fig2|fig3|fig4|fig5|fig6|verbatim|scale|
-//	              stream|ablation|distance|enron|dblp|precip|all [flags]
+//	              stream|block|ablation|distance|enron|dblp|precip|all [flags]
 //
 // The quantitative experiments accept -n, -trials, -k and -seed so you
 // can trade fidelity against runtime; the defaults are sized to finish
@@ -45,7 +45,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, ablation, distance, enron, dblp, precip, or all")
+		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, ablation, distance, enron, dblp, precip, or all")
 		n        = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
 		trials   = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
 		k        = fs.Int("k", 50, "commute-embedding dimension")
@@ -54,7 +54,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		detail   = fs.Bool("detail", false, "print per-transition / per-year detail tables")
 		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
 		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
-		benchout = fs.String("benchout", "", "write -exp stream results as JSON to this file (e.g. BENCH_stream.json)")
+		benchout = fs.String("benchout", "", "write -exp stream/block results as JSON to this file (e.g. BENCH_stream.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -195,14 +195,8 @@ func run(id string, cfg benchConfig) error {
 			return err
 		}
 		scfg := experiments.ScaleConfig{K: 10, Seed: seed, Family: fam}
-		if sizes != "" {
-			for _, s := range strings.Split(sizes, ",") {
-				v, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil {
-					return fmt.Errorf("bad -sizes entry %q: %v", s, err)
-				}
-				scfg.Sizes = append(scfg.Sizes, v)
-			}
+		if scfg.Sizes, err = parseSizes(sizes); err != nil {
+			return err
 		}
 		res, err := experiments.Scale(scfg)
 		if err != nil {
@@ -223,14 +217,9 @@ func run(id string, cfg benchConfig) error {
 		return res10.Table().Fprint(cfg.out)
 	case "stream":
 		scfg := experiments.StreamConfig{K: 12, Seed: seed}
-		if sizes != "" {
-			for _, s := range strings.Split(sizes, ",") {
-				v, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil {
-					return fmt.Errorf("bad -sizes entry %q: %v", s, err)
-				}
-				scfg.Sizes = append(scfg.Sizes, v)
-			}
+		var err error
+		if scfg.Sizes, err = parseSizes(sizes); err != nil {
+			return err
 		}
 		res, err := experiments.Stream(scfg)
 		if err != nil {
@@ -239,21 +228,21 @@ func run(id string, cfg benchConfig) error {
 		if err := res.Table().Fprint(cfg.out); err != nil {
 			return err
 		}
-		if cfg.benchout != "" {
-			f, err := os.Create(cfg.benchout)
-			if err != nil {
-				return err
-			}
-			if err := res.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.out, "wrote %s\n", cfg.benchout)
+		return writeBenchout(cfg, res.WriteJSON)
+	case "block":
+		bcfg := experiments.BlockConfig{Seed: seed}
+		var err error
+		if bcfg.Sizes, err = parseSizes(sizes); err != nil {
+			return err
 		}
-		return nil
+		res, err := experiments.Block(bcfg)
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Fprint(cfg.out); err != nil {
+			return err
+		}
+		return writeBenchout(cfg, res.WriteJSON)
 	case "enron":
 		res, err := experiments.Enron(experiments.EnronConfig{Seed: seed})
 		if err != nil {
@@ -315,4 +304,42 @@ func run(id string, cfg benchConfig) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
+}
+
+// parseSizes turns a comma-separated -sizes flag into a slice; an empty
+// flag returns nil so the experiment's defaults apply.
+func parseSizes(sizes string) ([]int, error) {
+	if sizes == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sizes entry %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// writeBenchout writes the experiment's JSON record to -benchout, when
+// set.
+func writeBenchout(cfg benchConfig, write func(io.Writer) error) error {
+	if cfg.benchout == "" {
+		return nil
+	}
+	f, err := os.Create(cfg.benchout)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "wrote %s\n", cfg.benchout)
+	return nil
 }

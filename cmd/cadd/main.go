@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cadd [-addr :8470] [-queue 64] [-max-streams 1024]
-//	     [-shutdown-timeout 30s]
+//	     [-shutdown-timeout 30s] [-pprof 127.0.0.1:0]
 //
 // API (all JSON; see internal/service for the wire types):
 //
@@ -26,6 +26,14 @@
 // stream's queue (bounded by -shutdown-timeout), and exits — accepted
 // snapshots are never silently dropped.
 //
+// -pprof serves the net/http/pprof profiling endpoints (/debug/pprof/)
+// on a dedicated listener, kept off the public API address so profiling
+// is never exposed by accident. It is off by default; pass e.g.
+// -pprof 127.0.0.1:6060 (or :0 for a free port — the bound address is
+// announced on stdout) to profile a live daemon:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // Example session:
 //
 //	cadd -addr :8470 &
@@ -36,11 +44,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue           = fs.Int("queue", 64, "default per-stream ingest queue bound")
 		maxStreams      = fs.Int("max-streams", 1024, "maximum concurrently live streams")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 30*time.Second, "drain budget after SIGTERM")
+		pprofAddr       = fs.String("pprof", "", "serve net/http/pprof on this dedicated address (off when empty; :0 picks a free port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +89,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "cadd: listening on %s\n", ln.Addr())
+
+	// Profiling stays on its own mux and listener: the public handler
+	// never gains /debug/pprof/, even with the flag set.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "cadd: pprof:", err)
+			return 1
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(stdout, "cadd: pprof on %s\n", pln.Addr())
+		go func() {
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(stderr, "cadd: pprof:", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -106,6 +142,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := srv.Shutdown(sctx); err != nil {
 		fmt.Fprintln(stderr, "cadd:", err)
 		code = 1
+	}
+	if ps != nil {
+		// Best-effort: an aborted in-flight profile is not a failed drain.
+		if err := ps.Shutdown(sctx); err != nil {
+			fmt.Fprintln(stderr, "cadd: pprof shutdown:", err)
+		}
 	}
 	fmt.Fprintln(stdout, "cadd: bye")
 	return code

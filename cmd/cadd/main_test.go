@@ -87,6 +87,66 @@ func TestBootServeShutdown(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoint boots with -pprof on a free port and verifies the
+// profiling mux answers on its own listener while the public API does
+// not expose /debug/pprof/.
+func TestPprofEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	var wg sync.WaitGroup
+	var code int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pw.Close()
+		code = run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-shutdown-timeout", "10s"}, pw, &stderr)
+	}()
+
+	// First stdout line announces the API address, second the pprof one.
+	sc := bufio.NewScanner(pr)
+	var api, prof string
+	for _, dst := range []*string{&api, &prof} {
+		if !sc.Scan() {
+			t.Fatalf("missing startup line; stderr: %s", stderr.String())
+		}
+		line := sc.Text()
+		*dst = "http://" + line[strings.LastIndex(line, " ")+1:]
+	}
+	go io.Copy(io.Discard, pr)
+
+	resp, err := http.Get(prof + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %s", resp.Status)
+	}
+	resp, err = http.Get(api + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public API address serves /debug/pprof/ — profiling leaked onto the serving mux")
+	}
+
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+}
+
 func TestBadFlagsExit2(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-nope"}, &out, &errb); code != 2 {

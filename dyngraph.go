@@ -130,9 +130,10 @@ type Options struct {
 	// O(n³) commute-time computation instead of the embedding
 	// (default 400).
 	ExactCutoff int
-	// Workers parallelizes the embedding's Laplacian solves across
-	// goroutines (default sequential). Results are identical for any
-	// value.
+	// Workers parallelizes the embedding build: the blocked Laplacian
+	// solver shards its matrix traversals across this many goroutines
+	// (default sequential). Results are identical for any value; it
+	// pays off on large graphs (see docs/TUTORIAL.md §6).
 	Workers int
 	// SharedProjections shares one set of random projection streams
 	// across all graph instances (common random numbers) instead of the

@@ -1,0 +1,108 @@
+package commute
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The block build path must reproduce the per-row reference path
+// bit-for-bit: the blocked PCG performs the same per-column arithmetic
+// in the same order, cold and warm, for both projection modes.
+func TestBlockBuildMatchesPerRowBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g0 := benchGraph(250)
+	g1 := editGraph(rng, g0, 5)
+	for _, shared := range []bool{false, true} {
+		cfg := Config{K: 9, Seed: 13, SharedProjections: shared}
+		blk, err := NewEmbedding(g0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewEmbeddingPerRowFrom(g0, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.stats.PCGIterations != ref.stats.PCGIterations {
+			t.Fatalf("shared=%v: block build took %d PCG iterations, per-row %d",
+				shared, blk.stats.PCGIterations, ref.stats.PCGIterations)
+		}
+		for i := range blk.z {
+			if blk.z[i] != ref.z[i] {
+				t.Fatalf("shared=%v: cold build differs at %d: %g vs %g", shared, i, blk.z[i], ref.z[i])
+			}
+		}
+		if !shared {
+			continue
+		}
+		// Warm rebuild across an edit: both paths start every column
+		// from blk/ref's solutions and must stay bit-identical.
+		wblk, err := NewEmbeddingFrom(g1, blk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wref, err := NewEmbeddingPerRowFrom(g1, ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wblk.stats.Warm || !wref.stats.Warm {
+			t.Fatal("warm rebuild did not take the warm path")
+		}
+		for i := range wblk.z {
+			if wblk.z[i] != wref.z[i] {
+				t.Fatalf("warm build differs at %d: %g vs %g", i, wblk.z[i], wref.z[i])
+			}
+		}
+	}
+}
+
+// The block solver must report its traversal count: BlockIterations is
+// the max per-row iteration count, positive on a real build, no larger
+// than the per-row total, and zero on the free unchanged-graph rebuild.
+func TestBlockIterationsStats(t *testing.T) {
+	g := benchGraph(300)
+	cfg := Config{K: 8, Seed: 3, SharedProjections: true}
+	cold, err := NewEmbedding(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.BlockIterations <= 0 {
+		t.Fatalf("cold build BlockIterations = %d, want > 0", st.BlockIterations)
+	}
+	if st.BlockIterations > st.PCGIterations {
+		t.Fatalf("BlockIterations %d exceeds total PCGIterations %d", st.BlockIterations, st.PCGIterations)
+	}
+	warm, err := NewEmbeddingFrom(g, cold, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.BlockIterations != 0 || st.PCGIterations != 0 {
+		t.Fatalf("unchanged-graph rebuild did work: %+v", st)
+	}
+}
+
+// Workers shards SpMM rows inside the block solve; any worker count
+// must yield the bit-identical embedding (the guarantee the old
+// whole-solve sharding provided, preserved by row ownership). Run with
+// -race this also gates the parallel SpMM for data races.
+func TestBlockWorkersBitIdentical(t *testing.T) {
+	g := benchGraph(700) // above the parallel kernel's serial cutoff
+	cfg := Config{K: 6, Seed: 11, SharedProjections: true}
+	seq, err := NewEmbedding(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		cfgw := cfg
+		cfgw.Workers = w
+		par, err := NewEmbedding(g, cfgw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq.z {
+			if par.z[i] != seq.z[i] {
+				t.Fatalf("workers=%d changed the embedding at %d: %g vs %g", w, i, par.z[i], seq.z[i])
+			}
+		}
+	}
+}

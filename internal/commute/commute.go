@@ -119,10 +119,14 @@ type Config struct {
 	SharedProjections bool
 	// Solver configures the Laplacian solves.
 	Solver solver.Options
-	// Workers is the number of goroutines solving projection rows
-	// concurrently. Zero or one means sequential. Workers share one
-	// preconditioner setup via cloned solvers, so choose Workers ≈ CPU
-	// cores for large graphs and leave it at 1 for small ones.
+	// Workers is the number of goroutines sharing the blocked solve's
+	// sparse matrix-block products (row-sharded SpMM). Zero or one
+	// means serial. The embedding is identical for any Workers value:
+	// each output row is owned by exactly one shard and computed with
+	// the serial kernel's arithmetic. Parallelism only pays on large
+	// graphs — the SpMM is sharded per PCG iteration — so choose
+	// Workers ≈ CPU cores for n in the tens of thousands and leave it
+	// at 1 for small ones.
 	Workers int
 }
 
@@ -136,9 +140,6 @@ func (c Config) k() int {
 func (c Config) workers() int {
 	if c.Workers <= 1 {
 		return 1
-	}
-	if c.Workers > c.k() {
-		return c.k()
 	}
 	return c.Workers
 }
@@ -165,6 +166,13 @@ type BuildStats struct {
 	// across all rows — the embedding's dominant cost, and the quantity
 	// warm starts shrink.
 	PCGIterations int
+	// BlockIterations is the number of blocked-PCG iterations the build
+	// performed — the maximum per-row count, since the block solver
+	// carries all k rows per iteration and deactivates rows as they
+	// converge. Each block iteration streams the Laplacian once, so
+	// this (not PCGIterations) counts matrix traversals. Zero for the
+	// retained per-row build path.
+	BlockIterations int
 	// Warm is true when the rows were warm-started from a previous
 	// snapshot's embedding (NewEmbeddingFrom with a compatible prev).
 	Warm bool
@@ -225,9 +233,10 @@ func NewEmbeddingFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, 
 	return buildEmbedding(g, prev, cfg)
 }
 
-// buildEmbedding is the shared build loop; prev non-nil selects the
+// newEmbeddingShell allocates the embedding and its solver, shared by
+// the block and per-row build paths; prev non-nil selects the
 // warm-started incremental path and must already be validated.
-func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config) *Embedding {
 	n := g.N()
 	k := cfg.k()
 	emb := &Embedding{
@@ -238,48 +247,120 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, er
 		g:      g,
 		key:    cfg.key(),
 	}
-	var lap *solver.Laplacian
 	if prev != nil {
-		lap = solver.NewLaplacianFrom(g, prev.g, prev.lap, cfg.Solver)
+		emb.lap = solver.NewLaplacianFrom(g, prev.g, prev.lap, cfg.Solver)
 	} else {
-		lap = solver.NewLaplacian(g, cfg.Solver)
+		emb.lap = solver.NewLaplacian(g, cfg.Solver)
 	}
-	emb.lap = lap
-	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: lap.ReusedPrecond()}
+	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: emb.lap.ReusedPrecond()}
+	return emb
+}
 
+// embedRowSeed derives projection row `row`'s random stream, so the
+// embedding is a pure function of (graph, K, Seed) — identical for any
+// Workers value.
+func embedRowSeed(seed int64, row int) int64 {
+	const golden = 0x9E3779B97F4A7C15
+	return seed ^ int64(uint64(row+1)*golden)
+}
+
+// projectionRHS writes y_row = (Q W^{1/2} B)ᵀ for projection row `row`
+// — each edge contributes ±√(w)/√k to its endpoints with opposite
+// signs — into column `col` of the row-major n×stride block y (pass
+// stride=1, col=0 for a single dense vector).
+func projectionRHS(y []float64, stride, col, row int, edges []graph.Edge, cfg Config, scale float64) {
+	if cfg.SharedProjections {
+		rs := embedRowSeed(cfg.Seed, row)
+		for _, e := range edges {
+			q := edgeSign(rs, e.I, e.J) * scale * math.Sqrt(e.W)
+			y[e.I*stride+col] += q
+			y[e.J*stride+col] -= q
+		}
+		return
+	}
+	rng := xrand.New(embedRowSeed(cfg.Seed, row))
+	for _, e := range edges {
+		q := rng.Rademacher() * scale * math.Sqrt(e.W)
+		y[e.I*stride+col] += q
+		y[e.J*stride+col] -= q
+	}
+}
+
+// buildEmbedding performs the k Laplacian solves as one blocked
+// multi-RHS PCG call: the embedding's row-major z storage (vertex i's
+// vector at z[i*k:(i+1)*k]) is exactly the solver's block layout, so
+// the right-hand sides are assembled in place, the previous snapshot's
+// z doubles as the warm-start block with a single copy, and no per-row
+// gather/scatter remains. Workers shards the per-iteration SpMM row
+// ranges; the result is bit-identical for every value, and matches the
+// retained per-row reference path (buildEmbeddingPerRow) bit-for-bit.
+func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+	emb := newEmbeddingShell(g, prev, cfg)
+	n, k := emb.n, emb.k
+	edges := g.Edges()
+	scale := 1 / math.Sqrt(float64(k))
+
+	y := make([]float64, n*k)
+	for row := 0; row < k; row++ {
+		projectionRHS(y, k, row, row, edges, cfg, scale)
+	}
+
+	var stats []solver.Stats
+	var err error
+	if prev != nil {
+		// Warm start every column from the previous snapshot's
+		// solution — prev.z already is the n×k guess block.
+		copy(emb.z, prev.z)
+		stats, err = emb.lap.SolveBlockFrom(emb.z, y, k, cfg.workers())
+	} else {
+		stats, err = emb.lap.SolveBlock(emb.z, y, k, cfg.workers())
+	}
+	for _, st := range stats {
+		emb.stats.PCGIterations += st.Iterations
+		if st.Iterations > emb.stats.BlockIterations {
+			emb.stats.BlockIterations = st.Iterations
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("commute: embedding block solve: %w", err)
+	}
+	return emb, nil
+}
+
+// NewEmbeddingPerRowFrom builds the oracle with the pre-block path — k
+// independent single-RHS solves, optionally farmed out to Workers
+// goroutines over cloned solvers — warm-started from prev when it is
+// compatible (nil means cold). It produces bit-identical embeddings to
+// the block path and is retained as the reference implementation for
+// the equivalence tests and the blocked-vs-per-row benchmarks
+// (BenchmarkEmbeddingBlockedVsPerRow, cadbench -exp block).
+func NewEmbeddingPerRowFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
+		prev.n != g.N() || prev.key != cfg.key() {
+		prev = nil
+	}
+	return buildEmbeddingPerRow(g, prev, cfg)
+}
+
+// buildEmbeddingPerRow is the per-row reference build loop behind
+// NewEmbeddingPerRowFrom.
+func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+	emb := newEmbeddingShell(g, prev, cfg)
+	n, k := emb.n, emb.k
+	lap := emb.lap
 	edges := g.Edges()
 	scale := 1 / math.Sqrt(float64(k))
 	workers := cfg.workers()
-
-	// Each projection row draws from its own derived stream, so the
-	// embedding is a pure function of (graph, K, Seed) — identical for
-	// any Workers value.
-	rowSeed := func(row int) int64 {
-		const golden = 0x9E3779B97F4A7C15
-		return cfg.Seed ^ int64(uint64(row+1)*golden)
+	if workers > k {
+		workers = k
 	}
-	// solveRow computes y = (Q W^{1/2} B)ᵀ for one projection row —
-	// each edge contributes ±√(w)/√k to its endpoints with opposite
-	// signs — solves L x = y into the reusable scratch x, and scatters
-	// the solution into the embedding's column. It returns the solve's
-	// PCG iteration count.
+
+	// solveRow assembles row's right-hand side, solves L x = y into the
+	// reusable scratch x, and scatters the solution into the
+	// embedding's column. It returns the solve's PCG iteration count.
 	solveRow := func(lap *solver.Laplacian, y, x []float64, row int) (int, error) {
 		sparse.Zero(y)
-		if cfg.SharedProjections {
-			rs := rowSeed(row)
-			for _, e := range edges {
-				q := edgeSign(rs, e.I, e.J) * scale * math.Sqrt(e.W)
-				y[e.I] += q
-				y[e.J] -= q
-			}
-		} else {
-			rng := xrand.New(rowSeed(row))
-			for _, e := range edges {
-				q := rng.Rademacher() * scale * math.Sqrt(e.W)
-				y[e.I] += q
-				y[e.J] -= q
-			}
-		}
+		projectionRHS(y, 1, 0, row, edges, cfg, scale)
 		var st solver.Stats
 		var err error
 		if prev != nil {

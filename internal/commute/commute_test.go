@@ -308,10 +308,12 @@ func TestEmbeddingParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestEmbeddingWorkersClampedToK(t *testing.T) {
+func TestEmbeddingWorkersExceedingK(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	g := randomConnected(rng, 20)
-	// More workers than rows must still work.
+	// Workers shards matrix rows, not solves, so worker counts beyond k
+	// (and beyond the row count's worth of useful shards) must still
+	// work.
 	if _, err := NewEmbedding(g, Config{K: 3, Seed: 1, Workers: 16}); err != nil {
 		t.Fatal(err)
 	}

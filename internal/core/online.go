@@ -66,6 +66,12 @@ type OracleStats struct {
 	// PCGIterations is the total PCG iteration count the build
 	// performed across its k solves (0 for exact oracles).
 	PCGIterations int
+	// BlockIterations is the number of blocked-PCG iterations — matrix
+	// traversals — the build performed (the max per-column count; the
+	// blocked solver serves all k columns per traversal). The ratio
+	// PCGIterations / BlockIterations is the SpMM amortization the
+	// block path achieved.
+	BlockIterations int
 	// ColdEstimateIterations estimates what a cold build of the same
 	// oracle would have cost, extrapolated from the per-row cost of
 	// this stream's most recent cold build. For cold builds it equals
@@ -131,6 +137,7 @@ func (o *OnlineDetector) buildOracle(g *graph.Graph) (commute.Oracle, error) {
 		st.Warm = bs.Warm
 		st.PrecondReused = bs.PrecondReused
 		st.PCGIterations = bs.PCGIterations
+		st.BlockIterations = bs.BlockIterations
 		if bs.Warm {
 			st.ColdEstimateIterations = int(o.coldIterPerRow*float64(bs.Rows) + 0.5)
 		} else {

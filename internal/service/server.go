@@ -47,7 +47,8 @@ func New(cfg Config) *Server {
 	m.describe("cadd_push_errors_total", "Detector Push failures (e.g. vertex-count mismatch).")
 	m.describe("cadd_push_seconds", "Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.")
 	m.describe("cadd_oracle_builds_total", "Commute-oracle builds by mode: warm (incremental rebuild) or cold.")
-	m.describe("cadd_pcg_iterations_total", "PCG iterations spent building embedding oracles.")
+	m.describe("cadd_pcg_iterations_total", "PCG iterations spent building embedding oracles, summed per column.")
+	m.describe("cadd_pcg_block_iterations_total", "Blocked-PCG iterations (matrix traversals) spent building embedding oracles; iterations_total / block_iterations_total is the SpMM amortization factor.")
 	m.describe("cadd_pcg_cold_estimate_total", "Estimated PCG iterations the same builds would have cost without warm starts.")
 	return &Server{cfg: cfg.withDefaults(), metrics: m, streams: make(map[string]*stream)}
 }

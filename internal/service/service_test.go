@@ -511,4 +511,8 @@ func TestWarmStreamMatchesBatchDetector(t *testing.T) {
 	if iters >= est {
 		t.Errorf("warm stream spent %g PCG iterations vs cold estimate %g — no saving", iters, est)
 	}
+	blk := srv.metrics.counterValue("cadd_pcg_block_iterations_total", labels("stream", "warm"))
+	if blk <= 0 || blk >= iters {
+		t.Errorf("block iterations = %g, want in (0, %g): the blocked solver should serve many columns per traversal", blk, iters)
+	}
 }

@@ -141,6 +141,7 @@ func (s *stream) run() {
 				// iterations_total / cold_estimate_total is the live
 				// saving ratio of the incremental pipeline.
 				s.metrics.add("cadd_pcg_iterations_total", labels("stream", s.id), float64(ost.PCGIterations))
+				s.metrics.add("cadd_pcg_block_iterations_total", labels("stream", s.id), float64(ost.BlockIterations))
 				s.metrics.add("cadd_pcg_cold_estimate_total", labels("stream", s.id), float64(ost.ColdEstimateIterations))
 			}
 		}

@@ -117,6 +117,9 @@ type Laplacian struct {
 	r, z, p, q, s1 []float64
 	csum           []float64 // per-component sums for project
 	tsum           []float64 // per-component means for the tree solve
+
+	// blk is the lazily sized SolveBlock iteration state (see block.go).
+	blk *blockScratch
 }
 
 // resolvePrecond applies the PrecondAuto density rule for g.
@@ -232,6 +235,7 @@ func (s *Laplacian) Clone() *Laplacian {
 }
 
 func (s *Laplacian) allocScratch() {
+	s.blk = nil // block scratch is per-solver; Clone must not share it
 	s.r = make([]float64, s.n)
 	s.z = make([]float64, s.n)
 	s.p = make([]float64, s.n)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dyngraph/internal/graph"
+	"dyngraph/internal/sparse"
 )
 
 // spanningTree is a rooted spanning forest of a graph together with the
@@ -162,5 +163,115 @@ func (t *spanningTree) solve(dst, b, scratch, means []float64) {
 	}
 	for v := 0; v < n; v++ {
 		dst[v] -= means[t.comp[v]]
+	}
+}
+
+// solveBlock is solve for a row-major n×k block of right-hand sides,
+// restricted to the packed column list cols (nil means all). One
+// traversal of the tree order serves every column; per column the
+// arithmetic matches solve exactly, so column c of the result is
+// bit-identical to solve on column c alone. dst and scratch are n×k
+// blocks, means a compSize×k block.
+func (t *spanningTree) solveBlock(dst, b, scratch, means []float64, k int, cols []int) {
+	n := t.n
+	sparse.CopyCols(scratch, b, k, cols)
+	// Subtree sums of b, leaf-to-root.
+	for idx := n - 1; idx >= 0; idx-- {
+		v := t.order[idx]
+		p := t.parent[v]
+		if p < 0 {
+			continue
+		}
+		sv := scratch[v*k : v*k+k]
+		sp := scratch[p*k : p*k+k]
+		if cols == nil {
+			for c, s := range sv {
+				sp[c] += s
+			}
+			continue
+		}
+		for _, c := range cols {
+			sp[c] += sv[c]
+		}
+	}
+	// Potentials root-to-leaf.
+	for _, v := range t.order {
+		p := t.parent[v]
+		dv := dst[v*k : v*k+k]
+		if p < 0 {
+			if cols == nil {
+				for c := range dv {
+					dv[c] = 0
+				}
+			} else {
+				for _, c := range cols {
+					dv[c] = 0
+				}
+			}
+			continue
+		}
+		w := t.upWeight[v]
+		dp := dst[p*k : p*k+k]
+		sv := scratch[v*k : v*k+k]
+		if cols == nil {
+			for c := range dv {
+				dv[c] = dp[c] + sv[c]/w
+			}
+			continue
+		}
+		for _, c := range cols {
+			dv[c] = dp[c] + sv[c]/w
+		}
+	}
+	// Mean-center per component per column.
+	for comp := range t.compSize {
+		mr := means[comp*k : comp*k+k]
+		if cols == nil {
+			for c := range mr {
+				mr[c] = 0
+			}
+		} else {
+			for _, c := range cols {
+				mr[c] = 0
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		mr := means[t.comp[v]*k : t.comp[v]*k+k]
+		dv := dst[v*k : v*k+k]
+		if cols == nil {
+			for c, d := range dv {
+				mr[c] += d
+			}
+			continue
+		}
+		for _, c := range cols {
+			mr[c] += dv[c]
+		}
+	}
+	for comp, size := range t.compSize {
+		mr := means[comp*k : comp*k+k]
+		if cols == nil {
+			for c := range mr {
+				mr[c] /= float64(size)
+			}
+		} else {
+			for _, c := range cols {
+				mr[c] /= float64(size)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		mr := means[t.comp[v]*k : t.comp[v]*k+k]
+		dv := dst[v*k : v*k+k]
+		if cols == nil {
+			for c := range dv {
+				dv[c] -= mr[c]
+			}
+			continue
+		}
+		for _, c := range cols {
+			dv[c] -= mr[c]
+		}
 	}
 }

@@ -1,0 +1,276 @@
+package sparse
+
+import (
+	"math"
+	"sync"
+)
+
+// Block kernels: dense n×k right-hand-side blocks stored row-major
+// (entry (i, c) at x[i*k+c]), the layout the commute-time embedding
+// already uses for its vertex vectors. The point of the block form is
+// memory traffic, not flops: MulBlock streams the CSR arrays through
+// the cache hierarchy once for all k columns, where k separate MulVec
+// calls stream them k times. Every kernel performs the same per-column
+// arithmetic in the same order as its single-vector counterpart, so a
+// block operation is bit-identical to k independent vector operations
+// — the property the blocked PCG solver's equivalence tests pin down.
+//
+// The masked variants take a packed list of active column indices
+// (cols); nil means all k columns. The blocked solver uses them to
+// deactivate converged columns so stragglers stop paying for finished
+// ones.
+
+// checkBlock validates a row-major Rows×k operand pair for MulBlock.
+func (m *CSR) checkBlock(dst, x []float64, k int) {
+	if k <= 0 {
+		panic("sparse: MulBlock non-positive block width")
+	}
+	if len(x) != m.Cols*k || len(dst) != m.Rows*k {
+		panic("sparse: MulBlock dimension mismatch")
+	}
+}
+
+// MulBlock computes dst = M·X for row-major n×k blocks in a single
+// traversal of the matrix. Column c of the result is bit-identical to
+// MulVec applied to column c alone.
+func (m *CSR) MulBlock(dst, x []float64, k int) {
+	m.checkBlock(dst, x, k)
+	m.mulBlockRows(dst, x, k, 0, m.Rows, nil)
+}
+
+// MulBlockCols is MulBlock restricted to the packed column list cols
+// (nil means all columns). Entries of dst outside cols are left
+// untouched.
+func (m *CSR) MulBlockCols(dst, x []float64, k int, cols []int) {
+	m.checkBlock(dst, x, k)
+	m.mulBlockRows(dst, x, k, 0, m.Rows, cols)
+}
+
+// MulBlockRange computes rows [lo, hi) of dst = M·X for the packed
+// column list cols (nil means all). It is the serial building block of
+// MulBlockParallel, exported so tests can pin the shard-vs-whole
+// equivalence directly.
+func (m *CSR) MulBlockRange(dst, x []float64, k, lo, hi int, cols []int) {
+	m.checkBlock(dst, x, k)
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic("sparse: MulBlockRange bad row range")
+	}
+	m.mulBlockRows(dst, x, k, lo, hi, cols)
+}
+
+// mulBlockRows is the SpMM workhorse: rows [lo, hi), masked by cols
+// when non-nil. Each output row is written by exactly one caller, and
+// the per-(row, column) accumulation order matches MulVec, so sharding
+// rows across goroutines stays deterministic and bit-identical to the
+// serial kernel.
+func (m *CSR) mulBlockRows(dst, x []float64, k, lo, hi int, cols []int) {
+	rowPtr, colIdx, val := m.RowPtr, m.ColIdx, m.Val
+	if cols == nil {
+		start := rowPtr[lo]
+		for i := lo; i < hi; i++ {
+			end := rowPtr[i+1]
+			out := dst[i*k : i*k+k]
+			for c := range out {
+				out[c] = 0
+			}
+			cs := colIdx[start:end]
+			vs := val[start:end]
+			vs = vs[:len(cs)]
+			for t, j := range cs {
+				v := vs[t]
+				xr := x[j*k : j*k+k]
+				xr = xr[:len(out)]
+				for c := range out {
+					out[c] += v * xr[c]
+				}
+			}
+			start = end
+		}
+		return
+	}
+	start := rowPtr[lo]
+	for i := lo; i < hi; i++ {
+		end := rowPtr[i+1]
+		out := dst[i*k : i*k+k]
+		for _, c := range cols {
+			out[c] = 0
+		}
+		cs := colIdx[start:end]
+		vs := val[start:end]
+		vs = vs[:len(cs)]
+		for t, j := range cs {
+			v := vs[t]
+			xr := x[j*k : j*k+k]
+			for _, c := range cols {
+				out[c] += v * xr[c]
+			}
+		}
+		start = end
+	}
+}
+
+// mulBlockParallelMinRows is the matrix size below which goroutine
+// fan-out costs more than it saves and MulBlockParallel runs serially.
+const mulBlockParallelMinRows = 512
+
+// MulBlockParallel is MulBlockCols with the rows sharded across up to
+// workers goroutines. Shard boundaries are balanced by stored-entry
+// count, and because each output row is owned by exactly one shard and
+// computed with the serial kernel's arithmetic, the result is
+// deterministic and bit-identical to MulBlock for every workers value.
+func (m *CSR) MulBlockParallel(dst, x []float64, k int, cols []int, workers int) {
+	m.checkBlock(dst, x, k)
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers <= 1 || m.Rows < mulBlockParallelMinRows {
+		m.mulBlockRows(dst, x, k, 0, m.Rows, cols)
+		return
+	}
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers && lo < m.Rows; w++ {
+		hi := m.splitRow(w+1, workers)
+		if hi <= lo {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulBlockRows(dst, x, k, lo, hi, cols)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// splitRow returns the row boundary ending shard w of parts, chosen so
+// shards carry roughly equal numbers of stored entries (binary search
+// on the RowPtr prefix sums).
+func (m *CSR) splitRow(w, parts int) int {
+	if w >= parts {
+		return m.Rows
+	}
+	target := len(m.Val) * w / parts
+	lo, hi := 0, m.Rows
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.RowPtr[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DotCols computes the per-column inner products dst[c] = Σ_i X[i,c]·Y[i,c]
+// for each c in cols (nil means all k). Entries of dst outside cols are
+// left untouched. Per column the accumulation order matches Dot.
+func DotCols(dst, x, y []float64, k int, cols []int) {
+	checkBlockPair(x, y, k)
+	if cols == nil {
+		for c := 0; c < k; c++ {
+			dst[c] = 0
+		}
+		for i := 0; i*k < len(x); i++ {
+			xr := x[i*k : i*k+k]
+			yr := y[i*k : i*k+k]
+			yr = yr[:len(xr)]
+			for c, v := range xr {
+				dst[c] += v * yr[c]
+			}
+		}
+		return
+	}
+	for _, c := range cols {
+		dst[c] = 0
+	}
+	for i := 0; i*k < len(x); i++ {
+		xr := x[i*k : i*k+k]
+		yr := y[i*k : i*k+k]
+		for _, c := range cols {
+			dst[c] += xr[c] * yr[c]
+		}
+	}
+}
+
+// ColNorms2 computes the per-column Euclidean norms dst[c] = ‖X[:,c]‖₂
+// for each c in cols (nil means all k), bit-identical per column to
+// Norm2 on that column.
+func ColNorms2(dst, x []float64, k int, cols []int) {
+	DotCols(dst, x, x, k, cols)
+	if cols == nil {
+		for c := 0; c < k; c++ {
+			dst[c] = math.Sqrt(dst[c])
+		}
+		return
+	}
+	for _, c := range cols {
+		dst[c] = math.Sqrt(dst[c])
+	}
+}
+
+// AxpyCols computes Y[:,c] += alpha[c]·X[:,c] for each c in cols (nil
+// means all k).
+func AxpyCols(alpha []float64, x, y []float64, k int, cols []int) {
+	checkBlockPair(x, y, k)
+	if cols == nil {
+		for i := 0; i*k < len(x); i++ {
+			xr := x[i*k : i*k+k]
+			yr := y[i*k : i*k+k]
+			yr = yr[:len(xr)]
+			for c, v := range xr {
+				yr[c] += alpha[c] * v
+			}
+		}
+		return
+	}
+	for i := 0; i*k < len(x); i++ {
+		xr := x[i*k : i*k+k]
+		yr := y[i*k : i*k+k]
+		for _, c := range cols {
+			yr[c] += alpha[c] * xr[c]
+		}
+	}
+}
+
+// CopyCols copies columns cols (nil means all k) of src into dst.
+func CopyCols(dst, src []float64, k int, cols []int) {
+	checkBlockPair(dst, src, k)
+	if cols == nil {
+		copy(dst, src)
+		return
+	}
+	for i := 0; i*k < len(src); i++ {
+		sr := src[i*k : i*k+k]
+		dr := dst[i*k : i*k+k]
+		for _, c := range cols {
+			dr[c] = sr[c]
+		}
+	}
+}
+
+// ZeroCols zeroes columns cols (nil means all k) of x.
+func ZeroCols(x []float64, k int, cols []int) {
+	if cols == nil {
+		Zero(x)
+		return
+	}
+	for i := 0; i*k < len(x); i++ {
+		xr := x[i*k : i*k+k]
+		for _, c := range cols {
+			xr[c] = 0
+		}
+	}
+}
+
+// checkBlockPair validates two same-shape row-major blocks.
+func checkBlockPair(x, y []float64, k int) {
+	if k <= 0 {
+		panic("sparse: block kernel non-positive width")
+	}
+	if len(x) != len(y) || len(x)%k != 0 {
+		panic("sparse: block kernel shape mismatch")
+	}
+}

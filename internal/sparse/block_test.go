@@ -1,0 +1,208 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBlock fills a row-major n×k block with standard normals.
+func randomBlock(rng *rand.Rand, n, k int) []float64 {
+	x := make([]float64, n*k)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// MulBlock on an n×k block must equal MulVec per column bit-for-bit —
+// the contract the blocked PCG solver's exactness rests on.
+func TestMulBlockMatchesMulVecBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(80)
+		k := 1 + rng.Intn(9)
+		m, _ := benchCSR(n, 1+rng.Intn(6))
+		x := randomBlock(rng, n, k)
+		dst := randomBlock(rng, n, k) // garbage that must be overwritten
+		m.MulBlock(dst, x, k)
+
+		xc := make([]float64, n)
+		want := make([]float64, n)
+		for c := 0; c < k; c++ {
+			for i := 0; i < n; i++ {
+				xc[i] = x[i*k+c]
+			}
+			m.MulVec(want, xc)
+			for i := 0; i < n; i++ {
+				if dst[i*k+c] != want[i] {
+					t.Fatalf("trial %d col %d row %d: %g != %g", trial, c, i, dst[i*k+c], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The masked kernel must compute exactly the listed columns and leave
+// the rest of dst untouched.
+func TestMulBlockColsMasksColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	n, k := 50, 6
+	m, _ := benchCSR(n, 4)
+	x := randomBlock(rng, n, k)
+	full := make([]float64, n*k)
+	m.MulBlock(full, x, k)
+
+	dst := randomBlock(rng, n, k)
+	saved := append([]float64(nil), dst...)
+	cols := []int{0, 2, 5}
+	m.MulBlockCols(dst, x, k, cols)
+	masked := map[int]bool{0: true, 2: true, 5: true}
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			if masked[c] {
+				if dst[i*k+c] != full[i*k+c] {
+					t.Fatalf("masked col %d row %d: %g != %g", c, i, dst[i*k+c], full[i*k+c])
+				}
+			} else if dst[i*k+c] != saved[i*k+c] {
+				t.Fatalf("unlisted col %d row %d was touched", c, i)
+			}
+		}
+	}
+}
+
+// Row-sharded parallel SpMM must be deterministic and bit-identical to
+// the serial kernel for every worker count and mask — each output row
+// is owned by exactly one shard. Run under -race (make race) this also
+// proves the shards never write overlapping memory.
+func TestMulBlockParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	// Above and below the serial cutoff, skewed row densities.
+	for _, n := range []int{200, 1500} {
+		m, _ := benchCSR(n, 3)
+		k := 7
+		x := randomBlock(rng, n, k)
+		want := make([]float64, n*k)
+		m.MulBlock(want, x, k)
+		for _, workers := range []int{1, 2, 3, 8, 64} {
+			for _, cols := range [][]int{nil, {1, 4, 6}} {
+				dst := make([]float64, n*k)
+				if cols != nil {
+					copy(dst, want) // so unlisted columns compare equal
+				}
+				for rep := 0; rep < 3; rep++ {
+					m.MulBlockParallel(dst, x, k, cols, workers)
+					for i := range want {
+						if dst[i] != want[i] {
+							t.Fatalf("n=%d workers=%d cols=%v rep=%d: differs at %d",
+								n, workers, cols, rep, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MulBlockRange over a partition of the rows must reassemble the whole
+// product.
+func TestMulBlockRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	n, k := 90, 4
+	m, _ := benchCSR(n, 5)
+	x := randomBlock(rng, n, k)
+	want := make([]float64, n*k)
+	m.MulBlock(want, x, k)
+	dst := make([]float64, n*k)
+	for _, r := range [][2]int{{0, 17}, {17, 17}, {17, 60}, {60, 90}} {
+		m.MulBlockRange(dst, x, k, r[0], r[1], nil)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("partitioned product differs at %d", i)
+		}
+	}
+}
+
+// Per-column reductions must match their single-vector counterparts
+// bit-for-bit.
+func TestColumnKernelsMatchVectorKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	n, k := 70, 5
+	x := randomBlock(rng, n, k)
+	y := randomBlock(rng, n, k)
+	alpha := []float64{0.5, -1, 2, 0, 1.25}
+
+	xc := make([]float64, n)
+	yc := make([]float64, n)
+	col := func(src []float64, dst []float64, c int) {
+		for i := 0; i < n; i++ {
+			dst[i] = src[i*k+c]
+		}
+	}
+
+	dots := make([]float64, k)
+	DotCols(dots, x, y, k, nil)
+	norms := make([]float64, k)
+	ColNorms2(norms, x, k, []int{0, 1, 2, 3, 4})
+	ax := append([]float64(nil), y...)
+	AxpyCols(alpha, x, ax, k, nil)
+
+	for c := 0; c < k; c++ {
+		col(x, xc, c)
+		col(y, yc, c)
+		if want := Dot(xc, yc); dots[c] != want {
+			t.Fatalf("DotCols[%d] = %g, Dot = %g", c, dots[c], want)
+		}
+		if want := Norm2(xc); norms[c] != want {
+			t.Fatalf("ColNorms2[%d] = %g, Norm2 = %g", c, norms[c], want)
+		}
+		Axpy(alpha[c], xc, yc)
+		for i := 0; i < n; i++ {
+			if ax[i*k+c] != yc[i] {
+				t.Fatalf("AxpyCols col %d row %d: %g != %g", c, i, ax[i*k+c], yc[i])
+			}
+		}
+	}
+
+	// Masked copy/zero leave unlisted columns alone.
+	cp := randomBlock(rng, n, k)
+	saved := append([]float64(nil), cp...)
+	CopyCols(cp, x, k, []int{1, 3})
+	ZeroCols(cp, k, []int{0})
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			var want float64
+			switch c {
+			case 0:
+				want = 0
+			case 1, 3:
+				want = x[i*k+c]
+			default:
+				want = saved[i*k+c]
+			}
+			if cp[i*k+c] != want {
+				t.Fatalf("copy/zero col %d row %d: %g != %g", c, i, cp[i*k+c], want)
+			}
+		}
+	}
+}
+
+// Shape mismatches must panic loudly, like the vector kernels.
+func TestBlockKernelPanics(t *testing.T) {
+	m, _ := benchCSR(10, 2)
+	for name, f := range map[string]func(){
+		"width":    func() { m.MulBlock(make([]float64, 10), make([]float64, 10), 0) },
+		"short":    func() { m.MulBlock(make([]float64, 10), make([]float64, 30), 3) },
+		"badrange": func() { m.MulBlockRange(make([]float64, 20), make([]float64, 20), 2, 5, 3, nil) },
+		"pair":     func() { DotCols(make([]float64, 2), make([]float64, 10), make([]float64, 8), 2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -138,16 +138,27 @@ func (m *CSR) Row(i int) (cols []int, vals []float64) {
 }
 
 // MulVec computes dst = M*x. It panics on dimension mismatch.
+//
+// The inner loop ranges over the row's column slice with the value
+// slice re-sliced to the same length, so the compiler drops the
+// per-nonzero bounds checks; only x[j] keeps one (j is data-dependent).
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("sparse: CSR.MulVec dimension mismatch")
 	}
+	rowPtr, colIdx, val := m.RowPtr, m.ColIdx, m.Val
+	start := rowPtr[0]
 	for i := 0; i < m.Rows; i++ {
+		end := rowPtr[i+1]
+		cols := colIdx[start:end]
+		vals := val[start:end]
+		vals = vals[:len(cols)]
 		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
+		for k, j := range cols {
+			s += vals[k] * x[j]
 		}
 		dst[i] = s
+		start = end
 	}
 }
 
