@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke
 
 tier1: vet build test
 
@@ -37,3 +37,11 @@ bench:
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/cadbench -exp block -sizes 300
+
+# End-to-end check of the tracing pipeline: run cadrun over the toy
+# dataset with -trace-out and validate the Chrome trace_event document
+# it writes. CI runs this.
+trace-smoke:
+	$(GO) run ./cmd/datagen -dataset toy -out /tmp/cad-trace-smoke.txt
+	$(GO) run ./cmd/cadrun -in /tmp/cad-trace-smoke.txt -trace-out /tmp/cad-trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/cad-trace-smoke.json

@@ -23,6 +23,7 @@ import (
 	"dyngraph/internal/asciiplot"
 	"dyngraph/internal/datagen"
 	"dyngraph/internal/experiments"
+	"dyngraph/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ type benchConfig struct {
 	sizes, family string
 	detail, plot  bool
 	benchout      string
+	traceOut      string
 	out           io.Writer
 }
 
@@ -55,6 +57,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
 		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
 		benchout = fs.String("benchout", "", "write -exp stream/block results as JSON to this file (e.g. BENCH_stream.json)")
+		traceOut = fs.String("trace-out", "", "write -exp stream per-push pipeline traces to this file as Chrome trace_event JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,7 +70,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	cfg := benchConfig{
 		n: *n, trials: *trials, k: *k, seed: *seed,
 		sizes: *sizes, family: *family, detail: *detail, plot: *plot,
-		benchout: *benchout, out: stdout,
+		benchout: *benchout, traceOut: *traceOut, out: stdout,
 	}
 	for _, id := range ids {
 		if err := run(id, cfg); err != nil {
@@ -221,12 +224,21 @@ func run(id string, cfg benchConfig) error {
 		if scfg.Sizes, err = parseSizes(sizes); err != nil {
 			return err
 		}
+		if cfg.traceOut != "" {
+			// Generous capacity: every timed push across the sweep.
+			scfg.Tracer = obs.NewTracer(4096)
+		}
 		res, err := experiments.Stream(scfg)
 		if err != nil {
 			return err
 		}
 		if err := res.Table().Fprint(cfg.out); err != nil {
 			return err
+		}
+		if scfg.Tracer != nil {
+			if err := writeTraceOut(cfg, scfg.Tracer); err != nil {
+				return err
+			}
 		}
 		return writeBenchout(cfg, res.WriteJSON)
 	case "block":
@@ -321,6 +333,24 @@ func parseSizes(sizes string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// writeTraceOut dumps the tracer's retained push traces as a Chrome
+// trace_event document at -trace-out.
+func writeTraceOut(cfg benchConfig, tracer *obs.Tracer) error {
+	f, err := os.Create(cfg.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, tracer.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "wrote %d traces to %s\n", len(tracer.Traces()), cfg.traceOut)
+	return nil
 }
 
 // writeBenchout writes the experiment's JSON record to -benchout, when

@@ -152,3 +152,38 @@ func TestBenchDistanceTiny(t *testing.T) {
 		t.Fatal("distance table missing")
 	}
 }
+
+func TestBenchStreamTraceOut(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code := realMain([]string{"-exp", "stream", "-sizes", "120", "-trace-out", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "wrote") || !strings.Contains(out.String(), "traces to") {
+		t.Fatalf("missing trace confirmation line:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	var pushes int
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "push" {
+			pushes++
+		}
+	}
+	// 13 pushes per mode (1 cold + 12 timed) × 2 modes for one size.
+	if pushes < 2 {
+		t.Fatalf("trace document has %d push events, want at least one per mode", pushes)
+	}
+}

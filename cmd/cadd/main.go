@@ -7,6 +7,7 @@
 //
 //	cadd [-addr :8470] [-queue 64] [-max-streams 1024]
 //	     [-shutdown-timeout 30s] [-pprof 127.0.0.1:0]
+//	     [-log-format text|json] [-log-level info] [-trace-buffer 64]
 //
 // API (all JSON; see internal/service for the wire types):
 //
@@ -21,6 +22,20 @@
 //	GET    /v1/streams/{id}/transitions/{t} one transition's anomalies
 //	GET    /healthz                         liveness
 //	GET    /metrics                         Prometheus text format
+//	GET    /debug/traces                    retained push traces (JSON;
+//	                                        ?stream= filters, ?format=chrome
+//	                                        emits Chrome trace_event JSON
+//	                                        for chrome://tracing / Perfetto)
+//
+// Structured logs (stream lifecycle, push errors, slow pushes) go to
+// stderr; -log-format json switches them to one-JSON-object-per-line
+// for log shippers, -log-level debug adds per-request lines. Every
+// request carries an id (X-Request-ID, minted when absent) that appears
+// in the response header, the logs and the push trace.
+//
+// -trace-buffer sets the per-stream trace retention behind
+// /debug/traces (0 disables tracing for streams that don't set their
+// own trace_buffer).
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains every
 // stream's queue (bounded by -shutdown-timeout), and exits — accepted
@@ -48,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -77,18 +93,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxStreams      = fs.Int("max-streams", 1024, "maximum concurrently live streams")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 30*time.Second, "drain budget after SIGTERM")
 		pprofAddr       = fs.String("pprof", "", "serve net/http/pprof on this dedicated address (off when empty; :0 picks a free port)")
+		logFormat       = fs.String("log-format", "text", "structured log encoding: text or json")
+		logLevel        = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		traceBuffer     = fs.Int("trace-buffer", 64, "per-stream push-trace retention for /debug/traces (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv := service.New(service.Config{DefaultQueueSize: *queue, MaxStreams: *maxStreams})
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 2
+	}
+
+	defaultTrace := *traceBuffer
+	if defaultTrace <= 0 {
+		defaultTrace = -1 // service: negative disables, 0 means default
+	}
+	srv := service.New(service.Config{
+		DefaultQueueSize:   *queue,
+		MaxStreams:         *maxStreams,
+		DefaultTraceBuffer: defaultTrace,
+		Logger:             logger,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadd:", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "cadd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"queue", *queue, "max_streams", *maxStreams, "trace_buffer", *traceBuffer)
 
 	// Profiling stays on its own mux and listener: the public handler
 	// never gains /debug/pprof/, even with the flag set.
@@ -132,6 +168,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Graceful shutdown: stop taking requests first, then drain every
 	// stream's queue so accepted snapshots are scored before exit.
 	fmt.Fprintln(stdout, "cadd: shutting down, draining streams")
+	logger.Info("shutting down", "drain_budget", shutdownTimeout.String())
 	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	code := 0
@@ -151,4 +188,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "cadd: bye")
 	return code
+}
+
+// newLogger builds the daemon's slog.Logger from the -log-format and
+// -log-level flags.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	cadrun -in sequence.txt [-variant cad|adj|com] [-l 5] [-k 50]
-//	       [-aggregate w] [-json] [-ego]
+//	       [-aggregate w] [-json] [-ego] [-trace-out trace.json]
+//
+// -trace-out records one pipeline trace per oracle build and writes
+// them as Chrome trace_event JSON; load the file in chrome://tracing
+// or https://ui.perfetto.dev to see where the run spent its time.
 //
 // Example:
 //
@@ -36,15 +40,16 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("in", "", "input sequence file (required; '-' for stdin)")
-		variant = fs.String("variant", "cad", "scoring variant: cad, adj or com")
-		l       = fs.Float64("l", 5, "average anomalous nodes per transition (auto-δ target)")
-		k       = fs.Int("k", 50, "commute-embedding dimension for large graphs")
-		seed    = fs.Int64("seed", 1, "random seed for the embedding")
-		asJSON  = fs.Bool("json", false, "emit the report as JSON")
-		ego     = fs.Bool("ego", false, "print the top anomalous node's 1-hop ego network before and after its hottest transition")
-		agg     = fs.Int("aggregate", 1, "sum consecutive windows of this many instances before detection")
-		stats   = fs.Bool("stats", false, "print per-instance graph statistics before detection")
+		in       = fs.String("in", "", "input sequence file (required; '-' for stdin)")
+		variant  = fs.String("variant", "cad", "scoring variant: cad, adj or com")
+		l        = fs.Float64("l", 5, "average anomalous nodes per transition (auto-δ target)")
+		k        = fs.Int("k", 50, "commute-embedding dimension for large graphs")
+		seed     = fs.Int64("seed", 1, "random seed for the embedding")
+		asJSON   = fs.Bool("json", false, "emit the report as JSON")
+		ego      = fs.Bool("ego", false, "print the top anomalous node's 1-hop ego network before and after its hottest transition")
+		agg      = fs.Int("aggregate", 1, "sum consecutive windows of this many instances before detection")
+		stats    = fs.Bool("stats", false, "print per-instance graph statistics before detection")
+		traceOut = fs.String("trace-out", "", "write per-oracle pipeline traces to this file as Chrome trace_event JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,12 +102,25 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	det := dyngraph.NewDetector(dyngraph.Options{Variant: v, K: *k, Seed: *seed})
+	var tracer *dyngraph.Tracer
+	if *traceOut != "" {
+		tracer = dyngraph.NewTracer(seq.T())
+		det.SetTracer(tracer)
+	}
 	res, err := det.Run(seq)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadrun:", err)
 		return 1
 	}
 	rep := res.AutoThreshold(*l)
+
+	if tracer != nil {
+		if err := writeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(stderr, "cadrun:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "cadrun: wrote %d traces to %s\n", len(tracer.Traces()), *traceOut)
+	}
 
 	if *asJSON {
 		if err := dyngraph.WriteReportJSON(stdout, rep); err != nil {
@@ -169,6 +187,20 @@ func printHottestEgo(w io.Writer, seq *dyngraph.Sequence, res *dyngraph.Result) 
 		}
 	}
 	return nil
+}
+
+// writeTraceFile dumps the retained traces as a Chrome trace_event
+// document.
+func writeTraceFile(path string, tracer *dyngraph.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dyngraph.WriteTraceChrome(f, tracer.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func labelNodes(seq *dyngraph.Sequence, nodes []int) []string {

@@ -1,0 +1,104 @@
+// Command tracecheck validates a Chrome trace_event JSON document, the
+// format cadrun/cadbench -trace-out and cadd's
+// /debug/traces?format=chrome emit.
+//
+// Usage:
+//
+//	cadrun -in seq.txt -trace-out trace.json
+//	tracecheck trace.json [more.json ...]   # '-' reads stdin
+//
+// For each file it requires a well-formed JSON object with a non-empty
+// traceEvents array whose complete ("X") events carry a name and
+// non-negative timestamps, and prints a one-line summary. Exit status
+// is non-zero on the first invalid file — `make trace-smoke` uses this
+// to catch a bit-rotted trace pipeline without a human loading the
+// file into chrome://tracing.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// traceDoc mirrors the subset of the Chrome trace_event JSON object
+// format the validator cares about.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		Ts    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		Pid   *int    `json:"pid"`
+		Tid   *int    `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: tracecheck trace.json [more.json ...]  ('-' reads stdin)")
+		return 2
+	}
+	for _, path := range args {
+		if err := check(path, stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// check validates one document and prints its event summary.
+func check(path string, stdin io.Reader, stdout io.Writer) error {
+	src := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	var spans, meta int
+	for i, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name == "" {
+				return fmt.Errorf("event %d: complete event without a name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative timestamp or duration", i, ev.Name)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				return fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+			}
+			spans++
+		case "M":
+			meta++
+		default:
+			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Phase)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("no complete (ph=X) span events")
+	}
+	fmt.Fprintf(stdout, "%s: ok (%d spans, %d metadata events)\n", path, spans, meta)
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validDoc = `{"displayTimeUnit":"ms","traceEvents":[
+ {"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"main"}},
+ {"ph":"X","pid":1,"tid":1,"name":"push","ts":0,"dur":1200},
+ {"ph":"X","pid":1,"tid":1,"name":"oracle","ts":10,"dur":900}
+]}`
+
+func TestTracecheckValid(t *testing.T) {
+	path := write(t, "ok.json", validDoc)
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ok (2 spans, 1 metadata events)") {
+		t.Fatalf("summary wrong: %s", out.String())
+	}
+}
+
+func TestTracecheckStdin(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-"}, strings.NewReader(validDoc), &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+}
+
+func TestTracecheckRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"garbage.json", "not json", "not valid JSON"},
+		{"empty.json", `{"traceEvents":[]}`, "traceEvents is empty"},
+		{"meta-only.json", `{"traceEvents":[{"ph":"M","pid":1,"tid":1,"name":"thread_name"}]}`,
+			"no complete"},
+		{"nameless.json", `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1}]}`,
+			"without a name"},
+		{"negative.json", `{"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"p","ts":-5,"dur":1}]}`,
+			"negative timestamp"},
+		{"no-tid.json", `{"traceEvents":[{"ph":"X","pid":1,"name":"p","ts":0,"dur":1}]}`,
+			"missing pid/tid"},
+		{"phase.json", `{"traceEvents":[{"ph":"B","pid":1,"tid":1,"name":"p","ts":0}]}`,
+			"unexpected phase"},
+	}
+	for _, c := range cases {
+		path := write(t, c.name, c.doc)
+		var out, errBuf bytes.Buffer
+		if code := realMain([]string{path}, nil, &out, &errBuf); code != 1 {
+			t.Errorf("%s: exit %d, want 1", c.name, code)
+		}
+		if !strings.Contains(errBuf.String(), c.wantErr) {
+			t.Errorf("%s: stderr %q missing %q", c.name, errBuf.String(), c.wantErr)
+		}
+	}
+}
+
+func TestTracecheckUsage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain(nil, nil, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "usage:") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestTracecheckMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{filepath.Join(t.TempDir(), "absent.json")}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"dyngraph/internal/core"
 	"dyngraph/internal/eval"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/service"
 )
 
@@ -282,6 +283,37 @@ type OracleStats = core.OracleStats
 
 // LastOracleStats reports the most recent Push's oracle build.
 func (o *OnlineDetector) LastOracleStats() OracleStats { return o.inner.LastOracleStats() }
+
+// Tracer retains the most recent pipeline traces in a fixed-size ring
+// buffer. Attach one to a detector with SetTracer, then read or export
+// the traces with Traces / WriteTraceJSON / WriteTraceChrome.
+type Tracer = obs.Tracer
+
+// Trace is one retained pipeline trace: a root span ("push" for the
+// streaming detector, "oracle" per instance for the batch one) whose
+// children time each stage.
+type Trace = obs.Span
+
+// NewTracer returns a tracer retaining the most recent capacity traces
+// (capacity < 1 retains one).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// SetTracer retains a per-stage trace of every subsequent Push in tr's
+// ring buffer; nil disables tracing (the default, near-zero overhead).
+func (o *OnlineDetector) SetTracer(tr *Tracer) { o.inner.SetTracer(tr) }
+
+// SetTracer retains one trace per instance-oracle build of every
+// subsequent Run. Tracing serializes the per-instance builds (identical
+// results, ordered traces); nil restores the parallel untraced path.
+func (d *Detector) SetTracer(tr *Tracer) { d.inner.SetTracer(tr) }
+
+// WriteTraceJSON writes traces as an indented JSON array of span trees.
+func WriteTraceJSON(w io.Writer, traces []*Trace) error { return obs.WriteJSON(w, traces) }
+
+// WriteTraceChrome writes traces in the Chrome trace_event format —
+// load the file in chrome://tracing or https://ui.perfetto.dev to see
+// the pipeline stages on a timeline.
+func WriteTraceChrome(w io.Writer, traces []*Trace) error { return obs.WriteChrome(w, traces) }
 
 // StreamClient is a typed HTTP client for a cadd serving daemon (see
 // cmd/cadd): create named detection streams, push graph snapshots with

@@ -34,6 +34,7 @@ import (
 
 	"dyngraph/internal/dense"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/solver"
 	"dyngraph/internal/sparse"
 	"dyngraph/internal/xrand"
@@ -208,7 +209,7 @@ func (e *Embedding) Stats() BuildStats { return e.stats }
 // an error (the partial embedding is not returned: a silently skewed
 // metric is worse than a loud failure).
 func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
-	return buildEmbedding(g, nil, cfg)
+	return buildEmbedding(g, nil, cfg, nil)
 }
 
 // NewEmbeddingFrom builds the oracle for g incrementally from the
@@ -226,17 +227,27 @@ func NewEmbedding(g *graph.Graph, cfg Config) (*Embedding, error) {
 // or solver configuration. The built embedding records which path was
 // taken in Stats.
 func NewEmbeddingFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
+	return NewEmbeddingFromTraced(g, prev, cfg, nil)
+}
+
+// NewEmbeddingFromTraced is NewEmbeddingFrom with observability spans
+// emitted under parent: "projection" (right-hand-side assembly) plus
+// the solver's "precond" and "pcg" spans, which together decompose the
+// build's cost and record its warm/cold mode and iteration counts. A
+// nil parent disables the spans.
+func NewEmbeddingFromTraced(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) (*Embedding, error) {
 	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
 		prev.n != g.N() || prev.key != cfg.key() {
 		prev = nil
 	}
-	return buildEmbedding(g, prev, cfg)
+	return buildEmbedding(g, prev, cfg, parent)
 }
 
 // newEmbeddingShell allocates the embedding and its solver, shared by
 // the block and per-row build paths; prev non-nil selects the
-// warm-started incremental path and must already be validated.
-func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config) *Embedding {
+// warm-started incremental path and must already be validated. parent
+// scopes the solver's preconditioner span (nil = untraced).
+func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) *Embedding {
 	n := g.N()
 	k := cfg.k()
 	emb := &Embedding{
@@ -248,9 +259,9 @@ func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config) *Embedding {
 		key:    cfg.key(),
 	}
 	if prev != nil {
-		emb.lap = solver.NewLaplacianFrom(g, prev.g, prev.lap, cfg.Solver)
+		emb.lap = solver.NewLaplacianFromTraced(g, prev.g, prev.lap, cfg.Solver, parent)
 	} else {
-		emb.lap = solver.NewLaplacian(g, cfg.Solver)
+		emb.lap = solver.NewLaplacianTraced(g, cfg.Solver, parent)
 	}
 	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: emb.lap.ReusedPrecond()}
 	return emb
@@ -294,16 +305,21 @@ func projectionRHS(y []float64, stride, col, row int, edges []graph.Edge, cfg Co
 // gather/scatter remains. Workers shards the per-iteration SpMM row
 // ranges; the result is bit-identical for every value, and matches the
 // retained per-row reference path (buildEmbeddingPerRow) bit-for-bit.
-func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
-	emb := newEmbeddingShell(g, prev, cfg)
+func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) (*Embedding, error) {
+	emb := newEmbeddingShell(g, prev, cfg, parent)
 	n, k := emb.n, emb.k
 	edges := g.Edges()
 	scale := 1 / math.Sqrt(float64(k))
 
+	proj := parent.StartChild("projection")
 	y := make([]float64, n*k)
 	for row := 0; row < k; row++ {
 		projectionRHS(y, k, row, row, edges, cfg, scale)
 	}
+	proj.SetInt("k", int64(k))
+	proj.SetInt("edges", int64(len(edges)))
+	proj.SetBool("shared", cfg.SharedProjections)
+	proj.End()
 
 	var stats []solver.Stats
 	var err error
@@ -311,9 +327,9 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, er
 		// Warm start every column from the previous snapshot's
 		// solution — prev.z already is the n×k guess block.
 		copy(emb.z, prev.z)
-		stats, err = emb.lap.SolveBlockFrom(emb.z, y, k, cfg.workers())
+		stats, err = emb.lap.SolveBlockFromTraced(emb.z, y, k, cfg.workers(), parent)
 	} else {
-		stats, err = emb.lap.SolveBlock(emb.z, y, k, cfg.workers())
+		stats, err = emb.lap.SolveBlockTraced(emb.z, y, k, cfg.workers(), parent)
 	}
 	for _, st := range stats {
 		emb.stats.PCGIterations += st.Iterations
@@ -343,9 +359,11 @@ func NewEmbeddingPerRowFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embed
 }
 
 // buildEmbeddingPerRow is the per-row reference build loop behind
-// NewEmbeddingPerRowFrom.
+// NewEmbeddingPerRowFrom. It stays untraced: the block path is the
+// production one, and the differential tests compare against this loop
+// with zero instrumentation in the way.
 func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
-	emb := newEmbeddingShell(g, prev, cfg)
+	emb := newEmbeddingShell(g, prev, cfg, nil)
 	n, k := emb.n, emb.k
 	lap := emb.lap
 	edges := g.Edges()
@@ -480,13 +498,24 @@ func (e *Embedding) Distance(i, j int) float64 {
 // otherwise the k-dimensional embedding. exactCutoff ≤ 0 selects a
 // default of 400 vertices.
 func New(g *graph.Graph, cfg Config, exactCutoff int) (Oracle, error) {
+	return NewTraced(g, cfg, exactCutoff, nil)
+}
+
+// NewTraced is New with observability spans emitted under parent (see
+// NewEmbeddingFromTraced); the exact regime emits a single "pinv" span
+// since the dense pseudoinverse has no stages worth splitting.
+func NewTraced(g *graph.Graph, cfg Config, exactCutoff int, parent *obs.Span) (Oracle, error) {
 	if exactCutoff <= 0 {
 		exactCutoff = 400
 	}
 	if g.N() <= exactCutoff {
-		return NewExact(g), nil
+		sp := parent.StartChild("pinv")
+		e := NewExact(g)
+		sp.SetInt("n", int64(g.N()))
+		sp.End()
+		return e, nil
 	}
-	return NewEmbedding(g, cfg)
+	return NewEmbeddingFromTraced(g, nil, cfg, parent)
 }
 
 // NewFrom is New with incremental reuse: when prev is an embedding
@@ -495,12 +524,22 @@ func New(g *graph.Graph, cfg Config, exactCutoff int) (Oracle, error) {
 // builds are cheap and incremental machinery would buy nothing — it
 // behaves exactly like New.
 func NewFrom(g *graph.Graph, prev Oracle, cfg Config, exactCutoff int) (Oracle, error) {
+	return NewFromTraced(g, prev, cfg, exactCutoff, nil)
+}
+
+// NewFromTraced is NewFrom with observability spans emitted under
+// parent — the streaming detector's per-push entry point.
+func NewFromTraced(g *graph.Graph, prev Oracle, cfg Config, exactCutoff int, parent *obs.Span) (Oracle, error) {
 	if exactCutoff <= 0 {
 		exactCutoff = 400
 	}
 	if g.N() <= exactCutoff {
-		return NewExact(g), nil
+		sp := parent.StartChild("pinv")
+		e := NewExact(g)
+		sp.SetInt("n", int64(g.N()))
+		sp.End()
+		return e, nil
 	}
 	prevEmb, _ := prev.(*Embedding)
-	return NewEmbeddingFrom(g, prevEmb, cfg)
+	return NewEmbeddingFromTraced(g, prevEmb, cfg, parent)
 }

@@ -7,6 +7,7 @@ import (
 
 	"dyngraph/internal/commute"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 )
 
 // Config configures a Detector.
@@ -50,11 +51,19 @@ func (tr Transition) Nodes(n int) []float64 { return NodeScores(n, tr.Scores) }
 // Detector runs a variant over a temporal graph sequence. The zero
 // value is not usable; construct with New.
 type Detector struct {
-	cfg Config
+	cfg    Config
+	tracer *obs.Tracer
 }
 
 // New returns a Detector with the given configuration.
 func New(cfg Config) *Detector { return &Detector{cfg: cfg} }
+
+// SetTracer retains one "oracle" trace per graph instance of every
+// subsequent Run (attribute "t" carries the instance index; children
+// are the commute/solver build spans). Setting a tracer serializes the
+// per-instance oracle builds so traces publish in instance order; nil
+// (the default) keeps the parallel build path and disables tracing.
+func (d *Detector) SetTracer(tr *obs.Tracer) { d.tracer = tr }
 
 // Run scores every transition of seq. Oracles are built once per graph
 // instance (not per transition), matching Algorithm 1's structure of a
@@ -87,6 +96,11 @@ func (d *Detector) RunDetailed(seq *graph.Sequence) ([]Transition, []commute.Ora
 		if d.cfg.Commute.Workers > 1 {
 			workers = 1
 		}
+		// Traced runs build sequentially so each instance's trace
+		// publishes in order and spans never interleave across builds.
+		if d.tracer != nil {
+			workers = 1
+		}
 		buildOracle := func(t int) error {
 			cfg := d.cfg.Commute
 			// Decorrelate projections across instances while keeping
@@ -98,7 +112,10 @@ func (d *Detector) RunDetailed(seq *graph.Sequence) ([]Transition, []commute.Ora
 			if !cfg.SharedProjections {
 				cfg.Seed = cfg.Seed*1000003 + int64(t)
 			}
-			o, err := commute.New(seq.At(t), cfg, d.cfg.ExactCutoff)
+			root := d.tracer.Start("oracle")
+			root.SetInt("t", int64(t))
+			o, err := commute.NewTraced(seq.At(t), cfg, d.cfg.ExactCutoff, root)
+			root.End()
 			if err != nil {
 				return fmt.Errorf("core: oracle for instance %d: %w", t, err)
 			}

@@ -5,6 +5,7 @@ import (
 
 	"dyngraph/internal/commute"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 )
 
 // OnlineDetector is the streaming variant sketched in the paper's §4.2:
@@ -47,6 +48,11 @@ type OnlineDetector struct {
 	// Incremental-build accounting for LastOracleStats.
 	lastStats      OracleStats
 	coldIterPerRow float64 // per-row PCG cost of the latest cold embedding build
+
+	// tracer, when set, gives every Push its own retained trace; nil
+	// (the default) disables tracing at near-zero cost. Callers that
+	// own the root span (the serving layer) use PushTraced instead.
+	tracer *obs.Tracer
 }
 
 // OracleStats describes the commute-oracle build behind the most
@@ -115,10 +121,17 @@ func (o *OnlineDetector) Evicted() int { return o.evicted }
 // failed before building one).
 func (o *OnlineDetector) LastOracleStats() OracleStats { return o.lastStats }
 
+// SetTracer gives every subsequent Push its own trace, retained in
+// tr's ring buffer: a root "push" span with per-stage children (see
+// PushTraced for the stage vocabulary). A nil tracer (the default)
+// disables tracing; the instrumented path then costs only nil checks —
+// see BenchmarkOnlinePushColdVsWarm, which runs untraced.
+func (o *OnlineDetector) SetTracer(tr *obs.Tracer) { o.tracer = tr }
+
 // buildOracle constructs the commute oracle for the next instance,
 // incrementally from the cached previous oracle when the configuration
 // allows it, and records the build stats.
-func (o *OnlineDetector) buildOracle(g *graph.Graph) (commute.Oracle, error) {
+func (o *OnlineDetector) buildOracle(g *graph.Graph, sp *obs.Span) (commute.Oracle, error) {
 	cfg := o.cfg.Commute
 	// Decorrelate projections across instances (the paper's setup) —
 	// unless projections are deliberately shared so that consecutive
@@ -126,7 +139,7 @@ func (o *OnlineDetector) buildOracle(g *graph.Graph) (commute.Oracle, error) {
 	if !cfg.SharedProjections {
 		cfg.Seed = cfg.Seed*1000003 + int64(o.t)
 	}
-	oracle, err := commute.NewFrom(g, o.prevOra, cfg, o.cfg.ExactCutoff)
+	oracle, err := commute.NewFromTraced(g, o.prevOra, cfg, o.cfg.ExactCutoff, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +169,34 @@ func (o *OnlineDetector) buildOracle(g *graph.Graph) (commute.Oracle, error) {
 // anomaly report at the freshly re-selected global δ. Earlier
 // transitions' reports may change as δ moves; call Report for a
 // re-thresholded view of the whole history.
+//
+// With a tracer set (SetTracer), every Push publishes one trace: a
+// root "push" span with the PushTraced stage children.
 func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
+	root := o.tracer.Start("push")
+	rep, err := o.PushTraced(g, root)
+	root.End()
+	return rep, err
+}
+
+// PushTraced is Push with pipeline stage spans emitted as children of
+// parent — the serving layer's entry point, which owns the root span
+// so it can attach stream/request attributes before retaining it. The
+// stages are:
+//
+//	oracle       commute-oracle build (kind, warm/cold, PCG iteration
+//	             counts; nested projection/precond/pcg spans from the
+//	             commute and solver packages)
+//	score        transition scoring (ΔE over the changed support)
+//	delta_select exact re-selection of the global threshold δ over the
+//	             retained history, including window eviction
+//	threshold    the newest transition's anomaly sets at the fresh δ
+//
+// The four stages tile the Push body, so their durations sum to ≈ the
+// end-to-end push latency (the first instance emits only "oracle" —
+// there is no transition to score yet). A nil parent disables all
+// spans at the cost of nil checks.
+func (o *OnlineDetector) PushTraced(g *graph.Graph, parent *obs.Span) (*TransitionReport, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: Push(nil)")
 	}
@@ -165,15 +205,26 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 	} else if g.N() != o.n {
 		return nil, fmt.Errorf("core: instance %d has %d vertices, want %d (fixed vertex set)", o.t, g.N(), o.n)
 	}
+	parent.SetInt("t", int64(o.t))
+	parent.SetInt("n", int64(g.N()))
 
 	var oracle commute.Oracle
 	if o.cfg.Variant != VariantADJ {
+		sp := parent.StartChild("oracle")
 		var err error
-		oracle, err = o.buildOracle(g)
+		oracle, err = o.buildOracle(g, sp)
 		if err != nil {
+			sp.SetString("error", err.Error())
+			sp.End()
 			o.lastStats = OracleStats{}
 			return nil, fmt.Errorf("core: oracle for instance %d: %w", o.t, err)
 		}
+		sp.SetString("kind", o.lastStats.Kind)
+		sp.SetBool("warm", o.lastStats.Warm)
+		sp.SetBool("precond_reused", o.lastStats.PrecondReused)
+		sp.SetInt("pcg_iterations", int64(o.lastStats.PCGIterations))
+		sp.SetInt("block_iterations", int64(o.lastStats.BlockIterations))
+		sp.End()
 	} else {
 		o.lastStats = OracleStats{}
 	}
@@ -187,9 +238,14 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 		return nil, nil
 	}
 
+	sp := parent.StartChild("score")
 	scores := TransitionScores(o.prev, g, o.prevOra, oracle, o.cfg.Variant, o.cfg.comAllPairs(o.n))
 	tr := Transition{T: o.t - 1, Scores: scores, Total: TotalScore(scores)}
 	o.history = append(o.history, tr)
+	sp.SetInt("scored_pairs", int64(len(scores)))
+	sp.End()
+
+	sp = parent.StartChild("delta_select")
 	o.steps = append(o.steps, newDeltaSteps(tr, &o.marks))
 	if o.maxHistory > 0 && len(o.history) > o.maxHistory {
 		// Evict the oldest transitions in place, zeroing the vacated
@@ -213,9 +269,16 @@ func (o *OnlineDetector) Push(g *graph.Graph) (*TransitionReport, error) {
 		o.breaks = append(o.breaks, o.steps[i].residuals...)
 	}
 	o.delta = selectDeltaFromSteps(o.steps, o.breaks, o.l)
+	sp.SetFloat("delta", o.delta)
+	sp.SetInt("history", int64(len(o.history)))
+	sp.End()
 
+	sp = parent.StartChild("threshold")
 	edges := AnomalousEdges(scores, o.delta)
 	rep := &TransitionReport{T: o.t - 1, Edges: edges, Nodes: AnomalousNodes(edges)}
+	sp.SetInt("edges", int64(len(edges)))
+	sp.SetInt("nodes", int64(len(rep.Nodes)))
+	sp.End()
 	return rep, nil
 }
 

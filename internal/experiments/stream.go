@@ -11,6 +11,7 @@ import (
 	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/solver"
 )
 
@@ -37,6 +38,9 @@ type StreamConfig struct {
 	Tol float64 `json:"tol"`
 	// Seed drives the base graph and the edit stream.
 	Seed int64 `json:"seed"`
+	// Tracer, when set, retains a pipeline trace of every timed push
+	// (cadbench's -trace-out). Excluded from the JSON record.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -138,6 +142,7 @@ func Stream(cfg StreamConfig) (*StreamResult, error) {
 				ExactCutoff: 1, // always exercise the embedding path
 			}, 5)
 			det.SetMaxHistory(32)
+			det.SetTracer(cfg.Tracer)
 			if _, err := det.Push(snaps[0]); err != nil {
 				return nil, fmt.Errorf("stream n=%d %s: %w", n, mode, err)
 			}

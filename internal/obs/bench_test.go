@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// BenchmarkSpanDisabled measures the cost the instrumented hot path
+// pays when tracing is off: a nil tracer's Start plus the full set of
+// nil-receiver span calls a traced Push performs. This must stay in the
+// nanoseconds — it is the "< 2% push regression with tracing disabled"
+// budget of the observability layer.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("push")
+		st := root.StartChild("oracle")
+		st.SetString("kind", "embedding")
+		st.SetInt("iters", 12)
+		st.End()
+		sc := root.StartChild("score")
+		sc.End()
+		root.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled-path counterpart: one small trace
+// built and published per iteration.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("push")
+		st := root.StartChild("oracle")
+		st.SetString("kind", "embedding")
+		st.SetInt("iters", 12)
+		st.End()
+		sc := root.StartChild("score")
+		sc.End()
+		root.End()
+	}
+}

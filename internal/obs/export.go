@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// TraceJSON is the hierarchical wire form of one span (the
+// /debug/traces default format). Durations are nanoseconds; the start
+// is wall-clock UnixNano so traces from different streams line up.
+type TraceJSON struct {
+	Name        string         `json:"name"`
+	StartUnixNs int64          `json:"start_unix_ns"`
+	DurationNs  int64          `json:"duration_ns"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+	Children    []TraceJSON    `json:"children,omitempty"`
+}
+
+// ToJSON converts a span tree into its wire form.
+func (s *Span) ToJSON() TraceJSON {
+	if s == nil {
+		return TraceJSON{}
+	}
+	out := TraceJSON{
+		Name:        s.name,
+		StartUnixNs: s.start.UnixNano(),
+		DurationNs:  s.dur.Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.ToJSON())
+	}
+	return out
+}
+
+// WriteJSON writes traces as an indented JSON array of hierarchical
+// span trees.
+func WriteJSON(w io.Writer, traces []*Span) error {
+	out := make([]TraceJSON, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.ToJSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a start timestamp and duration in
+// microseconds; "M" metadata events name the synthetic threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDocument is the JSON Object Format variant of the trace file —
+// the shape chrome://tracing and Perfetto both load.
+type chromeDocument struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeGroupAttr is the root-span attribute WriteChrome groups traces
+// by: each distinct value (the serving layer sets "stream") becomes one
+// named synthetic thread, so concurrent streams render as parallel
+// tracks instead of overlapping on one row.
+const chromeGroupAttr = "stream"
+
+// WriteChrome writes traces in Chrome trace_event JSON (the
+// "?format=chrome" and -trace-out format). Spans become "ph":"X"
+// complete events with microsecond timestamps on a common wall-clock
+// axis; attributes become event args.
+func WriteChrome(w io.Writer, traces []*Span) error {
+	doc := chromeDocument{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	// Assign one synthetic tid per group, in first-seen order, then emit
+	// thread_name metadata sorted by group name for stable output.
+	tids := map[string]int{}
+	groupOf := func(root *Span) string {
+		if a, ok := root.Attr(chromeGroupAttr); ok && a.Kind == KindString {
+			return a.Str
+		}
+		return ""
+	}
+	for _, root := range traces {
+		g := groupOf(root)
+		if _, ok := tids[g]; !ok {
+			tids[g] = len(tids) + 1
+		}
+	}
+	groups := make([]string, 0, len(tids))
+	for g := range tids {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		name := g
+		if name == "" {
+			name = "main"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[g],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	var emit func(sp *Span, tid int)
+	emit = func(sp *Span, tid int) {
+		ev := chromeEvent{
+			Name: sp.name,
+			Ph:   "X",
+			Ts:   float64(sp.start.UnixNano()) / float64(time.Microsecond),
+			Dur:  float64(sp.dur.Nanoseconds()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tid,
+		}
+		if len(sp.attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+		for _, c := range sp.children {
+			emit(c, tid)
+		}
+	}
+	for _, root := range traces {
+		if root == nil {
+			continue
+		}
+		emit(root, tids[groupOf(root)])
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

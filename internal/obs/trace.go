@@ -1,0 +1,305 @@
+// Package obs is the repository's stdlib-only observability layer:
+// span-based pipeline tracing with nanosecond monotonic timings, typed
+// attributes and parent/child nesting, plus a fixed-size ring buffer
+// that retains the most recent finished traces for export (JSON and
+// Chrome trace_event format — see export.go).
+//
+// The design constraint is the serving hot path: a push through
+// core.OnlineDetector costs milliseconds, so instrumentation must cost
+// nanoseconds when enabled and next to nothing when disabled. Both
+// *Tracer and *Span are nil-safe — every method on a nil receiver is a
+// no-op that returns nil — so instrumented code carries no conditionals
+// beyond the receiver check the method itself performs, and a nil
+// tracer reduces a fully instrumented Push to a handful of predictable
+// nil checks (see BenchmarkSpanDisabled).
+//
+// Concurrency contract: one goroutine builds one trace. Different
+// goroutines may build different traces against the same Tracer
+// concurrently — publication into the ring is the only synchronized
+// step. A trace becomes visible to Traces() when its root span Ends;
+// from then on it is immutable, so readers (the /debug/traces handler,
+// exporters) never race the writer.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// AttrKind discriminates the typed attribute union.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Attr is one typed span attribute. The value lives in the field the
+// Kind selects; the flat union avoids interface boxing on the hot path
+// (SetInt on an active span performs no allocation beyond the slice
+// append).
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Value returns the attribute's dynamic value (for encoders).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		return a.Float
+	case KindString:
+		return a.Str
+	case KindBool:
+		return a.Bool
+	default:
+		return nil
+	}
+}
+
+// Span is one timed region of a trace. Build children with StartChild,
+// attach attributes with the typed setters, and call End exactly once;
+// ending a root span publishes the whole trace into its Tracer's ring.
+// All methods are nil-safe no-ops.
+type Span struct {
+	name     string
+	tracer   *Tracer // root spans only; nil on children
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Tracer hands out root spans and retains the most recent Capacity
+// finished traces in a ring buffer. The zero value is not usable;
+// construct with NewTracer. A nil *Tracer is a valid "tracing off"
+// value: Start returns a nil span and everything downstream no-ops.
+type Tracer struct {
+	mu       sync.Mutex
+	ring     []*Span // fixed capacity, oldest overwritten first
+	next     int     // ring write cursor
+	total    uint64  // finished traces ever published
+	dropped  uint64  // finished traces evicted by the ring bound
+	capacity int
+}
+
+// NewTracer returns a tracer retaining the most recent capacity
+// finished traces (capacity < 1 is clamped to 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Span, 0, capacity), capacity: capacity}
+}
+
+// Start begins a new root span. On a nil tracer it returns nil, which
+// disables the whole downstream span tree at the cost of nil checks.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{name: name, tracer: t, start: time.Now()}
+}
+
+// Capacity returns the ring bound.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// Traces returns the retained finished traces, oldest first. The roots
+// are immutable; the returned slice is the caller's.
+func (t *Tracer) Traces() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.ring))
+	// The ring wraps at t.next once full: entries [next, len) are older
+	// than [0, next).
+	if len(t.ring) == t.capacity {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns the number of traces ever finished against this tracer.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns the number of finished traces the ring bound has
+// evicted — the serving layer surfaces it as a trace-drop counter.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// publish stores a finished root, evicting the oldest when full.
+func (t *Tracer) publish(root *Span) {
+	t.mu.Lock()
+	t.total++
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, root)
+		t.next = len(t.ring) % t.capacity
+	} else {
+		t.ring[t.next] = root
+		t.next = (t.next + 1) % t.capacity
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// StartChild begins a nested span under s (nil-safe: a nil parent
+// yields a nil child).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, child)
+	return child
+}
+
+// End freezes the span's duration (monotonic, from the time package's
+// monotonic clock reading). Ending a root span publishes its trace;
+// ending twice is a no-op so defer sp.End() composes with early exits.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.ended = true
+	if s.tracer != nil {
+		s.tracer.publish(s)
+	}
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindInt, Int: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindFloat, Float: v})
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindString, Str: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindBool, Bool: v})
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's wall-clock start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's monotonic duration (0 until End, and on
+// nil spans).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Ended reports whether End has run.
+func (s *Span) Ended() bool { return s != nil && s.ended }
+
+// Children returns the nested spans in creation order. The slice must
+// not be modified.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Attrs returns the attached attributes in insertion order. The slice
+// must not be modified.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// Attr looks up an attribute by key (last write wins; ok=false when
+// absent or the span is nil).
+func (s *Span) Attr(key string) (Attr, bool) {
+	if s == nil {
+		return Attr{}, false
+	}
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i], true
+		}
+	}
+	return Attr{}, false
+}
+
+// Child returns the first child span with the given name (nil when
+// absent) — the lookup the stage-metrics and slow-push-log paths use.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.children {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}

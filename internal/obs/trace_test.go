@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndTiming(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("push")
+	a := root.StartChild("oracle")
+	time.Sleep(time.Millisecond)
+	inner := a.StartChild("solve")
+	inner.End()
+	a.End()
+	b := root.StartChild("score")
+	b.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Name() != "push" {
+		t.Fatalf("root name %q", got.Name())
+	}
+	if len(got.Children()) != 2 {
+		t.Fatalf("got %d children, want 2", len(got.Children()))
+	}
+	if got.Child("oracle") == nil || got.Child("score") == nil {
+		t.Fatalf("missing stage children: %v", got.Children())
+	}
+	if got.Child("oracle").Child("solve") == nil {
+		t.Fatalf("missing nested solve span")
+	}
+	if d := got.Child("oracle").Duration(); d < time.Millisecond {
+		t.Errorf("oracle duration %v, want >= 1ms", d)
+	}
+	if got.Duration() < got.Child("oracle").Duration() {
+		t.Errorf("root %v shorter than child %v", got.Duration(), got.Child("oracle").Duration())
+	}
+	if !got.Ended() {
+		t.Errorf("root not marked ended")
+	}
+}
+
+func TestTypedAttrs(t *testing.T) {
+	tr := NewTracer(1)
+	sp := tr.Start("s")
+	sp.SetInt("iters", 42)
+	sp.SetFloat("tol", 1e-5)
+	sp.SetString("mode", "warm")
+	sp.SetBool("reused", true)
+	sp.End()
+
+	if a, ok := sp.Attr("iters"); !ok || a.Kind != KindInt || a.Int != 42 {
+		t.Errorf("iters attr = %+v, %v", a, ok)
+	}
+	if a, ok := sp.Attr("tol"); !ok || a.Kind != KindFloat || a.Float != 1e-5 {
+		t.Errorf("tol attr = %+v, %v", a, ok)
+	}
+	if a, ok := sp.Attr("mode"); !ok || a.Kind != KindString || a.Str != "warm" {
+		t.Errorf("mode attr = %+v, %v", a, ok)
+	}
+	if a, ok := sp.Attr("reused"); !ok || a.Kind != KindBool || !a.Bool {
+		t.Errorf("reused attr = %+v, %v", a, ok)
+	}
+	if _, ok := sp.Attr("absent"); ok {
+		t.Errorf("absent attr found")
+	}
+	// Last write wins.
+	sp2 := tr.Start("s2")
+	sp2.SetString("mode", "cold")
+	sp2.SetString("mode", "warm")
+	if a, _ := sp2.Attr("mode"); a.Str != "warm" {
+		t.Errorf("last-write attr = %q, want warm", a.Str)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatalf("nil tracer returned non-nil span")
+	}
+	// Every method must be callable on the nil span without panicking.
+	child := sp.StartChild("y")
+	if child != nil {
+		t.Fatalf("nil span returned non-nil child")
+	}
+	sp.SetInt("a", 1)
+	sp.SetFloat("b", 2)
+	sp.SetString("c", "d")
+	sp.SetBool("e", true)
+	sp.End()
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Ended() || sp.Children() != nil || sp.Attrs() != nil {
+		t.Errorf("nil span accessors not zero")
+	}
+	if sp.Child("y") != nil {
+		t.Errorf("nil span Child non-nil")
+	}
+	if tr.Traces() != nil || tr.Dropped() != 0 || tr.Total() != 0 || tr.Capacity() != 0 {
+		t.Errorf("nil tracer accessors not zero")
+	}
+}
+
+func TestRingEvictionOldestFirstAndDropCount(t *testing.T) {
+	tr := NewTracer(3)
+	names := []string{"t0", "t1", "t2", "t3", "t4"}
+	for _, n := range names {
+		tr.Start(n).End()
+	}
+	got := tr.Traces()
+	if len(got) != 3 {
+		t.Fatalf("got %d traces, want 3", len(got))
+	}
+	for i, want := range []string{"t2", "t3", "t4"} {
+		if got[i].Name() != want {
+			t.Errorf("trace[%d] = %q, want %q (oldest first)", i, got[i].Name(), want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestDoubleEndKeepsFirstDuration(t *testing.T) {
+	tr := NewTracer(2)
+	sp := tr.Start("once")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End() // no-op: must not re-publish or re-time
+	if sp.Duration() != d {
+		t.Errorf("duration changed on second End: %v -> %v", d, sp.Duration())
+	}
+	if got := len(tr.Traces()); got != 1 {
+		t.Errorf("trace published %d times, want 1", got)
+	}
+}
+
+// buildSample constructs a deterministic two-trace set for the export
+// tests: one trace tagged stream=a, one untagged.
+func buildSample(t *testing.T) []*Span {
+	t.Helper()
+	tr := NewTracer(8)
+	root := tr.Start("push")
+	root.SetString("stream", "a")
+	root.SetInt("instance", 7)
+	or := root.StartChild("oracle")
+	or.SetString("kind", "embedding")
+	or.StartChild("solve").End()
+	or.End()
+	root.StartChild("score").End()
+	root.End()
+
+	lone := tr.Start("score_only")
+	lone.End()
+	return tr.Traces()
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	traces := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var got []TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d traces, want 2", len(got))
+	}
+	if got[0].Name != "push" || got[0].Attrs["stream"] != "a" {
+		t.Errorf("trace 0 = %+v", got[0])
+	}
+	if got[0].Attrs["instance"] != float64(7) { // JSON numbers decode as float64
+		t.Errorf("instance attr = %v", got[0].Attrs["instance"])
+	}
+	if len(got[0].Children) != 2 || got[0].Children[0].Name != "oracle" {
+		t.Errorf("children = %+v", got[0].Children)
+	}
+	if len(got[0].Children[0].Children) != 1 || got[0].Children[0].Children[0].Name != "solve" {
+		t.Errorf("nested children = %+v", got[0].Children[0].Children)
+	}
+}
+
+// TestWriteChromeFormat pins the Chrome trace_event JSON shape the
+// acceptance criteria require: an object with a traceEvents array of
+// "X" complete events (plus "M" thread metadata), microsecond
+// timestamps, and span attributes as args.
+func TestWriteChromeFormat(t *testing.T) {
+	traces := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChrome emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name %q", ev.Name)
+			}
+		case "X":
+			complete++
+			names[ev.Name] = true
+			if ev.Pid != 1 || ev.Tid < 1 {
+				t.Errorf("event %q pid/tid = %d/%d", ev.Name, ev.Pid, ev.Tid)
+			}
+			if ev.Ts <= 0 {
+				t.Errorf("event %q ts = %v", ev.Name, ev.Ts)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// Two groups (stream "a" and the untagged default) → two metadata
+	// events; 4 spans in the tagged trace tree + 1 lone root.
+	if meta != 2 {
+		t.Errorf("got %d thread_name events, want 2", meta)
+	}
+	if complete != 5 {
+		t.Errorf("got %d complete events, want 5", complete)
+	}
+	for _, want := range []string{"push", "oracle", "solve", "score", "score_only"} {
+		if !names[want] {
+			t.Errorf("missing event %q (have %v)", want, names)
+		}
+	}
+	// Spans of one trace must share a tid; distinct groups get distinct tids.
+	tidOf := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			tidOf[ev.Name] = ev.Tid
+		}
+	}
+	if tidOf["push"] != tidOf["oracle"] || tidOf["push"] != tidOf["solve"] {
+		t.Errorf("trace spans split across tids: %v", tidOf)
+	}
+	if tidOf["push"] == tidOf["score_only"] {
+		t.Errorf("distinct groups share tid %d", tidOf["push"])
+	}
+}
+
+func TestTracerConcurrentPublish(t *testing.T) {
+	tr := NewTracer(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("w")
+				sp.StartChild("c").End()
+				sp.End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if tr.Total() != 800 {
+		t.Errorf("total = %d, want 800", tr.Total())
+	}
+	if got := len(tr.Traces()); got != 64 {
+		t.Errorf("retained %d, want 64", got)
+	}
+	if tr.Dropped() != 800-64 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 800-64)
+	}
+}

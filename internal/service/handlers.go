@@ -1,13 +1,18 @@
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"dyngraph/internal/core"
+	"dyngraph/internal/obs"
 )
 
 // maxSnapshotBytes bounds a snapshot POST body (64 MiB ≈ 2M edges) so
@@ -16,11 +21,14 @@ import (
 const maxSnapshotBytes = 64 << 20
 
 // Handler builds the server's HTTP API. Routes use the Go 1.22 method
-// + wildcard mux patterns.
+// + wildcard mux patterns. Every request gets an id (the caller's
+// X-Request-ID, or a generated one) that is echoed in the response,
+// propagated into push-trace span attributes, and attached to logs.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
 	mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreateStream)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
@@ -28,7 +36,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/streams/{id}/snapshots", s.handlePostSnapshot)
 	mux.HandleFunc("GET /v1/streams/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/streams/{id}/transitions/{t}", s.handleTransition)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// requestIDKey carries the request id through the handler context.
+type requestIDKey struct{}
+
+// withRequestID assigns every request its id: the caller's X-Request-ID
+// (truncated to 64 characters) or a random one. The id is echoed in the
+// response header so clients can correlate retries, traces and logs.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		if id == "" {
+			var b [8]byte
+			if _, err := rand.Read(b[:]); err == nil {
+				id = hex.EncodeToString(b[:])
+			}
+		}
+		w.Header().Set("X-Request-ID", id)
+		s.cfg.Logger.Debug("http request", "method", r.Method, "path", r.URL.Path, "request_id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// requestID extracts the middleware-assigned id ("" outside Handler).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -66,6 +104,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, info := range infos {
 		writeGauge(w, "cadd_stream_delta", labels("stream", info.ID), info.Delta)
 	}
+	// Trace-ring evictions, read at scrape time from each stream's
+	// tracer (a monotonic per-tracer counter, like the live gauges).
+	fmt.Fprintf(w, "# HELP cadd_trace_drops_total Push traces evicted from a stream's fixed-size trace ring.\n# TYPE cadd_trace_drops_total counter\n")
+	for _, st := range s.streamsByID("") {
+		writeGauge(w, "cadd_trace_drops_total", labels("stream", st.id), float64(st.traceDropped()))
+	}
+}
+
+// streamsByID returns live streams ordered by id — all of them for
+// filter "", or just the named one (empty slice when unknown).
+func (s *Server) streamsByID(filter string) []*stream {
+	s.mu.RLock()
+	streams := make([]*stream, 0, len(s.streams))
+	for id, st := range s.streams {
+		if filter != "" && id != filter {
+			continue
+		}
+		streams = append(streams, st)
+	}
+	s.mu.RUnlock()
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
+	return streams
+}
+
+// streamTracesJSON is one stream's entry in the /debug/traces default
+// format.
+type streamTracesJSON struct {
+	Stream string `json:"stream"`
+	// Retained is the number of traces currently in the ring; Dropped
+	// counts older ones evicted by its fixed capacity.
+	Retained int             `json:"retained"`
+	Dropped  uint64          `json:"dropped"`
+	Traces   []obs.TraceJSON `json:"traces"`
+}
+
+// handleTraces serves the retained push traces. Default: a JSON array
+// of per-stream span trees. ?stream= filters to one stream;
+// ?format=chrome emits the Chrome trace_event form (load the response
+// in chrome://tracing or ui.perfetto.dev).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("stream")
+	streams := s.streamsByID(filter)
+	if filter != "" && len(streams) == 0 {
+		writeError(w, http.StatusNotFound, "unknown stream %q", filter)
+		return
+	}
+
+	if r.URL.Query().Get("format") == "chrome" {
+		var all []*obs.Span
+		for _, st := range streams {
+			all = append(all, st.traces()...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChrome(w, all); err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding traces: %v", err)
+		}
+		return
+	}
+
+	out := make([]streamTracesJSON, 0, len(streams))
+	for _, st := range streams {
+		traces := st.traces()
+		entry := streamTracesJSON{
+			Stream:   st.id,
+			Retained: len(traces),
+			Dropped:  st.traceDropped(),
+			Traces:   make([]obs.TraceJSON, len(traces)),
+		}
+		for i, tr := range traces {
+			entry.Traces[i] = tr.ToJSON()
+		}
+		out = append(out, entry)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
@@ -133,7 +245,7 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sync := r.URL.Query().Get("sync") == "1"
-	res, err := st.enqueue(g, sync)
+	res, err := st.enqueue(g, sync, requestID(r.Context()))
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")

@@ -20,15 +20,24 @@ type metrics struct {
 	counts map[string]map[string]float64    // name → labels → value
 	hists  map[string]map[string]*histogram // name → labels → histogram
 	help   map[string]string
+	bounds map[string][]float64 // per-histogram bucket bounds (see describeHistogram)
 }
 
 // pushBuckets are the solve-latency histogram bounds in seconds: the
 // exact oracle on paper-sized graphs lands in the low milliseconds,
-// embedding solves on large graphs in the 0.1–10 s decades.
+// embedding solves on large graphs in the 0.1–10 s decades. They are
+// the default for histograms registered without their own bounds.
 var pushBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// stageBuckets are the per-stage latency bounds: individual pipeline
+// stages (δ-selection, thresholding) finish in the tens of microseconds
+// on small graphs, so the push-level buckets would collapse them all
+// into the first bucket.
+var stageBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
 type histogram struct {
-	buckets []float64 // cumulative counts per pushBuckets bound
+	bounds  []float64 // this series' bucket bounds
+	buckets []float64 // cumulative counts per bound
 	count   float64
 	sum     float64
 }
@@ -38,17 +47,24 @@ func newMetrics() *metrics {
 		counts: make(map[string]map[string]float64),
 		hists:  make(map[string]map[string]*histogram),
 		help:   make(map[string]string),
+		bounds: make(map[string][]float64),
 	}
 }
 
 // labels renders a canonical label string from key/value pairs:
-// `{k1="v1",k2="v2"}` with keys sorted, or "" for none.
+// `{k1="v1",k2="v2"}` with keys sorted, or "" for none. An odd
+// argument count is a programming error — a trailing key would
+// otherwise be dropped silently, splitting the series — so it panics.
 func labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("service: labels called with %d arguments (odd; trailing key %q has no value)",
+			len(kv), kv[len(kv)-1]))
+	}
 	if len(kv) == 0 {
 		return ""
 	}
 	pairs := make([]string, 0, len(kv)/2)
-	for i := 0; i+1 < len(kv); i += 2 {
+	for i := 0; i < len(kv); i += 2 {
 		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
 	}
 	sort.Strings(pairs)
@@ -58,6 +74,16 @@ func labels(kv ...string) string {
 func (m *metrics) describe(name, help string) {
 	m.mu.Lock()
 	m.help[name] = help
+	m.mu.Unlock()
+}
+
+// describeHistogram registers a histogram's HELP text together with its
+// bucket bounds. Histograms observed without a registration fall back
+// to pushBuckets, so pre-existing series keep their exact exposition.
+func (m *metrics) describeHistogram(name, help string, buckets []float64) {
+	m.mu.Lock()
+	m.help[name] = help
+	m.bounds[name] = buckets
 	m.mu.Unlock()
 }
 
@@ -83,10 +109,14 @@ func (m *metrics) observe(name, labelStr string, v float64) {
 	}
 	h := series[labelStr]
 	if h == nil {
-		h = &histogram{buckets: make([]float64, len(pushBuckets))}
+		bounds := m.bounds[name]
+		if bounds == nil {
+			bounds = pushBuckets
+		}
+		h = &histogram{bounds: bounds, buckets: make([]float64, len(bounds))}
 		series[labelStr] = h
 	}
-	for i, bound := range pushBuckets {
+	for i, bound := range h.bounds {
 		if v <= bound {
 			h.buckets[i]++
 		}
@@ -134,7 +164,7 @@ func (m *metrics) writeTo(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 		for _, ls := range sortedKeys(series) {
 			h := series[ls]
-			for i, bound := range pushBuckets {
+			for i, bound := range h.bounds {
 				fmt.Fprintf(w, "%s_bucket%s %s\n", name,
 					mergeLabel(ls, "le", formatValue(bound)), formatValue(h.buckets[i]))
 			}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLabelsCanonicalForm pins the label-string contract every series
+// key depends on: sorted keys, %q escaping, stable output.
+func TestLabelsCanonicalForm(t *testing.T) {
+	cases := []struct {
+		kv   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"stream", "s1"}, `{stream="s1"}`},
+		// Keys sort, whatever the argument order.
+		{[]string{"stream", "s1", "mode", "warm"}, `{mode="warm",stream="s1"}`},
+		{[]string{"mode", "warm", "stream", "s1"}, `{mode="warm",stream="s1"}`},
+		// Values are %q-escaped: quotes, backslashes, newlines.
+		{[]string{"stream", `a"b`}, `{stream="a\"b"}`},
+		{[]string{"stream", `a\b`}, `{stream="a\\b"}`},
+		{[]string{"stream", "a\nb"}, `{stream="a\nb"}`},
+	}
+	for _, c := range cases {
+		if got := labels(c.kv...); got != c.want {
+			t.Errorf("labels(%v) = %s, want %s", c.kv, got, c.want)
+		}
+	}
+}
+
+// TestLabelsPanicsOnOddCount: a trailing key without a value would
+// silently split the series; it must panic instead.
+func TestLabelsPanicsOnOddCount(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("labels with odd argument count did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "trailing key") {
+			t.Fatalf("panic message %v does not name the trailing key", r)
+		}
+	}()
+	labels("stream", "s1", "orphan")
+}
+
+// TestHistogramBucketRegistration: registered bounds apply per metric
+// name; unregistered histograms keep the original push buckets.
+func TestHistogramBucketRegistration(t *testing.T) {
+	m := newMetrics()
+	m.describeHistogram("custom_seconds", "Custom.", []float64{0.5, 1})
+	m.observe("custom_seconds", "", 0.75)
+	m.observe("legacy_seconds", "", 0.75) // no registration → pushBuckets
+
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`custom_seconds_bucket{le="0.5"} 0`,
+		`custom_seconds_bucket{le="1"} 1`,
+		`custom_seconds_bucket{le="+Inf"} 1`,
+		`legacy_seconds_bucket{le="0.001"} 0`,
+		`legacy_seconds_bucket{le="10"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `custom_seconds_bucket{le="0.001"}`) {
+		t.Errorf("custom histogram leaked the default buckets:\n%s", out)
+	}
+}
+
+// TestMetricsExpositionValidity is a parser-style check of the full
+// /metrics output after real traffic: HELP/TYPE precede their samples,
+// histogram buckets are cumulative and monotone in le, the +Inf bucket
+// equals _count, and every sample line lexes as name{labels} value.
+func TestMetricsExpositionValidity(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("fmt", StreamConfig{L: 3, SlowPushSeconds: 1e-9, TraceBuffer: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 4, 11)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "fmt", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	body := getPath(t, srv, "/metrics").Body.String()
+
+	type histState struct {
+		lastLe    float64
+		lastCount float64
+		infCount  float64
+		haveInf   bool
+	}
+	hists := map[string]*histState{} // per series (name + non-le labels)
+	types := map[string]string{}     // metric name → declared type
+	counts := map[string]float64{}   // per-series _count values
+	var samples int
+
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", lineNo)
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				t.Fatalf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if _, dup := types[name]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		name, labelPart := key, ""
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", lineNo, key)
+			}
+			name, labelPart = key[:i], key[i+1:len(key)-1]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && types[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		declared, ok := types[base]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no TYPE declaration before it", lineNo, name)
+		}
+		samples++
+
+		if declared != "histogram" {
+			if declared == "counter" && val < 0 {
+				t.Fatalf("line %d: negative counter %s = %g", lineNo, name, val)
+			}
+			continue
+		}
+		// Histogram sample: split off the le label to track bucket
+		// monotonicity per series.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			leIdx := strings.LastIndex(labelPart, `le="`)
+			if leIdx < 0 {
+				t.Fatalf("line %d: bucket sample without le label: %q", lineNo, line)
+			}
+			leStr := labelPart[leIdx+4 : len(labelPart)-1]
+			series := base + "{" + strings.TrimSuffix(labelPart[:leIdx], ",") + "}"
+			st := hists[series]
+			if st == nil {
+				st = &histState{lastLe: -1}
+				hists[series] = st
+			}
+			if leStr == "+Inf" {
+				st.infCount, st.haveInf = val, true
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Fatalf("line %d: bad le %q", lineNo, leStr)
+				}
+				if st.haveInf {
+					t.Fatalf("line %d: finite bucket after +Inf in %s", lineNo, series)
+				}
+				if le <= st.lastLe {
+					t.Fatalf("line %d: le=%g not increasing (prev %g) in %s", lineNo, le, st.lastLe, series)
+				}
+				st.lastLe = le
+			}
+			if val < st.lastCount {
+				t.Fatalf("line %d: bucket count %g decreased (prev %g) in %s", lineNo, val, st.lastCount, series)
+			}
+			st.lastCount = val
+		case strings.HasSuffix(name, "_count"):
+			counts[base+"{"+labelPart+"}"] = val
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series in exposition")
+	}
+	for series, st := range hists {
+		if !st.haveInf {
+			t.Errorf("histogram %s has no +Inf bucket", series)
+		}
+		cnt, ok := counts[series]
+		if !ok {
+			t.Errorf("histogram %s has no _count sample", series)
+		} else if cnt != st.infCount {
+			t.Errorf("histogram %s: _count %g != +Inf bucket %g", series, cnt, st.infCount)
+		}
+	}
+	// Spot-check the series this PR added are actually in the scrape.
+	for _, want := range []string{"cadd_push_stage_seconds", "cadd_trace_drops_total", "cadd_slow_pushes_total"} {
+		if _, ok := types[want]; !ok {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestExistingSeriesBytesUnchanged freezes the pre-observability
+// exposition of cadd_push_seconds: re-bucketing or re-ordering existing
+// series would break dashboards silently.
+func TestExistingSeriesBytesUnchanged(t *testing.T) {
+	m := newMetrics()
+	m.describeHistogram("cadd_push_seconds",
+		"Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.", pushBuckets)
+	m.observe("cadd_push_seconds", labels("oracle", "exact"), 0.003)
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+
+	var want bytes.Buffer
+	fmt.Fprintf(&want, "# HELP cadd_push_seconds Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.\n")
+	fmt.Fprintf(&want, "# TYPE cadd_push_seconds histogram\n")
+	counts := []string{"0", "0", "1", "1", "1", "1", "1", "1", "1", "1", "1", "1", "1"}
+	bounds := []string{"0.001", "0.0025", "0.005", "0.01", "0.025", "0.05", "0.1", "0.25", "0.5", "1", "2.5", "5", "10"}
+	for i, b := range bounds {
+		fmt.Fprintf(&want, "cadd_push_seconds_bucket{oracle=\"exact\",le=%q} %s\n", b, counts[i])
+	}
+	fmt.Fprintf(&want, "cadd_push_seconds_bucket{oracle=\"exact\",le=\"+Inf\"} 1\n")
+	fmt.Fprintf(&want, "cadd_push_seconds_sum{oracle=\"exact\"} 0.003\n")
+	fmt.Fprintf(&want, "cadd_push_seconds_count{oracle=\"exact\"} 1\n")
+	if buf.String() != want.String() {
+		t.Fatalf("cadd_push_seconds exposition changed:\ngot:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dyngraph/internal/obs"
+)
+
+// postSnapshot drives the snapshot endpoint through the full handler
+// stack (middleware included), optionally with a caller request id.
+func postSnapshot(t *testing.T, srv *Server, stream string, snap Snapshot, requestID string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/streams/"+stream+"/snapshots?sync=1", bytes.NewReader(body))
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func getPath(t *testing.T, srv *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestDebugTracesEndpoint pins the acceptance contract: every push
+// through cadd produces a retained trace with ≥4 named stages whose
+// durations sum to ≈ the end-to-end push latency, the request id
+// propagates into the root span, and the chrome format is loadable
+// trace_event JSON.
+func TestDebugTracesEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("tr", StreamConfig{L: 3}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 4, 1)
+	for i := 0; i < seq.T(); i++ {
+		rec := postSnapshot(t, srv, "tr", SnapshotFromGraph(seq.At(i)), fmt.Sprintf("req-%d", i))
+		if rec.Code != 200 {
+			t.Fatalf("push %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("X-Request-ID"); got != fmt.Sprintf("req-%d", i) {
+			t.Fatalf("push %d: X-Request-ID echoed as %q", i, got)
+		}
+	}
+
+	rec := getPath(t, srv, "/debug/traces")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	var out []streamTracesJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/debug/traces is not valid JSON: %v", err)
+	}
+	if len(out) != 1 || out[0].Stream != "tr" {
+		t.Fatalf("traces = %+v, want one entry for stream tr", out)
+	}
+	traces := out[0].Traces
+	if len(traces) != seq.T() {
+		t.Fatalf("retained %d traces, want %d (one per push)", len(traces), seq.T())
+	}
+	for i, root := range traces {
+		if root.Name != "push" {
+			t.Fatalf("trace %d root %q, want push", i, root.Name)
+		}
+		if root.Attrs["stream"] != "tr" {
+			t.Fatalf("trace %d stream attr = %v", i, root.Attrs["stream"])
+		}
+		if got := root.Attrs["request_id"]; got != fmt.Sprintf("req-%d", i) {
+			t.Fatalf("trace %d request_id attr = %v, want req-%d", i, got, i)
+		}
+		if i == 0 {
+			continue // first instance: oracle only, nothing scored yet
+		}
+		if len(root.Children) < 4 {
+			t.Fatalf("trace %d has %d stages, want ≥ 4: %+v", i, len(root.Children), root.Children)
+		}
+		var sum int64
+		names := map[string]bool{}
+		for _, st := range root.Children {
+			sum += st.DurationNs
+			names[st.Name] = true
+		}
+		for _, want := range []string{"oracle", "score", "delta_select", "threshold"} {
+			if !names[want] {
+				t.Fatalf("trace %d missing stage %q", i, want)
+			}
+		}
+		if sum > root.DurationNs {
+			t.Fatalf("trace %d stage durations %d exceed push duration %d", i, sum, root.DurationNs)
+		}
+		if sum < root.DurationNs/2 {
+			t.Fatalf("trace %d stage durations %d < half of push %d — stages no longer tile the push", i, sum, root.DurationNs)
+		}
+	}
+
+	// Unknown stream filter → 404; known filter → just that stream.
+	if rec := getPath(t, srv, "/debug/traces?stream=nope"); rec.Code != 404 {
+		t.Fatalf("unknown stream filter: status %d, want 404", rec.Code)
+	}
+	if rec := getPath(t, srv, "/debug/traces?stream=tr"); rec.Code != 200 {
+		t.Fatalf("stream filter: status %d", rec.Code)
+	}
+
+	// Chrome format: must decode as a trace_event JSON object document
+	// with per-span X events and thread metadata.
+	rec = getPath(t, srv, "/debug/traces?format=chrome")
+	if rec.Code != 200 {
+		t.Fatalf("chrome format status %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome format is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var xEvents, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta == 0 || xEvents < 4*seq.T() {
+		t.Fatalf("chrome doc has %d metadata and %d X events, want ≥1 and ≥%d", meta, xEvents, 4*seq.T())
+	}
+}
+
+// TestTraceBufferDisabled checks a negative TraceBuffer turns tracing
+// off without breaking pushes or the endpoint.
+func TestTraceBufferDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("off", StreamConfig{TraceBuffer: -1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 3, 2)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "off", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	rec := getPath(t, srv, "/debug/traces")
+	var out []streamTracesJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Retained != 0 || len(out[0].Traces) != 0 {
+		t.Fatalf("disabled tracing still retained traces: %+v", out)
+	}
+}
+
+// TestTraceRingEvictionOverHTTP drives more pushes than the ring holds
+// and checks retention + the scrape-time drop counter.
+func TestTraceRingEvictionOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("ring", StreamConfig{TraceBuffer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 5, 3)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "ring", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	rec := getPath(t, srv, "/debug/traces")
+	var out []streamTracesJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Retained != 2 || out[0].Dropped != 3 {
+		t.Fatalf("retained/dropped = %d/%d, want 2/3", out[0].Retained, out[0].Dropped)
+	}
+	// The newest retained trace is the last push (t = T-1).
+	last := out[0].Traces[len(out[0].Traces)-1]
+	if got := last.Attrs["instance"]; got != float64(seq.T()-1) {
+		t.Fatalf("newest retained trace instance = %v, want %d", got, seq.T()-1)
+	}
+	metricsBody := getPath(t, srv, "/metrics").Body.String()
+	want := `cadd_trace_drops_total{stream="ring"} 3`
+	if !strings.Contains(metricsBody, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, metricsBody)
+	}
+}
+
+// TestPushStageMetrics checks the per-stage histogram appears with the
+// stage label vocabulary and its sub-millisecond buckets.
+func TestPushStageMetrics(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("stm", StreamConfig{L: 3}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 3, 4)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "stm", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	body := getPath(t, srv, "/metrics").Body.String()
+	for _, stage := range []string{"oracle", "score", "delta_select", "threshold"} {
+		want := fmt.Sprintf(`cadd_push_stage_seconds_count{stage=%q,stream="stm"}`, stage)
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing stage series %q:\n%s", want, body)
+		}
+	}
+	// The stage histogram must use the sub-ms bounds, not pushBuckets.
+	if !strings.Contains(body, `cadd_push_stage_seconds_bucket{stage="oracle",stream="stm",le="0.0001"}`) {
+		t.Fatalf("stage histogram lacks sub-ms buckets:\n%s", body)
+	}
+	// And the pre-existing push histogram keeps its original bounds.
+	if !strings.Contains(body, `cadd_push_seconds_bucket{oracle="exact",le="0.001"}`) {
+		t.Fatalf("cadd_push_seconds lost its original buckets:\n%s", body)
+	}
+}
+
+// TestSlowPushLogging forces every push over a tiny fixed threshold and
+// checks the WARN carries the stage breakdown and the counter moves.
+func TestSlowPushLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv := New(Config{Logger: logger})
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	if err := srv.CreateStream("slow", StreamConfig{SlowPushSeconds: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 3, 5)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "slow", SnapshotFromGraph(seq.At(i)), "slow-req"); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	if got := srv.metrics.counterValue("cadd_slow_pushes_total", labels("stream", "slow")); got != float64(seq.T()) {
+		t.Fatalf("cadd_slow_pushes_total = %g, want %d", got, seq.T())
+	}
+	logs := buf.String()
+	if !strings.Contains(logs, `"msg":"slow push"`) {
+		t.Fatalf("no slow-push log emitted:\n%s", logs)
+	}
+	for _, key := range []string{`"stream":"slow"`, `"request_id":"slow-req"`, `"stage_oracle_seconds"`, `"stage_score_seconds"`, `"stage_delta_select_seconds"`, `"stage_threshold_seconds"`} {
+		if !strings.Contains(logs, key) {
+			t.Fatalf("slow-push log missing %s:\n%s", key, logs)
+		}
+	}
+}
+
+// TestSlowPushDisabled: a negative threshold must never log or count.
+func TestSlowPushDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("quiet", StreamConfig{SlowPushSeconds: -1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 3, 6)
+	for i := 0; i < seq.T(); i++ {
+		if rec := postSnapshot(t, srv, "quiet", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+	if got := srv.metrics.counterValue("cadd_slow_pushes_total", labels("stream", "quiet")); got != 0 {
+		t.Fatalf("cadd_slow_pushes_total = %g, want 0", got)
+	}
+}
+
+// TestGeneratedRequestIDs: without a caller-supplied id the middleware
+// must mint one and propagate it into the trace.
+func TestGeneratedRequestIDs(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	if err := srv.CreateStream("gen", StreamConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 2, 7)
+	var echoed []string
+	for i := 0; i < seq.T(); i++ {
+		rec := postSnapshot(t, srv, "gen", SnapshotFromGraph(seq.At(i)), "")
+		if rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+		id := rec.Header().Get("X-Request-ID")
+		if len(id) != 16 {
+			t.Fatalf("generated request id %q, want 16 hex chars", id)
+		}
+		echoed = append(echoed, id)
+	}
+	if echoed[0] == echoed[1] {
+		t.Fatalf("request ids not unique: %v", echoed)
+	}
+	var out []streamTracesJSON
+	if err := json.Unmarshal(getPath(t, srv, "/debug/traces").Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range out[0].Traces {
+		if got := tr.Attrs["request_id"]; got != echoed[i] {
+			t.Fatalf("trace %d request_id = %v, want %q", i, got, echoed[i])
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: handler goroutines and
+// the stream worker both write log lines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestChromeGroupAttrIsStream pins that service and obs agree on the
+// group attribute the chrome export splits threads by.
+func TestChromeGroupAttrIsStream(t *testing.T) {
+	tr := obs.NewTracer(1)
+	sp := tr.Start("push")
+	sp.SetString("stream", "s1")
+	sp.End()
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"s1"`) {
+		t.Fatalf("chrome export did not name the stream thread: %s", buf.String())
+	}
+}

@@ -7,11 +7,13 @@ import (
 
 // job is one enqueued snapshot. done is non-nil for synchronous pushes
 // and receives exactly one result when the worker has scored (or
-// failed to score) the instance.
+// failed to score) the instance. requestID is the originating HTTP
+// request's id, carried into the push trace and slow-push logs.
 type job struct {
-	g        *graph.Graph
-	instance int64
-	done     chan jobResult
+	g         *graph.Graph
+	instance  int64
+	requestID string
+	done      chan jobResult
 }
 
 // jobResult is what a synchronous pusher waits for.

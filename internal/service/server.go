@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 )
@@ -15,6 +17,13 @@ type Config struct {
 	// MaxStreams caps concurrently live streams (default 1024); stream
 	// creation beyond it fails.
 	MaxStreams int
+	// DefaultTraceBuffer is the per-stream push-trace retention for
+	// streams that do not set their own (default 64; negative disables
+	// tracing by default).
+	DefaultTraceBuffer int
+	// Logger receives the server's structured logs (stream lifecycle,
+	// push errors, slow pushes). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -23,6 +32,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 1024
+	}
+	if c.DefaultTraceBuffer == 0 {
+		c.DefaultTraceBuffer = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -45,11 +60,15 @@ func New(cfg Config) *Server {
 	m.describe("cadd_snapshots_processed_total", "Snapshots scored by a stream's worker.")
 	m.describe("cadd_snapshots_rejected_total", "Snapshots rejected with 429 because the bounded queue was full.")
 	m.describe("cadd_push_errors_total", "Detector Push failures (e.g. vertex-count mismatch).")
-	m.describe("cadd_push_seconds", "Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.")
 	m.describe("cadd_oracle_builds_total", "Commute-oracle builds by mode: warm (incremental rebuild) or cold.")
 	m.describe("cadd_pcg_iterations_total", "PCG iterations spent building embedding oracles, summed per column.")
 	m.describe("cadd_pcg_block_iterations_total", "Blocked-PCG iterations (matrix traversals) spent building embedding oracles; iterations_total / block_iterations_total is the SpMM amortization factor.")
 	m.describe("cadd_pcg_cold_estimate_total", "Estimated PCG iterations the same builds would have cost without warm starts.")
+	m.describe("cadd_slow_pushes_total", "Pushes that crossed the stream's slow-push logging threshold.")
+	m.describeHistogram("cadd_push_seconds",
+		"Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.", pushBuckets)
+	m.describeHistogram("cadd_push_stage_seconds",
+		"Per-stage push latency (oracle, score, delta_select, threshold), from the pipeline trace spans.", stageBuckets)
 	return &Server{cfg: cfg.withDefaults(), metrics: m, streams: make(map[string]*stream)}
 }
 
@@ -60,7 +79,7 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 	if err := validateStreamID(id); err != nil {
 		return err
 	}
-	cfg = cfg.withDefaults(s.cfg.DefaultQueueSize)
+	cfg = cfg.withDefaults(s.cfg.DefaultQueueSize, s.cfg.DefaultTraceBuffer)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.shutdown {
@@ -72,11 +91,13 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 	if len(s.streams) >= s.cfg.MaxStreams {
 		return fmt.Errorf("service: stream limit %d reached", s.cfg.MaxStreams)
 	}
-	st, err := newStream(id, cfg, s.metrics)
+	st, err := newStream(id, cfg, s.metrics, s.cfg.Logger)
 	if err != nil {
 		return fmt.Errorf("service: stream %q: %w", id, err)
 	}
 	s.streams[id] = st
+	s.cfg.Logger.Info("stream created", "stream", id, "variant", cfg.Variant, "l", cfg.L,
+		"queue_size", cfg.QueueSize, "trace_buffer", cfg.TraceBuffer)
 	return nil
 }
 
@@ -92,6 +113,7 @@ func (s *Server) DeleteStream(id string) bool {
 	}
 	st.close()
 	<-st.drained()
+	s.cfg.Logger.Info("stream deleted", "stream", id)
 	return true
 }
 

@@ -151,7 +151,7 @@ func TestSyncPushMatchesSequentialDetector(t *testing.T) {
 	}
 
 	// Sequential reference with the identical configuration.
-	ref := core.NewOnline(onlineConfig(scfg.withDefaults(64)), scfg.L)
+	ref := core.NewOnline(onlineConfig(scfg.withDefaults(64, 64)), scfg.L)
 	for i := 0; i < seq.T(); i++ {
 		if _, err := ref.Push(seq.At(i)); err != nil {
 			t.Fatal(err)
@@ -464,7 +464,7 @@ func TestWarmStreamMatchesBatchDetector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batchCfg := onlineConfig(scfg.withDefaults(64))
+	batchCfg := onlineConfig(scfg.withDefaults(64, 64))
 	trs, err := core.New(batchCfg).Run(seq)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"time"
 
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 )
 
 // errQueueFull is mapped to HTTP 429 by the snapshot handler.
@@ -33,7 +36,9 @@ type stream struct {
 	cfg     StreamConfig
 	queue   *ingestQueue
 	metrics *metrics
-	oracle  string // metrics label: "exact", "embedding" or "none"
+	logger  *slog.Logger
+	tracer  *obs.Tracer // nil when the stream's TraceBuffer is negative
+	oracle  string      // metrics label: "exact", "embedding" or "none"
 
 	enqMu    sync.Mutex
 	closed   bool
@@ -45,12 +50,19 @@ type stream struct {
 	processed int64
 	lastErr   error
 
+	// Slow-push detection state, touched only by the worker goroutine:
+	// a ring of recent push latencies for the adaptive p99 threshold.
+	latRing   []float64
+	latNext   int
+	latCount  int
+	latSorted []float64 // scratch for the percentile
+
 	done chan struct{} // closed when the worker has drained and exited
 }
 
 // newStream validates cfg and starts the worker. cfg must already have
 // defaults applied.
-func newStream(id string, cfg StreamConfig, m *metrics) (*stream, error) {
+func newStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger) (*stream, error) {
 	variant, err := cfg.variant()
 	if err != nil {
 		return nil, err
@@ -71,8 +83,13 @@ func newStream(id string, cfg StreamConfig, m *metrics) (*stream, error) {
 		cfg:     cfg,
 		queue:   newIngestQueue(cfg.QueueSize),
 		metrics: m,
+		logger:  logger.With("stream", id),
 		det:     det,
+		latRing: make([]float64, slowPushWindow),
 		done:    make(chan struct{}),
+	}
+	if cfg.TraceBuffer > 0 {
+		s.tracer = obs.NewTracer(cfg.TraceBuffer)
 	}
 	s.oracle = oracleKind(variant)
 	go s.run()
@@ -114,7 +131,17 @@ func (s *stream) run() {
 		start := time.Now()
 		s.detMu.Lock()
 		s.resolveOracle(j.g.N())
-		rep, err := s.det.Push(j.g)
+		// The worker owns the root span so the trace carries the serving
+		// context (stream, arrival index, request id) above the
+		// detector's pipeline stages.
+		root := s.tracer.Start("push")
+		root.SetString("stream", s.id)
+		root.SetInt("instance", j.instance)
+		if j.requestID != "" {
+			root.SetString("request_id", j.requestID)
+		}
+		rep, err := s.det.PushTraced(j.g, root)
+		root.End()
 		delta := s.det.Delta()
 		ost := s.det.LastOracleStats()
 		s.processed++
@@ -126,8 +153,16 @@ func (s *stream) run() {
 		elapsed := time.Since(start).Seconds()
 		s.metrics.observe("cadd_push_seconds", labels("oracle", s.oracle), elapsed)
 		s.metrics.add("cadd_snapshots_processed_total", labels("stream", s.id), 1)
+		if root != nil {
+			for _, st := range root.Children() {
+				s.metrics.observe("cadd_push_stage_seconds",
+					labels("stream", s.id, "stage", st.Name()), st.Duration().Seconds())
+			}
+		}
+		s.noteLatency(elapsed, j, root)
 		if err != nil {
 			s.metrics.add("cadd_push_errors_total", labels("stream", s.id), 1)
+			s.logger.Error("push failed", "instance", j.instance, "request_id", j.requestID, "err", err)
 		}
 		if ost.Built {
 			mode := "cold"
@@ -151,11 +186,93 @@ func (s *stream) run() {
 	}
 }
 
+// slowPushWindow is the latency-ring size behind the adaptive
+// slow-push threshold; slowPushMinSamples gates it so the first few
+// (cold, naturally slow) pushes never alarm.
+const (
+	slowPushWindow     = 64
+	slowPushMinSamples = 16
+	slowPushFloor      = 0.005 // seconds; below this nothing is "slow"
+)
+
+// noteLatency records one push latency and emits the slow-push WARN —
+// with the per-stage breakdown inlined from the trace — when the
+// configured (or adaptive) threshold is crossed. Worker goroutine only.
+func (s *stream) noteLatency(elapsed float64, j job, root *obs.Span) {
+	threshold := s.cfg.SlowPushSeconds
+	if threshold < 0 {
+		return
+	}
+	if threshold == 0 { // adaptive: ≈1.5× the recent p99, floored
+		threshold = s.adaptiveThreshold()
+	}
+	crossed := threshold > 0 && elapsed > threshold
+
+	s.latRing[s.latNext] = elapsed
+	s.latNext = (s.latNext + 1) % len(s.latRing)
+	if s.latCount < len(s.latRing) {
+		s.latCount++
+	}
+
+	if !crossed {
+		return
+	}
+	s.metrics.add("cadd_slow_pushes_total", labels("stream", s.id), 1)
+	args := []any{
+		"instance", j.instance,
+		"request_id", j.requestID,
+		"seconds", elapsed,
+		"threshold_seconds", threshold,
+	}
+	if root != nil {
+		for _, st := range root.Children() {
+			args = append(args, "stage_"+st.Name()+"_seconds", st.Duration().Seconds())
+		}
+	}
+	s.logger.Warn("slow push", args...)
+}
+
+// adaptiveThreshold returns 1.5× the p99 of the recent latency ring, or
+// 0 (disabled) until enough samples have accumulated.
+func (s *stream) adaptiveThreshold() float64 {
+	if s.latCount < slowPushMinSamples {
+		return 0
+	}
+	s.latSorted = append(s.latSorted[:0], s.latRing[:s.latCount]...)
+	sort.Float64s(s.latSorted)
+	idx := (99*s.latCount + 99) / 100 // ceil(0.99·n)
+	if idx > s.latCount {
+		idx = s.latCount
+	}
+	t := 1.5 * s.latSorted[idx-1]
+	if t < slowPushFloor {
+		t = slowPushFloor
+	}
+	return t
+}
+
+// traces returns the stream's retained push traces, oldest first (nil
+// when tracing is disabled).
+func (s *stream) traces() []*obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Traces()
+}
+
+// traceDropped is the number of traces evicted from the ring so far.
+func (s *stream) traceDropped() uint64 {
+	if s.tracer == nil {
+		return 0
+	}
+	return s.tracer.Dropped()
+}
+
 // enqueue accepts one snapshot. Synchronous pushes return the worker's
 // result; asynchronous ones return immediately with the assigned
 // arrival index. errQueueFull means the bounded queue rejected it.
-func (s *stream) enqueue(g *graph.Graph, sync bool) (PushResult, error) {
-	j := job{g: g}
+func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string) (PushResult, error) {
+	j := job{g: g, requestID: requestID}
 	if sync {
 		j.done = make(chan jobResult, 1)
 	}

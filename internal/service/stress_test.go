@@ -172,7 +172,7 @@ func TestConcurrentStreamsStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := c.cfg.withDefaults(srv.cfg.DefaultQueueSize)
+		cfg := c.cfg.withDefaults(srv.cfg.DefaultQueueSize, srv.cfg.DefaultTraceBuffer)
 		ref := core.NewOnline(onlineConfig(cfg), cfg.L)
 		ref.SetMaxHistory(cfg.MaxHistory)
 		seq := testSequence(t, T, c.seed)

@@ -65,9 +65,18 @@ type StreamConfig struct {
 	// MaxHistory bounds the retained transition history (see
 	// core.OnlineDetector.SetMaxHistory); 0 keeps everything.
 	MaxHistory int `json:"max_history,omitempty"`
+	// TraceBuffer is the number of recent push traces retained for
+	// /debug/traces (0 = server default of 64; negative disables
+	// tracing for this stream).
+	TraceBuffer int `json:"trace_buffer,omitempty"`
+	// SlowPushSeconds triggers a WARN log with a full per-stage
+	// breakdown for pushes slower than this. 0 (default) adapts the
+	// threshold to ≈1.5× the stream's observed p99; negative disables
+	// slow-push logging.
+	SlowPushSeconds float64 `json:"slow_push_seconds,omitempty"`
 }
 
-func (c StreamConfig) withDefaults(defaultQueue int) StreamConfig {
+func (c StreamConfig) withDefaults(defaultQueue, defaultTrace int) StreamConfig {
 	if c.Variant == "" {
 		c.Variant = "cad"
 	}
@@ -76,6 +85,9 @@ func (c StreamConfig) withDefaults(defaultQueue int) StreamConfig {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = defaultQueue
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = defaultTrace
 	}
 	return c
 }

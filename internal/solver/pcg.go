@@ -106,10 +106,11 @@ type Laplacian struct {
 	comp []int // graph component per vertex
 	size []int // component sizes
 
-	precond Precond
-	invDiag []float64     // Jacobi
-	tree    *spanningTree // Tree
-	reused  bool          // preconditioner carried over from a previous snapshot
+	precond   Precond
+	invDiag   []float64     // Jacobi
+	tree      *spanningTree // Tree
+	reused    bool          // preconditioner carried over from a previous snapshot
+	reuseKind string        // "" (cold), "shared" or "patched" — the reuse path taken
 
 	opt Options
 
@@ -202,6 +203,7 @@ func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Lapl
 		cl := prev.Clone()
 		cl.opt = opt
 		cl.reused = true
+		cl.reuseKind = "shared"
 		return cl
 	}
 	if precond != PrecondTree {
@@ -212,14 +214,15 @@ func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Lapl
 		return NewLaplacian(g, opt)
 	}
 	s := &Laplacian{
-		n:       prev.n,
-		l:       g.Laplacian(),
-		comp:    prev.comp, // component structure unchanged by the patch rules
-		size:    prev.size,
-		precond: precond,
-		tree:    tree,
-		reused:  true,
-		opt:     opt,
+		n:         prev.n,
+		l:         g.Laplacian(),
+		comp:      prev.comp, // component structure unchanged by the patch rules
+		size:      prev.size,
+		precond:   precond,
+		tree:      tree,
+		reused:    true,
+		reuseKind: "patched",
+		opt:       opt,
 	}
 	s.allocScratch()
 	return s

@@ -1,0 +1,94 @@
+package solver
+
+import (
+	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
+)
+
+// Observability entry points: every Traced variant is the plain call
+// wrapped in an obs span emitted under the caller's parent. A nil
+// parent disables the spans (obs spans are nil-safe), so batch paths
+// that pass nil pay only the receiver checks.
+
+// PrecondSpanName is the span the solver emits around preconditioner
+// setup; its "mode" attribute records the reuse path taken (cold,
+// shared or patched).
+const PrecondSpanName = "precond"
+
+// SolveSpanName is the span the solver emits around a blocked solve,
+// carrying the warm/cold mode and the iteration counts.
+const SolveSpanName = "pcg"
+
+// NewLaplacianTraced is NewLaplacian with a preconditioner-build span.
+func NewLaplacianTraced(g *graph.Graph, opt Options, parent *obs.Span) *Laplacian {
+	sp := parent.StartChild(PrecondSpanName)
+	s := NewLaplacian(g, opt)
+	annotatePrecond(sp, s)
+	sp.End()
+	return s
+}
+
+// NewLaplacianFromTraced is NewLaplacianFrom with a span recording
+// whether the previous snapshot's setup was shared, patched, or rebuilt
+// cold.
+func NewLaplacianFromTraced(g, prevG *graph.Graph, prev *Laplacian, opt Options, parent *obs.Span) *Laplacian {
+	sp := parent.StartChild(PrecondSpanName)
+	s := NewLaplacianFrom(g, prevG, prev, opt)
+	annotatePrecond(sp, s)
+	sp.End()
+	return s
+}
+
+func annotatePrecond(sp *obs.Span, s *Laplacian) {
+	if sp == nil {
+		return
+	}
+	sp.SetString("precond", s.precond.String())
+	mode := s.reuseKind
+	if mode == "" {
+		mode = "cold"
+	}
+	sp.SetString("mode", mode)
+	sp.SetInt("n", int64(s.n))
+	sp.SetInt("components", int64(len(s.size)))
+}
+
+// SolveBlockTraced is SolveBlock with a solve span carrying the
+// per-build iteration counts.
+func (s *Laplacian) SolveBlockTraced(x, b []float64, k, workers int, parent *obs.Span) ([]Stats, error) {
+	sp := parent.StartChild(SolveSpanName)
+	stats, err := s.solveBlock(x, b, k, workers, false)
+	annotateSolve(sp, stats, k, false, err)
+	sp.End()
+	return stats, err
+}
+
+// SolveBlockFromTraced is SolveBlockFrom (warm-started) with a solve
+// span.
+func (s *Laplacian) SolveBlockFromTraced(x, b []float64, k, workers int, parent *obs.Span) ([]Stats, error) {
+	sp := parent.StartChild(SolveSpanName)
+	stats, err := s.solveBlock(x, b, k, workers, true)
+	annotateSolve(sp, stats, k, true, err)
+	sp.End()
+	return stats, err
+}
+
+func annotateSolve(sp *obs.Span, stats []Stats, k int, warm bool, err error) {
+	if sp == nil {
+		return
+	}
+	var total, block int
+	for _, st := range stats {
+		total += st.Iterations
+		if st.Iterations > block {
+			block = st.Iterations
+		}
+	}
+	sp.SetInt("k", int64(k))
+	sp.SetBool("warm", warm)
+	sp.SetInt("pcg_iterations", int64(total))
+	sp.SetInt("block_iterations", int64(block))
+	if err != nil {
+		sp.SetString("error", err.Error())
+	}
+}
