@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke
 
 tier1: vet build test
 
@@ -45,3 +45,16 @@ trace-smoke:
 	$(GO) run ./cmd/datagen -dataset toy -out /tmp/cad-trace-smoke.txt
 	$(GO) run ./cmd/cadrun -in /tmp/cad-trace-smoke.txt -trace-out /tmp/cad-trace-smoke.json > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/cad-trace-smoke.json
+
+# Short coverage-guided run of the edge-list parser fuzzer: catches
+# parser regressions (NaN/Inf/negative-weight acceptance, allocation
+# bombs) beyond the checked-in seed corpus. CI runs this.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadSequence -fuzztime=10s ./internal/graph
+
+# The durability acceptance test: build the real cadd binary, kill -9
+# it mid-push, restart on the same -data-dir and require the recovered
+# /report to be byte-identical to an uninterrupted run. Runs under
+# -race so the recovery path is also raced. CI runs this.
+crash-smoke:
+	$(GO) test -race -run 'TestCrashRecovery|TestDurability' -count=1 ./cmd/cadd ./internal/service

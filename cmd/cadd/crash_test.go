@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/service"
+)
+
+// TestCrashRecovery is the durability acceptance test: it runs the real
+// cadd binary as a subprocess, kills it with SIGKILL mid-stream (a push
+// still in flight), restarts it on the same -data-dir and verifies that
+// after resuming the remaining pushes the /report body is byte-for-byte
+// identical to an uninterrupted run of the same sequence. in-process
+// run() can't be used here because SIGKILL must hit a separate process
+// to be a real crash.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles a subprocess")
+	}
+	bin := buildCadd(t)
+	dataDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-snapshot-every", "3",
+		"-fsync", "always",
+	}
+	const (
+		total  = 12 // instances in the full sequence
+		synced = 7  // sync pushes acknowledged before the crash
+	)
+	gs := crashSequence(total)
+	cfg := service.StreamConfig{L: 2}
+	ctx := context.Background()
+
+	// Phase 1: boot, ingest a prefix, then SIGKILL with a push in flight.
+	proc, base := startCadd(t, bin, args)
+	cl := service.NewClient(base, nil)
+	if err := cl.CreateStream(ctx, "emails", cfg); err != nil {
+		t.Fatalf("create stream: %v", err)
+	}
+	for i := 0; i < synced; i++ {
+		if _, err := cl.PushAt(ctx, "emails", gs[i], int64(i), true); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// Queue one more without waiting for scoring, then kill immediately:
+	// the crash lands while that push is being processed, so recovery
+	// may or may not include it — both are legal, and the instance-
+	// indexed resume below handles either.
+	if _, err := cl.PushAt(ctx, "emails", gs[synced], int64(synced), false); err != nil {
+		t.Fatalf("async push %d: %v", synced, err)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	proc.Wait()
+
+	// Phase 2: restart on the same data dir and resume.
+	proc2, base2 := startCadd(t, bin, args)
+	defer func() { proc2.Process.Kill(); proc2.Wait() }()
+	cl2 := service.NewClient(base2, nil).WithRetry(service.RetryPolicy{})
+
+	info, err := cl2.StreamInfo(ctx, "emails")
+	if err != nil {
+		t.Fatalf("stream did not survive the crash: %v", err)
+	}
+	if info.Ingested < synced || info.Ingested > synced+1 {
+		t.Fatalf("recovered Ingested=%d, want %d (acked) or %d (in-flight made it)",
+			info.Ingested, synced, synced+1)
+	}
+	metrics := httpGetRaw(t, base2+"/metrics")
+	if !strings.Contains(string(metrics), "cadd_recovered_streams_total 1") {
+		t.Fatalf("recovery metric missing:\n%s", metrics)
+	}
+
+	// Re-push the whole sequence from zero: everything already journaled
+	// must come back as a duplicate ack, the rest is scored normally.
+	for i := 0; i < total; i++ {
+		res, err := cl2.PushAt(ctx, "emails", gs[i], int64(i), true)
+		if err != nil {
+			t.Fatalf("resume push %d: %v", i, err)
+		}
+		if wantDup := int64(i) < info.Ingested; res.Duplicate != wantDup {
+			t.Fatalf("push %d: duplicate=%v, want %v", i, res.Duplicate, wantDup)
+		}
+	}
+
+	got := httpGetRaw(t, base2+"/v1/streams/emails/report")
+	want := uninterruptedReport(t, cfg, gs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered report differs from uninterrupted run:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// buildCadd compiles the daemon into the test's temp dir.
+func buildCadd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cadd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCadd launches the binary and parses the announced listen address
+// from its first stdout line.
+func startCadd(t *testing.T, bin string, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	deadline.Stop()
+	line := sc.Text()
+	go io.Copy(io.Discard, stdout)
+	return cmd, "http://" + line[strings.LastIndex(line, " ")+1:]
+}
+
+// uninterruptedReport scores the same sequence on a fresh in-process,
+// non-durable server and returns the raw /report body — the reference
+// the crashed-and-recovered daemon must match byte for byte.
+func uninterruptedReport(t *testing.T, cfg service.StreamConfig, gs []*graph.Graph) []byte {
+	t.Helper()
+	srv := service.New(service.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cl := service.NewClient(hs.URL, hs.Client())
+	ctx := context.Background()
+	if err := cl.CreateStream(ctx, "emails", cfg); err != nil {
+		t.Fatalf("reference create: %v", err)
+	}
+	for i, g := range gs {
+		if _, err := cl.Push(ctx, "emails", g, true); err != nil {
+			t.Fatalf("reference push %d: %v", i, err)
+		}
+	}
+	return httpGetRaw(t, hs.URL+"/v1/streams/emails/report")
+}
+
+func httpGetRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s %s", url, resp.Status, body)
+	}
+	return body
+}
+
+// crashSequence mirrors the service package's deterministic test
+// sequence: a 12-node two-cluster graph with jittered weights and a
+// planted bridge at the middle instance. Small enough for the exact
+// commute oracle, so recovery is bit-reproducible.
+func crashSequence(T int) []*graph.Graph {
+	gs := make([]*graph.Graph, T)
+	for step := range gs {
+		b := graph.NewBuilder(12)
+		for c := 0; c < 2; c++ {
+			base := c * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					jitter := float64((step*7+i*3+j)%5) * 0.01
+					b.SetEdge(base+i, base+j, 2+jitter)
+				}
+			}
+		}
+		b.SetEdge(0, 6, 0.2)
+		if step == T/2 {
+			b.SetEdge(2, 9, 3)
+		}
+		gs[step] = b.MustBuild()
+	}
+	return gs
+}
+
+// TestDataDirBootWithoutJournal pins that -data-dir on an empty
+// directory is a clean no-op boot (no streams, no recovery errors).
+func TestDataDirBootWithoutJournal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	var wg sync.WaitGroup
+	var code int
+	dir := t.TempDir()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pw.Close()
+		code = run(ctx, []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-shutdown-timeout", "10s"}, pw, &stderr)
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	base := "http://" + sc.Text()[strings.LastIndex(sc.Text(), " ")+1:]
+	go io.Copy(io.Discard, pr)
+
+	resp, err := http.Get(base + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list streams: %s", resp.Status)
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestBadFsyncFlagExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-fsync", "sometimes"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad -fsync") {
+		t.Fatalf("stderr %q does not name the bad flag", errb.String())
+	}
+}

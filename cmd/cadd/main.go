@@ -8,6 +8,7 @@
 //	cadd [-addr :8470] [-queue 64] [-max-streams 1024]
 //	     [-shutdown-timeout 30s] [-pprof 127.0.0.1:0]
 //	     [-log-format text|json] [-log-level info] [-trace-buffer 64]
+//	     [-data-dir /var/lib/cadd] [-fsync always|off] [-snapshot-every 64]
 //
 // API (all JSON; see internal/service for the wire types):
 //
@@ -40,6 +41,15 @@
 // On SIGINT/SIGTERM the server stops accepting requests, drains every
 // stream's queue (bounded by -shutdown-timeout), and exits — accepted
 // snapshots are never silently dropped.
+//
+// -data-dir makes streams durable: every accepted push is journaled to
+// a per-stream write-ahead log under <data-dir>/streams/<id>/ and
+// compacted into a snapshot every -snapshot-every pushes, and on the
+// next boot the daemon replays the journals before it starts
+// listening, so a kill -9 loses at most the pushes that were never
+// acknowledged. -fsync off trades that guarantee for latency by
+// leaving WAL writes in the page cache. See docs/DURABILITY.md for
+// the file formats and recovery semantics.
 //
 // -pprof serves the net/http/pprof profiling endpoints (/debug/pprof/)
 // on a dedicated listener, kept off the public API address so profiling
@@ -96,8 +106,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logFormat       = fs.String("log-format", "text", "structured log encoding: text or json")
 		logLevel        = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		traceBuffer     = fs.Int("trace-buffer", 64, "per-stream push-trace retention for /debug/traces (0 disables)")
+		dataDir         = fs.String("data-dir", "", "journal streams to this directory and recover them at boot (off when empty)")
+		fsync           = fs.String("fsync", "always", "WAL fsync policy: always (each push durable on ack) or off (page cache only)")
+		snapshotEvery   = fs.Int("snapshot-every", 64, "journaled pushes between compact snapshots")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var doFsync bool
+	switch *fsync {
+	case "always":
+		doFsync = true
+	case "off":
+		doFsync = false
+	default:
+		fmt.Fprintf(stderr, "cadd: bad -fsync %q (want always or off)\n", *fsync)
 		return 2
 	}
 
@@ -116,7 +139,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxStreams:         *maxStreams,
 		DefaultTraceBuffer: defaultTrace,
 		Logger:             logger,
+		DataDir:            *dataDir,
+		Fsync:              doFsync,
+		SnapshotEvery:      *snapshotEvery,
 	})
+	if *dataDir != "" {
+		// Recover journaled streams before the listener opens, so the
+		// first request already sees the restored state.
+		logger.Info("recovering streams", "data_dir", *dataDir)
+		if err := srv.Recover(); err != nil {
+			fmt.Fprintln(stderr, "cadd:", err)
+			return 1
+		}
+		logger.Info("recovery complete", "streams", srv.NumStreams())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadd:", err)

@@ -336,14 +336,27 @@ type StreamPushResult = service.PushResult
 // Snapshot is the wire form of one graph instance sent to cadd.
 type Snapshot = service.Snapshot
 
+// StreamRetryPolicy configures StreamClient.WithRetry: capped
+// exponential backoff with jitter, honoring the server's Retry-After
+// on 429. The zero value selects the defaults (4 attempts, 100ms
+// base, 5s cap).
+type StreamRetryPolicy = service.RetryPolicy
+
+// StreamStatusError is the typed error a StreamClient returns for any
+// non-2xx response: HTTP status, server message, and the parsed
+// Retry-After delay when the server sent one.
+type StreamStatusError = service.StatusError
+
 // ErrStreamQueueFull is returned by StreamClient.Push when the
 // server's bounded ingest queue rejected the snapshot (HTTP 429);
-// callers should back off and retry.
+// callers should back off and retry — or enable
+// StreamClient.WithRetry, which retries 429 transparently.
 var ErrStreamQueueFull = service.ErrQueueFull
 
 // NewStreamClient returns a client for the cadd server at baseURL
-// (e.g. "http://localhost:8470"). A nil httpClient uses
-// http.DefaultClient.
+// (e.g. "http://localhost:8470"). A nil httpClient gets a dedicated
+// client with a 30-second per-request timeout, never the timeout-less
+// http.DefaultClient. Retries are off until WithRetry.
 func NewStreamClient(baseURL string, httpClient *http.Client) *StreamClient {
 	return service.NewClient(baseURL, httpClient)
 }

@@ -128,20 +128,21 @@ func (o *OnlineDetector) LastOracleStats() OracleStats { return o.lastStats }
 // see BenchmarkOnlinePushColdVsWarm, which runs untraced.
 func (o *OnlineDetector) SetTracer(tr *obs.Tracer) { o.tracer = tr }
 
-// buildOracle constructs the commute oracle for the next instance,
-// incrementally from the cached previous oracle when the configuration
-// allows it, and records the build stats.
-func (o *OnlineDetector) buildOracle(g *graph.Graph, sp *obs.Span) (commute.Oracle, error) {
+// buildOracle constructs the commute oracle for instance t,
+// incrementally from prev when the configuration allows it, and
+// returns the build's stats (also tracking the stream's cold per-row
+// PCG cost for later warm-saving estimates).
+func (o *OnlineDetector) buildOracle(g *graph.Graph, t int, prev commute.Oracle, sp *obs.Span) (commute.Oracle, OracleStats, error) {
 	cfg := o.cfg.Commute
 	// Decorrelate projections across instances (the paper's setup) —
 	// unless projections are deliberately shared so that consecutive
 	// embeddings can warm-start each other.
 	if !cfg.SharedProjections {
-		cfg.Seed = cfg.Seed*1000003 + int64(o.t)
+		cfg.Seed = cfg.Seed*1000003 + int64(t)
 	}
-	oracle, err := commute.NewFromTraced(g, o.prevOra, cfg, o.cfg.ExactCutoff, sp)
+	oracle, err := commute.NewFromTraced(g, prev, cfg, o.cfg.ExactCutoff, sp)
 	if err != nil {
-		return nil, err
+		return nil, OracleStats{}, err
 	}
 	st := OracleStats{Built: true, Kind: "exact"}
 	if emb, ok := oracle.(*commute.Embedding); ok {
@@ -160,8 +161,7 @@ func (o *OnlineDetector) buildOracle(g *graph.Graph, sp *obs.Span) (commute.Orac
 			st.ColdEstimateIterations = bs.PCGIterations
 		}
 	}
-	o.lastStats = st
-	return oracle, nil
+	return oracle, st, nil
 }
 
 // Push consumes the next graph instance. For the first instance it
@@ -211,8 +211,26 @@ func (o *OnlineDetector) PushTraced(g *graph.Graph, parent *obs.Span) (*Transiti
 	var oracle commute.Oracle
 	if o.cfg.Variant != VariantADJ {
 		sp := parent.StartChild("oracle")
+		// A restored detector (RestoreOnline) carries the previous graph
+		// but not its oracle; rebuild it before the new instance's build
+		// so scoring sees both sides of the transition. The rebuild is
+		// cold — there is nothing earlier to warm-start from — and uses
+		// the previous instance's derived seed, so for exact and
+		// per-instance-seeded regimes it is bit-identical to the oracle
+		// the crashed process held.
+		if o.t > 0 && o.prevOra == nil && o.prev != nil {
+			sp.SetBool("restored_prev", true)
+			po, _, err := o.buildOracle(o.prev, o.t-1, nil, sp)
+			if err != nil {
+				sp.SetString("error", err.Error())
+				sp.End()
+				o.lastStats = OracleStats{}
+				return nil, fmt.Errorf("core: restored oracle for instance %d: %w", o.t-1, err)
+			}
+			o.prevOra = po
+		}
 		var err error
-		oracle, err = o.buildOracle(g, sp)
+		oracle, o.lastStats, err = o.buildOracle(g, o.t, o.prevOra, sp)
 		if err != nil {
 			sp.SetString("error", err.Error())
 			sp.End()

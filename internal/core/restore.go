@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"dyngraph/internal/graph"
+)
+
+// This file is the durability seam of the streaming detector: the
+// serving layer journals accepted pushes (internal/wal) and rebuilds
+// detectors after a crash from the journaled state, without replaying
+// oracle builds. Scores are restored verbatim — they are the one part
+// of the state that is expensive to recompute and, for warm-started
+// embedding streams, not bit-reproducible from a cold start — while
+// the δ-selection cache and the threshold itself are recomputed from
+// the restored history, which doubles as an integrity check against
+// the journaled δ.
+
+// OnlineState is the detector-visible state a durability layer must
+// persist to reconstruct an OnlineDetector exactly: everything else
+// (the δ-breakpoint cache, the threshold, scratch) is a deterministic
+// function of it. The commute oracle of the previous instance is
+// deliberately absent — it is rebuilt lazily on the next Push (see
+// RestoreOnline).
+type OnlineState struct {
+	// N is the fixed vertex count (0 before the first instance).
+	N int
+	// T is the number of instances consumed.
+	T int
+	// Evicted is the number of transitions dropped by the max-history
+	// window.
+	Evicted int
+	// Delta is the current global threshold. It is redundant — δ is
+	// recomputed from History on restore — and serves as the integrity
+	// check: RestoreOnline fails if the recomputed value differs.
+	Delta float64
+	// History is the retained scored-transition window, oldest first.
+	History []Transition
+	// Prev is the most recent graph instance (nil only when T is 0).
+	Prev *graph.Graph
+}
+
+// State snapshots the detector for a durability layer. The history
+// slice is copied (the detector's eviction compacts its own backing
+// array in place), but the per-transition score slices are shared:
+// they are immutable once scored.
+func (o *OnlineDetector) State() OnlineState {
+	return OnlineState{
+		N:       o.n,
+		T:       o.t,
+		Evicted: o.evicted,
+		Delta:   o.delta,
+		History: append([]Transition(nil), o.history...),
+		Prev:    o.prev,
+	}
+}
+
+// RestoreOnline reconstructs a streaming detector from journaled
+// state, as if it had consumed the original pushes: the δ-selection
+// step cache is rebuilt from the restored scores and the threshold is
+// re-selected over them. The recomputed δ must equal st.Delta bit for
+// bit — δ is a pure function of the retained score history, so any
+// difference means the journal does not describe the detector it
+// claims to and the restore is refused.
+//
+// The previous instance's commute oracle is not part of the state; the
+// first Push after a restore rebuilds it from st.Prev before scoring.
+// That rebuild is bit-identical to the crashed process's oracle for
+// the exact regime and for per-instance-seeded embeddings (both are
+// pure functions of the graph and the derived seed); for
+// SharedProjections streams, whose oracles warm-start off each other,
+// it is a cold build that agrees with the lost warm one only to solver
+// tolerance — see docs/DURABILITY.md for the recovery semantics.
+func RestoreOnline(cfg Config, l float64, st OnlineState) (*OnlineDetector, error) {
+	if st.T < 0 || st.Evicted < 0 {
+		return nil, fmt.Errorf("core: restore: negative instance (%d) or eviction (%d) count", st.T, st.Evicted)
+	}
+	if st.T == 0 {
+		if len(st.History) != 0 || st.Prev != nil {
+			return nil, fmt.Errorf("core: restore: zero instances but %d transitions retained", len(st.History))
+		}
+		return NewOnline(cfg, l), nil
+	}
+	if st.Prev == nil {
+		return nil, fmt.Errorf("core: restore: %d instances consumed but no previous graph", st.T)
+	}
+	if st.Prev.N() != st.N {
+		return nil, fmt.Errorf("core: restore: previous graph has %d vertices, state says %d", st.Prev.N(), st.N)
+	}
+	if max := st.T - 1; len(st.History) > max {
+		return nil, fmt.Errorf("core: restore: %d retained transitions exceed the %d consumed instances", len(st.History), st.T)
+	}
+	// Retained transitions must be the contiguous suffix ending at the
+	// newest transition T-2, with the eviction count accounting for the
+	// dropped prefix.
+	first := st.T - 1 - len(st.History)
+	if st.Evicted != first {
+		return nil, fmt.Errorf("core: restore: eviction count %d does not match window start %d", st.Evicted, first)
+	}
+	for i, tr := range st.History {
+		if tr.T != first+i {
+			return nil, fmt.Errorf("core: restore: transition %d at window position %d, want %d", tr.T, i, first+i)
+		}
+	}
+
+	o := NewOnline(cfg, l)
+	o.n = st.N
+	o.t = st.T
+	o.evicted = st.Evicted
+	o.prev = st.Prev
+	o.history = append([]Transition(nil), st.History...)
+	o.steps = make([]deltaSteps, len(o.history))
+	for i, tr := range o.history {
+		o.steps[i] = newDeltaSteps(tr, &o.marks)
+	}
+	if len(o.steps) > 0 {
+		o.breaks = o.breaks[:0]
+		for i := range o.steps {
+			o.breaks = append(o.breaks, o.steps[i].residuals...)
+		}
+		o.delta = selectDeltaFromSteps(o.steps, o.breaks, o.l)
+	}
+	if o.delta != st.Delta {
+		return nil, fmt.Errorf("core: restore: δ re-selected over the restored history is %g, journal says %g (journal does not match its own scores)",
+			o.delta, st.Delta)
+	}
+	return o, nil
+}

@@ -17,7 +17,12 @@ func FuzzReadSequence(f *testing.F) {
 	f.Add("0 0 1 -3\n")
 	f.Add("n -1 t 0\n")
 	f.Add("0 0 1 NaN\n")
+	f.Add("0 0 1 nan\n")
+	f.Add("0 0 1 +Inf\n")
+	f.Add("0 0 1 -Inf\n")
 	f.Add("0 0 1 1e308\n0 0 1 1e308\n")
+	f.Add("0 0 1 -0\n")
+	f.Add("n 2 t 1\n0 0 1 0x1p-3\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		seq, err := ReadSequence(strings.NewReader(input))

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -86,6 +87,15 @@ func ReadSequence(r io.Reader) (*Sequence, error) {
 		w, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+		}
+		// Reject bad weights here, with the line number, rather than
+		// letting Builder.Build refuse the accumulated edge much later
+		// with no pointer back to the offending record.
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: line %d: non-finite weight %q", lineNo, fields[3])
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative weight %g", lineNo, w)
 		}
 		if t < 0 || i < 0 || j < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative index", lineNo)

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadSequenceRejectsBadWeights pins parse-time weight validation:
+// NaN, ±Inf and negative weights are refused when the line is read,
+// and the error names the offending line so a bad record in a large
+// file is findable.
+func TestReadSequenceRejectsBadWeights(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"NaN", "0 0 1 1\n0 1 2 NaN\n", "line 2: non-finite weight"},
+		{"lowercase nan", "0 0 1 nan\n", "line 1: non-finite weight"},
+		{"+Inf", "# header comment\n0 0 1 +Inf\n", "line 2: non-finite weight"},
+		{"-Inf", "0 0 1 -Inf\n", "line 1: non-finite weight"},
+		{"negative", "0 0 1 2\n0 1 2 3\n0 2 3 -0.5\n", "line 3: negative weight"},
+		{"huge literal overflowing to Inf", "0 0 1 1e999\n", "line 1: bad weight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSequence(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("input %q accepted", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+
+	// Zero and negative-zero weights are no-edges, not errors.
+	seq, err := ReadSequence(strings.NewReader("n 3 t 1\n0 0 1 0\n0 1 2 -0\n0 0 2 1\n"))
+	if err != nil {
+		t.Fatalf("zero weights rejected: %v", err)
+	}
+	if seq.At(0).NumEdges() != 1 {
+		t.Fatalf("zero-weight records created edges: %d", seq.At(0).NumEdges())
+	}
+}

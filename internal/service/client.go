@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
@@ -16,40 +19,178 @@ import (
 
 // ErrQueueFull is returned by Client.Push when the server answered 429
 // — the stream's bounded ingest queue rejected the snapshot. Callers
-// implement their own backoff; the server never buffers past the
-// bound.
+// implement their own backoff (or enable WithRetry); the server never
+// buffers past the bound.
 var ErrQueueFull = errors.New("service: stream ingest queue full")
 
 // ErrNotFound is returned for unknown streams or transitions.
 var ErrNotFound = errors.New("service: not found")
 
+// DefaultTimeout is the per-request timeout applied when NewClient is
+// given a nil http.Client. It bounds the whole request including the
+// response body read, so a hung server cannot wedge a caller that
+// forgot a context deadline.
+const DefaultTimeout = 30 * time.Second
+
+// StatusError is the typed error for any non-2xx response: it carries
+// the HTTP status, the server's error message and, when the server
+// sent a Retry-After, the advised delay. errors.Is recognizes
+// ErrQueueFull (429) and ErrNotFound (404) through it.
+type StatusError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Is maps well-known statuses onto the package's sentinel errors so
+// existing errors.Is call sites keep working.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrQueueFull:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrNotFound:
+		return e.StatusCode == http.StatusNotFound
+	}
+	return false
+}
+
+// RetryPolicy configures WithRetry: capped exponential backoff with
+// jitter. The zero value of any field selects its default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms);
+	// each further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry number `retry` (0-based):
+// exponential growth, capped, then half-jittered so a fleet of
+// clients that failed together does not retry together.
+func (p RetryPolicy) delay(retry int, advised time.Duration) time.Duration {
+	if advised > 0 {
+		return advised // the server knows; honor Retry-After as-is
+	}
+	d := p.BaseDelay << retry
+	if d > p.MaxDelay || d <= 0 { // <= 0 catches shift overflow
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 // Client drives a cadd server over its HTTP API with typed methods.
 // It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy // zero MaxAttempts: retries disabled
 }
 
 // NewClient returns a client for the server at baseURL (e.g.
-// "http://localhost:8470"). A nil httpClient uses
-// http.DefaultClient.
+// "http://localhost:8470"). A nil httpClient gets a dedicated client
+// with DefaultTimeout, not http.DefaultClient, whose lack of a timeout
+// turns an unresponsive server into a goroutine leak. Retries are off
+// until WithRetry.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
 }
 
-// do issues one request and decodes a JSON response into out (when
-// non-nil), translating error statuses into Go errors.
+// WithRetry returns a copy of the client that transparently retries
+// transient failures under policy p: 429 always (the push was refused,
+// so re-sending cannot double-apply it), 5xx and transport errors only
+// for idempotent requests — every method except plain POST pushes;
+// instance-indexed pushes (PushAt, PushSnapshotAt) count as idempotent
+// because the server dedupes them by arrival index. Backoff honors the
+// server's Retry-After when present.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p.withDefaults()
+	return &cp
+}
+
+// do issues one request (with retries when enabled), decoding a JSON
+// response into out when non-nil.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	return c.doIdem(ctx, method, path, body, out, method != http.MethodPost)
+}
+
+// doIdem is do with an explicit idempotency classification, for POSTs
+// that are safe to retry.
+func (c *Client) doIdem(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	for retry := 0; ; retry++ {
+		err := c.once(ctx, method, path, buf, out)
+		advised, retriable := c.classify(err, idempotent)
+		if !retriable || retry >= c.retry.MaxAttempts-1 {
+			return err
+		}
+		select {
+		case <-time.After(c.retry.delay(retry, advised)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// classify decides whether err is worth a retry under the client's
+// policy, and surfaces the server's advised delay when it gave one.
+func (c *Client) classify(err error, idempotent bool) (advised time.Duration, retriable bool) {
+	if err == nil || c.retry.MaxAttempts == 0 {
+		return 0, false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch {
+		case se.StatusCode == http.StatusTooManyRequests:
+			return se.RetryAfter, true // backpressure: always safe to retry
+		case se.StatusCode >= 500:
+			return se.RetryAfter, idempotent
+		default:
+			return 0, false // a 4xx will not improve on retry
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	return 0, idempotent // transport error: the request may have landed
+}
+
+// once issues exactly one HTTP request, translating error statuses
+// into *StatusError and always draining the response body so the
+// underlying connection is reusable.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -62,27 +203,40 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 
 	if resp.StatusCode >= 400 {
 		var ae apiError
 		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae)
-		switch resp.StatusCode {
-		case http.StatusTooManyRequests:
-			return fmt.Errorf("%w: %s", ErrQueueFull, ae.Error)
-		case http.StatusNotFound:
-			return fmt.Errorf("%w: %s", ErrNotFound, ae.Error)
-		default:
-			if ae.Error == "" {
-				ae.Error = resp.Status
-			}
-			return fmt.Errorf("service: %s %s: %s", method, path, ae.Error)
+		if ae.Error == "" {
+			ae.Error = fmt.Sprintf("%s %s: %s", method, path, resp.Status)
+		}
+		return &StatusError{
+			StatusCode: resp.StatusCode,
+			Message:    ae.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the
+// only form the server emits); anything else yields 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // CreateStream creates a named stream with the given config.
@@ -125,7 +279,29 @@ func (c *Client) PushSnapshot(ctx context.Context, id string, snap Snapshot, syn
 		path += "?sync=1"
 	}
 	var out PushResult
-	err := c.do(ctx, http.MethodPost, path, snap, &out)
+	err := c.doIdem(ctx, http.MethodPost, path, snap, &out, false)
+	return out, err
+}
+
+// PushAt is Push with an asserted arrival index, the idempotent form
+// for at-least-once delivery: if the stream has already accepted
+// arrival `instance` the server acks with Duplicate set instead of
+// re-scoring, and a gap (instance beyond the next expected arrival)
+// is refused. After a server restart, resume from
+// StreamInfo.Ingested — earlier instances ack as duplicates, later
+// ones fill the journal back in.
+func (c *Client) PushAt(ctx context.Context, id string, g *graph.Graph, instance int64, sync bool) (PushResult, error) {
+	return c.PushSnapshotAt(ctx, id, SnapshotFromGraph(g), instance, sync)
+}
+
+// PushSnapshotAt is PushAt for callers that already hold the wire form.
+func (c *Client) PushSnapshotAt(ctx context.Context, id string, snap Snapshot, instance int64, sync bool) (PushResult, error) {
+	path := fmt.Sprintf("/v1/streams/%s/snapshots?instance=%d", id, instance)
+	if sync {
+		path += "&sync=1"
+	}
+	var out PushResult
+	err := c.doIdem(ctx, http.MethodPost, path, snap, &out, true)
 	return out, err
 }
 

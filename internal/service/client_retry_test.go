@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dyngraph/internal/graph"
+)
+
+// flakyHandler answers the first fail calls with the given status,
+// then succeeds with a PushResult (POST) or StreamInfo (GET) body.
+func flakyHandler(status int, fail int32, calls *int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(calls, 1)
+		if n <= fail {
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "0")
+			}
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":"flaky %d"}`, n)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodGet {
+			json.NewEncoder(w).Encode(StreamInfo{ID: "s"})
+			return
+		}
+		json.NewEncoder(w).Encode(PushResult{Stream: "s", Queued: true})
+	})
+}
+
+func retryClient(hs *httptest.Server) *Client {
+	return NewClient(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+}
+
+func smallGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.SetEdge(0, 1, 1)
+	b.SetEdge(1, 2, 1)
+	return b.MustBuild()
+}
+
+func TestClientRetries429UntilAccepted(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusTooManyRequests, 2, &calls))
+	defer hs.Close()
+	res, err := retryClient(hs).Push(context.Background(), "s", smallGraph(t), false)
+	if err != nil {
+		t.Fatalf("push through backpressure: %v", err)
+	}
+	if !res.Queued || atomic.LoadInt32(&calls) != 3 {
+		t.Fatalf("result %+v after %d calls, want queued after 3", res, calls)
+	}
+}
+
+func TestClientExhausts429Retries(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusTooManyRequests, 1<<30, &calls))
+	defer hs.Close()
+	_, err := retryClient(hs).Push(context.Background(), "s", smallGraph(t), false)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull after exhausted retries, got %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 4 {
+		t.Fatalf("%d calls, want MaxAttempts=4", got)
+	}
+}
+
+func TestClientDoesNotRetryNonIdempotentOn500(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusInternalServerError, 1<<30, &calls))
+	defer hs.Close()
+	cl := retryClient(hs)
+	ctx := context.Background()
+
+	// A plain push could double-apply: one attempt only.
+	if _, err := cl.Push(ctx, "s", smallGraph(t), false); err == nil {
+		t.Fatal("want error from a 500")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("plain push made %d attempts on 500, want 1", got)
+	}
+
+	// The instance-indexed push is deduped server-side: safe to retry.
+	atomic.StoreInt32(&calls, 0)
+	if _, err := cl.PushAt(ctx, "s", smallGraph(t), 0, false); err == nil {
+		t.Fatal("want error from a 500")
+	}
+	if got := atomic.LoadInt32(&calls); got != 4 {
+		t.Fatalf("indexed push made %d attempts on 500, want 4", got)
+	}
+
+	// GETs are idempotent by method.
+	atomic.StoreInt32(&calls, 0)
+	if _, err := cl.StreamInfo(ctx, "s"); err == nil {
+		t.Fatal("want error from a 500")
+	}
+	if got := atomic.LoadInt32(&calls); got != 4 {
+		t.Fatalf("GET made %d attempts on 500, want 4", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusNotFound, 1<<30, &calls))
+	defer hs.Close()
+	if _, err := retryClient(hs).StreamInfo(context.Background(), "s"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("%d attempts on 404, want 1 (a 4xx will not improve)", got)
+	}
+}
+
+func TestClientRetriesOffByDefault(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusTooManyRequests, 1<<30, &calls))
+	defer hs.Close()
+	cl := NewClient(hs.URL, hs.Client())
+	if _, err := cl.Push(context.Background(), "s", smallGraph(t), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("%d calls without WithRetry, want 1", got)
+	}
+}
+
+func TestClientStatusErrorCarriesRetryAfter(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"full up"}`)
+	}))
+	defer hs.Close()
+	_, err := NewClient(hs.URL, hs.Client()).Push(context.Background(), "s", smallGraph(t), false)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	if se.StatusCode != http.StatusTooManyRequests || se.RetryAfter != 7*time.Second || se.Message != "full up" {
+		t.Fatalf("StatusError %+v, want 429 / 7s / server message", se)
+	}
+	if !errors.Is(err, ErrQueueFull) || errors.Is(err, ErrNotFound) {
+		t.Fatal("StatusError.Is sentinel mapping broken")
+	}
+}
+
+func TestClientRetryHonorsContextCancellation(t *testing.T) {
+	var calls int32
+	hs := httptest.NewServer(flakyHandler(http.StatusTooManyRequests, 1<<30, &calls))
+	defer hs.Close()
+	cl := NewClient(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 100,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Push(ctx, "s", smallGraph(t), false)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error from the backoff wait, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled retry loop kept running")
+	}
+}
+
+func TestNewClientNilHTTPClientGetsTimeout(t *testing.T) {
+	cl := NewClient("http://example.invalid", nil)
+	if cl.hc == http.DefaultClient {
+		t.Fatal("nil http.Client must not fall back to http.DefaultClient")
+	}
+	if cl.hc.Timeout != DefaultTimeout {
+		t.Fatalf("default client timeout %v, want %v", cl.hc.Timeout, DefaultTimeout)
+	}
+}
+
+func TestRetryPolicyBackoffShape(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	for retry, ceil := range []time.Duration{100, 200, 400, 800, 1000, 1000} {
+		d := p.delay(retry, 0)
+		ceil *= time.Millisecond
+		if d < ceil/2 || d > ceil {
+			t.Fatalf("retry %d: delay %v outside jitter window [%v, %v]", retry, d, ceil/2, ceil)
+		}
+	}
+	if d := p.delay(0, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("advised Retry-After ignored: %v", d)
+	}
+	// Large retry counts must not overflow into negative delays.
+	if d := p.delay(62, 0); d <= 0 || d > p.MaxDelay {
+		t.Fatalf("overflow-range retry produced delay %v", d)
+	}
+}

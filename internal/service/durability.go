@@ -1,0 +1,479 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/wal"
+)
+
+// This file wires the wal package into the stream lifecycle. Each
+// stream with durability enabled owns a directory
+//
+//	<DataDir>/streams/<id>/
+//	    config.json   the StreamConfig, written once at creation
+//	    wal.log       one framed PushRecord per scored push
+//	    snapshot.bin  the latest compact StreamSnapshot
+//
+// The journal is confined to the stream's worker goroutine (like the
+// detector itself), so it needs no locking. Recovery happens before
+// the server starts listening: Server.Recover scans the directory,
+// replays snapshot + log into a core.OnlineState and restores the
+// detector without re-running any oracle builds — scores were
+// journaled verbatim precisely so recovery is cheap and byte-exact.
+
+const (
+	streamConfigFile   = "config.json"
+	streamWALFile      = "wal.log"
+	streamSnapshotFile = "snapshot.bin"
+)
+
+// streamDir is the on-disk home of one stream's journal.
+func streamDir(dataDir, id string) string {
+	return filepath.Join(dataDir, "streams", id)
+}
+
+// journal is a stream's durability sidecar. All fields after
+// construction are owned by the worker goroutine; a journaling failure
+// flips failed and the stream keeps serving without durability (the
+// error is logged and counted — losing the journal must not take down
+// scoring).
+type journal struct {
+	log           *wal.Log
+	snapPath      string
+	cfgJSON       []byte
+	snapshotEvery int
+	sinceSnapshot int
+	chain         uint64 // digest-chain value after the newest record
+	streamID      string
+	logger        *slog.Logger
+	metrics       *metrics
+	failed        bool
+}
+
+// pushJournalData is what the worker captures under detMu after a
+// successful push, for the journal to persist outside the lock.
+type pushJournalData struct {
+	g        *graph.Graph
+	instance int64
+	scores   []core.EdgeScore // newest transition's scores; nil at instance 0
+	total    float64
+	delta    float64
+	evicted  int64
+	snap     *core.OnlineState // non-nil when a compaction is due
+}
+
+// snapshotDue reports whether the next recorded push should compact.
+func (j *journal) snapshotDue() bool {
+	return !j.failed && j.sinceSnapshot+1 >= j.snapshotEvery
+}
+
+// recordPush appends one push record, then compacts when d.snap is
+// set. Called by the worker after every successful push, before a
+// synchronous pusher is acked — an acked push is always journaled.
+func (j *journal) recordPush(d *pushJournalData) {
+	if j.failed {
+		return
+	}
+	rec := &wal.PushRecord{
+		Instance: d.instance,
+		Graph:    graphToWAL(d.g),
+		Scores:   scoresToWAL(d.scores),
+		Total:    d.total,
+		Delta:    d.delta,
+		Evicted:  d.evicted,
+	}
+	rec.Digest = wal.StateDigest(j.chain, d.instance, d.delta, d.evicted, d.total)
+	payload, err := wal.EncodeRecord(rec)
+	if err == nil {
+		err = j.log.Append(payload)
+	}
+	if err != nil {
+		j.fail("append", err)
+		return
+	}
+	j.chain = rec.Digest
+	j.sinceSnapshot++
+	if d.snap != nil {
+		j.compact(d.snap)
+	}
+}
+
+// compact rotates a snapshot of st in and resets the log. The order is
+// the crash-safe one: the snapshot rename lands before the reset, so a
+// crash in between leaves records the snapshot already covers (replay
+// skips them by instance index).
+func (j *journal) compact(st *core.OnlineState) {
+	if j.failed {
+		return
+	}
+	snap := snapshotFromState(j.cfgJSON, st, j.chain)
+	payload, err := wal.EncodeSnapshot(snap)
+	if err == nil {
+		err = wal.WriteSnapshotFile(j.snapPath, payload)
+	}
+	if err == nil {
+		err = j.log.Reset()
+	}
+	if err != nil {
+		j.fail("snapshot", err)
+		return
+	}
+	j.sinceSnapshot = 0
+}
+
+// closeWith writes a final snapshot when records accumulated since the
+// last one, then closes the log. Worker-exit path (drain or delete).
+func (j *journal) closeWith(st *core.OnlineState) {
+	if !j.failed && j.sinceSnapshot > 0 {
+		j.compact(st)
+	}
+	if err := j.log.Close(); err != nil && !j.failed {
+		j.logger.Error("journal close failed", "stream", j.streamID, "err", err)
+	}
+}
+
+// fail disables the journal after a write error. Scoring continues;
+// durability for this stream ends at the last good record.
+func (j *journal) fail(op string, err error) {
+	j.failed = true
+	j.metrics.add("cadd_wal_errors_total", labels("stream", j.streamID), 1)
+	j.logger.Error("journal write failed; durability disabled for this stream",
+		"stream", j.streamID, "op", op, "err", err)
+}
+
+// --- wire ↔ wal conversions -----------------------------------------
+
+func graphToWAL(g *graph.Graph) wal.GraphData {
+	ge := g.Edges()
+	d := wal.GraphData{N: int32(g.N()), Edges: make([]wal.Edge, len(ge))}
+	for i, e := range ge {
+		d.Edges[i] = wal.Edge{I: int32(e.I), J: int32(e.J), W: e.W}
+	}
+	if labels := g.Labels(); labels != nil {
+		d.Labels = append([]string(nil), labels...)
+	}
+	return d
+}
+
+func graphFromWAL(d *wal.GraphData) (*graph.Graph, error) {
+	edges := make([]graph.Edge, len(d.Edges))
+	for i, e := range d.Edges {
+		edges[i] = graph.Edge{I: int(e.I), J: int(e.J), W: e.W}
+	}
+	return graph.FromEdges(int(d.N), edges, d.Labels)
+}
+
+func scoresToWAL(scores []core.EdgeScore) []wal.Score {
+	if scores == nil {
+		return nil
+	}
+	out := make([]wal.Score, len(scores))
+	for i, sc := range scores {
+		out[i] = wal.Score{I: int32(sc.I), J: int32(sc.J), S: sc.Score}
+	}
+	return out
+}
+
+func scoresFromWAL(scores []wal.Score) []core.EdgeScore {
+	out := make([]core.EdgeScore, len(scores))
+	for i, sc := range scores {
+		out[i] = core.EdgeScore{I: int(sc.I), J: int(sc.J), Score: sc.S}
+	}
+	return out
+}
+
+func snapshotFromState(cfgJSON []byte, st *core.OnlineState, chain uint64) *wal.StreamSnapshot {
+	snap := &wal.StreamSnapshot{
+		Config:    cfgJSON,
+		N:         int32(st.N),
+		Instances: int64(st.T),
+		Evicted:   int64(st.Evicted),
+		Delta:     st.Delta,
+		History:   make([]wal.TransitionData, len(st.History)),
+		Digest:    chain,
+	}
+	for i, tr := range st.History {
+		snap.History[i] = wal.TransitionData{T: int64(tr.T), Scores: scoresToWAL(tr.Scores), Total: tr.Total}
+	}
+	if st.Prev != nil {
+		g := graphToWAL(st.Prev)
+		snap.Prev = &g
+	}
+	return snap
+}
+
+func stateFromSnapshot(snap *wal.StreamSnapshot) (core.OnlineState, error) {
+	st := core.OnlineState{
+		N:       int(snap.N),
+		T:       int(snap.Instances),
+		Evicted: int(snap.Evicted),
+		Delta:   snap.Delta,
+		History: make([]core.Transition, len(snap.History)),
+	}
+	for i, td := range snap.History {
+		st.History[i] = core.Transition{T: int(td.T), Scores: scoresFromWAL(td.Scores), Total: td.Total}
+	}
+	if snap.Prev != nil {
+		g, err := graphFromWAL(snap.Prev)
+		if err != nil {
+			return st, fmt.Errorf("snapshot graph: %w", err)
+		}
+		st.Prev = g
+	}
+	return st, nil
+}
+
+// --- recovery --------------------------------------------------------
+
+// recoveredStream is the outcome of replaying one stream directory.
+type recoveredStream struct {
+	cfg       StreamConfig
+	cfgJSON   []byte
+	state     core.OnlineState
+	chain     uint64
+	replayed  int   // WAL records applied on top of the snapshot
+	truncated int64 // torn-tail bytes the WAL layer cut off
+	log       *wal.Log
+}
+
+// recoverStreamDir rebuilds one stream's state from its directory:
+// config.json (required), the snapshot if present, and every WAL
+// record past the snapshot. Record application verifies the digest
+// chain and instance contiguity, so a journal that lies about itself
+// is refused rather than restored. The returned log is open and
+// positioned for appends; on error it is closed.
+func recoverStreamDir(dir string, fsync bool) (*recoveredStream, error) {
+	cfgJSON, err := os.ReadFile(filepath.Join(dir, streamConfigFile))
+	if err != nil {
+		return nil, fmt.Errorf("stream config: %w", err)
+	}
+	var cfg StreamConfig
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("stream config: %w", err)
+	}
+
+	rs := &recoveredStream{cfg: cfg, cfgJSON: cfgJSON}
+	snapPayload, err := wal.ReadSnapshotFile(filepath.Join(dir, streamSnapshotFile))
+	switch {
+	case err == nil:
+		snap, err := wal.DecodeSnapshot(snapPayload)
+		if err != nil {
+			return nil, err
+		}
+		rs.state, err = stateFromSnapshot(snap)
+		if err != nil {
+			return nil, err
+		}
+		rs.chain = snap.Digest
+	case errors.Is(err, wal.ErrNoSnapshot):
+		// Fresh or snapshot-less stream: replay from the log alone.
+	default:
+		return nil, err
+	}
+
+	st := &rs.state
+	log, rec, err := wal.Open(filepath.Join(dir, streamWALFile), wal.Options{Fsync: fsync}, func(payload []byte) error {
+		r, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		switch {
+		case r.Instance < int64(st.T):
+			// Covered by the snapshot: a crash landed between the
+			// snapshot rename and the log reset.
+			return nil
+		case r.Instance > int64(st.T):
+			return fmt.Errorf("record for instance %d, expected %d (journal gap)", r.Instance, st.T)
+		}
+		if want := wal.StateDigest(rs.chain, r.Instance, r.Delta, r.Evicted, r.Total); r.Digest != want {
+			return fmt.Errorf("digest chain mismatch at instance %d", r.Instance)
+		}
+		g, err := graphFromWAL(&r.Graph)
+		if err != nil {
+			return fmt.Errorf("instance %d graph: %w", r.Instance, err)
+		}
+		if st.T == 0 {
+			st.N = g.N()
+		} else if g.N() != st.N {
+			return fmt.Errorf("instance %d has %d vertices, stream has %d", r.Instance, g.N(), st.N)
+		}
+		if r.Instance > 0 {
+			st.History = append(st.History, core.Transition{
+				T: int(r.Instance) - 1, Scores: scoresFromWAL(r.Scores), Total: r.Total,
+			})
+		}
+		st.Prev = g
+		st.Delta = r.Delta
+		st.Evicted = int(r.Evicted)
+		st.T++
+		// Apply the journaled eviction: the record carries the post-push
+		// eviction count, which fixes how much window front is gone.
+		if keep := st.T - 1 - st.Evicted; keep >= 0 && len(st.History) > keep {
+			st.History = append([]core.Transition(nil), st.History[len(st.History)-keep:]...)
+		}
+		rs.chain = r.Digest
+		rs.replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs.log = log
+	rs.truncated = rec.TruncatedBytes
+	return rs, nil
+}
+
+// Recover replays every stream directory under DataDir and registers
+// the recovered streams. Call it after New and before serving traffic.
+// A stream whose journal cannot be restored is logged, counted in
+// cadd_recovery_failures_total and skipped — its directory is left
+// intact for inspection, and CreateStream refuses its id until the
+// directory is removed. With no DataDir configured this is a no-op.
+func (s *Server) Recover() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	root := filepath.Join(s.cfg.DataDir, "streams")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		dir := filepath.Join(root, id)
+		if err := s.recoverOne(id, dir); err != nil {
+			s.metrics.add("cadd_recovery_failures_total", labels("stream", id), 1)
+			s.cfg.Logger.Error("stream recovery failed; directory left for inspection",
+				"stream", id, "dir", dir, "err", err)
+		}
+	}
+	return nil
+}
+
+// recoverOne restores and registers a single stream.
+func (s *Server) recoverOne(id, dir string) error {
+	if err := validateStreamID(id); err != nil {
+		return err
+	}
+	rs, err := recoverStreamDir(dir, s.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	cfg := rs.cfg.withDefaults(s.cfg.DefaultQueueSize, s.cfg.DefaultTraceBuffer)
+	coreCfg, err := cfg.coreConfig()
+	if err != nil {
+		rs.log.Close()
+		return err
+	}
+	det, err := core.RestoreOnline(coreCfg, cfg.L, rs.state)
+	if err != nil {
+		rs.log.Close()
+		return err
+	}
+	det.SetMaxHistory(cfg.MaxHistory)
+	j := &journal{
+		log:           rs.log,
+		snapPath:      filepath.Join(dir, streamSnapshotFile),
+		cfgJSON:       rs.cfgJSON,
+		snapshotEvery: s.cfg.SnapshotEvery,
+		sinceSnapshot: rs.replayed,
+		chain:         rs.chain,
+		streamID:      id,
+		logger:        s.cfg.Logger,
+		metrics:       s.metrics,
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		rs.log.Close()
+		return fmt.Errorf("service: server is shutting down")
+	}
+	if _, ok := s.streams[id]; ok {
+		rs.log.Close()
+		return fmt.Errorf("service: stream %q already exists", id)
+	}
+	s.streams[id] = startStream(id, cfg, s.metrics, s.cfg.Logger, det, int64(rs.state.T), j)
+	s.metrics.add("cadd_recovered_streams_total", "", 1)
+	if rs.truncated > 0 {
+		s.metrics.add("cadd_wal_truncations_total", "", 1)
+	}
+	s.cfg.Logger.Info("stream recovered",
+		"stream", id, "instances", rs.state.T, "transitions", len(rs.state.History),
+		"replayed_records", rs.replayed, "truncated_bytes", rs.truncated)
+	return nil
+}
+
+// newJournal creates the on-disk home of a fresh stream: directory,
+// config.json (written atomically so recovery never sees a torn one)
+// and an empty log. Caller (CreateStream) has already refused ids with
+// leftover unrecovered data.
+func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync bool, logger *slog.Logger, m *metrics) (*journal, error) {
+	dir := streamDir(dataDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: stream %q: %w", id, err)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: stream %q config: %w", id, err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, streamConfigFile), append(cfgJSON, '\n')); err != nil {
+		return nil, fmt.Errorf("service: stream %q: %w", id, err)
+	}
+	log, _, err := wal.Open(filepath.Join(dir, streamWALFile), wal.Options{Fsync: fsync}, func([]byte) error {
+		return errors.New("fresh stream has a non-empty journal")
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: stream %q: %w", id, err)
+	}
+	return &journal{
+		log:           log,
+		snapPath:      filepath.Join(dir, streamSnapshotFile),
+		cfgJSON:       cfgJSON,
+		snapshotEvery: snapshotEvery,
+		streamID:      id,
+		logger:        logger,
+		metrics:       m,
+	}, nil
+}
+
+// writeFileAtomic writes data via a same-directory temp file + rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -245,7 +245,18 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sync := r.URL.Query().Get("sync") == "1"
-	res, err := st.enqueue(g, sync, requestID(r.Context()))
+	// ?instance=N asserts the arrival index, making the push idempotent
+	// under at-least-once retries (see stream.enqueue).
+	expected := int64(-1)
+	if v := r.URL.Query().Get("instance"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad instance index %q", v)
+			return
+		}
+		expected = n
+	}
+	res, err := st.enqueue(g, sync, requestID(r.Context()), expected)
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -253,6 +264,9 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, errStreamClosed):
 		writeError(w, http.StatusConflict, "stream %q is closed", id)
+		return
+	case errors.Is(err, errOutOfOrder):
+		writeError(w, http.StatusConflict, "stream %q: %v", id, err)
 		return
 	case err != nil:
 		// The snapshot was accepted but scoring failed (e.g. a vertex

@@ -9,7 +9,6 @@ import (
 
 	"sync"
 
-	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
 	"dyngraph/internal/obs"
@@ -20,6 +19,10 @@ var errQueueFull = errors.New("service: ingest queue full")
 
 // errStreamClosed is returned for pushes that race a delete/shutdown.
 var errStreamClosed = errors.New("service: stream closed")
+
+// errOutOfOrder is returned for an instance-indexed push that skips
+// ahead of the stream's next expected arrival; mapped to HTTP 409.
+var errOutOfOrder = errors.New("service: snapshot out of order")
 
 // stream is one named detection stream: a core.OnlineDetector owned by
 // a single worker goroutine fed from a bounded queue.
@@ -57,43 +60,51 @@ type stream struct {
 	latCount  int
 	latSorted []float64 // scratch for the percentile
 
+	// journal is the stream's durability sidecar (nil without a data
+	// dir). Owned by the worker goroutine after construction.
+	journal *journal
+
 	done chan struct{} // closed when the worker has drained and exited
 }
 
 // newStream validates cfg and starts the worker. cfg must already have
-// defaults applied.
-func newStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger) (*stream, error) {
-	variant, err := cfg.variant()
+// defaults applied. j may be nil (no durability).
+func newStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger, j *journal) (*stream, error) {
+	coreCfg, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
 	}
-	det := core.NewOnline(core.Config{
-		Variant: variant,
-		Commute: commute.Config{
-			K:                 cfg.K,
-			Seed:              cfg.Seed,
-			Workers:           cfg.Workers,
-			SharedProjections: cfg.SharedProjections,
-		},
-		ExactCutoff: cfg.ExactCutoff,
-	}, cfg.L)
+	det := core.NewOnline(coreCfg, cfg.L)
 	det.SetMaxHistory(cfg.MaxHistory)
+	return startStream(id, cfg, m, logger, det, 0, j), nil
+}
+
+// startStream wraps an already-built detector (fresh or restored from
+// a journal) in a stream and starts its worker. ingested seeds the
+// arrival counter — for a recovered stream, the number of journaled
+// instances, so instance-indexed re-pushes of already-scored snapshots
+// are recognized as duplicates.
+func startStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger,
+	det *core.OnlineDetector, ingested int64, j *journal) *stream {
+	variant, _ := cfg.variant()
 	s := &stream{
-		id:      id,
-		cfg:     cfg,
-		queue:   newIngestQueue(cfg.QueueSize),
-		metrics: m,
-		logger:  logger.With("stream", id),
-		det:     det,
-		latRing: make([]float64, slowPushWindow),
-		done:    make(chan struct{}),
+		id:       id,
+		cfg:      cfg,
+		queue:    newIngestQueue(cfg.QueueSize),
+		metrics:  m,
+		logger:   logger.With("stream", id),
+		det:      det,
+		ingested: ingested,
+		latRing:  make([]float64, slowPushWindow),
+		journal:  j,
+		done:     make(chan struct{}),
 	}
 	if cfg.TraceBuffer > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceBuffer)
 	}
 	s.oracle = oracleKind(variant)
 	go s.run()
-	return s, nil
+	return s
 }
 
 // oracleKind seeds the latency-histogram label, so "which oracle
@@ -124,9 +135,18 @@ func (s *stream) resolveOracle(n int) {
 }
 
 // run is the worker: the only goroutine that Pushes into the detector.
-// It exits when the queue is closed and drained, then signals done.
+// It exits when the queue is closed and drained — writing a final
+// snapshot and closing the journal — then signals done.
 func (s *stream) run() {
 	defer close(s.done)
+	if s.journal != nil {
+		defer func() {
+			s.detMu.Lock()
+			st := s.det.State()
+			s.detMu.Unlock()
+			s.journal.closeWith(&st)
+		}()
+	}
 	for j := range s.queue.jobs() {
 		start := time.Now()
 		s.detMu.Lock()
@@ -148,7 +168,36 @@ func (s *stream) run() {
 		if err != nil {
 			s.lastErr = err
 		}
+		// Capture what the journal needs while the detector is still
+		// locked; the writes happen after unlock so fsync latency never
+		// blocks readers.
+		var jdata *pushJournalData
+		if s.journal != nil && err == nil {
+			trs := s.det.Transitions()
+			evicted := s.det.Evicted()
+			jdata = &pushJournalData{
+				g: j.g,
+				// The detector's own instance index — it can trail the
+				// arrival index when earlier pushes failed to score.
+				instance: int64(len(trs) + evicted),
+				delta:    delta,
+				evicted:  int64(evicted),
+			}
+			if jdata.instance > 0 {
+				newest := trs[len(trs)-1]
+				jdata.scores, jdata.total = newest.Scores, newest.Total
+			}
+			if s.journal.snapshotDue() {
+				st := s.det.State()
+				jdata.snap = &st
+			}
+		}
 		s.detMu.Unlock()
+		if jdata != nil {
+			// Journal before acking the synchronous pusher: an acked
+			// push is always journaled.
+			s.journal.recordPush(jdata)
+		}
 
 		elapsed := time.Since(start).Seconds()
 		s.metrics.observe("cadd_push_seconds", labels("oracle", s.oracle), elapsed)
@@ -271,7 +320,13 @@ func (s *stream) traceDropped() uint64 {
 // enqueue accepts one snapshot. Synchronous pushes return the worker's
 // result; asynchronous ones return immediately with the assigned
 // arrival index. errQueueFull means the bounded queue rejected it.
-func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string) (PushResult, error) {
+//
+// expected is the client-asserted arrival index (-1 when unasserted),
+// the idempotency handle for at-least-once delivery: an index below
+// the next expected arrival is a re-push of an already-accepted
+// snapshot and is acked as a duplicate without re-scoring; one above
+// it is a gap and is refused with errOutOfOrder.
+func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string, expected int64) (PushResult, error) {
 	j := job{g: g, requestID: requestID}
 	if sync {
 		j.done = make(chan jobResult, 1)
@@ -281,6 +336,17 @@ func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string) (PushResul
 	if s.closed {
 		s.enqMu.Unlock()
 		return PushResult{}, errStreamClosed
+	}
+	if expected >= 0 {
+		switch {
+		case expected < s.ingested:
+			s.enqMu.Unlock()
+			s.metrics.add("cadd_duplicate_pushes_total", labels("stream", s.id), 1)
+			return PushResult{Stream: s.id, Instance: int(expected), Duplicate: true}, nil
+		case expected > s.ingested:
+			s.enqMu.Unlock()
+			return PushResult{}, fmt.Errorf("%w: instance %d pushed, next expected is %d", errOutOfOrder, expected, s.ingested)
+		}
 	}
 	j.instance = s.ingested
 	if !s.queue.tryPush(j) {

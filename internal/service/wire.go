@@ -30,6 +30,7 @@ package service
 import (
 	"fmt"
 
+	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
 )
@@ -92,6 +93,27 @@ func (c StreamConfig) withDefaults(defaultQueue, defaultTrace int) StreamConfig 
 	return c
 }
 
+// coreConfig builds the detector configuration this stream config
+// describes — the single place the mapping lives, shared by stream
+// creation and journal recovery (where the persisted config, seed
+// included, must rebuild an identical detector).
+func (c StreamConfig) coreConfig() (core.Config, error) {
+	variant, err := c.variant()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Variant: variant,
+		Commute: commute.Config{
+			K:                 c.K,
+			Seed:              c.Seed,
+			Workers:           c.Workers,
+			SharedProjections: c.SharedProjections,
+		},
+		ExactCutoff: c.ExactCutoff,
+	}, nil
+}
+
 // variant parses the config's variant name.
 func (c StreamConfig) variant() (core.Variant, error) {
 	switch c.Variant {
@@ -152,6 +174,10 @@ type PushResult struct {
 	// Queued is true for asynchronous accepts (the snapshot is in the
 	// queue but not yet scored).
 	Queued bool `json:"queued,omitempty"`
+	// Duplicate is true when an instance-indexed push named an arrival
+	// index the stream has already accepted: the snapshot was not
+	// re-scored, and the ack is the idempotent-retry success path.
+	Duplicate bool `json:"duplicate,omitempty"`
 	// Report is the newest transition's anomaly report at the freshly
 	// re-selected δ; only present for ?sync=1 pushes after the first
 	// instance.

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// The typed journal payloads. Each record is a self-contained gob blob
+// (its own type preamble), so any valid WAL prefix decodes without
+// state from earlier frames — the property torn-tail truncation relies
+// on. Gob was chosen over a hand-rolled binary format deliberately:
+// the fields are few, the framing layer already owns integrity, and
+// gob's self-description keeps old logs readable when fields are
+// added.
+
+// Edge is one weighted undirected edge of a journaled graph.
+type Edge struct {
+	I, J int32
+	W    float64
+}
+
+// Score is one scored node pair of a journaled transition.
+type Score struct {
+	I, J int32
+	S    float64
+}
+
+// GraphData is the journaled form of one graph instance.
+type GraphData struct {
+	N      int32
+	Edges  []Edge
+	Labels []string
+}
+
+// TransitionData is the journaled form of one scored transition:
+// transition T is the move from instance T to T+1, with scores sorted
+// descending exactly as the detector produced them.
+type TransitionData struct {
+	T      int64
+	Scores []Score
+	Total  float64
+}
+
+// PushRecord journals one accepted push: the graph that arrived, the
+// transition it produced (absent for the stream's first instance), and
+// the detector-visible state after applying it. Digest chains every
+// record to its predecessor (see StateDigest), so replay detects
+// missing or reordered records, not just flipped bits.
+type PushRecord struct {
+	// Instance is the 0-based index of this graph in the stream.
+	Instance int64
+	Graph    GraphData
+	// Scores and Total are the newest transition's output (transition
+	// Instance-1); Scores is nil for Instance 0.
+	Scores []Score
+	Total  float64
+	// Delta and Evicted are the detector's threshold and eviction
+	// count after this push.
+	Delta   float64
+	Evicted int64
+	// Digest is the state-digest chain value after this record.
+	Digest uint64
+}
+
+// StreamSnapshot is the compact snapshot that makes the log finite: the
+// full recoverable state of one stream at an instant. Config is the
+// owner's opaque stream configuration (the serving layer stores its
+// StreamConfig JSON, which carries the embedding's projection seed so
+// warm rebuilds stay bit-identical across a restart).
+type StreamSnapshot struct {
+	Config []byte
+	// N is the stream's fixed vertex count; Instances the number of
+	// graphs consumed (so the next expected instance index equals
+	// Instances); Evicted the history-window eviction count.
+	N         int32
+	Instances int64
+	Evicted   int64
+	// Delta is the threshold at the snapshot instant.
+	Delta float64
+	// History is the retained scored-transition window.
+	History []TransitionData
+	// Prev is the most recent graph — the one the next arriving
+	// instance is scored against. Nil only when Instances is 0.
+	Prev *GraphData
+	// Digest is the state-digest chain value at the snapshot instant;
+	// WAL records appended after the snapshot chain from it.
+	Digest uint64
+}
+
+// EncodeRecord serializes a push record.
+func EncodeRecord(r *PushRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord deserializes a push record.
+func DecodeRecord(payload []byte) (*PushRecord, error) {
+	var r PushRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("wal: decode record: %w", err)
+	}
+	return &r, nil
+}
+
+// EncodeSnapshot serializes a stream snapshot.
+func EncodeSnapshot(s *StreamSnapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot deserializes a stream snapshot.
+func DecodeSnapshot(payload []byte) (*StreamSnapshot, error) {
+	var s StreamSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("wal: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// StateDigest chains a fingerprint of the detector-visible state after
+// one push: FNV-64a over the previous chain value, the instance index,
+// the post-push threshold bits, the eviction count and the newest
+// transition's total-score bits. δ is an exact function of the whole
+// retained score history, so two runs that agree on every chained
+// digest agree on every journaled report — this is what recovery
+// verifies the replayed state against.
+func StateDigest(prev uint64, instance int64, delta float64, evicted int64, total float64) uint64 {
+	var b [40]byte
+	binary.LittleEndian.PutUint64(b[0:8], prev)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(instance))
+	binary.LittleEndian.PutUint64(b[16:24], math.Float64bits(delta))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(evicted))
+	binary.LittleEndian.PutUint64(b[32:40], math.Float64bits(total))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// snapshotMagic identifies (and versions) the snapshot file format.
+var snapshotMagic = [8]byte{'C', 'A', 'D', 'S', 'N', 'A', 'P', '1'}
+
+// ErrNoSnapshot is returned by ReadSnapshotFile when no snapshot file
+// exists — a valid state for a stream that has not yet compacted.
+var ErrNoSnapshot = errors.New("wal: no snapshot")
+
+// WriteSnapshotFile atomically replaces path with a checksummed
+// snapshot of payload: the blob is written to a temporary file in the
+// same directory, fsynced, renamed over path, and the directory is
+// fsynced so the rename itself is durable. Readers therefore always
+// see either the previous complete snapshot or the new complete one,
+// never a partial write.
+func WriteSnapshotFile(path string, payload []byte) error {
+	buf := make([]byte, len(snapshotMagic)+8+len(payload))
+	copy(buf, snapshotMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(payload, castagnoli))
+	copy(buf[16:], payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: rotate snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshotFile reads and validates the snapshot at path, returning
+// its payload. ErrNoSnapshot when the file does not exist; any framing
+// or checksum violation is an error (a snapshot is written atomically,
+// so unlike a WAL tail there is no benign way for it to be short).
+func ReadSnapshotFile(path string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoSnapshot
+		}
+		return nil, fmt.Errorf("wal: read snapshot %s: %w", path, err)
+	}
+	if len(buf) < len(snapshotMagic)+8 || [8]byte(buf[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("wal: snapshot %s: bad magic or short header", path)
+	}
+	length := binary.LittleEndian.Uint32(buf[8:12])
+	sum := binary.LittleEndian.Uint32(buf[12:16])
+	payload := buf[16:]
+	if int(length) != len(payload) {
+		return nil, fmt.Errorf("wal: snapshot %s: declared %d payload bytes, have %d", path, length, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("wal: snapshot %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power
+// loss. Some filesystems reject directory fsync; that is not worth
+// failing a snapshot over, so only real sync errors propagate.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

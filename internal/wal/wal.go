@@ -1,0 +1,211 @@
+// Package wal is the durability substrate of the serving layer: a
+// length-prefixed, CRC-checksummed append-only log of accepted pushes
+// plus atomically-rotated compact snapshots, built from the standard
+// library only.
+//
+// The design is the classic log-structured recovery pair:
+//
+//   - A write-ahead log (Log) holds one framed record per accepted
+//     push. Each frame is [uint32 length][uint32 CRC32-C][payload];
+//     recovery replays the longest valid prefix and truncates anything
+//     after the first torn or corrupt frame (a crash mid-append leaves
+//     at most one partial frame at the tail, never a silently corrupt
+//     middle — appends are sequential and the CRC rejects bit rot).
+//
+//   - A snapshot file compacts the log: once the owner has journaled
+//     enough records it writes the full recoverable state as one blob
+//     (WriteSnapshotFile: temp file in the same directory, fsync,
+//     rename, directory fsync) and resets the log. A crash between the
+//     rename and the reset is benign — recovery skips log records the
+//     snapshot already covers.
+//
+// The package stores opaque payloads; record.go provides the typed
+// push-record and stream-snapshot encodings the cadd serving layer
+// journals, so the file formats live next to the framing that protects
+// them. docs/DURABILITY.md specifies both formats.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// frameHeaderSize is the per-record framing overhead: a little-endian
+// uint32 payload length followed by the payload's CRC32-C.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single record (64 MiB, matching the serving
+// layer's snapshot POST bound) so a corrupt length field cannot demand
+// an absurd allocation during recovery.
+const maxFrameSize = 64 << 20
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), the same checksum used by iSCSI, ext4 and Kafka.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// Fsync syncs the file after every Append. Off, the OS flushes
+	// dirty pages on its own schedule: a process crash loses nothing
+	// (the page cache survives), a machine crash can lose the most
+	// recent appends — which recovery then truncates cleanly.
+	Fsync bool
+}
+
+// Recovery describes what Open found.
+type Recovery struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// TruncatedBytes is the size of the torn or corrupt tail that was
+	// cut off (0 for a clean log).
+	TruncatedBytes int64
+}
+
+// Log is an append-only record log. It is not safe for concurrent use;
+// the serving layer confines each stream's log to its worker goroutine.
+type Log struct {
+	f     *os.File
+	path  string
+	fsync bool
+	size  int64
+}
+
+// Open opens (creating if absent) the log at path, replays every valid
+// record through fn in append order, truncates any torn or corrupt
+// tail, and returns the log positioned for appends. The payload slice
+// passed to fn is only valid during the call. A non-nil error from fn
+// aborts the replay and closes the file.
+func Open(path string, opts Options, fn func(payload []byte) error) (*Log, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, fsync: opts.Fsync}
+	rec, err := l.replayAndRepair(fn)
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	return l, rec, nil
+}
+
+// replayAndRepair scans frames from the start, calling fn for each
+// valid payload, then truncates the file to the end of the valid
+// prefix. Any framing violation — short header, absurd length, short
+// payload, CRC mismatch — ends the valid prefix; everything after it
+// is discarded, which is the contract that makes crash-interrupted
+// appends recoverable.
+func (l *Log) replayAndRepair(fn func(payload []byte) error) (Recovery, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return Recovery{}, fmt.Errorf("wal: stat %s: %w", l.path, err)
+	}
+	fileSize := info.Size()
+
+	var (
+		rec    Recovery
+		offset int64
+		header [frameHeaderSize]byte
+		buf    []byte
+	)
+	for {
+		if _, err := io.ReadFull(l.f, header[:]); err != nil {
+			break // clean EOF or torn header: valid prefix ends here
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxFrameSize || offset+frameHeaderSize+int64(length) > fileSize {
+			break // corrupt length or frame running past EOF
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(l.f, buf); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(buf, castagnoli) != sum {
+			break // corrupt payload
+		}
+		if err := fn(buf); err != nil {
+			return rec, fmt.Errorf("wal: replay %s record %d: %w", l.path, rec.Records, err)
+		}
+		rec.Records++
+		offset += frameHeaderSize + int64(length)
+	}
+
+	if offset < fileSize {
+		rec.TruncatedBytes = fileSize - offset
+		if err := l.f.Truncate(offset); err != nil {
+			return rec, fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return rec, fmt.Errorf("wal: sync %s: %w", l.path, err)
+		}
+	}
+	if _, err := l.f.Seek(offset, io.SeekStart); err != nil {
+		return rec, fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = offset
+	return rec, nil
+}
+
+// Append writes one record frame. With Options.Fsync the record is
+// durable when Append returns; otherwise durability waits for the OS
+// (or the next Sync call).
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("wal: empty record")
+	}
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxFrameSize)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Reset discards every record — the log-compaction step after a
+// snapshot has captured the state the records rebuilt. The truncation
+// is synced so a subsequent crash cannot resurrect pre-snapshot
+// records ahead of newer appends.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = 0
+	return l.f.Sync()
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	return l.f.Close()
+}
