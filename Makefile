@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke
 
 tier1: vet build test
 
@@ -30,6 +30,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/cadbench -exp stream -benchout BENCH_stream.json
 	$(GO) run ./cmd/cadbench -exp block -benchout BENCH_block.json
+	$(GO) run ./cmd/cadbench -exp hibernate -benchout BENCH_hibernate.json
 
 # One-iteration compile-and-run of every benchmark plus a small-size
 # run of the block experiment: catches bit-rotted benchmark code
@@ -51,6 +52,15 @@ trace-smoke:
 # bombs) beyond the checked-in seed corpus. CI runs this.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadSequence -fuzztime=10s ./internal/graph
+
+# Memory-governance smoke: a small run of the hibernate benchmark
+# (create → hibernate → rehydrate on the real serving stack) plus the
+# hibernation test suite — the byte-identical /report equivalence, the
+# governor's watermark and idle policies, and the crash-mid-hibernation
+# cycle. CI runs this.
+hibernate-smoke:
+	$(GO) run ./cmd/cadbench -exp hibernate -streams 100
+	$(GO) test -race -run 'TestHibernat|TestGovernor|TestCrashDuringHibernationChurn' -count=1 ./internal/service ./cmd/cadd
 
 # The durability acceptance test: build the real cadd binary, kill -9
 # it mid-push, restart on the same -data-dir and require the recovered

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cadbench -exp table1|table2|fig2|fig3|fig4|fig5|fig6|verbatim|scale|
-//	              stream|block|ablation|distance|enron|dblp|precip|all [flags]
+//	              stream|block|hibernate|ablation|distance|enron|dblp|precip|all [flags]
 //
 // The quantitative experiments accept -n, -trials, -k and -seed so you
 // can trade fidelity against runtime; the defaults are sized to finish
@@ -33,6 +33,7 @@ func main() {
 // benchConfig carries the parsed flags into run.
 type benchConfig struct {
 	n, trials, k  int
+	streams       int
 	seed          int64
 	sizes, family string
 	detail, plot  bool
@@ -47,7 +48,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, ablation, distance, enron, dblp, precip, or all")
+		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, hibernate, ablation, distance, enron, dblp, precip, or all")
 		n        = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
 		trials   = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
 		k        = fs.Int("k", 50, "commute-embedding dimension")
@@ -56,7 +57,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		detail   = fs.Bool("detail", false, "print per-transition / per-year detail tables")
 		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
 		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
-		benchout = fs.String("benchout", "", "write -exp stream/block results as JSON to this file (e.g. BENCH_stream.json)")
+		streams  = fs.Int("streams", 0, "stream count for -exp hibernate (0 = the experiment default of 1000)")
+		benchout = fs.String("benchout", "", "write -exp stream/block/hibernate results as JSON to this file (e.g. BENCH_stream.json)")
 		traceOut = fs.String("trace-out", "", "write -exp stream per-push pipeline traces to this file as Chrome trace_event JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +70,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "verbatim", "scale", "ablation", "distance", "enron", "dblp", "precip"}
 	}
 	cfg := benchConfig{
-		n: *n, trials: *trials, k: *k, seed: *seed,
+		n: *n, trials: *trials, k: *k, streams: *streams, seed: *seed,
 		sizes: *sizes, family: *family, detail: *detail, plot: *plot,
 		benchout: *benchout, traceOut: *traceOut, out: stdout,
 	}
@@ -239,6 +241,17 @@ func run(id string, cfg benchConfig) error {
 			if err := writeTraceOut(cfg, scfg.Tracer); err != nil {
 				return err
 			}
+		}
+		return writeBenchout(cfg, res.WriteJSON)
+	case "hibernate":
+		res, err := experiments.Hibernate(experiments.HibernateConfig{
+			Streams: cfg.streams, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Fprint(cfg.out); err != nil {
+			return err
 		}
 		return writeBenchout(cfg, res.WriteJSON)
 	case "block":

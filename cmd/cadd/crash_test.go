@@ -105,6 +105,107 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestCrashDuringHibernationChurn crashes the daemon while the memory
+// governor is actively hibernating: a -mem-budget far below one
+// stream's footprint keeps every push kicking a reclaim pass, so
+// streams cycle resident⇄hibernated continuously, and the SIGKILL
+// lands with hibernation snapshot writes in flight. Hibernation reuses
+// the crash-safe journal path (snapshot renamed before the WAL
+// resets), so a restart must recover every acked push of every stream
+// and, after an instance-indexed resume, reproduce the uninterrupted
+// /report byte for byte.
+func TestCrashDuringHibernationChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles a subprocess")
+	}
+	bin := buildCadd(t)
+	dataDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-snapshot-every", "3",
+		"-fsync", "always",
+		"-mem-budget", "1KiB", // below any stream's footprint: constant churn
+		"-min-resident", "1",
+	}
+	const (
+		total  = 10 // instances in the full sequence
+		synced = 6  // sync pushes per stream acked before the crash
+	)
+	gs := crashSequence(total)
+	cfg := service.StreamConfig{L: 2}
+	ctx := context.Background()
+	streams := []string{"hot", "warm", "cold"}
+
+	// Phase 1: boot, interleave sync pushes across the streams (each
+	// push re-kicks the governor, each next push rehydrates), then
+	// SIGKILL right behind an async push.
+	proc, base := startCadd(t, bin, args)
+	cl := service.NewClient(base, nil)
+	for _, id := range streams {
+		if err := cl.CreateStream(ctx, id, cfg); err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+	}
+	for i := 0; i < synced; i++ {
+		for _, id := range streams {
+			if _, err := cl.PushAt(ctx, id, gs[i], int64(i), true); err != nil {
+				t.Fatalf("%s push %d: %v", id, i, err)
+			}
+		}
+	}
+	if _, err := cl.PushAt(ctx, streams[0], gs[synced], int64(synced), false); err != nil {
+		t.Fatalf("async push: %v", err)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	proc.Wait()
+
+	// Phase 2: restart on the same data dir. A governed boot registers
+	// the recovered streams hibernated; every acked push must be there.
+	proc2, base2 := startCadd(t, bin, args)
+	defer func() { proc2.Process.Kill(); proc2.Wait() }()
+	cl2 := service.NewClient(base2, nil)
+
+	admin, err := cl2.AdminStreams(ctx)
+	if err != nil || len(admin) != len(streams) {
+		t.Fatalf("AdminStreams after crash: %v, %d entries", err, len(admin))
+	}
+	for _, ai := range admin {
+		if ai.State != service.StreamStateHibernated {
+			t.Fatalf("governed boot left %s %s, want hibernated", ai.ID, ai.State)
+		}
+	}
+	want := uninterruptedReport(t, cfg, gs)
+	for _, id := range streams {
+		info, err := cl2.StreamInfo(ctx, id)
+		if err != nil {
+			t.Fatalf("%s did not survive the crash: %v", id, err)
+		}
+		if info.Ingested < synced || info.Ingested > synced+1 {
+			t.Fatalf("%s recovered Ingested=%d, want %d or %d", id, info.Ingested, synced, synced+1)
+		}
+		for i := 0; i < total; i++ {
+			res, err := cl2.PushAt(ctx, id, gs[i], int64(i), true)
+			if err != nil {
+				t.Fatalf("%s resume push %d: %v", id, i, err)
+			}
+			if wantDup := int64(i) < info.Ingested; res.Duplicate != wantDup {
+				t.Fatalf("%s push %d: duplicate=%v, want %v", id, i, res.Duplicate, wantDup)
+			}
+		}
+		got := httpGetRaw(t, base2+"/v1/streams/"+id+"/report")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s diverged after crash mid-hibernation:\ngot  %s\nwant %s", id, got, want)
+		}
+	}
+	metrics := string(httpGetRaw(t, base2+"/metrics"))
+	if !strings.Contains(metrics, "cadd_rehydrations_total") {
+		t.Fatalf("rehydration metric missing after governed resume:\n%s", metrics)
+	}
+}
+
 // buildCadd compiles the daemon into the test's temp dir.
 func buildCadd(t *testing.T) string {
 	t.Helper()

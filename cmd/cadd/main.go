@@ -9,6 +9,7 @@
 //	     [-shutdown-timeout 30s] [-pprof 127.0.0.1:0]
 //	     [-log-format text|json] [-log-level info] [-trace-buffer 64]
 //	     [-data-dir /var/lib/cadd] [-fsync always|off] [-snapshot-every 64]
+//	     [-mem-budget 256MiB] [-hibernate-after 10m] [-min-resident 1]
 //
 // API (all JSON; see internal/service for the wire types):
 //
@@ -23,6 +24,8 @@
 //	GET    /v1/streams/{id}/transitions/{t} one transition's anomalies
 //	GET    /healthz                         liveness
 //	GET    /metrics                         Prometheus text format
+//	GET    /streams                         residency state + resident
+//	                                        bytes per stream (admin)
 //	GET    /debug/traces                    retained push traces (JSON;
 //	                                        ?stream= filters, ?format=chrome
 //	                                        emits Chrome trace_event JSON
@@ -50,6 +53,18 @@
 // acknowledged. -fsync off trades that guarantee for latency by
 // leaving WAL writes in the page cache. See docs/DURABILITY.md for
 // the file formats and recovery semantics.
+//
+// -mem-budget caps the bytes of detector state resident in memory
+// across all streams (accepts 12345, 64KiB, 256MiB, 2GiB, or the SI
+// forms KB/MB/GB); past 90% of the budget the daemon hibernates the
+// least-recently-used streams — journals their state to -data-dir and
+// drops it from memory — until usage falls under 75%. -hibernate-after
+// additionally hibernates any stream idle for that long regardless of
+// pressure. A push or report on a hibernated stream transparently
+// rehydrates it from its journal. Both flags require -data-dir;
+// -min-resident streams (default 1) are always kept resident. The
+// /streams endpoint reports each stream's residency state and
+// estimated bytes. See docs/MEMORY.md.
 //
 // -pprof serves the net/http/pprof profiling endpoints (/debug/pprof/)
 // on a dedicated listener, kept off the public API address so profiling
@@ -79,6 +94,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -109,8 +126,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dataDir         = fs.String("data-dir", "", "journal streams to this directory and recover them at boot (off when empty)")
 		fsync           = fs.String("fsync", "always", "WAL fsync policy: always (each push durable on ack) or off (page cache only)")
 		snapshotEvery   = fs.Int("snapshot-every", 64, "journaled pushes between compact snapshots")
+		memBudget       = fs.String("mem-budget", "", "resident detector-state budget across streams, e.g. 256MiB (off when empty; needs -data-dir)")
+		hibernateAfter  = fs.Duration("hibernate-after", 0, "hibernate streams idle this long (off when 0; needs -data-dir)")
+		minResident     = fs.Int("min-resident", 1, "streams never hibernated by the governor")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	budgetBytes, err := parseByteSize(*memBudget)
+	if err != nil {
+		fmt.Fprintf(stderr, "cadd: bad -mem-budget %q: %v\n", *memBudget, err)
+		return 2
+	}
+	if (budgetBytes > 0 || *hibernateAfter > 0) && *dataDir == "" {
+		fmt.Fprintln(stderr, "cadd: -mem-budget and -hibernate-after need -data-dir (hibernation journals state to disk)")
 		return 2
 	}
 	var doFsync bool
@@ -142,6 +171,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DataDir:            *dataDir,
 		Fsync:              doFsync,
 		SnapshotEvery:      *snapshotEvery,
+		MemBudgetBytes:     budgetBytes,
+		HibernateAfter:     *hibernateAfter,
+		MinResident:        *minResident,
 	})
 	if *dataDir != "" {
 		// Recover journaled streams before the listener opens, so the
@@ -161,6 +193,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "cadd: listening on %s\n", ln.Addr())
 	logger.Info("listening", "addr", ln.Addr().String(),
 		"queue", *queue, "max_streams", *maxStreams, "trace_buffer", *traceBuffer)
+	if budgetBytes > 0 || *hibernateAfter > 0 {
+		logger.Info("memory governance on", "mem_budget_bytes", budgetBytes,
+			"hibernate_after", hibernateAfter.String(), "min_resident", *minResident)
+	}
 
 	// Profiling stays on its own mux and listener: the public handler
 	// never gains /debug/pprof/, even with the flag set.
@@ -224,6 +260,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "cadd: bye")
 	return code
+}
+
+// parseByteSize parses a human byte size for -mem-budget: a bare
+// integer is bytes; KiB/MiB/GiB/TiB are binary multiples and
+// KB/MB/GB/TB decimal ones, matched case-insensitively. "" means
+// unlimited and parses to 0.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"B", 1},
+	}
+	mult := int64(1)
+	num := s
+	for _, u := range units {
+		if len(s) > len(u.suffix) && strings.EqualFold(s[len(s)-len(u.suffix):], u.suffix) {
+			mult, num = u.mult, strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer with an optional KiB/MiB/GiB/TiB or KB/MB/GB/TB suffix")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("must not be negative")
+	}
+	if n > 0 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("overflows")
+	}
+	return n * mult, nil
 }
 
 // newLogger builds the daemon's slog.Logger from the -log-format and

@@ -154,6 +154,50 @@ func TestBadFlagsExit2(t *testing.T) {
 	}
 }
 
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"":       0,
+		"12345":  12345,
+		"64KiB":  64 << 10,
+		"256MiB": 256 << 20,
+		"2GiB":   2 << 30,
+		"1TiB":   1 << 40,
+		"5kb":    5_000,
+		"3MB":    3_000_000,
+		"7gb":    7_000_000_000,
+		"2TB":    2_000_000_000_000,
+		"100B":   100,
+		" 8MiB ": 8 << 20,
+		"0":      0,
+	}
+	for in, want := range good {
+		got, err := parseByteSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"abc", "-1MiB", "1.5GiB", "MiB", "9999999999GiB"} {
+		if _, err := parseByteSize(in); err == nil {
+			t.Errorf("parseByteSize(%q) should fail", in)
+		}
+	}
+}
+
+// TestGovernanceFlagsNeedDataDir: hibernation journals state to disk,
+// so -mem-budget / -hibernate-after without -data-dir is a usage error.
+func TestGovernanceFlagsNeedDataDir(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mem-budget", "64MiB"},
+		{"-hibernate-after", "5m"},
+		{"-mem-budget", "nonsense", "-data-dir", t.TempDir()},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Fatalf("run(%v) exit code %d, want 2; stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
 func TestBadAddrExit1(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {

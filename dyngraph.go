@@ -326,8 +326,21 @@ type StreamClient = service.Client
 type StreamConfig = service.StreamConfig
 
 // StreamInfo is one cadd stream's status snapshot (counters, queue
-// depth, current δ).
+// depth, current δ, residency state).
 type StreamInfo = service.StreamInfo
+
+// AdminStreamInfo is one stream's memory-governance view from the
+// read-only GET /streams admin endpoint: residency state ("resident"
+// or "hibernated"), estimated resident bytes, last-push time and
+// arrival index. See docs/MEMORY.md.
+type AdminStreamInfo = service.AdminStreamInfo
+
+// Stream residency states, as reported by StreamInfo.State and
+// AdminStreamInfo.State.
+const (
+	StreamStateResident   = service.StreamStateResident
+	StreamStateHibernated = service.StreamStateHibernated
+)
 
 // StreamPushResult is the response to a snapshot push; sync pushes
 // carry the newest transition's report.

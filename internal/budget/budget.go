@@ -1,0 +1,194 @@
+// Package budget is the memory-governance ledger behind stream
+// hibernation: a global byte budget with per-stream resident-size
+// accounting and high/low watermarks.
+//
+// The package deliberately knows nothing about streams, detectors or
+// eviction policy. Components that want to be governed implement Sizer
+// (an estimated resident heap footprint); the serving layer records
+// those estimates here after every state change and asks two
+// questions: "are we over the high watermark?" and "how many bytes
+// must go to reach the low one?". Which streams give those bytes back
+// is the working-set tracker's job (internal/hibernate); how they give
+// them back is the serving layer's (journal a snapshot, drop state).
+//
+// Watermark hysteresis is what keeps the governor from thrashing: it
+// starts reclaiming above HighFrac·Capacity and keeps going until
+// LowFrac·Capacity, so a stream rehydrated right after a reclaim pass
+// has headroom to live in.
+package budget
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sizer reports an estimated resident heap footprint in bytes. The
+// estimate walks slice capacities and fixed struct sizes — it is an
+// accounting figure for admission and eviction decisions, not an exact
+// allocator measurement.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// Default watermark fractions: reclaim starts at 90% of capacity and
+// runs down to 75%.
+const (
+	DefaultHighFrac = 0.90
+	DefaultLowFrac  = 0.75
+)
+
+// Accountant tracks per-key resident bytes against a global capacity.
+// A nil *Accountant is a valid "unlimited" ledger: every method is
+// nil-safe, records nothing and never asks for reclaim, so callers
+// need no budget-enabled branches.
+type Accountant struct {
+	mu       sync.Mutex
+	capacity int64
+	high     int64 // reclaim trigger
+	low      int64 // reclaim target
+	sizes    map[string]int64
+	total    int64
+	peak     int64
+}
+
+// New returns an accountant for capacity bytes with the default
+// watermarks. capacity <= 0 returns nil — the unlimited ledger.
+func New(capacity int64) *Accountant {
+	return NewWithWatermarks(capacity, DefaultHighFrac, DefaultLowFrac)
+}
+
+// NewWithWatermarks is New with explicit watermark fractions. It
+// panics when the fractions are out of order or outside (0, 1] — a
+// misconfigured governor would either never trigger or never stop.
+func NewWithWatermarks(capacity int64, highFrac, lowFrac float64) *Accountant {
+	if capacity <= 0 {
+		return nil
+	}
+	if highFrac <= 0 || highFrac > 1 || lowFrac <= 0 || lowFrac > highFrac {
+		panic(fmt.Sprintf("budget: watermarks low=%g high=%g (want 0 < low <= high <= 1)", lowFrac, highFrac))
+	}
+	return &Accountant{
+		capacity: capacity,
+		high:     int64(highFrac * float64(capacity)),
+		low:      int64(lowFrac * float64(capacity)),
+		sizes:    make(map[string]int64),
+	}
+}
+
+// Set records key's current resident size, replacing any previous
+// figure, and returns the new total.
+func (a *Accountant) Set(key string, bytes int64) int64 {
+	if a == nil {
+		return 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total += bytes - a.sizes[key]
+	a.sizes[key] = bytes
+	if a.total > a.peak {
+		a.peak = a.total
+	}
+	return a.total
+}
+
+// Forget drops key from the ledger (hibernated or deleted: zero
+// resident bytes).
+func (a *Accountant) Forget(key string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total -= a.sizes[key]
+	delete(a.sizes, key)
+}
+
+// Bytes returns key's recorded size (0 when unknown).
+func (a *Accountant) Bytes(key string) int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sizes[key]
+}
+
+// Total returns the accounted resident bytes across all keys.
+func (a *Accountant) Total() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Peak returns the highest total ever accounted — what a budget test
+// asserts stayed under the configured capacity.
+func (a *Accountant) Peak() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Count returns the number of accounted keys.
+func (a *Accountant) Count() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sizes)
+}
+
+// Capacity returns the configured budget (0 for the nil ledger).
+func (a *Accountant) Capacity() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.capacity
+}
+
+// OverHigh reports whether the total has crossed the high watermark —
+// the governor's reclaim trigger.
+func (a *Accountant) OverHigh() bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total > a.high
+}
+
+// ReclaimTarget returns the bytes that must be freed to bring the
+// total down to the low watermark, or 0 when the high watermark has
+// not been crossed (hysteresis: reclaim starts high, stops low).
+func (a *Accountant) ReclaimTarget() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total <= a.high {
+		return 0
+	}
+	return a.total - a.low
+}
+
+// WouldExceed reports whether admitting extra more bytes would cross
+// the high watermark — the admission check that lets a caller kick the
+// governor before the allocation instead of after.
+func (a *Accountant) WouldExceed(extra int64) bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total+extra > a.high
+}

@@ -1,0 +1,81 @@
+package budget
+
+import "testing"
+
+func TestAccountingAndWatermarks(t *testing.T) {
+	a := New(1000) // high = 900, low = 750
+	if a.OverHigh() || a.ReclaimTarget() != 0 {
+		t.Fatal("empty ledger should be under the high watermark")
+	}
+	a.Set("a", 400)
+	a.Set("b", 400)
+	if got := a.Total(); got != 800 {
+		t.Fatalf("Total = %d, want 800", got)
+	}
+	if a.OverHigh() {
+		t.Fatal("800/1000 is under the 90% watermark")
+	}
+	a.Set("c", 150)
+	if !a.OverHigh() {
+		t.Fatal("950/1000 should be over the 90% watermark")
+	}
+	if got := a.ReclaimTarget(); got != 950-750 {
+		t.Fatalf("ReclaimTarget = %d, want %d (down to the low watermark)", got, 950-750)
+	}
+	// Replacing a key's size adjusts the total, not accumulates.
+	a.Set("a", 100)
+	if got := a.Total(); got != 650 {
+		t.Fatalf("Total after shrink = %d, want 650", got)
+	}
+	if a.ReclaimTarget() != 0 {
+		t.Fatal("under high again: no reclaim")
+	}
+	a.Forget("b")
+	if got, n := a.Total(), a.Count(); got != 250 || n != 2 {
+		t.Fatalf("after Forget: total=%d count=%d, want 250, 2", got, n)
+	}
+	if got := a.Peak(); got != 950 {
+		t.Fatalf("Peak = %d, want 950", got)
+	}
+}
+
+func TestWouldExceed(t *testing.T) {
+	a := New(1000)
+	a.Set("a", 700)
+	if a.WouldExceed(100) {
+		t.Fatal("800 <= 900: admission fine")
+	}
+	if !a.WouldExceed(300) {
+		t.Fatal("1000 > 900: admission should flag")
+	}
+}
+
+func TestNilAccountantIsUnlimited(t *testing.T) {
+	var a *Accountant
+	if a != New(0) {
+		t.Fatal("New(0) should return the nil ledger")
+	}
+	a.Set("x", 1<<40)
+	a.Forget("x")
+	if a.Total() != 0 || a.Count() != 0 || a.OverHigh() || a.ReclaimTarget() != 0 ||
+		a.WouldExceed(1<<50) || a.Capacity() != 0 || a.Bytes("x") != 0 || a.Peak() != 0 {
+		t.Fatal("nil accountant must be inert")
+	}
+}
+
+func TestBadWatermarksPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("low > high should panic")
+		}
+	}()
+	NewWithWatermarks(100, 0.5, 0.9)
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	a := New(100)
+	a.Set("x", -5)
+	if a.Total() != 0 {
+		t.Fatalf("negative sizes clamp to 0, total=%d", a.Total())
+	}
+}

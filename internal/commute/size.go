@@ -1,0 +1,24 @@
+package commute
+
+// SizeBytes estimates the resident heap footprint of the exact oracle
+// for the memory-governance ledger (internal/budget): the n×n dense
+// pseudoinverse dominates.
+func (e *Exact) SizeBytes() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.lplus.SizeBytes() + 16
+}
+
+// SizeBytes estimates the resident heap footprint of the embedding for
+// the memory-governance ledger (internal/budget): the n×k coordinate
+// block plus the warm solver state retained for the next incremental
+// build. The source graph g is deliberately excluded — it is the same
+// snapshot the online detector retains as its previous instance, and
+// the detector's own estimator counts it once.
+func (e *Embedding) SizeBytes() int64 {
+	if e == nil {
+		return 0
+	}
+	return int64(cap(e.z))*8 + 24 + e.lap.SizeBytes() + 96
+}

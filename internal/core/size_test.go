@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/graph"
+)
+
+// twoClusterSeq builds a small temporal sequence with enough structure
+// to exercise the oracle paths.
+func sizeTestSeq(t *testing.T, T int) []*graph.Graph {
+	t.Helper()
+	out := make([]*graph.Graph, T)
+	for s := 0; s < T; s++ {
+		b := graph.NewBuilder(10)
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(i, j, 1)
+				b.AddEdge(i+5, j+5, 1)
+			}
+		}
+		b.AddEdge(4, 5, 0.1+0.05*float64(s%3))
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[s] = g
+	}
+	return out
+}
+
+// TestSizeBytesGrowsWithState: the footprint estimate must be positive
+// once state exists, grow as history accumulates, and collapse to the
+// empty-detector baseline only before the first push. This is the
+// contract the budget ledger depends on — not exact bytes, but a
+// monotone, state-reflecting signal.
+func TestSizeBytesGrowsWithState(t *testing.T) {
+	det := NewOnline(Config{Variant: VariantCAD, ExactCutoff: 64}, 2)
+	empty := det.SizeBytes()
+	if empty <= 0 {
+		t.Fatalf("empty detector SizeBytes = %d, want > 0 fixed overhead", empty)
+	}
+	seq := sizeTestSeq(t, 6)
+	var after1 int64
+	for i, g := range seq {
+		if _, err := det.Push(g); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			after1 = det.SizeBytes()
+		}
+	}
+	if after1 <= empty {
+		t.Fatalf("one snapshot: SizeBytes %d not above empty %d", after1, empty)
+	}
+	final := det.SizeBytes()
+	if final <= after1 {
+		t.Fatalf("history grew but SizeBytes fell: %d -> %d", after1, final)
+	}
+	// The retained graph + oracle must be visible in the estimate: a
+	// 10-vertex exact oracle is a 10×10 dense matrix = 800B floor.
+	if final-empty < 800 {
+		t.Fatalf("SizeBytes delta %d misses the dense oracle", final-empty)
+	}
+
+	var nilDet *OnlineDetector
+	if nilDet.SizeBytes() != 0 {
+		t.Fatal("nil detector must size to 0")
+	}
+}
+
+// TestSizeBytesEmbeddingCountsSolverState: with the embedding oracle,
+// the estimate must include the n×k coordinates and solver scratch —
+// substantially more than the fixed overhead.
+func TestSizeBytesEmbeddingCountsSolverState(t *testing.T) {
+	det := NewOnline(Config{
+		Variant: VariantCAD, ExactCutoff: 1,
+		Commute: commute.Config{K: 8, Seed: 7},
+	}, 2)
+	for _, g := range sizeTestSeq(t, 3) {
+		if _, err := det.Push(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := det.SizeBytes()
+	// 10 vertices × k=8 coordinates alone is 640B; with CSR Laplacian,
+	// preconditioner and scratch the estimate must clear 1KiB.
+	if got < 1024 {
+		t.Fatalf("embedding-mode SizeBytes = %d, want >= 1KiB", got)
+	}
+}

@@ -1,0 +1,12 @@
+package dense
+
+// SizeBytes estimates the resident heap footprint of the matrix for
+// the memory-governance ledger (internal/budget): the backing array
+// dominates; headers and dimensions are noise but counted for
+// consistency with the other estimators.
+func (m *Matrix) SizeBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return int64(cap(m.Data))*8 + 24 + 16
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"dyngraph/internal/graph"
+	"dyngraph/internal/service"
+)
+
+// HibernateConfig shapes the memory-governance benchmark: how many
+// detection streams one byte budget can govern, and what a hibernated
+// stream's lazy rehydration costs on the next access.
+type HibernateConfig struct {
+	// Streams is the number of streams to create, push, hibernate and
+	// rehydrate. Zero selects 1000.
+	Streams int `json:"streams"`
+	// Pushes is the number of snapshots journaled per stream before it
+	// hibernates — the WAL tail a rehydration must replay grows with
+	// it. Zero selects 3.
+	Pushes int `json:"pushes"`
+	// N is the per-stream graph size (small enough for the exact
+	// commute oracle, matching the daemon's many-small-streams shape).
+	// Zero selects 12.
+	N int `json:"n"`
+	// Seed drives the synthetic snapshot streams.
+	Seed int64 `json:"seed"`
+	// DataDir is the journal directory. Empty uses a fresh temporary
+	// directory, removed afterwards.
+	DataDir string `json:"-"`
+}
+
+func (c HibernateConfig) withDefaults() HibernateConfig {
+	if c.Streams <= 0 {
+		c.Streams = 1000
+	}
+	if c.Pushes <= 0 {
+		c.Pushes = 3
+	}
+	if c.N <= 0 {
+		c.N = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 71
+	}
+	return c
+}
+
+// LatencyStats summarizes one operation's per-stream latency
+// distribution in milliseconds.
+type LatencyStats struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// HibernateResult is the machine-readable benchmark record
+// (BENCH_hibernate.json).
+type HibernateResult struct {
+	Config HibernateConfig `json:"config"`
+	// PerStreamBytes is the mean accounted resident footprint of one
+	// live stream (detector, oracle, history, solver scratch).
+	PerStreamBytes int64 `json:"per_stream_bytes"`
+	// StreamsPerGB is the headline density: how many resident streams
+	// of this shape fit one GiB of budget.
+	StreamsPerGB float64 `json:"streams_per_gb"`
+	// Hibernate is the per-stream cost of going down: final snapshot
+	// journaled, WAL closed, state dropped.
+	Hibernate LatencyStats `json:"hibernate"`
+	// Rehydrate is the per-stream cost of coming back: journal replay
+	// plus bit-exact detector restore — what the first push or report
+	// after hibernation pays.
+	Rehydrate LatencyStats `json:"rehydrate"`
+}
+
+// latencyStats summarizes a sample of per-operation durations.
+func latencyStats(ds []time.Duration) LatencyStats {
+	if len(ds) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i].Nanoseconds()) / 1e6
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencyStats{
+		P50Ms:  q(0.50),
+		P99Ms:  q(0.99),
+		MaxMs:  float64(sorted[len(sorted)-1].Nanoseconds()) / 1e6,
+		MeanMs: float64(sum.Nanoseconds()) / 1e6 / float64(len(sorted)),
+	}
+}
+
+// hibernateSnapshots builds one stream's snapshot chain: a connected
+// small graph with per-stream jitter so no two streams journal
+// identical bytes.
+func hibernateSnapshots(cfg HibernateConfig, stream int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(stream)))
+	out := make([]*graph.Graph, cfg.Pushes)
+	for v := range out {
+		b := graph.NewBuilder(cfg.N)
+		for i := 1; i < cfg.N; i++ {
+			b.AddEdge(i-1, i, 1+0.1*rng.Float64())
+		}
+		for k := 0; k < cfg.N; k++ {
+			i, j := rng.Intn(cfg.N), rng.Intn(cfg.N)
+			if i != j {
+				b.SetEdge(i, j, 0.5+rng.Float64())
+			}
+		}
+		out[v] = b.MustBuild()
+	}
+	return out
+}
+
+// Hibernate measures the memory-governance subsystem end to end on the
+// real serving stack: create cfg.Streams streams, journal cfg.Pushes
+// snapshots into each, hibernate all of them (timed), then rehydrate
+// all of them (timed) through the same lazy path a push would take.
+func Hibernate(cfg HibernateConfig) (*HibernateResult, error) {
+	cfg = cfg.withDefaults()
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "cad-hibernate-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
+	srv := service.New(service.Config{
+		DataDir:    dataDir,
+		Fsync:      false, // measure the subsystem, not the disk
+		MaxStreams: cfg.Streams,
+	})
+
+	var totalBytes int64
+	ids := make([]string, cfg.Streams)
+	for s := range ids {
+		ids[s] = fmt.Sprintf("bench-%05d", s)
+		if err := srv.CreateStream(ids[s], service.StreamConfig{L: 3, TraceBuffer: -1}); err != nil {
+			return nil, err
+		}
+		for _, g := range hibernateSnapshots(cfg, s) {
+			if _, err := srv.Push(ids[s], g, true); err != nil {
+				return nil, fmt.Errorf("stream %s: %w", ids[s], err)
+			}
+		}
+	}
+	totalBytes = srv.AccountedBytes()
+
+	hibernate := make([]time.Duration, len(ids))
+	for i, id := range ids {
+		start := time.Now()
+		if err := srv.HibernateStream(id); err != nil {
+			return nil, fmt.Errorf("hibernate %s: %w", id, err)
+		}
+		hibernate[i] = time.Since(start)
+	}
+	if n := srv.HibernatedCount(); n != cfg.Streams {
+		return nil, fmt.Errorf("hibernated %d of %d streams", n, cfg.Streams)
+	}
+
+	rehydrate := make([]time.Duration, len(ids))
+	for i, id := range ids {
+		start := time.Now()
+		if err := srv.RehydrateStream(id); err != nil {
+			return nil, fmt.Errorf("rehydrate %s: %w", id, err)
+		}
+		rehydrate[i] = time.Since(start)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+
+	perStream := totalBytes / int64(cfg.Streams)
+	res := &HibernateResult{
+		Config:         cfg,
+		PerStreamBytes: perStream,
+		Hibernate:      latencyStats(hibernate),
+		Rehydrate:      latencyStats(rehydrate),
+	}
+	if perStream > 0 {
+		res.StreamsPerGB = float64(int64(1)<<30) / float64(perStream)
+	}
+	return res, nil
+}
+
+// Table renders the benchmark summary.
+func (r *HibernateResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("stream hibernation: %d streams × %d pushes (n=%d per graph)",
+			r.Config.Streams, r.Config.Pushes, r.Config.N),
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"resident bytes / stream", fmt.Sprintf("%d", r.PerStreamBytes)},
+		[]string{"streams / GiB of budget", fmt.Sprintf("%.0f", r.StreamsPerGB)},
+		[]string{"hibernate p50 / p99 / max (ms)", fmt.Sprintf("%.2f / %.2f / %.2f",
+			r.Hibernate.P50Ms, r.Hibernate.P99Ms, r.Hibernate.MaxMs)},
+		[]string{"rehydrate p50 / p99 / max (ms)", fmt.Sprintf("%.2f / %.2f / %.2f",
+			r.Rehydrate.P50Ms, r.Rehydrate.P99Ms, r.Rehydrate.MaxMs)},
+	)
+	return t
+}
+
+// WriteJSON emits the machine-readable benchmark record (the
+// BENCH_hibernate.json artifact).
+func (r *HibernateResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string `json:"experiment"`
+		*HibernateResult
+	}{Experiment: "hibernate", HibernateResult: r})
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestHibernateExperimentShape runs a small instance of the
+// memory-governance benchmark end to end and checks the record is
+// complete: every stream accounted, sane density, non-zero latency
+// distributions, and a well-formed JSON artifact.
+func TestHibernateExperimentShape(t *testing.T) {
+	res, err := Hibernate(HibernateConfig{Streams: 20, Pushes: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerStreamBytes <= 0 {
+		t.Fatalf("per-stream footprint %d, want > 0", res.PerStreamBytes)
+	}
+	if res.StreamsPerGB <= 0 {
+		t.Fatalf("streams/GB %f, want > 0", res.StreamsPerGB)
+	}
+	for name, ls := range map[string]LatencyStats{"hibernate": res.Hibernate, "rehydrate": res.Rehydrate} {
+		if ls.P50Ms <= 0 || ls.P99Ms < ls.P50Ms || ls.MaxMs < ls.P99Ms {
+			t.Fatalf("%s latency stats out of order: %+v", name, ls)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Experiment     string `json:"experiment"`
+		PerStreamBytes int64  `json:"per_stream_bytes"`
+		Rehydrate      struct {
+			P99Ms float64 `json:"p99_ms"`
+		} `json:"rehydrate"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "hibernate" || rec.PerStreamBytes != res.PerStreamBytes || rec.Rehydrate.P99Ms <= 0 {
+		t.Fatalf("JSON record %+v does not match the result", rec)
+	}
+}

@@ -1,0 +1,16 @@
+package graph
+
+// SizeBytes estimates the resident heap footprint of the graph for the
+// memory-governance ledger (internal/budget): the CSR adjacency plus
+// label storage (string headers and bytes). Nil graphs are free.
+func (g *Graph) SizeBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	b := g.adj.SizeBytes() + 8 + 24
+	b += int64(cap(g.labels)) * 16
+	for _, s := range g.labels {
+		b += int64(len(s))
+	}
+	return b
+}

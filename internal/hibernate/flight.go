@@ -1,0 +1,46 @@
+package hibernate
+
+import "sync"
+
+// Flight deduplicates concurrent rehydrations: when several requests
+// hit a hibernated stream at once, exactly one runs the replay and the
+// rest block on its result. A minimal singleflight built on the
+// stdlib only — no suppression of later calls, so a failed rehydrate
+// is retried by the next request rather than cached as an error.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do executes fn for key, coalescing with any in-flight call for the
+// same key. shared reports whether the result came from another
+// caller's execution.
+func (f *Flight) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*call)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

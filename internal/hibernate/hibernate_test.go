@@ -1,0 +1,211 @@
+package hibernate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time {
+	return time.Unix(int64(sec), 0)
+}
+
+func TestLRUColdestPrefersProbation(t *testing.T) {
+	l := NewLRU()
+	l.Touch("a", at(1))
+	l.Touch("a", at(2)) // promoted to protected
+	l.Touch("b", at(3)) // probation
+	l.Touch("c", at(4)) // probation
+
+	if id, ok := l.Coldest(); !ok || id != "b" {
+		t.Fatalf("Coldest = %q, %v; want b (probation tail)", id, ok)
+	}
+	l.Remove("b")
+	l.Remove("c")
+	// Only the protected entry remains; Coldest must fall back to it.
+	if id, ok := l.Coldest(); !ok || id != "a" {
+		t.Fatalf("Coldest after draining probation = %q, %v; want a", id, ok)
+	}
+	l.Remove("a")
+	if _, ok := l.Coldest(); ok || l.Len() != 0 {
+		t.Fatal("empty tracker should have no victim")
+	}
+}
+
+func TestLRUPromotionOrdering(t *testing.T) {
+	l := NewLRU()
+	for i := 0; i < 4; i++ {
+		l.Touch(fmt.Sprintf("s%d", i), at(i))
+	}
+	// Re-touch s0: it becomes the hottest despite the oldest first touch.
+	l.Touch("s0", at(10))
+	if id, _ := l.Coldest(); id != "s1" {
+		t.Fatalf("Coldest = %q, want s1", id)
+	}
+	if !l.Contains("s0") || l.Len() != 4 {
+		t.Fatal("promotion must not drop entries")
+	}
+}
+
+func TestLRUIdleBefore(t *testing.T) {
+	l := NewLRU()
+	l.Touch("old1", at(1))
+	l.Touch("old2", at(2))
+	l.Touch("hot", at(100))
+	l.Touch("hot", at(101)) // protected, recent
+
+	got := l.IdleBefore(at(50), 0)
+	if len(got) != 2 || got[0] != "old1" || got[1] != "old2" {
+		t.Fatalf("IdleBefore = %v, want [old1 old2] coldest first", got)
+	}
+	if got := l.IdleBefore(at(50), 1); len(got) != 1 || got[0] != "old1" {
+		t.Fatalf("IdleBefore max=1 = %v, want [old1]", got)
+	}
+	if got := l.IdleBefore(at(0), 0); len(got) != 0 {
+		t.Fatalf("nothing idle before epoch, got %v", got)
+	}
+	// Protected-but-stale entries are returned too.
+	l.Touch("stale", at(3))
+	l.Touch("stale", at(4))
+	got = l.IdleBefore(at(50), 0)
+	if len(got) != 3 || got[2] != "stale" {
+		t.Fatalf("IdleBefore = %v, want stale after probation entries", got)
+	}
+}
+
+func TestLRUProtectedCapDemotes(t *testing.T) {
+	l := NewLRU()
+	// Promote everything: the protected cap must demote overflow back
+	// to probation instead of losing entries.
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("s%d", i)
+		l.Touch(id, at(i))
+		l.Touch(id, at(i+100))
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	if l.protected.Len() > 8 {
+		t.Fatalf("protected segment %d exceeds the 80%% cap", l.protected.Len())
+	}
+	if l.probation.Len()+l.protected.Len() != 10 {
+		t.Fatal("segments out of sync with entry map")
+	}
+}
+
+func TestLRULastTouch(t *testing.T) {
+	l := NewLRU()
+	l.Touch("a", at(7))
+	if got, ok := l.LastTouch("a"); !ok || !got.Equal(at(7)) {
+		t.Fatalf("LastTouch = %v, %v", got, ok)
+	}
+	if _, ok := l.LastTouch("missing"); ok {
+		t.Fatal("LastTouch on unknown id should report !ok")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("s%d", (w*7+i)%16)
+				l.Touch(id, at(i))
+				if i%3 == 0 {
+					l.Coldest()
+					l.IdleBefore(at(i), 4)
+				}
+				if i%5 == 0 {
+					l.Remove(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.probation.Len()+l.protected.Len() != l.Len() {
+		t.Fatal("segments out of sync after concurrent churn")
+	}
+}
+
+func TestFlightCoalesces(t *testing.T) {
+	var f Flight
+	var executions, shares, entered atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const callers = 8
+	results := make(chan string, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			entered.Add(1)
+			v, err, shared := f.Do("stream-1", func() (any, error) {
+				close(started)
+				executions.Add(1)
+				<-release
+				return "state", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				shares.Add(1)
+			}
+			results <- v.(string)
+		}()
+		if i == 0 {
+			<-started // the first flight is in fn before the rest spawn
+		}
+	}
+	// Release only after every caller is at (or past) its Do call plus a
+	// settle, so all of them join the one in-flight execution.
+	for entered.Load() < callers {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	for i := 0; i < callers; i++ {
+		if v := <-results; v != "state" {
+			t.Fatalf("caller got %q", v)
+		}
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if s := shares.Load(); s != callers-1 {
+		t.Fatalf("shared count = %d, want %d", s, callers-1)
+	}
+}
+
+func TestFlightErrorsNotCached(t *testing.T) {
+	var f Flight
+	_, err, _ := f.Do("k", func() (any, error) { return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	v, err, _ := f.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("second call should retry fresh: %v %v", v, err)
+	}
+}
+
+func TestFlightDistinctKeysRunIndependently(t *testing.T) {
+	var f Flight
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go f.Do("slow", func() (any, error) { <-block; return nil, nil })
+	go func() {
+		f.Do("fast", func() (any, error) { return nil, nil })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("distinct key blocked behind another flight")
+	}
+	close(block)
+}

@@ -1,0 +1,175 @@
+// Package hibernate holds the working-set policy behind multi-tenant
+// memory governance: a segmented-LRU tracker that decides which
+// resident streams are cold enough to hibernate, and a singleflight
+// group so concurrent requests to a hibernated stream share one
+// rehydration.
+//
+// The package is pure policy — it never touches stream state. The
+// serving layer (internal/service) records accesses with Touch,
+// removes entries when streams hibernate or die, and asks Coldest /
+// IdleBefore for eviction victims when the byte budget
+// (internal/budget) says the working set must shrink.
+package hibernate
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// LRU is a segmented least-recently-used tracker over stream ids.
+//
+// Entries enter a probationary segment on first touch and are promoted
+// to the protected segment on re-touch, the classic SLRU scheme: a
+// stream that was pushed exactly once (created, probed, abandoned)
+// never displaces the steadily-active working set, because eviction
+// drains probation first. The protected segment is capped at
+// protectedShare of the tracked population; overflow demotes its own
+// coldest entry back to probation rather than dropping it.
+//
+// All methods are safe for concurrent use.
+type LRU struct {
+	mu        sync.Mutex
+	probation *list.List // front = hottest
+	protected *list.List // front = hottest
+	entries   map[string]*lruEntry
+}
+
+// protectedShare caps the protected segment at ~4/5 of all tracked
+// entries, keeping a real probationary runway even when everything is
+// being re-touched.
+const protectedShare = 0.8
+
+type lruEntry struct {
+	id        string
+	el        *list.Element
+	protected bool
+	touched   time.Time
+}
+
+// NewLRU returns an empty tracker.
+func NewLRU() *LRU {
+	return &LRU{
+		probation: list.New(),
+		protected: list.New(),
+		entries:   make(map[string]*lruEntry),
+	}
+}
+
+// Touch records an access to id at time now: new ids enter probation,
+// probationary ids are promoted to protected, protected ids move to
+// the segment front.
+func (l *LRU) Touch(id string, now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		e = &lruEntry{id: id, touched: now}
+		e.el = l.probation.PushFront(e)
+		l.entries[id] = e
+		return
+	}
+	e.touched = now
+	if e.protected {
+		l.protected.MoveToFront(e.el)
+		return
+	}
+	// Second touch: promote out of probation.
+	l.probation.Remove(e.el)
+	e.protected = true
+	e.el = l.protected.PushFront(e)
+	// Keep the protected segment from swallowing the whole population:
+	// demote its coldest entry back to probation past the cap.
+	if cap := int(protectedShare * float64(len(l.entries))); l.protected.Len() > cap && cap > 0 {
+		back := l.protected.Back()
+		d := back.Value.(*lruEntry)
+		l.protected.Remove(back)
+		d.protected = false
+		d.el = l.probation.PushFront(d)
+	}
+}
+
+// Remove forgets id (stream hibernated or deleted).
+func (l *LRU) Remove(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		return
+	}
+	if e.protected {
+		l.protected.Remove(e.el)
+	} else {
+		l.probation.Remove(e.el)
+	}
+	delete(l.entries, id)
+}
+
+// Len returns the tracked entry count.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Contains reports whether id is tracked.
+func (l *LRU) Contains(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[id]
+	return ok
+}
+
+// Coldest returns the best eviction victim — the back of probation,
+// falling back to the back of protected — without removing it. ok is
+// false when the tracker is empty.
+func (l *LRU) Coldest() (id string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if back := l.probation.Back(); back != nil {
+		return back.Value.(*lruEntry).id, true
+	}
+	if back := l.protected.Back(); back != nil {
+		return back.Value.(*lruEntry).id, true
+	}
+	return "", false
+}
+
+// IdleBefore returns up to max ids whose last touch is strictly before
+// cutoff, coldest first (probation tail before protected tail). A
+// non-positive max means no limit.
+func (l *LRU) IdleBefore(cutoff time.Time, max int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	// Full scan rather than an early break on the first warm entry:
+	// list position tracks operation recency, but promotions can put an
+	// old-timestamped entry ahead of a newer one, so position alone
+	// can't prove the rest of a segment is warm. The governor calls
+	// this on an interval; O(n) is fine.
+	for _, seg := range []*list.List{l.probation, l.protected} {
+		for el := seg.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*lruEntry)
+			if !e.touched.Before(cutoff) {
+				continue
+			}
+			out = append(out, e.id)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// LastTouch returns id's most recent access time; ok is false for
+// untracked ids.
+func (l *LRU) LastTouch(id string) (t time.Time, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return e.touched, true
+}

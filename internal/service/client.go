@@ -256,6 +256,15 @@ func (c *Client) Streams(ctx context.Context) ([]StreamInfo, error) {
 	return out, err
 }
 
+// AdminStreams fetches the read-only memory-governance view: every
+// registered stream with its residency state (resident/hibernated),
+// estimated resident bytes, last-push time and arrival index.
+func (c *Client) AdminStreams(ctx context.Context) ([]AdminStreamInfo, error) {
+	var out []AdminStreamInfo
+	err := c.do(ctx, http.MethodGet, "/streams", nil, &out)
+	return out, err
+}
+
 // StreamInfo returns one stream's status.
 func (c *Client) StreamInfo(ctx context.Context, id string) (StreamInfo, error) {
 	var out StreamInfo

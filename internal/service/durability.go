@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
 
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
@@ -39,6 +41,11 @@ func streamDir(dataDir, id string) string {
 	return filepath.Join(dataDir, "streams", id)
 }
 
+// snapshotPath is the stream's compact-snapshot file.
+func snapshotPath(dataDir, id string) string {
+	return filepath.Join(streamDir(dataDir, id), streamSnapshotFile)
+}
+
 // journal is a stream's durability sidecar. All fields after
 // construction are owned by the worker goroutine; a journaling failure
 // flips failed and the stream keeps serving without durability (the
@@ -54,7 +61,10 @@ type journal struct {
 	streamID      string
 	logger        *slog.Logger
 	metrics       *metrics
-	failed        bool
+	// failed is atomic because the governor reads it from outside the
+	// worker goroutine when deciding whether a stream can hibernate
+	// (a failed journal cannot produce the snapshot hibernation needs).
+	failed atomic.Bool
 }
 
 // pushJournalData is what the worker captures under detMu after a
@@ -71,14 +81,14 @@ type pushJournalData struct {
 
 // snapshotDue reports whether the next recorded push should compact.
 func (j *journal) snapshotDue() bool {
-	return !j.failed && j.sinceSnapshot+1 >= j.snapshotEvery
+	return !j.failed.Load() && j.sinceSnapshot+1 >= j.snapshotEvery
 }
 
 // recordPush appends one push record, then compacts when d.snap is
 // set. Called by the worker after every successful push, before a
 // synchronous pusher is acked — an acked push is always journaled.
 func (j *journal) recordPush(d *pushJournalData) {
-	if j.failed {
+	if j.failed.Load() {
 		return
 	}
 	rec := &wal.PushRecord{
@@ -110,7 +120,7 @@ func (j *journal) recordPush(d *pushJournalData) {
 // crash in between leaves records the snapshot already covers (replay
 // skips them by instance index).
 func (j *journal) compact(st *core.OnlineState) {
-	if j.failed {
+	if j.failed.Load() {
 		return
 	}
 	snap := snapshotFromState(j.cfgJSON, st, j.chain)
@@ -131,10 +141,10 @@ func (j *journal) compact(st *core.OnlineState) {
 // closeWith writes a final snapshot when records accumulated since the
 // last one, then closes the log. Worker-exit path (drain or delete).
 func (j *journal) closeWith(st *core.OnlineState) {
-	if !j.failed && j.sinceSnapshot > 0 {
+	if !j.failed.Load() && j.sinceSnapshot > 0 {
 		j.compact(st)
 	}
-	if err := j.log.Close(); err != nil && !j.failed {
+	if err := j.log.Close(); err != nil && !j.failed.Load() {
 		j.logger.Error("journal close failed", "stream", j.streamID, "err", err)
 	}
 }
@@ -142,7 +152,7 @@ func (j *journal) closeWith(st *core.OnlineState) {
 // fail disables the journal after a write error. Scoring continues;
 // durability for this stream ends at the last good record.
 func (j *journal) fail(op string, err error) {
-	j.failed = true
+	j.failed.Store(true)
 	j.metrics.add("cadd_wal_errors_total", labels("stream", j.streamID), 1)
 	j.logger.Error("journal write failed; durability disabled for this stream",
 		"stream", j.streamID, "op", op, "err", err)
@@ -364,6 +374,13 @@ func (s *Server) Recover() error {
 }
 
 // recoverOne restores and registers a single stream.
+//
+// Under memory governance the stream is registered as a hibernated
+// stub rather than a resident worker: the journal is fully decoded and
+// the detector restored once — validating the directory and measuring
+// the footprint — then dropped and the log closed, so booting a
+// registry of 100k streams keeps RSS bounded by one stream's state at
+// a time. The first push or report rehydrates lazily.
 func (s *Server) recoverOne(id, dir string) error {
 	if err := validateStreamID(id); err != nil {
 		return err
@@ -384,16 +401,29 @@ func (s *Server) recoverOne(id, dir string) error {
 		return err
 	}
 	det.SetMaxHistory(cfg.MaxHistory)
-	j := &journal{
-		log:           rs.log,
-		snapPath:      filepath.Join(dir, streamSnapshotFile),
-		cfgJSON:       rs.cfgJSON,
-		snapshotEvery: s.cfg.SnapshotEvery,
-		sinceSnapshot: rs.replayed,
-		chain:         rs.chain,
-		streamID:      id,
-		logger:        s.cfg.Logger,
-		metrics:       s.metrics,
+
+	governed := s.cfg.governed()
+	var e *entry
+	if governed {
+		stub := &stubState{
+			cfg:          cfg,
+			bytes:        det.SizeBytes(),
+			hibernatedAt: time.Now(),
+			info: StreamInfo{
+				ID:          id,
+				Config:      cfg,
+				Ingested:    int64(rs.state.T),
+				Processed:   int64(rs.state.T),
+				Transitions: len(rs.state.History),
+				Evicted:     rs.state.Evicted,
+				Delta:       rs.state.Delta,
+				State:       StreamStateHibernated,
+			},
+		}
+		if err := rs.log.Close(); err != nil {
+			return err
+		}
+		e = &entry{id: id, stub: stub}
 	}
 
 	s.mu.Lock()
@@ -406,14 +436,31 @@ func (s *Server) recoverOne(id, dir string) error {
 		rs.log.Close()
 		return fmt.Errorf("service: stream %q already exists", id)
 	}
-	s.streams[id] = startStream(id, cfg, s.metrics, s.cfg.Logger, det, int64(rs.state.T), j)
+	if !governed {
+		j := &journal{
+			log:           rs.log,
+			snapPath:      filepath.Join(dir, streamSnapshotFile),
+			cfgJSON:       rs.cfgJSON,
+			snapshotEvery: s.cfg.SnapshotEvery,
+			sinceSnapshot: rs.replayed,
+			chain:         rs.chain,
+			streamID:      id,
+			logger:        s.cfg.Logger,
+			metrics:       s.metrics,
+		}
+		st := startStream(id, cfg, s.metrics, s.cfg.Logger, det, int64(rs.state.T), j, nil, s.sizedFor(id))
+		e = &entry{id: id, st: st}
+		s.lru.Touch(id, time.Now())
+	}
+	s.streams[id] = e
 	s.metrics.add("cadd_recovered_streams_total", "", 1)
 	if rs.truncated > 0 {
 		s.metrics.add("cadd_wal_truncations_total", "", 1)
 	}
 	s.cfg.Logger.Info("stream recovered",
 		"stream", id, "instances", rs.state.T, "transitions", len(rs.state.History),
-		"replayed_records", rs.replayed, "truncated_bytes", rs.truncated)
+		"replayed_records", rs.replayed, "truncated_bytes", rs.truncated,
+		"hibernated", governed)
 	return nil
 }
 

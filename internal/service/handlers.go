@@ -29,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /streams", s.handleAdminStreams)
 	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
 	mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreateStream)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
@@ -81,6 +82,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeAcquireError maps an acquire failure: unknown id → 404, closed
+// (shutdown) → 409, a failed rehydration → 500.
+func writeAcquireError(w http.ResponseWriter, id string, err error) {
+	switch {
+	case errors.Is(err, errUnknownStream):
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+	case errors.Is(err, errStreamClosed):
+		writeError(w, http.StatusConflict, "stream %q is closed", id)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Streams: s.NumStreams()})
 }
@@ -110,20 +124,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range s.streamsByID("") {
 		writeGauge(w, "cadd_trace_drops_total", labels("stream", st.id), float64(st.traceDropped()))
 	}
+	// Memory-governance gauges, read from the registry and the ledger.
+	resident, hibernated := s.stateCounts()
+	fmt.Fprintf(w, "# HELP cadd_resident_streams Streams with detector state in memory.\n# TYPE cadd_resident_streams gauge\n")
+	writeGauge(w, "cadd_resident_streams", "", float64(resident))
+	fmt.Fprintf(w, "# HELP cadd_hibernated_streams Streams whose state is journaled to disk and dropped from memory.\n# TYPE cadd_hibernated_streams gauge\n")
+	writeGauge(w, "cadd_hibernated_streams", "", float64(hibernated))
+	fmt.Fprintf(w, "# HELP cadd_resident_bytes Estimated resident bytes of all live detector state (budget ledger total).\n# TYPE cadd_resident_bytes gauge\n")
+	writeGauge(w, "cadd_resident_bytes", "", float64(s.AccountedBytes()))
 }
 
-// streamsByID returns live streams ordered by id — all of them for
-// filter "", or just the named one (empty slice when unknown).
+// handleAdminStreams serves the read-only memory-governance view:
+// every registered stream with its residency state, estimated resident
+// bytes, last-push time and arrival index. It never rehydrates.
+func (s *Server) handleAdminStreams(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.AdminStreams())
+}
+
+// streamsByID returns resident streams ordered by id — all of them
+// for filter "", or just the named one (empty slice when unknown or
+// hibernated; a hibernated stream has no tracer to read and is never
+// rehydrated just to look at its traces).
 func (s *Server) streamsByID(filter string) []*stream {
 	s.mu.RLock()
-	streams := make([]*stream, 0, len(s.streams))
-	for id, st := range s.streams {
+	entries := make([]*entry, 0, len(s.streams))
+	for id, e := range s.streams {
 		if filter != "" && id != filter {
 			continue
 		}
-		streams = append(streams, st)
+		entries = append(entries, e)
 	}
 	s.mu.RUnlock()
+	streams := make([]*stream, 0, len(entries))
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.st != nil {
+			streams = append(streams, e.st)
+		}
+		e.mu.Unlock()
+	}
 	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
 	return streams
 }
@@ -146,7 +185,7 @@ type streamTracesJSON struct {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	filter := r.URL.Query().Get("stream")
 	streams := s.streamsByID(filter)
-	if filter != "" && len(streams) == 0 {
+	if filter != "" && len(streams) == 0 && !s.exists(filter) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", filter)
 		return
 	}
@@ -199,7 +238,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.CreateStream(id, cfg); err != nil {
 		status := http.StatusBadRequest
-		if _, exists := s.lookup(id); exists {
+		if s.exists(id) {
 			status = http.StatusConflict
 		}
 		writeError(w, status, "%v", err)
@@ -229,8 +268,7 @@ func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	st, ok := s.lookup(id)
-	if !ok {
+	if !s.exists(id) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", id)
 		return
 	}
@@ -256,11 +294,14 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		expected = n
 	}
-	res, err := st.enqueue(g, sync, requestID(r.Context()), expected)
+	res, err := s.push(id, g, sync, requestID(r.Context()), expected)
 	switch {
+	case errors.Is(err, errUnknownStream):
+		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+		return
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "stream %q: ingest queue full (%d pending)", id, st.queue.capacity())
+		writeError(w, http.StatusTooManyRequests, "stream %q: ingest queue full", id)
 		return
 	case errors.Is(err, errStreamClosed):
 		writeError(w, http.StatusConflict, "stream %q is closed", id)
@@ -283,9 +324,9 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	st, ok := s.lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+	st, err := s.acquire(id)
+	if err != nil {
+		writeAcquireError(w, id, err)
 		return
 	}
 	rep := st.report()
@@ -298,9 +339,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTransition(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	st, ok := s.lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown stream %q", id)
+	st, err := s.acquire(id)
+	if err != nil {
+		writeAcquireError(w, id, err)
 		return
 	}
 	t, err := strconv.Atoi(r.PathValue("t"))

@@ -35,6 +35,12 @@ var pushBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 
 // into the first bucket.
 var stageBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 
+// rehydrateBuckets are the hibernation-restore latency bounds: a
+// journal replay plus detector restore lands in the sub-millisecond to
+// low-millisecond range for paper-sized streams, stretching toward
+// seconds only when a long WAL tail must be replayed.
+var rehydrateBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
 type histogram struct {
 	bounds  []float64 // this series' bucket bounds
 	buckets []float64 // cumulative counts per bound

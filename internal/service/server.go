@@ -9,6 +9,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"dyngraph/internal/budget"
+	"dyngraph/internal/hibernate"
 )
 
 // Config configures a Server.
@@ -16,8 +20,8 @@ type Config struct {
 	// DefaultQueueSize is the ingest-queue bound for streams that do
 	// not set their own (default 64).
 	DefaultQueueSize int
-	// MaxStreams caps concurrently live streams (default 1024); stream
-	// creation beyond it fails.
+	// MaxStreams caps concurrently registered streams — resident or
+	// hibernated (default 1024); stream creation beyond it fails.
 	MaxStreams int
 	// DefaultTraceBuffer is the per-stream push-trace retention for
 	// streams that do not set their own (default 64; negative disables
@@ -29,7 +33,7 @@ type Config struct {
 	// DataDir enables crash-safe durability: each stream journals its
 	// accepted pushes to <DataDir>/streams/<id>/ (config + WAL +
 	// compact snapshots), and Recover replays the directory at boot.
-	// Empty disables durability.
+	// Empty disables durability — and with it, hibernation.
 	DataDir string
 	// Fsync syncs the WAL after every journaled push. Off, a process
 	// crash still loses nothing (the page cache survives); a machine
@@ -40,6 +44,25 @@ type Config struct {
 	// snapshots (default 64). Smaller values bound replay time and WAL
 	// size at the cost of more frequent full-state writes.
 	SnapshotEvery int
+
+	// MemBudgetBytes caps the estimated resident bytes of all live
+	// detector state. When the total crosses the high watermark (90%),
+	// the governor hibernates the coldest streams until it is back
+	// under the low watermark (75%). 0 disables the budget; resident
+	// sizes are still accounted for /streams and /metrics. Requires
+	// DataDir.
+	MemBudgetBytes int64
+	// HibernateAfter hibernates streams idle (no push, report or
+	// transition read) for this long, regardless of budget pressure.
+	// 0 disables idle hibernation. Requires DataDir.
+	HibernateAfter time.Duration
+	// MinResident is the floor of resident streams the governor will
+	// never evict below (default 1).
+	MinResident int
+	// GovernorInterval is the governance-pass period (default 15s);
+	// crossing the high watermark additionally kicks a pass
+	// immediately.
+	GovernorInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -55,11 +78,22 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 64
 	}
+	if c.MinResident <= 0 {
+		c.MinResident = 1
+	}
+	if c.GovernorInterval <= 0 {
+		c.GovernorInterval = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
+
+// unlimitedLedgerCap sizes the accounting ledger when no budget is
+// configured: resident bytes are still tracked (for /streams and the
+// gauges) but the watermarks are unreachable.
+const unlimitedLedgerCap = int64(1) << 62
 
 // Server owns the stream registry and the metrics it exposes. Wrap
 // Handler() in an http.Server to serve it; call Shutdown to drain.
@@ -67,12 +101,24 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 
+	// Memory governance: the byte ledger, the working-set tracker over
+	// resident streams, and the singleflight for shared rehydrations.
+	ledger *budget.Accountant
+	lru    *hibernate.LRU
+	flight hibernate.Flight
+
 	mu       sync.RWMutex
-	streams  map[string]*stream
+	streams  map[string]*entry
 	shutdown bool
+
+	govStop chan struct{}
+	govKick chan struct{}
+	govWG   sync.WaitGroup
 }
 
-// New returns an empty server.
+// New returns an empty server. When memory governance is configured
+// (DataDir plus MemBudgetBytes or HibernateAfter), the background
+// governor starts immediately; Shutdown stops it.
 func New(cfg Config) *Server {
 	m := newMetrics()
 	m.describe("cadd_snapshots_ingested_total", "Snapshots accepted into a stream's queue.")
@@ -89,11 +135,35 @@ func New(cfg Config) *Server {
 	m.describe("cadd_wal_truncations_total", "Recoveries that cut a torn or corrupt tail off a stream's WAL.")
 	m.describe("cadd_wal_errors_total", "Journal write failures; the stream keeps serving with durability disabled.")
 	m.describe("cadd_duplicate_pushes_total", "Instance-indexed re-pushes acked without re-scoring (idempotent retries).")
+	m.describe("cadd_hibernations_total", "Streams moved from resident to hibernated (snapshot journaled, state dropped).")
+	m.describe("cadd_rehydrations_total", "Hibernated streams restored to resident on access.")
 	m.describeHistogram("cadd_push_seconds",
 		"Per-snapshot scoring latency (oracle build + transition scoring), by oracle kind.", pushBuckets)
 	m.describeHistogram("cadd_push_stage_seconds",
 		"Per-stage push latency (oracle, score, delta_select, threshold), from the pipeline trace spans.", stageBuckets)
-	return &Server{cfg: cfg.withDefaults(), metrics: m, streams: make(map[string]*stream)}
+	m.describeHistogram("cadd_rehydrate_seconds",
+		"Latency of restoring a hibernated stream to resident (journal replay + detector restore).", rehydrateBuckets)
+
+	cfg = cfg.withDefaults()
+	capacity := cfg.MemBudgetBytes
+	if capacity <= 0 {
+		capacity = unlimitedLedgerCap
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		ledger:  budget.New(capacity),
+		lru:     hibernate.NewLRU(),
+		streams: make(map[string]*entry),
+	}
+	if cfg.MemBudgetBytes > 0 || cfg.HibernateAfter > 0 {
+		if cfg.DataDir == "" {
+			cfg.Logger.Warn("memory governance requires a data dir; budget and idle hibernation disabled")
+		} else {
+			s.startGovernor()
+		}
+	}
+	return s
 }
 
 // CreateStream registers and starts a new stream. It fails on invalid
@@ -131,7 +201,7 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 			return err
 		}
 	}
-	st, err := newStream(id, cfg, s.metrics, s.cfg.Logger, j)
+	st, err := newStream(id, cfg, s.metrics, s.cfg.Logger, j, s.sizedFor(id))
 	if err != nil {
 		if j != nil {
 			j.log.Close()
@@ -139,7 +209,8 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 		}
 		return fmt.Errorf("service: stream %q: %w", id, err)
 	}
-	s.streams[id] = st
+	s.streams[id] = &entry{id: id, st: st}
+	s.lru.Touch(id, time.Now())
 	s.cfg.Logger.Info("stream created", "stream", id, "variant", cfg.Variant, "l", cfg.L,
 		"queue_size", cfg.QueueSize, "trace_buffer", cfg.TraceBuffer)
 	return nil
@@ -147,17 +218,26 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 
 // DeleteStream stops intake, waits for the stream's queue to drain,
 // and drops it from the registry along with its journal directory.
-// False when the id is unknown.
+// Deleting a hibernated stream only removes the stub and the journal —
+// there is no worker to drain. False when the id is unknown.
 func (s *Server) DeleteStream(id string) bool {
 	s.mu.Lock()
-	st, ok := s.streams[id]
+	e, ok := s.streams[id]
 	delete(s.streams, id)
 	s.mu.Unlock()
 	if !ok {
 		return false
 	}
-	st.close()
-	<-st.drained()
+	e.mu.Lock()
+	st := e.st
+	e.st, e.stub = nil, nil
+	e.mu.Unlock()
+	if st != nil {
+		st.close()
+		<-st.drained()
+	}
+	s.lru.Remove(id)
+	s.ledger.Forget(id)
 	if s.cfg.DataDir != "" {
 		if err := os.RemoveAll(streamDir(s.cfg.DataDir, id)); err != nil {
 			s.cfg.Logger.Error("removing stream journal failed", "stream", id, "err", err)
@@ -167,59 +247,96 @@ func (s *Server) DeleteStream(id string) bool {
 	return true
 }
 
-// lookup returns a live stream.
-func (s *Server) lookup(id string) (*stream, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.streams[id]
-	return st, ok
-}
-
-// StreamInfo returns one stream's status.
+// StreamInfo returns one stream's status — for a hibernated stream,
+// the status captured at hibernation (with State set accordingly) —
+// without rehydrating anything.
 func (s *Server) StreamInfo(id string) (StreamInfo, bool) {
-	st, ok := s.lookup(id)
-	if !ok {
+	s.mu.RLock()
+	e := s.streams[id]
+	s.mu.RUnlock()
+	if e == nil {
 		return StreamInfo{}, false
 	}
-	return st.info(), true
+	return e.infoSnapshot()
 }
 
-// ListStreams returns every live stream's status, ordered by id.
+// infoSnapshot returns the entry's current status whichever state it
+// is in.
+func (e *entry) infoSnapshot() (StreamInfo, bool) {
+	e.mu.Lock()
+	st, stub := e.st, e.stub
+	e.mu.Unlock()
+	switch {
+	case st != nil:
+		info := st.info()
+		info.State = StreamStateResident
+		return info, true
+	case stub != nil:
+		return stub.info, true
+	default:
+		return StreamInfo{}, false // entry mid-delete
+	}
+}
+
+// ListStreams returns every registered stream's status — hibernated
+// ones included — ordered by id.
 func (s *Server) ListStreams() []StreamInfo {
 	s.mu.RLock()
-	streams := make([]*stream, 0, len(s.streams))
-	for _, st := range s.streams {
-		streams = append(streams, st)
+	entries := make([]*entry, 0, len(s.streams))
+	for _, e := range s.streams {
+		entries = append(entries, e)
 	}
 	s.mu.RUnlock()
-	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
-	out := make([]StreamInfo, len(streams))
-	for i, st := range streams {
-		out[i] = st.info()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]StreamInfo, 0, len(entries))
+	for _, e := range entries {
+		if info, ok := e.infoSnapshot(); ok {
+			out = append(out, info)
+		}
 	}
 	return out
 }
 
-// NumStreams returns the live stream count.
+// NumStreams returns the registered stream count (resident plus
+// hibernated).
 func (s *Server) NumStreams() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.streams)
 }
 
-// Shutdown stops intake on every stream and waits for all queues to
-// drain (so accepted snapshots are never silently dropped), or for ctx
-// to expire, whichever comes first. Call it after http.Server.Shutdown
-// has stopped new requests.
+// Shutdown stops the governor, then stops intake on every resident
+// stream and waits for all queues to drain (so accepted snapshots are
+// never silently dropped), or for ctx to expire, whichever comes
+// first. Streams hibernated mid-session already flushed and closed
+// their WAL handles when they hibernated, so only residents need
+// draining. Call it after http.Server.Shutdown has stopped new
+// requests.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	already := s.shutdown
 	s.shutdown = true
-	streams := make([]*stream, 0, len(s.streams))
-	for _, st := range s.streams {
-		streams = append(streams, st)
+	entries := make([]*entry, 0, len(s.streams))
+	for _, e := range s.streams {
+		entries = append(entries, e)
 	}
 	s.mu.Unlock()
 
+	// Joining the governor first means an in-flight hibernation
+	// finishes its snapshot + WAL close before we enumerate residents,
+	// and no new hibernation or rehydration starts after.
+	if !already {
+		s.stopGovernor()
+	}
+
+	streams := make([]*stream, 0, len(entries))
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.st != nil {
+			streams = append(streams, e.st)
+		}
+		e.mu.Unlock()
+	}
 	for _, st := range streams {
 		st.close()
 	}

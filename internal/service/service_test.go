@@ -197,7 +197,7 @@ func TestQueueOverflowReturns429(t *testing.T) {
 	if err := cl.CreateStream(ctx, "narrow", StreamConfig{QueueSize: queueSize, L: 2}); err != nil {
 		t.Fatal(err)
 	}
-	st, ok := srv.lookup("narrow")
+	st, ok := srv.resident("narrow")
 	if !ok {
 		t.Fatal("stream not registered")
 	}
@@ -296,7 +296,7 @@ func TestShutdownDrainsAcceptedSnapshots(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Accepted snapshots were all scored before Shutdown returned.
-	st, _ := srv.lookup("s")
+	st, _ := srv.resident("s")
 	st.detMu.Lock()
 	processed := st.processed
 	st.detMu.Unlock()

@@ -47,6 +47,12 @@ type stream struct {
 	closed   bool
 	ingested int64 // arrival counter, guarded by enqMu
 	rejected int64 // guarded by enqMu
+	lastPush int64 // unix nanos of the newest accepted snapshot, guarded by enqMu
+
+	// sized publishes the detector's estimated resident footprint to
+	// the server's budget ledger after every push (nil when the stream
+	// is not governed). Called by the worker outside detMu.
+	sized func(bytes int64)
 
 	detMu     sync.Mutex
 	det       *core.OnlineDetector
@@ -68,24 +74,27 @@ type stream struct {
 }
 
 // newStream validates cfg and starts the worker. cfg must already have
-// defaults applied. j may be nil (no durability).
-func newStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger, j *journal) (*stream, error) {
+// defaults applied. j may be nil (no durability); sized may be nil
+// (no budget accounting).
+func newStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger, j *journal, sized func(int64)) (*stream, error) {
 	coreCfg, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
 	}
 	det := core.NewOnline(coreCfg, cfg.L)
 	det.SetMaxHistory(cfg.MaxHistory)
-	return startStream(id, cfg, m, logger, det, 0, j), nil
+	return startStream(id, cfg, m, logger, det, 0, j, nil, sized), nil
 }
 
 // startStream wraps an already-built detector (fresh or restored from
 // a journal) in a stream and starts its worker. ingested seeds the
 // arrival counter — for a recovered stream, the number of journaled
 // instances, so instance-indexed re-pushes of already-scored snapshots
-// are recognized as duplicates.
+// are recognized as duplicates. A non-nil tracer is adopted as-is (the
+// rehydration path pre-creates one so its rehydrate span lands in the
+// stream's own ring); otherwise one is built from cfg.TraceBuffer.
 func startStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger,
-	det *core.OnlineDetector, ingested int64, j *journal) *stream {
+	det *core.OnlineDetector, ingested int64, j *journal, tracer *obs.Tracer, sized func(int64)) *stream {
 	variant, _ := cfg.variant()
 	s := &stream{
 		id:       id,
@@ -97,12 +106,19 @@ func startStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger,
 		ingested: ingested,
 		latRing:  make([]float64, slowPushWindow),
 		journal:  j,
+		sized:    sized,
 		done:     make(chan struct{}),
 	}
-	if cfg.TraceBuffer > 0 {
+	s.tracer = tracer
+	if s.tracer == nil && cfg.TraceBuffer > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceBuffer)
 	}
 	s.oracle = oracleKind(variant)
+	// Seed the ledger before the worker starts so even never-pushed
+	// streams are accounted (and admission pressure is visible).
+	if sized != nil {
+		sized(det.SizeBytes())
+	}
 	go s.run()
 	return s
 }
@@ -192,7 +208,16 @@ func (s *stream) run() {
 				jdata.snap = &st
 			}
 		}
+		// The footprint walk is O(#slices), cheap enough to run under
+		// the lock it must hold anyway.
+		var footprint int64
+		if s.sized != nil {
+			footprint = s.det.SizeBytes()
+		}
 		s.detMu.Unlock()
+		if s.sized != nil {
+			s.sized(footprint)
+		}
 		if jdata != nil {
 			// Journal before acking the synchronous pusher: an acked
 			// push is always journaled.
@@ -356,6 +381,7 @@ func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string, expected i
 		return PushResult{}, errQueueFull
 	}
 	s.ingested++
+	s.lastPush = time.Now().UnixNano()
 	s.enqMu.Unlock()
 	s.metrics.add("cadd_snapshots_ingested_total", labels("stream", s.id), 1)
 
@@ -424,6 +450,36 @@ func (s *stream) info() StreamInfo {
 		Delta:       delta,
 		LastError:   lastErr,
 	}
+}
+
+// lastPushTime returns the wall-clock time of the newest accepted
+// snapshot (zero when the stream has never been pushed).
+func (s *stream) lastPushTime() time.Time {
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	if s.lastPush == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, s.lastPush)
+}
+
+// setLastPush seeds the last-push clock on a rehydrated stream from
+// its stub, so idle-based hibernation measures from the real last
+// arrival rather than from the rehydration.
+func (s *stream) setLastPush(t time.Time) {
+	if t.IsZero() {
+		return
+	}
+	s.enqMu.Lock()
+	s.lastPush = t.UnixNano()
+	s.enqMu.Unlock()
+}
+
+// ingestedCount returns the arrival counter.
+func (s *stream) ingestedCount() int64 {
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	return s.ingested
 }
 
 // close stops intake; the worker drains buffered snapshots and exits.

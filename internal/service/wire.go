@@ -19,12 +19,20 @@
 //	GET    /v1/streams/{id}/transitions/{t} one transition at the current δ
 //	GET    /healthz                         liveness
 //	GET    /metrics                         Prometheus text format
+//	GET    /streams                         memory-governance view: every
+//	                                        stream's residency state and
+//	                                        estimated resident bytes
 //
 // Concurrency discipline: core.OnlineDetector is not safe for
 // concurrent use, so every detector access — the worker's Push and any
 // handler's Report — happens under the stream's mutex, with the worker
 // goroutine as the only Pusher. `go test -race ./internal/service/...`
 // exercises this under overlapping multi-stream load.
+//
+// Memory governance (see docs/MEMORY.md): with durability on, a byte
+// budget or idle policy hibernates cold streams — final snapshot
+// journaled, worker stopped, state dropped — and the next access
+// rehydrates them bit-exactly and transparently.
 package service
 
 import (
@@ -186,10 +194,23 @@ type PushResult struct {
 	Delta float64 `json:"delta,omitempty"`
 }
 
+// Stream residency states, as reported by StreamInfo.State and the
+// /streams admin endpoint.
+const (
+	// StreamStateResident: detector state in memory, worker running.
+	StreamStateResident = "resident"
+	// StreamStateHibernated: state journaled to disk and dropped from
+	// memory; the next push or report rehydrates it transparently.
+	StreamStateHibernated = "hibernated"
+)
+
 // StreamInfo is one stream's status snapshot.
 type StreamInfo struct {
 	ID     string       `json:"id"`
 	Config StreamConfig `json:"config"`
+	// State is "resident" or "hibernated". For a hibernated stream the
+	// counters below are the values captured at hibernation.
+	State string `json:"state,omitempty"`
 	// Ingested counts accepted snapshots; Processed those scored so
 	// far; Rejected those bounced off the full queue with 429.
 	Ingested  int64 `json:"ingested"`
@@ -205,6 +226,24 @@ type StreamInfo struct {
 	Delta float64 `json:"delta"`
 	// LastError is the most recent Push failure, if any ("" otherwise).
 	LastError string `json:"last_error,omitempty"`
+}
+
+// AdminStreamInfo is one stream's memory-governance view, served by
+// the read-only GET /streams admin endpoint: residency state, the
+// ledger's estimated resident bytes (for a hibernated stream, the last
+// figure before its state was dropped), the wall-clock time of the
+// newest accepted snapshot, and the arrival index.
+type AdminStreamInfo struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "resident" or "hibernated"
+	// ResidentBytes is the estimated detector footprint (graph, oracle,
+	// solver scratch, history, δ-cache) from the budget ledger.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// LastPush is the RFC 3339 time of the newest accepted snapshot;
+	// empty when the stream has never been pushed.
+	LastPush string `json:"last_push,omitempty"`
+	// Ingested is the arrival index: the number of accepted snapshots.
+	Ingested int64 `json:"ingested"`
 }
 
 // apiError is the uniform error body.

@@ -1,0 +1,21 @@
+package sparse
+
+// Slice-element sizes used by the resident-footprint estimators across
+// the numeric packages. The estimates feed the memory-governance
+// ledger (internal/budget): they walk slice capacities — the backing
+// arrays a value keeps live — plus small fixed struct overheads, and
+// deliberately ignore allocator rounding.
+const (
+	wordBytes   = 8 // int, float64, pointer
+	sliceHeader = 24
+)
+
+// SizeBytes estimates the resident heap footprint of the matrix:
+// three backing arrays plus headers. Nil matrices are free.
+func (m *CSR) SizeBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	words := cap(m.RowPtr) + cap(m.ColIdx) + cap(m.Val)
+	return int64(words)*wordBytes + 3*sliceHeader + 2*wordBytes
+}
