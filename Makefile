@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke
 
 tier1: vet build test
 
@@ -31,6 +31,7 @@ bench:
 	$(GO) run ./cmd/cadbench -exp stream -benchout BENCH_stream.json
 	$(GO) run ./cmd/cadbench -exp block -benchout BENCH_block.json
 	$(GO) run ./cmd/cadbench -exp hibernate -benchout BENCH_hibernate.json
+	$(GO) run ./cmd/cadbench -exp incremental -n 5000 -benchout BENCH_incremental.json
 
 # One-iteration compile-and-run of every benchmark plus a small-size
 # run of the block experiment: catches bit-rotted benchmark code
@@ -38,6 +39,14 @@ bench:
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/cadbench -exp block -sizes 300
+
+# Incremental-updates smoke: a small run of the warm-vs-Woodbury push
+# benchmark plus the incremental path's differential test suite — the
+# oracle-agreement, fallback and verify-skip pins in commute/core and
+# the end-to-end streaming variant in service. CI runs this.
+incremental-smoke:
+	$(GO) run ./cmd/cadbench -exp incremental -n 1000
+	$(GO) test -race -run 'TestIncremental|TestOnlineIncremental|TestWoodbury|TestIncidence' -count=1 ./internal/solver ./internal/commute ./internal/core ./internal/service
 
 # End-to-end check of the tracing pipeline: run cadrun over the toy
 # dataset with -trace-out and validate the Chrome trace_event document

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cadbench -exp table1|table2|fig2|fig3|fig4|fig5|fig6|verbatim|scale|
-//	              stream|block|hibernate|ablation|distance|enron|dblp|precip|all [flags]
+//	              stream|block|incremental|hibernate|ablation|distance|enron|dblp|precip|all [flags]
 //
 // The quantitative experiments accept -n, -trials, -k and -seed so you
 // can trade fidelity against runtime; the defaults are sized to finish
@@ -19,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"runtime/pprof"
 
 	"dyngraph/internal/asciiplot"
 	"dyngraph/internal/datagen"
@@ -48,7 +50,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, hibernate, ablation, distance, enron, dblp, precip, or all")
+		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, incremental, hibernate, ablation, distance, enron, dblp, precip, or all")
 		n        = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
 		trials   = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
 		k        = fs.Int("k", 50, "commute-embedding dimension")
@@ -58,11 +60,28 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
 		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
 		streams  = fs.Int("streams", 0, "stream count for -exp hibernate (0 = the experiment default of 1000)")
-		benchout = fs.String("benchout", "", "write -exp stream/block/hibernate results as JSON to this file (e.g. BENCH_stream.json)")
-		traceOut = fs.String("trace-out", "", "write -exp stream per-push pipeline traces to this file as Chrome trace_event JSON")
+		benchout = fs.String("benchout", "", "write -exp stream/block/incremental/hibernate results as JSON to this file (e.g. BENCH_stream.json)")
+		traceOut = fs.String("trace-out", "", "write -exp stream/incremental per-push pipeline traces to this file as Chrome trace_event JSON")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "cadbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "cadbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	ids := []string{*exp}
@@ -239,6 +258,27 @@ func run(id string, cfg benchConfig) error {
 		}
 		if scfg.Tracer != nil {
 			if err := writeTraceOut(cfg, scfg.Tracer); err != nil {
+				return err
+			}
+		}
+		return writeBenchout(cfg, res.WriteJSON)
+	case "incremental":
+		icfg := experiments.IncrementalConfig{K: 12, Seed: seed}
+		if cfg.n != 500 { // flag changed from its default
+			icfg.N = cfg.n
+		}
+		if cfg.traceOut != "" {
+			icfg.Tracer = obs.NewTracer(4096)
+		}
+		res, err := experiments.Incremental(icfg)
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Fprint(cfg.out); err != nil {
+			return err
+		}
+		if icfg.Tracer != nil {
+			if err := writeTraceOut(cfg, icfg.Tracer); err != nil {
 				return err
 			}
 		}

@@ -61,6 +61,7 @@ import (
 	"dyngraph/internal/graph"
 	"dyngraph/internal/obs"
 	"dyngraph/internal/service"
+	"dyngraph/internal/solver"
 )
 
 // Graph is an immutable weighted undirected graph over a fixed vertex
@@ -144,16 +145,41 @@ type Options struct {
 	// instance's — the incremental fast path for sparse streams of
 	// small edits. Off by default.
 	SharedProjections bool
+	// IncrementalUpdates lets the streaming detector skip the solver
+	// entirely when consecutive instances differ by only a few edges:
+	// the embedding is corrected by a low-rank (Woodbury) update of the
+	// previous one, with the warm-started solve as automatic fallback
+	// whenever the edit is too large or not low-rank-correctable.
+	// Requires SharedProjections; ignored by the batch Detector.
+	IncrementalUpdates bool
+	// IncrementalMaxEdits overrides the incremental path's edit budget
+	// (default: K/4 edited edges per transition).
+	IncrementalMaxEdits int
+	// SparsifyTargetNNZ, when positive, caps each streamed instance at
+	// roughly this many Laplacian non-zeros (≈ 2× the edge count) by
+	// effective-resistance edge sampling before the solver runs —
+	// trading a bounded distance-approximation error for solve time on
+	// dense snapshots. The first instance is never sparsified.
+	SparsifyTargetNNZ int
+	// SolverTol is the embedding solver's relative residual target
+	// (0 = the solver default of 1e-8). Looser serving tolerances
+	// (typically 1e-5) are what give the incremental path's residual
+	// certificate the headroom to skip verification solves.
+	SolverTol float64
 }
 
 // commuteConfig maps the public options onto the internal embedding
 // configuration (shared by the batch and streaming constructors).
 func (o Options) commuteConfig() commute.Config {
 	return commute.Config{
-		K:                 o.K,
-		Seed:              o.Seed,
-		Workers:           o.Workers,
-		SharedProjections: o.SharedProjections,
+		K:                   o.K,
+		Seed:                o.Seed,
+		Workers:             o.Workers,
+		SharedProjections:   o.SharedProjections,
+		IncrementalUpdates:  o.IncrementalUpdates,
+		IncrementalMaxEdits: o.IncrementalMaxEdits,
+		SparsifyTargetNNZ:   o.SparsifyTargetNNZ,
+		Solver:              solver.Options{Tol: o.SolverTol},
 	}
 }
 

@@ -129,6 +129,27 @@ type Config struct {
 	// Workers ≈ CPU cores for n in the tens of thousands and leave it
 	// at 1 for small ones.
 	Workers int
+	// IncrementalUpdates enables the low-rank (Woodbury) update path in
+	// NewEmbeddingIncremental: when consecutive snapshots differ by at
+	// most IncrementalMaxEdits edges and the component structure is
+	// unchanged, the embedding block is corrected directly — one base
+	// solve per edited edge plus O(n·k) dense work — instead of
+	// re-running blocked PCG, with the warm path as automatic fallback.
+	// Requires SharedProjections (the correction's ΔY = B·S identity is
+	// the common-random-numbers property). Off by default.
+	IncrementalUpdates bool
+	// IncrementalMaxEdits is the edit budget above which the
+	// incremental path hands over to warm-started PCG (each edit costs
+	// one base solve, so large diffs are cheaper as one blocked solve).
+	// Zero means the default max(1, K/4), the measured crossover.
+	IncrementalMaxEdits int
+	// SparsifyTargetNNZ, when positive, caps each snapshot's stored
+	// adjacency entries by effective-resistance (Spielman–Srivastava)
+	// sampling before the solver sees it, using the resistances the
+	// previous embedding already yields (see graph.SparsifyResistance).
+	// The first build of a stream is never sparsified — it has no
+	// resistance estimates yet. Zero (the default) disables the cap.
+	SparsifyTargetNNZ int
 }
 
 func (c Config) k() int {
@@ -143,6 +164,25 @@ func (c Config) workers() int {
 		return 1
 	}
 	return c.Workers
+}
+
+// retainRHS reports whether builds should keep the assembled
+// right-hand-side block for the low-rank update path.
+func (c Config) retainRHS() bool {
+	return c.IncrementalUpdates && c.SharedProjections
+}
+
+// incrementalMaxEdits is the edit budget for the low-rank path: each
+// edited edge costs one single-RHS base solve, so past roughly a
+// quarter of the block width one warm blocked solve is cheaper.
+func (c Config) incrementalMaxEdits() int {
+	if c.IncrementalMaxEdits > 0 {
+		return c.IncrementalMaxEdits
+	}
+	if m := c.k() / 4; m > 1 {
+		return m
+	}
+	return 1
 }
 
 // embedKey fingerprints the configuration an embedding was built with,
@@ -180,6 +220,27 @@ type BuildStats struct {
 	// PrecondReused is true when the solver's preconditioner setup was
 	// shared or patched from the previous snapshot instead of rebuilt.
 	PrecondReused bool
+	// Mode is the build path taken: "cold" (no reusable previous
+	// embedding), "warm" (blocked PCG warm-started from the previous
+	// solution block) or "incremental" (low-rank Woodbury correction,
+	// verified on the new operator). The incremental mode also reports
+	// Warm=true: its verification solve is a warm-started block solve.
+	Mode string
+	// BaseSolves is the number of incidence-column base solves the
+	// incremental path performed — one per edited edge; zero for the
+	// other modes.
+	BaseSolves int
+	// VerifySkipped is true when the incremental path's residual
+	// certificate proved the corrected block already met tolerance, so
+	// the verification solve (and its operator pass) was skipped. The
+	// skip is bit-identical to running the verification: the bound
+	// certifies the converged-guess early exit would have returned the
+	// block unchanged.
+	VerifySkipped bool
+	// SparsifiedEdges is the number of edges the pre-solver
+	// effective-resistance cap removed from this snapshot (0 when
+	// sparsification is off or the snapshot was within the target).
+	SparsifiedEdges int
 }
 
 // Embedding is the approximate commute-time oracle. Vertex i's
@@ -199,6 +260,26 @@ type Embedding struct {
 	lap   *solver.Laplacian
 	key   embedKey
 	stats BuildStats
+
+	// y is the n×k right-hand-side block this embedding solved, kept
+	// only when Config.IncrementalUpdates is on: the Woodbury path
+	// patches it in O(edits·k) instead of re-hashing every edge, and
+	// its verification solve needs the full block. Nil otherwise.
+	y []float64
+
+	// Per-column residual certificates, kept alongside y for the
+	// incremental path. resBound[c] is a proven upper bound on the
+	// absolute residual ‖P y_c − L z_c‖₂ of column c against THIS
+	// embedding's operator; normB[c] is a lower bound on ‖P y_c‖₂. A
+	// fresh build records the measured values; each Woodbury push grows
+	// resBound by the exact residual propagation Σ_e ‖r_e‖·|W_{e,c}|
+	// and shrinks normB by the RHS perturbation, and while
+	// resBound[c] ≤ tol·normB[c] still holds for every column the
+	// verification solve would provably return the corrected block
+	// bit-for-bit unchanged — so it is skipped. Nil when unknown
+	// (always verify).
+	resBound []float64
+	normB    []float64
 }
 
 // Stats reports the work this embedding's build performed.
@@ -247,7 +328,7 @@ func NewEmbeddingFromTraced(g *graph.Graph, prev *Embedding, cfg Config, parent 
 // the block and per-row build paths; prev non-nil selects the
 // warm-started incremental path and must already be validated. parent
 // scopes the solver's preconditioner span (nil = untraced).
-func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) *Embedding {
+func newEmbeddingShell(g *graph.Graph, prev *Embedding, diff []graph.Key, cfg Config, parent *obs.Span) *Embedding {
 	n := g.N()
 	k := cfg.k()
 	emb := &Embedding{
@@ -258,12 +339,21 @@ func newEmbeddingShell(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.
 		g:      g,
 		key:    cfg.key(),
 	}
-	if prev != nil {
+	if prev != nil && diff != nil {
+		// The incremental path already diffed the snapshots; hand the
+		// support down so the solver's patched fast path skips its own
+		// DiffSupport walk.
+		emb.lap = solver.NewLaplacianFromDiffTraced(g, prev.g, prev.lap, diff, cfg.Solver, parent)
+	} else if prev != nil {
 		emb.lap = solver.NewLaplacianFromTraced(g, prev.g, prev.lap, cfg.Solver, parent)
 	} else {
 		emb.lap = solver.NewLaplacianTraced(g, cfg.Solver, parent)
 	}
-	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: emb.lap.ReusedPrecond()}
+	mode := "cold"
+	if prev != nil {
+		mode = "warm"
+	}
+	emb.stats = BuildStats{Rows: k, Warm: prev != nil, PrecondReused: emb.lap.ReusedPrecond(), Mode: mode}
 	return emb
 }
 
@@ -306,7 +396,7 @@ func projectionRHS(y []float64, stride, col, row int, edges []graph.Edge, cfg Co
 // ranges; the result is bit-identical for every value, and matches the
 // retained per-row reference path (buildEmbeddingPerRow) bit-for-bit.
 func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) (*Embedding, error) {
-	emb := newEmbeddingShell(g, prev, cfg, parent)
+	emb := newEmbeddingShell(g, prev, nil, cfg, parent)
 	n, k := emb.n, emb.k
 	edges := g.Edges()
 	scale := 1 / math.Sqrt(float64(k))
@@ -325,8 +415,18 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Spa
 	var err error
 	if prev != nil {
 		// Warm start every column from the previous snapshot's
-		// solution — prev.z already is the n×k guess block.
+		// solution — prev.z already is the n×k guess block. If the
+		// component structure changed (a bridge cut or re-joined), the
+		// guess is centered for the old labelling, and — because such
+		// edits can leave it an exact solution up to per-component
+		// constants — the converged-guess early exit would hand those
+		// stale means straight back; re-center it first. On unchanged
+		// structure the block is untouched, preserving the bit-identical
+		// warm-rebuild contract.
 		copy(emb.z, prev.z)
+		if !sameComponents(emb.lap, prev.lap) {
+			emb.lap.ProjectBlock(emb.z, k)
+		}
 		stats, err = emb.lap.SolveBlockFromTraced(emb.z, y, k, cfg.workers(), parent)
 	} else {
 		stats, err = emb.lap.SolveBlockTraced(emb.z, y, k, cfg.workers(), parent)
@@ -339,6 +439,15 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Spa
 	}
 	if err != nil {
 		return nil, fmt.Errorf("commute: embedding block solve: %w", err)
+	}
+	if cfg.retainRHS() {
+		emb.y = y
+		emb.resBound = make([]float64, k)
+		emb.normB = make([]float64, k)
+		for c, st := range stats {
+			emb.resBound[c] = st.Residual * st.NormB
+			emb.normB[c] = st.NormB
+		}
 	}
 	return emb, nil
 }
@@ -363,7 +472,7 @@ func NewEmbeddingPerRowFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embed
 // production one, and the differential tests compare against this loop
 // with zero instrumentation in the way.
 func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
-	emb := newEmbeddingShell(g, prev, cfg, nil)
+	emb := newEmbeddingShell(g, prev, nil, cfg, nil)
 	n, k := emb.n, emb.k
 	lap := emb.lap
 	edges := g.Edges()
@@ -372,6 +481,8 @@ func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embeddi
 	if workers > k {
 		workers = k
 	}
+	// Mirror the block path's re-centering rule (see buildEmbedding).
+	recenter := prev != nil && !sameComponents(lap, prev.lap)
 
 	// solveRow assembles row's right-hand side, solves L x = y into the
 	// reusable scratch x, and scatters the solution into the
@@ -386,6 +497,9 @@ func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embeddi
 			// row's (slightly different) system.
 			for i := 0; i < n; i++ {
 				x[i] = prev.z[i*k+row]
+			}
+			if recenter {
+				lap.Project(x)
 			}
 			st, err = lap.SolveFromInto(x, y)
 		} else {
@@ -451,6 +565,23 @@ func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embeddi
 	return emb, nil
 }
 
+// sameComponents reports whether two solvers carry the identical
+// component labelling (both come from the same deterministic DFS, so
+// equal structure means equal labels).
+func sameComponents(a, b *solver.Laplacian) bool {
+	ca, na := a.Components()
+	cb, nb := b.Components()
+	if na != nb || len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // edgeSign derives a deterministic Rademacher ±1 for one (row, edge)
 // pair by hashing rather than by drawing from a sequential stream, so
 // an edge's projection coefficient does not depend on which other
@@ -491,6 +622,16 @@ func (e *Embedding) Distance(i, j int) float64 {
 		return 0
 	}
 	return e.volume * sparse.SquaredDistance(e.Vector(i), e.Vector(j))
+}
+
+// EffectiveResistance estimates r(i,j) = c(i,j)/V_G ≈ ‖z_i − z_j‖² —
+// the leverage-score input the spectral sparsifier samples by, already
+// paid for by the embedding's solves.
+func (e *Embedding) EffectiveResistance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return sparse.SquaredDistance(e.Vector(i), e.Vector(j))
 }
 
 // New returns the oracle the paper's experimental setup would pick:

@@ -12,13 +12,17 @@ func (e *Exact) SizeBytes() int64 {
 
 // SizeBytes estimates the resident heap footprint of the embedding for
 // the memory-governance ledger (internal/budget): the n×k coordinate
-// block plus the warm solver state retained for the next incremental
-// build. The source graph g is deliberately excluded — it is the same
-// snapshot the online detector retains as its previous instance, and
-// the detector's own estimator counts it once.
+// block, the retained right-hand-side block and the per-column residual
+// certificates (present only on IncrementalUpdates streams, where the
+// Woodbury path patches them instead of reassembling), plus the warm
+// solver state retained for the next incremental build. The source
+// graph g is deliberately excluded — it is the same snapshot the online
+// detector retains as its previous instance, and the detector's own
+// estimator counts it once.
 func (e *Embedding) SizeBytes() int64 {
 	if e == nil {
 		return 0
 	}
-	return int64(cap(e.z))*8 + 24 + e.lap.SizeBytes() + 96
+	return int64(cap(e.z))*8 + int64(cap(e.y))*8 +
+		int64(cap(e.resBound)+cap(e.normB))*8 + 48 + e.lap.SizeBytes() + 96
 }

@@ -66,6 +66,21 @@ type OracleStats struct {
 	// Warm is true when the embedding was rebuilt incrementally from
 	// the previous instance's (SharedProjections streams only).
 	Warm bool
+	// Mode is the build strategy the commute package chose: "cold",
+	// "warm" or "incremental" (the low-rank Woodbury correction that
+	// skips the solver entirely on small edits); "exact" for the
+	// small-n pseudoinverse oracle, "" when no oracle was built.
+	Mode string
+	// BaseSolves counts the per-edited-edge base solves the incremental
+	// path performed on the previous operator (0 on other modes).
+	BaseSolves int
+	// VerifySkipped is true when the incremental build's residual
+	// certificate proved the corrected block met tolerance and the
+	// verification solve was skipped (bit-identical to running it).
+	VerifySkipped bool
+	// SparsifiedEdges counts edges dropped by the effective-resistance
+	// pre-solver cap (Commute.SparsifyTargetNNZ) before this build.
+	SparsifiedEdges int
 	// PrecondReused is true when the solver preconditioner was shared
 	// or patched rather than rebuilt.
 	PrecondReused bool
@@ -140,15 +155,19 @@ func (o *OnlineDetector) buildOracle(g *graph.Graph, t int, prev commute.Oracle,
 	if !cfg.SharedProjections {
 		cfg.Seed = cfg.Seed*1000003 + int64(t)
 	}
-	oracle, err := commute.NewFromTraced(g, prev, cfg, o.cfg.ExactCutoff, sp)
+	oracle, err := commute.NewIncrementalFromTraced(g, prev, cfg, o.cfg.ExactCutoff, sp)
 	if err != nil {
 		return nil, OracleStats{}, err
 	}
-	st := OracleStats{Built: true, Kind: "exact"}
+	st := OracleStats{Built: true, Kind: "exact", Mode: "exact"}
 	if emb, ok := oracle.(*commute.Embedding); ok {
 		bs := emb.Stats()
 		st.Kind = "embedding"
 		st.Warm = bs.Warm
+		st.Mode = bs.Mode
+		st.BaseSolves = bs.BaseSolves
+		st.VerifySkipped = bs.VerifySkipped
+		st.SparsifiedEdges = bs.SparsifiedEdges
 		st.PrecondReused = bs.PrecondReused
 		st.PCGIterations = bs.PCGIterations
 		st.BlockIterations = bs.BlockIterations
@@ -238,10 +257,18 @@ func (o *OnlineDetector) PushTraced(g *graph.Graph, parent *obs.Span) (*Transiti
 			return nil, fmt.Errorf("core: oracle for instance %d: %w", o.t, err)
 		}
 		sp.SetString("kind", o.lastStats.Kind)
+		sp.SetString("mode", o.lastStats.Mode)
 		sp.SetBool("warm", o.lastStats.Warm)
 		sp.SetBool("precond_reused", o.lastStats.PrecondReused)
 		sp.SetInt("pcg_iterations", int64(o.lastStats.PCGIterations))
 		sp.SetInt("block_iterations", int64(o.lastStats.BlockIterations))
+		if o.lastStats.BaseSolves > 0 {
+			sp.SetInt("base_solves", int64(o.lastStats.BaseSolves))
+			sp.SetBool("verify_skipped", o.lastStats.VerifySkipped)
+		}
+		if o.lastStats.SparsifiedEdges > 0 {
+			sp.SetInt("sparsified_edges", int64(o.lastStats.SparsifiedEdges))
+		}
 		sp.End()
 	} else {
 		o.lastStats = OracleStats{}

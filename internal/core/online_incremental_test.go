@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyngraph/internal/graph"
+)
+
+// incrementalCfg is sharedCfg with the low-rank incremental path
+// switched on. K=24 gives the chooser an edit budget of 6 edges.
+func incrementalCfg() Config {
+	cfg := sharedCfg()
+	cfg.Commute.IncrementalUpdates = true
+	return cfg
+}
+
+// editSequence grows a random-edit stream: a fixed spanning path (so
+// connectivity never depends on the random chords) plus chords that
+// get reweighted, deleted and re-inserted a few edges at a time. Most
+// steps stay within the incremental edit budget; the steps listed in
+// bigSteps edit far more edges than the budget, forcing the warm
+// fallback.
+func editSequence(t *testing.T, n, steps int, bigSteps map[int]bool, seed int64) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.SetEdge(i, i+1, 1+rng.Float64())
+	}
+	type chord struct{ i, j int }
+	chords := make([]chord, 0, 3*n)
+	for e := 0; e < 3*n; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		b.SetEdge(i, j, 0.5+rng.Float64())
+		chords = append(chords, chord{i, j})
+	}
+	cur := b.MustBuild()
+
+	gs := []*graph.Graph{cur}
+	for s := 1; s < steps; s++ {
+		nb := graph.NewBuilder(n)
+		for _, e := range cur.Edges() {
+			nb.SetEdge(e.I, e.J, e.W)
+		}
+		edits := 1 + rng.Intn(3)
+		if bigSteps[s] {
+			edits = 25
+		}
+		for e := 0; e < edits; e++ {
+			c := chords[rng.Intn(len(chords))]
+			switch rng.Intn(3) {
+			case 0: // reweight (or re-insert, if currently absent)
+				nb.SetEdge(c.i, c.j, 0.5+rng.Float64())
+			case 1: // delete — the spanning path keeps the graph connected
+				nb.SetEdge(c.i, c.j, 0)
+			default: // nudge the weight without changing support
+				if w := cur.Weight(c.i, c.j); w > 0 {
+					nb.SetEdge(c.i, c.j, w*1.1)
+				} else {
+					nb.SetEdge(c.i, c.j, 0.7)
+				}
+			}
+		}
+		cur = nb.MustBuild()
+		gs = append(gs, cur)
+	}
+	return gs
+}
+
+// runOnline pushes every graph through a fresh detector and returns it
+// together with the multiset of oracle build modes observed.
+func runOnline(t *testing.T, cfg Config, l float64, gs []*graph.Graph) (*OnlineDetector, map[string]int) {
+	t.Helper()
+	o := NewOnline(cfg, l)
+	modes := map[string]int{}
+	for i, g := range gs {
+		if _, err := o.Push(g); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		modes[o.LastOracleStats().Mode]++
+	}
+	return o, modes
+}
+
+// A random edit stream scored by the incremental detector must produce
+// the same report as the plain warm detector — same anomalous node
+// sets, same score supports, scores within solver tolerance — while
+// actually exercising all three build modes (cold first build,
+// incremental small edits, warm fallback on oversized edits).
+func TestOnlineIncrementalMatchesWarmReport(t *testing.T) {
+	gs := editSequence(t, 120, 10, map[int]bool{5: true}, 11)
+	l := 3.0
+
+	inc, incModes := runOnline(t, incrementalCfg(), l, gs)
+	warm, warmModes := runOnline(t, sharedCfg(), l, gs)
+
+	if incModes["cold"] != 1 {
+		t.Fatalf("incremental stream cold builds = %d, want exactly the first push (modes %v)", incModes["cold"], incModes)
+	}
+	if incModes["incremental"] == 0 {
+		t.Fatalf("no push took the incremental path: modes %v", incModes)
+	}
+	if incModes["warm"] == 0 {
+		t.Fatalf("the oversized edit did not fall back to warm: modes %v", incModes)
+	}
+	if warmModes["incremental"] != 0 {
+		t.Fatalf("plain shared-projections stream took the incremental path: modes %v", warmModes)
+	}
+
+	if d := math.Abs(inc.Delta() - warm.Delta()); d > 1e-5*(1+warm.Delta()) {
+		t.Fatalf("δ diverged: incremental %g, warm %g", inc.Delta(), warm.Delta())
+	}
+
+	incRep, warmRep := inc.Report(), warm.Report()
+	if len(incRep.Transitions) != len(warmRep.Transitions) {
+		t.Fatalf("transition counts differ: %d vs %d", len(incRep.Transitions), len(warmRep.Transitions))
+	}
+	for i := range warmRep.Transitions {
+		if !reflect.DeepEqual(incRep.Transitions[i].Nodes, warmRep.Transitions[i].Nodes) {
+			t.Fatalf("transition %d nodes differ: %v vs %v",
+				i, incRep.Transitions[i].Nodes, warmRep.Transitions[i].Nodes)
+		}
+	}
+
+	// Score supports are identical (both streams score the same changed
+	// edges); values agree at solver tolerance. Compare by edge identity
+	// rather than rank — tolerance-equal chains may order near-ties
+	// differently.
+	scale := gs[0].Volume()
+	incTrs, warmTrs := inc.Transitions(), warm.Transitions()
+	for i := range warmTrs {
+		is, ws := incTrs[i].Scores, warmTrs[i].Scores
+		if len(is) != len(ws) {
+			t.Fatalf("transition %d: score supports differ: %d vs %d", i, len(is), len(ws))
+		}
+		byEdge := make(map[[2]int]float64, len(is))
+		for _, s := range is {
+			byEdge[[2]int{s.I, s.J}] = s.Score
+		}
+		for _, s := range ws {
+			got, ok := byEdge[[2]int{s.I, s.J}]
+			if !ok {
+				t.Fatalf("transition %d: edge (%d,%d) scored by warm but not incremental", i, s.I, s.J)
+			}
+			if math.Abs(got-s.Score) > 1e-5*scale {
+				t.Fatalf("transition %d edge (%d,%d): incremental %g, warm %g", i, s.I, s.J, got, s.Score)
+			}
+		}
+		if d := math.Abs(incTrs[i].Total - warmTrs[i].Total); d > 1e-5*scale {
+			t.Fatalf("transition %d: totals diverged: %g vs %g", i, incTrs[i].Total, warmTrs[i].Total)
+		}
+	}
+}
+
+// An unchanged snapshot must stay on the free warm path even with the
+// incremental chooser enabled: an empty diff is not an edit, and the
+// rebuild remains bit-identical (zero iterations, zero scores).
+func TestOnlineIncrementalUnchangedGraphStaysFree(t *testing.T) {
+	gs := editSequence(t, 80, 1, nil, 5)
+	o := NewOnline(incrementalCfg(), 2)
+	for push := 0; push < 3; push++ {
+		rep, err := o.Push(gs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := o.LastOracleStats()
+		if push == 0 {
+			continue
+		}
+		if st.Mode != "warm" || st.PCGIterations != 0 {
+			t.Fatalf("push %d: unchanged-graph rebuild mode=%q iters=%d, want free warm", push, st.Mode, st.PCGIterations)
+		}
+		if len(rep.Edges) != 0 {
+			t.Fatalf("push %d: identical graphs scored %d anomalous edges", push, len(rep.Edges))
+		}
+	}
+}
+
+// The incremental path's stats must be visible through OracleStats:
+// mode "incremental", one base solve per edited edge, and a PCG bill
+// far below the warm fallback's for the same edit.
+func TestOnlineIncrementalStatsSurfaceBaseSolves(t *testing.T) {
+	gs := editSequence(t, 120, 2, nil, 17)
+	edits := len(graph.DiffSupport(gs[0], gs[1]))
+	if edits == 0 || edits > 6 {
+		t.Fatalf("test sequence edit count %d outside the incremental budget", edits)
+	}
+
+	inc, _ := runOnline(t, incrementalCfg(), 2, gs)
+	st := inc.LastOracleStats()
+	if st.Mode != "incremental" {
+		t.Fatalf("mode = %q, want incremental (stats %+v)", st.Mode, st)
+	}
+	if st.BaseSolves != edits {
+		t.Fatalf("BaseSolves = %d, want one per edited edge (%d)", st.BaseSolves, edits)
+	}
+	if !st.Warm {
+		t.Fatal("incremental builds must also report Warm for the coarse counters")
+	}
+
+	warm, _ := runOnline(t, sharedCfg(), 2, gs)
+	wst := warm.LastOracleStats()
+	if wst.BaseSolves != 0 {
+		t.Fatalf("warm build reports %d base solves", wst.BaseSolves)
+	}
+	if st.BlockIterations >= wst.BlockIterations && wst.BlockIterations > 0 {
+		t.Errorf("incremental verification used %d block iterations vs warm's %d — the correction bought nothing",
+			st.BlockIterations, wst.BlockIterations)
+	}
+}

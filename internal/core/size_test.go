@@ -90,3 +90,30 @@ func TestSizeBytesEmbeddingCountsSolverState(t *testing.T) {
 		t.Fatalf("embedding-mode SizeBytes = %d, want >= 1KiB", got)
 	}
 }
+
+// TestSizeBytesCountsRetainedRHS: an IncrementalUpdates stream retains
+// the n×k right-hand-side block for the Woodbury path; the ledger must
+// see those extra bytes relative to an otherwise identical stream.
+func TestSizeBytesCountsRetainedRHS(t *testing.T) {
+	run := func(incremental bool) int64 {
+		det := NewOnline(Config{
+			Variant: VariantCAD, ExactCutoff: 1,
+			Commute: commute.Config{
+				K: 8, Seed: 7,
+				SharedProjections:  true,
+				IncrementalUpdates: incremental,
+			},
+		}, 2)
+		for _, g := range sizeTestSeq(t, 3) {
+			if _, err := det.Push(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return det.SizeBytes()
+	}
+	withRHS, without := run(true), run(false)
+	// n=10 × k=8 retained right-hand sides = 640 bytes.
+	if withRHS-without < 640 {
+		t.Fatalf("retained RHS not in the estimate: incremental %dB vs plain %dB", withRHS, without)
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
+	"dyngraph/internal/solver"
+)
+
+// IncrementalConfig shapes the incremental-vs-warm benchmark: the cost
+// of one streaming Push when the embedding is corrected by the
+// low-rank Woodbury path versus rebuilt by warm-started PCG, swept
+// over the number of edges edited between consecutive snapshots. The
+// single-edge cell is the headline: one base solve plus O(n·k) dense
+// work against k warm block solves.
+type IncrementalConfig struct {
+	// N is the vertex count (default 5000, the scalability study's
+	// middle tier).
+	N int `json:"n"`
+	// EditSizes is the list of per-transition edited-edge counts to
+	// sweep (default 1, 4, 16, 64).
+	EditSizes []int `json:"edit_sizes"`
+	// Pushes is the number of timed pushes per (edits, mode) cell; one
+	// untimed cold push precedes them. Zero selects 10.
+	Pushes int `json:"pushes"`
+	// K is the embedding dimension. Zero selects 12.
+	K int `json:"k"`
+	// Tol is the PCG relative-residual target (default 1e-5, the
+	// serving tolerance — see StreamConfig.Tol).
+	Tol float64 `json:"tol"`
+	// Seed drives the base graph and the edit stream.
+	Seed int64 `json:"seed"`
+	// Tracer, when set, retains a pipeline trace of every timed push.
+	Tracer *obs.Tracer `json:"-"`
+}
+
+func (c IncrementalConfig) withDefaults() IncrementalConfig {
+	if c.N <= 0 {
+		c.N = 5000
+	}
+	if len(c.EditSizes) == 0 {
+		c.EditSizes = []int{1, 4, 16, 64}
+	}
+	if c.Pushes <= 0 {
+		c.Pushes = 10
+	}
+	if c.K <= 0 {
+		c.K = 12
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-5
+	}
+	if c.Seed == 0 {
+		c.Seed = 71
+	}
+	return c
+}
+
+// IncrementalCell is one (edit size, mode) measurement, averaged over
+// the timed pushes.
+type IncrementalCell struct {
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	Edits int    `json:"edits"`
+	Mode  string `json:"mode"` // "warm" or "incremental"
+	// NsPerPush is the mean wall-clock nanoseconds per Push.
+	NsPerPush float64 `json:"ns_per_push"`
+	// PCGItersPerPush is the mean total PCG iteration count per push —
+	// for the incremental mode this includes the per-edited-edge base
+	// solves and the verification pass.
+	PCGItersPerPush float64 `json:"pcg_iters_per_push"`
+	// BlockItersPerPush is the mean blocked-solve iteration count
+	// (matrix traversals of the new operator) per push; 0 means every
+	// timed push verified the corrected block in a single residual pass.
+	BlockItersPerPush float64 `json:"block_iters_per_push"`
+	// BaseSolvesPerPush is the mean per-edited-edge base-solve count
+	// (incremental mode only).
+	BaseSolvesPerPush float64 `json:"base_solves_per_push"`
+	// IncrementalPushes counts how many timed pushes actually took the
+	// Woodbury path (the rest fell back to warm).
+	IncrementalPushes int `json:"incremental_pushes"`
+}
+
+// IncrementalResult holds the sweep plus the configuration that
+// produced it.
+type IncrementalResult struct {
+	Config IncrementalConfig `json:"config"`
+	Cells  []IncrementalCell `json:"results"`
+}
+
+// incrementalSnapshots builds the stream benchmark's graph family — a
+// spanning path plus ~2n random chords — as a chain in which each
+// snapshot applies exactly `edits` ±10% reweights of distinct edges to
+// its predecessor (streamSnapshots edits relative to the base graph,
+// which would double the consecutive diff). Reweights keep the support
+// fixed, so every transition is low-rank-correctable and the sweep
+// isolates the edit-size axis.
+func incrementalSnapshots(cfg IncrementalConfig, edits, count int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	base := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		base.AddEdge(perm[i-1], perm[i], 1)
+	}
+	for k := 0; k < 2*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			base.SetEdge(i, j, 0.5+rng.Float64())
+		}
+	}
+	cur := base.MustBuild()
+	out := []*graph.Graph{cur}
+	for v := 1; v < count; v++ {
+		edgesNow := cur.Edges()
+		b := graph.NewBuilder(n)
+		for _, e := range edgesNow {
+			b.SetEdge(e.I, e.J, e.W)
+		}
+		for _, ei := range rng.Perm(len(edgesNow))[:edits] {
+			e := edgesNow[ei]
+			b.SetEdge(e.I, e.J, e.W*(0.9+0.2*rng.Float64()))
+		}
+		cur = b.MustBuild()
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Incremental measures the streaming hot path with the Woodbury
+// correction (IncrementalUpdates, edit budget opened to the largest
+// swept size) against plain warm-started rebuilds, per edit size.
+func Incremental(cfg IncrementalConfig) (*IncrementalResult, error) {
+	cfg = cfg.withDefaults()
+	maxEdits := 0
+	for _, e := range cfg.EditSizes {
+		if e > maxEdits {
+			maxEdits = e
+		}
+	}
+	res := &IncrementalResult{Config: cfg}
+	for _, edits := range cfg.EditSizes {
+		snaps := incrementalSnapshots(cfg, edits, cfg.Pushes+1)
+		for _, mode := range []string{"warm", "incremental"} {
+			ccfg := commute.Config{
+				K:                 cfg.K,
+				Seed:              cfg.Seed,
+				Solver:            solver.Options{Tol: cfg.Tol},
+				SharedProjections: true,
+			}
+			if mode == "incremental" {
+				ccfg.IncrementalUpdates = true
+				ccfg.IncrementalMaxEdits = maxEdits
+			}
+			det := core.NewOnline(core.Config{Commute: ccfg, ExactCutoff: 1}, 5)
+			det.SetMaxHistory(32)
+			det.SetTracer(cfg.Tracer)
+			if _, err := det.Push(snaps[0]); err != nil {
+				return nil, fmt.Errorf("incremental edits=%d %s: %w", edits, mode, err)
+			}
+			var iters, blkIters, baseSolves, incPushes int
+			start := time.Now()
+			for p := 0; p < cfg.Pushes; p++ {
+				if _, err := det.Push(snaps[p+1]); err != nil {
+					return nil, fmt.Errorf("incremental edits=%d %s push %d: %w", edits, mode, p, err)
+				}
+				st := det.LastOracleStats()
+				iters += st.PCGIterations
+				blkIters += st.BlockIterations
+				baseSolves += st.BaseSolves
+				if st.Mode == "incremental" {
+					incPushes++
+				}
+			}
+			elapsed := time.Since(start)
+			res.Cells = append(res.Cells, IncrementalCell{
+				N:                 cfg.N,
+				M:                 snaps[0].NumEdges(),
+				Edits:             edits,
+				Mode:              mode,
+				NsPerPush:         float64(elapsed.Nanoseconds()) / float64(cfg.Pushes),
+				PCGItersPerPush:   float64(iters) / float64(cfg.Pushes),
+				BlockItersPerPush: float64(blkIters) / float64(cfg.Pushes),
+				BaseSolvesPerPush: float64(baseSolves) / float64(cfg.Pushes),
+				IncrementalPushes: incPushes,
+			})
+		}
+	}
+	return res, nil
+}
+
+// cell finds the (edits, mode) measurement.
+func (r *IncrementalResult) cell(edits int, mode string) *IncrementalCell {
+	for i := range r.Cells {
+		if r.Cells[i].Edits == edits && r.Cells[i].Mode == mode {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep with per-edit-size incremental/warm speedups.
+func (r *IncrementalResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("incremental (Woodbury) vs warm-PCG embedding rebuilds (n=%d, k=%d, tol=%g)",
+			r.Config.N, r.Config.K, r.Config.Tol),
+		Header: []string{"edits", "mode", "ms/push", "pcg-iters/push", "block-iters/push", "base solves", "speedup"},
+	}
+	for _, edits := range r.Config.EditSizes {
+		warm := r.cell(edits, "warm")
+		for _, mode := range []string{"warm", "incremental"} {
+			c := r.cell(edits, mode)
+			if c == nil {
+				continue
+			}
+			speedup := "—"
+			if mode == "incremental" && warm != nil && c.NsPerPush > 0 {
+				speedup = fmt.Sprintf("%.1f×", warm.NsPerPush/c.NsPerPush)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", c.Edits),
+				c.Mode,
+				fmt.Sprintf("%.2f", c.NsPerPush/1e6),
+				fmt.Sprintf("%.1f", c.PCGItersPerPush),
+				fmt.Sprintf("%.1f", c.BlockItersPerPush),
+				fmt.Sprintf("%.1f", c.BaseSolvesPerPush),
+				speedup,
+			})
+		}
+	}
+	return t
+}
+
+// WriteJSON emits the machine-readable benchmark record (the
+// BENCH_incremental.json artifact).
+func (r *IncrementalResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string            `json:"experiment"`
+		Config     IncrementalConfig `json:"config"`
+		Results    []IncrementalCell `json:"results"`
+	}{Experiment: "incremental", Config: r.Config, Results: r.Cells})
+}

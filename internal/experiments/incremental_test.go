@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestIncrementalExperimentShape runs a small instance of the
+// warm-vs-Woodbury push benchmark end to end and checks the record is
+// complete: a warm and an incremental cell per edit size, the
+// single-edge sweep actually taking the low-rank path (one base solve
+// per push, every push incremental), and a well-formed JSON artifact.
+func TestIncrementalExperimentShape(t *testing.T) {
+	cfg := IncrementalConfig{N: 400, EditSizes: []int{1, 4}, Pushes: 3, K: 12, Seed: 5}
+	res, err := Incremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2*len(cfg.EditSizes) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), 2*len(cfg.EditSizes))
+	}
+	for _, edits := range cfg.EditSizes {
+		warm, inc := res.cell(edits, "warm"), res.cell(edits, "incremental")
+		if warm == nil || inc == nil {
+			t.Fatalf("missing cell pair for edits=%d", edits)
+		}
+		if warm.NsPerPush <= 0 || inc.NsPerPush <= 0 {
+			t.Fatalf("edits=%d: non-positive push latency: warm %f, inc %f", edits, warm.NsPerPush, inc.NsPerPush)
+		}
+		if warm.IncrementalPushes != 0 {
+			t.Fatalf("edits=%d: warm sweep reports %d incremental pushes", edits, warm.IncrementalPushes)
+		}
+		if inc.IncrementalPushes != cfg.Pushes {
+			t.Fatalf("edits=%d: %d/%d pushes took the incremental path", edits, inc.IncrementalPushes, cfg.Pushes)
+		}
+		if want := float64(edits); inc.BaseSolvesPerPush != want {
+			t.Fatalf("edits=%d: %f base solves per push, want %f", edits, inc.BaseSolvesPerPush, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Experiment string            `json:"experiment"`
+		Results    []IncrementalCell `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "incremental" || len(rec.Results) != len(res.Cells) {
+		t.Fatalf("JSON record %+v does not match the result", rec)
+	}
+}

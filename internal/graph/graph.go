@@ -12,7 +12,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"dyngraph/internal/dense"
 	"dyngraph/internal/sparse"
@@ -307,31 +306,37 @@ func DiffSupport(g, h *Graph) []Key {
 	if g.N() != h.N() {
 		panic("graph: DiffSupport on graphs with different vertex sets")
 	}
-	seen := make(map[Key]struct{})
-	collect := func(a, b *Graph) {
-		for i := 0; i < a.N(); i++ {
-			idx, w := a.Neighbors(i)
-			for k, j := range idx {
-				if j <= i {
-					continue
+	// Both adjacency rows are column-sorted (the Edges contract), so a
+	// single synchronized merge over the upper triangles finds every
+	// differing pair in O(nnz) with the output already in (I, J) order —
+	// no per-entry weight lookups, no map, no sort. This runs on every
+	// streaming push (build-strategy choice, solver patching, scoring),
+	// so the linear walk matters.
+	var out []Key
+	for i := 0; i < g.n; i++ {
+		gi, gw := g.Neighbors(i)
+		hi, hw := h.Neighbors(i)
+		p, q := 0, 0
+		for p < len(gi) || q < len(hi) {
+			switch {
+			case q == len(hi) || (p < len(gi) && gi[p] < hi[q]):
+				if gi[p] > i {
+					out = append(out, Key{I: i, J: gi[p]})
 				}
-				if w[k] != b.Weight(i, j) {
-					seen[Key{I: i, J: j}] = struct{}{}
+				p++
+			case p == len(gi) || hi[q] < gi[p]:
+				if hi[q] > i {
+					out = append(out, Key{I: i, J: hi[q]})
 				}
+				q++
+			default:
+				if gw[p] != hw[q] && gi[p] > i {
+					out = append(out, Key{I: i, J: gi[p]})
+				}
+				p++
+				q++
 			}
 		}
 	}
-	collect(g, h)
-	collect(h, g)
-	out := make([]Key, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].I != out[b].I {
-			return out[a].I < out[b].I
-		}
-		return out[a].J < out[b].J
-	})
 	return out
 }

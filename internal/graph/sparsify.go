@@ -1,0 +1,121 @@
+package graph
+
+import "math"
+
+// Effective-resistance spectral sparsification (Spielman–Srivastava):
+// sample each edge with probability proportional to its leverage score
+// w_e·r_e (weight times effective resistance) and reweight survivors
+// by 1/p_e, so the sparsifier's Laplacian quadratic form — and with it
+// every commute distance the detector scores — is preserved in
+// expectation. The resistances come from the caller: the commute
+// embedding already approximates r_ij ≈ ‖z_i − z_j‖²/vol(G) as a
+// byproduct, so capping a dense snapshot costs one pass over its
+// edges, no extra solves.
+//
+// Two departures from textbook SS keep the sampling stream-friendly:
+//
+//   - Inclusion is decided by a deterministic per-edge hash of
+//     (seed, i, j) — common random numbers, like the embedding's shared
+//     projection streams — so the same edge draws the same uniform in
+//     every snapshot and the sparsifier's edge set is stable under
+//     small weight drift instead of resampling from scratch.
+//   - Probabilities are quantized up to the next power of two, so a
+//     leverage score has to roughly double or halve before an edge's
+//     inclusion threshold moves at all. Together these make
+//     consecutive sparsifiers differ only where the graphs really
+//     differ, which is exactly what the incremental update path and
+//     the warm-start ladder above it need.
+
+// SparsifyResult reports what a SparsifyResistance call did.
+type SparsifyResult struct {
+	// Dropped is the number of edges removed (0 when the graph was
+	// already within the target and returned unmodified).
+	Dropped int
+	// Kept is the number of edges in the returned graph.
+	Kept int
+}
+
+// SparsifyResistance returns a spectral sparsifier of g with roughly
+// targetNNZ stored adjacency entries (2 per undirected edge, matching
+// the nnz the solver sees), or g itself when it is already within the
+// target. resistance(i, j) estimates the effective resistance of a
+// present edge; estimates are clamped into (0, 1/w_e], the range real
+// resistances live in. The sampling is fully deterministic in seed.
+func SparsifyResistance(g *Graph, targetNNZ int, seed int64, resistance func(i, j int) float64) (*Graph, SparsifyResult) {
+	m := g.NumEdges()
+	if targetNNZ <= 0 || 2*m <= targetNNZ || resistance == nil {
+		return g, SparsifyResult{Kept: m}
+	}
+	edges := g.Edges()
+
+	// Leverage scores w_e·r_e, clamped into (0, 1]: a real effective
+	// resistance never exceeds 1/w_e (series with the rest of the
+	// graph), and a small floor keeps a noisy near-zero estimate from
+	// making an edge unpickable forever.
+	const levFloor = 1e-9
+	lev := make([]float64, len(edges))
+	var total float64
+	for i, e := range edges {
+		r := resistance(e.I, e.J)
+		if !(r > 0) || math.IsNaN(r) {
+			r = 0
+		}
+		l := e.W * r
+		if l > 1 {
+			l = 1
+		}
+		if l < levFloor {
+			l = levFloor
+		}
+		lev[i] = l
+		total += l
+	}
+
+	target := float64(targetNNZ) / 2
+	b := NewBuilder(g.N())
+	if labels := g.Labels(); labels != nil {
+		b.SetLabels(labels)
+	}
+	var res SparsifyResult
+	for i, e := range edges {
+		p := quantizeProb(target * lev[i] / total)
+		if p >= 1 || edgeUniform(seed, e.I, e.J) < p {
+			b.SetEdge(e.I, e.J, e.W/p)
+			res.Kept++
+		} else {
+			res.Dropped++
+		}
+	}
+	return b.MustBuild(), res
+}
+
+// quantizeProb rounds p up to the next power of two, capped at 1.
+func quantizeProb(p float64) float64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 || math.IsNaN(p) {
+		return math.Ldexp(1, -40) // effectively never sampled
+	}
+	frac, exp := math.Frexp(p) // p = frac·2^exp, frac ∈ [0.5, 1)
+	if frac == 0.5 {
+		return p // already a power of two
+	}
+	return math.Ldexp(1, exp)
+}
+
+// edgeUniform maps (seed, i, j) to a uniform in [0, 1) with a
+// splitmix64 finalizer — the edge's personal coin flip, identical in
+// every snapshot that uses the same seed.
+func edgeUniform(seed int64, i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)<<32 + uint64(j)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func completeGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j, 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// In K_n with unit weights every edge has effective resistance 2/n.
+func completeResistance(n int) func(i, j int) float64 {
+	return func(i, j int) float64 { return 2 / float64(n) }
+}
+
+func TestSparsifyUnderTargetReturnsSameGraph(t *testing.T) {
+	g := completeGraph(10) // 45 edges, 90 nnz
+	out, res := SparsifyResistance(g, 1000, 1, completeResistance(10))
+	if out != g {
+		t.Fatal("graph under the nnz target was rebuilt, want identity")
+	}
+	if res.Dropped != 0 || res.Kept != 45 {
+		t.Fatalf("identity result = %+v, want 0 dropped / 45 kept", res)
+	}
+	if out2, _ := SparsifyResistance(g, 0, 1, completeResistance(10)); out2 != g {
+		t.Fatal("target 0 must disable sparsification")
+	}
+	if out3, _ := SparsifyResistance(g, 10, 1, nil); out3 != g {
+		t.Fatal("nil resistance must disable sparsification")
+	}
+}
+
+func TestSparsifyDeterministic(t *testing.T) {
+	g := completeGraph(40)
+	a, ra := SparsifyResistance(g, 400, 7, completeResistance(40))
+	b, rb := SparsifyResistance(g, 400, 7, completeResistance(40))
+	if ra != rb {
+		t.Fatalf("results differ: %+v vs %+v", ra, rb)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestSparsifyCutsDenseGraphTowardTarget(t *testing.T) {
+	const n = 40
+	g := completeGraph(n) // 780 edges
+	out, res := SparsifyResistance(g, 400, 3, completeResistance(n))
+	if res.Kept+res.Dropped != 780 {
+		t.Fatalf("kept %d + dropped %d != 780", res.Kept, res.Dropped)
+	}
+	if out.NumEdges() != res.Kept {
+		t.Fatalf("result reports %d kept, graph has %d", res.Kept, out.NumEdges())
+	}
+	// Uniform leverage 2/n sums to n−1, so p = 200·(2/n)/(n−1) ≈ 0.256,
+	// quantized up to 1/2: expect ≈ 390 survivors, well under the 780
+	// we started from but at least the 200-edge target.
+	if res.Kept >= 600 || res.Kept < 200 {
+		t.Fatalf("kept %d edges, want a real cut (200..599)", res.Kept)
+	}
+	// Survivors are reweighted by 1/p = 2 so the Laplacian is preserved
+	// in expectation.
+	for _, e := range out.Edges() {
+		if e.W != 2 {
+			t.Fatalf("edge %+v not reweighted by 1/p", e)
+		}
+	}
+	// The quadratic form of a centered test vector should survive the
+	// cut to within sampling noise (deterministic given the seed).
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, n)
+	var mean float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		mean += x[i]
+	}
+	mean /= n
+	for i := range x {
+		x[i] -= mean
+	}
+	quad := func(g *Graph) float64 {
+		var s float64
+		for _, e := range g.Edges() {
+			d := x[e.I] - x[e.J]
+			s += e.W * d * d
+		}
+		return s
+	}
+	full, sp := quad(g), quad(out)
+	if rel := math.Abs(sp-full) / full; rel > 0.3 {
+		t.Fatalf("quadratic form drifted %.0f%% (full %g, sparsified %g)", 100*rel, full, sp)
+	}
+}
+
+// Common random numbers: a small reweight of one edge must not change
+// any other edge's inclusion decision — the property that keeps
+// consecutive sparsifiers aligned for the warm-start ladder.
+func TestSparsifyStableUnderWeightDrift(t *testing.T) {
+	const n = 40
+	g := completeGraph(n)
+	b := NewBuilder(n)
+	for _, e := range g.Edges() {
+		b.SetEdge(e.I, e.J, e.W)
+	}
+	b.SetEdge(0, 1, 1.01) // 1% drift
+	g2 := b.MustBuild()
+
+	r := completeResistance(n)
+	a, _ := SparsifyResistance(g, 400, 5, r)
+	c, _ := SparsifyResistance(g2, 400, 5, r)
+	in := func(g *Graph, i, j int) bool { return g.Weight(i, j) != 0 }
+	for _, e := range g.Edges() {
+		if e.I == 0 && e.J == 1 {
+			continue
+		}
+		if in(a, e.I, e.J) != in(c, e.I, e.J) {
+			t.Fatalf("edge (%d,%d) flipped inclusion under unrelated drift", e.I, e.J)
+		}
+	}
+}
+
+func TestQuantizeProb(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{1, 1},
+		{2.5, 1},
+		{0.5, 0.5},
+		{0.25, 0.25},
+		{0.3, 0.5},
+		{0.26, 0.5},
+		{0.24, 0.25},
+		{0.0001, 1.0 / 8192},
+	} {
+		if got := quantizeProb(tc.in); got != tc.want {
+			t.Fatalf("quantizeProb(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	if got := quantizeProb(0); got <= 0 || got > 1e-10 {
+		t.Fatalf("quantizeProb(0) = %g, want a tiny positive value", got)
+	}
+}
+
+func TestEdgeUniformRange(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		for j := i + 1; j < 50; j += 7 {
+			u := edgeUniform(42, i, j)
+			if u < 0 || u >= 1 {
+				t.Fatalf("edgeUniform(42,%d,%d) = %g out of [0,1)", i, j, u)
+			}
+			if edgeUniform(42, j, i) != u {
+				t.Fatalf("edgeUniform not symmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -70,10 +70,13 @@ func onlineConfig(cfg StreamConfig) core.Config {
 	return core.Config{
 		Variant: variant,
 		Commute: commute.Config{
-			K:                 cfg.K,
-			Seed:              cfg.Seed,
-			Workers:           cfg.Workers,
-			SharedProjections: cfg.SharedProjections,
+			K:                   cfg.K,
+			Seed:                cfg.Seed,
+			Workers:             cfg.Workers,
+			SharedProjections:   cfg.SharedProjections,
+			IncrementalUpdates:  cfg.IncrementalUpdates,
+			IncrementalMaxEdits: cfg.IncrementalMaxEdits,
+			SparsifyTargetNNZ:   cfg.SparsifyTargetNNZ,
 		},
 		ExactCutoff: cfg.ExactCutoff,
 	}

@@ -239,9 +239,14 @@ func (s *stream) run() {
 			s.logger.Error("push failed", "instance", j.instance, "request_id", j.requestID, "err", err)
 		}
 		if ost.Built {
-			mode := "cold"
-			if ost.Warm {
-				mode = "warm"
+			mode := ost.Mode
+			if mode == "" {
+				// Older detector states may predate the mode field;
+				// reconstruct the coarse warm/cold split.
+				mode = "cold"
+				if ost.Warm {
+					mode = "warm"
+				}
 			}
 			s.metrics.add("cadd_oracle_builds_total", labels("stream", s.id, "mode", mode), 1)
 			if ost.Kind == "embedding" {
@@ -252,6 +257,9 @@ func (s *stream) run() {
 				s.metrics.add("cadd_pcg_iterations_total", labels("stream", s.id), float64(ost.PCGIterations))
 				s.metrics.add("cadd_pcg_block_iterations_total", labels("stream", s.id), float64(ost.BlockIterations))
 				s.metrics.add("cadd_pcg_cold_estimate_total", labels("stream", s.id), float64(ost.ColdEstimateIterations))
+				if ost.SparsifiedEdges > 0 {
+					s.metrics.add("cadd_sparsified_edges_total", labels("stream", s.id), float64(ost.SparsifiedEdges))
+				}
 			}
 		}
 		if j.done != nil {

@@ -41,6 +41,7 @@ import (
 	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/solver"
 )
 
 // StreamConfig configures a detection stream at creation time. The
@@ -68,6 +69,26 @@ type StreamConfig struct {
 	// sparse streams of small edits. Off by default, matching the
 	// paper's independent per-instance projections.
 	SharedProjections bool `json:"shared_projections,omitempty"`
+	// IncrementalUpdates lets an embedding rebuild skip the solver
+	// entirely when consecutive snapshots differ by only a few edges,
+	// applying a low-rank (Woodbury) correction to the previous
+	// embedding instead; the warm path remains the automatic fallback.
+	// Requires SharedProjections.
+	IncrementalUpdates bool `json:"incremental_updates,omitempty"`
+	// IncrementalMaxEdits overrides the incremental path's edit budget
+	// (default: k/4 edited edges).
+	IncrementalMaxEdits int `json:"incremental_max_edits,omitempty"`
+	// SparsifyTargetNNZ, when positive, caps each snapshot at roughly
+	// this many Laplacian non-zeros (≈ 2× the edge count) by
+	// effective-resistance edge sampling before the solver runs. The
+	// first snapshot is never sparsified (no resistance estimates yet).
+	SparsifyTargetNNZ int `json:"sparsify_target_nnz,omitempty"`
+	// SolverTol is the embedding solver's relative residual target
+	// (0 = the solver default of 1e-8). Streams whose scores tolerate
+	// it typically serve at 1e-5; a looser tolerance also gives the
+	// incremental path's residual certificate the headroom it spends
+	// to skip verification solves.
+	SolverTol float64 `json:"solver_tol,omitempty"`
 	// QueueSize bounds the ingest queue; snapshots beyond it are
 	// rejected with HTTP 429 (0 = server default).
 	QueueSize int `json:"queue_size,omitempty"`
@@ -113,10 +134,14 @@ func (c StreamConfig) coreConfig() (core.Config, error) {
 	return core.Config{
 		Variant: variant,
 		Commute: commute.Config{
-			K:                 c.K,
-			Seed:              c.Seed,
-			Workers:           c.Workers,
-			SharedProjections: c.SharedProjections,
+			K:                   c.K,
+			Seed:                c.Seed,
+			Workers:             c.Workers,
+			SharedProjections:   c.SharedProjections,
+			IncrementalUpdates:  c.IncrementalUpdates,
+			IncrementalMaxEdits: c.IncrementalMaxEdits,
+			SparsifyTargetNNZ:   c.SparsifyTargetNNZ,
+			Solver:              solver.Options{Tol: c.SolverTol},
 		},
 		ExactCutoff: c.ExactCutoff,
 	}, nil

@@ -56,6 +56,31 @@ func (s *Laplacian) blockScratchFor(k int) *blockScratch {
 	return bs
 }
 
+// adoptBlockScratch transfers prev's blocked-solve iteration state to
+// s — an ownership handoff for the streaming reuse paths, where the
+// previous snapshot's solver runs no further blocked solves and the
+// n×k scratch is the dominant per-push allocation. Every scratch array
+// is (re)initialized by solveBlock before it is read, so stale
+// contents are harmless. prev stays valid and simply re-allocates
+// lazily if it does solve again.
+func (s *Laplacian) adoptBlockScratch(prev *Laplacian) {
+	bs := prev.blk
+	if bs == nil || s.n != prev.n {
+		return
+	}
+	if (s.tree != nil) != (bs.s1 != nil) {
+		return
+	}
+	if len(bs.csum) != len(s.size)*bs.k {
+		return
+	}
+	if s.tree != nil && len(bs.tsum) != len(s.tree.compSize)*bs.k {
+		return
+	}
+	prev.blk = nil
+	s.blk = bs
+}
+
 // SolveBlock solves the k systems L·X[:,c] = B[:,c] simultaneously,
 // where x and b are row-major n×k blocks (entry (i, c) at x[i*k+c] —
 // the commute embedding's storage layout). The minimum-norm solution
@@ -115,6 +140,9 @@ func (s *Laplacian) solveBlock(x, b []float64, k, workers int, warm bool) ([]Sta
 	}
 	s.projectBlock(r, k, active, bs)
 	sparse.ColNorms2(normB, r, k, active)
+	for _, c := range active {
+		stats[c].NormB = normB[c]
+	}
 	still := active[:0]
 	for _, c := range active {
 		if normB[c] == 0 {
@@ -141,7 +169,7 @@ func (s *Laplacian) solveBlock(x, b []float64, k, workers int, warm bool) ([]Sta
 			still = active[:0]
 			for _, c := range active {
 				if rr := res[c] / normB[c]; rr <= tol {
-					stats[c] = Stats{Residual: rr}
+					stats[c].Residual = rr
 					continue
 				}
 				still = append(still, c)
@@ -459,6 +487,20 @@ func (s *Laplacian) projectCol(x []float64, k, c int) {
 	}
 	for v, comp := range s.comp {
 		x[v*k+c] -= sums[comp]
+	}
+}
+
+// ProjectBlock removes each component's mean from every column of the
+// row-major n×k block x — the minimum-norm normalization for this
+// solver's component structure. Exposed for callers recycling solution
+// blocks across snapshots whose component structure changed: a guess
+// centered for the old labelling must be re-centered before the
+// converged-guess early exit may return it as-is (think bridge
+// deletions, where the old block solves the new system exactly up to
+// per-component constants).
+func (s *Laplacian) ProjectBlock(x []float64, k int) {
+	for c := 0; c < k; c++ {
+		s.projectCol(x, k, c)
 	}
 }
 

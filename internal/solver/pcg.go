@@ -77,6 +77,12 @@ func (o Options) tol() float64 {
 	return o.Tol
 }
 
+// Tolerance is the effective relative residual target: Tol, or the
+// default when Tol is unset. Exported so callers carrying residual
+// bounds across incremental updates test against the same number the
+// solver itself enforces.
+func (o Options) Tolerance() float64 { return o.tol() }
+
 func (o Options) maxIter(n int) int {
 	if o.MaxIter <= 0 {
 		return 10*n + 100
@@ -88,6 +94,11 @@ func (o Options) maxIter(n int) int {
 type Stats struct {
 	Iterations int
 	Residual   float64 // final relative residual
+	// NormB is ‖P b‖₂ — the denominator the relative residual is
+	// measured against. Residual·NormB is the absolute residual, which
+	// the incremental embedding path carries across pushes to decide
+	// when a corrected block provably still meets tolerance.
+	NormB float64
 }
 
 // ErrNoConvergence is returned when PCG exhausts MaxIter without
@@ -175,18 +186,23 @@ func NewLaplacian(g *graph.Graph, opt Options) *Laplacian {
 //
 //   - If no edge weight changed, the whole setup (matrix, component
 //     labelling, preconditioner) is shared.
-//   - Tree preconditioner: the previous max-weight spanning forest is
-//     kept — with patched edge weights — as long as no forest edge was
-//     deleted and no new edge bridges two forest components. Both
-//     conditions together also pin the component structure, so the
-//     null-space projection carries over. The patched forest may no
-//     longer be the maximum-weight one, which degrades convergence
-//     gracefully (a few extra PCG iterations) but never correctness:
-//     any spanning forest of the graph's components is a valid SPD
-//     preconditioner on range(L).
-//   - Jacobi: the degree diagonal is O(n+m) to rebuild — cheaper than
-//     proving the component structure unchanged — so only the no-change
-//     case is reused.
+//   - Pure reweights (every edited pair carries an edge in both
+//     graphs): the support — and with it the component structure, the
+//     null-space projection and the Laplacian's CSR sparsity pattern —
+//     is untouched, so the matrix is patched value-by-value on a
+//     shared-structure clone (no COO assembly, no sort, no DFS) and
+//     the preconditioner is updated in place: the Jacobi diagonal at
+//     the edited endpoints, the spanning forest's weight array for
+//     forest edges.
+//   - Tree preconditioner under inserts/deletes: the previous
+//     max-weight spanning forest is kept — with patched edge weights —
+//     as long as no forest edge was deleted and no new edge bridges
+//     two forest components. Both conditions together also pin the
+//     component structure, so the null-space projection carries over.
+//     The patched forest may no longer be the maximum-weight one,
+//     which degrades convergence gracefully (a few extra PCG
+//     iterations) but never correctness: any spanning forest of the
+//     graph's components is a valid SPD preconditioner on range(L).
 //
 // Anything else falls back to a cold NewLaplacian build. ReusedPrecond
 // reports which path was taken.
@@ -194,17 +210,37 @@ func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Lapl
 	if prev == nil || prevG == nil || prev.n != g.N() {
 		return NewLaplacian(g, opt)
 	}
+	if resolvePrecond(g, opt) != prev.precond {
+		return NewLaplacian(g, opt)
+	}
+	return NewLaplacianFromDiff(g, prevG, prev, graph.DiffSupport(prevG, g), opt)
+}
+
+// NewLaplacianFromDiff is NewLaplacianFrom for callers that already
+// hold DiffSupport(prevG, g) — the streaming incremental path diffs
+// consecutive snapshots to pick its build strategy and threads the
+// result here, so the edit support is walked once per push instead of
+// once per layer. diff must be exactly DiffSupport(prevG, g).
+func NewLaplacianFromDiff(g, prevG *graph.Graph, prev *Laplacian, diff []graph.Key, opt Options) *Laplacian {
+	if prev == nil || prevG == nil || prev.n != g.N() {
+		return NewLaplacian(g, opt)
+	}
 	precond := resolvePrecond(g, opt)
 	if precond != prev.precond {
 		return NewLaplacian(g, opt)
 	}
-	diff := graph.DiffSupport(prevG, g)
 	if len(diff) == 0 {
 		cl := prev.Clone()
 		cl.opt = opt
 		cl.reused = true
 		cl.reuseKind = "shared"
+		cl.adoptBlockScratch(prev)
 		return cl
+	}
+	if supportUnchanged(g, prevG, diff) {
+		if s := prev.patchedVals(g, prevG, diff, opt); s != nil {
+			return s
+		}
 	}
 	if precond != PrecondTree {
 		return NewLaplacian(g, opt)
@@ -225,6 +261,81 @@ func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Lapl
 		opt:       opt,
 	}
 	s.allocScratch()
+	s.adoptBlockScratch(prev)
+	return s
+}
+
+// supportUnchanged reports whether every differing pair carries a
+// non-zero edge in both graphs — a pure-reweight edit, which leaves the
+// sparsity pattern and the component structure untouched.
+func supportUnchanged(g, prevG *graph.Graph, diff []graph.Key) bool {
+	for _, k := range diff {
+		if g.Weight(k.I, k.J) == 0 || prevG.Weight(k.I, k.J) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// patchedVals builds the solver for g by patching prev's Laplacian
+// values in place on a shared-structure CSR clone — the pure-reweight
+// fast path. The component labelling is shared outright (reweights
+// cannot change it) and the preconditioner is updated at the edited
+// entries only. Patched entries are written from g's weights and
+// degrees directly — never accumulated as ±Δw, which rounds twice —
+// so the patched matrix is bit-identical to a fresh assembly and a
+// solve on it follows the exact trajectory a cold build would. (The
+// batch-vs-streaming equality tests lean on this: near-tied scores
+// keep their sort order only when the two paths solve bit-equal
+// systems.) Returns nil when the sparsity pattern surprises (a diff
+// entry without a stored slot), sending the caller to a cold build.
+func (prev *Laplacian) patchedVals(g, prevG *graph.Graph, diff []graph.Key, opt Options) *Laplacian {
+	l := prev.l.CloneVals()
+	deg := g.Degrees()
+	for _, k := range diff {
+		w := g.Weight(k.I, k.J)
+		ij, ji := l.FindEntry(k.I, k.J), l.FindEntry(k.J, k.I)
+		ii, jj := l.FindEntry(k.I, k.I), l.FindEntry(k.J, k.J)
+		if ij < 0 || ji < 0 || ii < 0 || jj < 0 {
+			return nil
+		}
+		l.Val[ij] = -w // off-diagonal is −w
+		l.Val[ji] = -w
+		l.Val[ii] = deg[k.I] // diagonal is the weighted degree
+		l.Val[jj] = deg[k.J]
+	}
+	s := &Laplacian{
+		n:         prev.n,
+		l:         l,
+		comp:      prev.comp,
+		size:      prev.size,
+		precond:   prev.precond,
+		reused:    true,
+		reuseKind: "patched",
+		opt:       opt,
+	}
+	switch prev.precond {
+	case PrecondJacobi:
+		inv := append([]float64(nil), prev.invDiag...)
+		for _, k := range diff {
+			for _, v := range [2]int{k.I, k.J} {
+				if deg[v] > 0 {
+					inv[v] = 1 / deg[v]
+				} else {
+					inv[v] = 0
+				}
+			}
+		}
+		s.invDiag = inv
+	case PrecondTree:
+		tree, ok := prev.tree.patched(g, diff)
+		if !ok {
+			return nil
+		}
+		s.tree = tree
+	}
+	s.allocScratch()
+	s.adoptBlockScratch(prev)
 	return s
 }
 
@@ -257,6 +368,16 @@ func (s *Laplacian) N() int { return s.n }
 // carried over (shared or patched) from a previous snapshot's by
 // NewLaplacianFrom instead of being built cold.
 func (s *Laplacian) ReusedPrecond() bool { return s.reused }
+
+// Project removes each component's mean from x in place — the
+// single-vector form of ProjectBlock, with bit-identical arithmetic to
+// one of its columns.
+func (s *Laplacian) Project(x []float64) {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("solver: Project dimension mismatch: len(x)=%d, n=%d", len(x), s.n))
+	}
+	s.project(x)
+}
 
 // project removes each component's mean from x in place, mapping it
 // into the range of L (the orthogonal complement of the null space).
@@ -360,7 +481,7 @@ func (s *Laplacian) solve(x, b []float64, warm bool) (Stats, error) {
 		sparse.Axpy(-1, s.q, s.r)
 		s.project(s.r)
 		if res := sparse.Norm2(s.r) / normB; res <= tol {
-			return Stats{Residual: res}, nil
+			return Stats{Residual: res, NormB: normB}, nil
 		}
 		// Center the guess now so every iterate — and therefore the
 		// returned solution — is the minimum-norm representative.
@@ -375,7 +496,7 @@ func (s *Laplacian) solve(x, b []float64, warm bool) (Stats, error) {
 	copy(s.p, s.z)
 	rz := sparse.Dot(s.r, s.z)
 
-	var st Stats
+	st := Stats{NormB: normB}
 	for it := 1; it <= maxIter; it++ {
 		s.l.MulVec(s.q, s.p)
 		pq := sparse.Dot(s.p, s.q)

@@ -39,6 +39,16 @@ func NewLaplacianFromTraced(g, prevG *graph.Graph, prev *Laplacian, opt Options,
 	return s
 }
 
+// NewLaplacianFromDiffTraced is NewLaplacianFromDiff with the same
+// precond span as NewLaplacianFromTraced.
+func NewLaplacianFromDiffTraced(g, prevG *graph.Graph, prev *Laplacian, diff []graph.Key, opt Options, parent *obs.Span) *Laplacian {
+	sp := parent.StartChild(PrecondSpanName)
+	s := NewLaplacianFromDiff(g, prevG, prev, diff, opt)
+	annotatePrecond(sp, s)
+	sp.End()
+	return s
+}
+
 func annotatePrecond(sp *obs.Span, s *Laplacian) {
 	if sp == nil {
 		return
@@ -71,6 +81,22 @@ func (s *Laplacian) SolveBlockFromTraced(x, b []float64, k, workers int, parent 
 	annotateSolve(sp, stats, k, true, err)
 	sp.End()
 	return stats, err
+}
+
+// SolveBlockFromTolTraced is SolveBlockFromTraced at an explicit
+// tolerance overriding the solver's configured one for this call only
+// (tol ≤ 0 means no override). The incremental embedding path uses it
+// to polish its verification solves below the serving tolerance: the
+// headroom between the polished residual and the serving target is
+// what its residual certificate spends to skip subsequent
+// verifications entirely.
+func (s *Laplacian) SolveBlockFromTolTraced(x, b []float64, k, workers int, tol float64, parent *obs.Span) ([]Stats, error) {
+	saved := s.opt
+	if tol > 0 {
+		s.opt.Tol = tol
+	}
+	defer func() { s.opt = saved }()
+	return s.SolveBlockFromTraced(x, b, k, workers, parent)
 }
 
 func annotateSolve(sp *obs.Span, stats []Stats, k int, warm bool, err error) {

@@ -162,6 +162,35 @@ func (m *CSR) MulVec(dst, x []float64) {
 	}
 }
 
+// CloneVals returns a CSR sharing this matrix's immutable structure
+// (RowPtr/ColIdx) with a private copy of the value array. This is the
+// cheap starting point for same-sparsity updates: a graph stream whose
+// consecutive Laplacians differ only in edge weights can patch the
+// value copy in place instead of re-running COO assembly and its sort.
+func (m *CSR) CloneVals() *CSR {
+	return &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: m.RowPtr,
+		ColIdx: m.ColIdx,
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+// FindEntry returns the storage index of entry (i, j), or -1 when the
+// entry is not stored. Binary search within the row, like At.
+func (m *CSR) FindEntry(i, j int) int {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: CSR.FindEntry index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return k
+	}
+	return -1
+}
+
 // Diag returns the main diagonal as a dense vector.
 func (m *CSR) Diag() []float64 {
 	n := m.Rows
