@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke cluster-smoke
 
 tier1: vet build test
 
@@ -32,6 +32,7 @@ bench:
 	$(GO) run ./cmd/cadbench -exp block -benchout BENCH_block.json
 	$(GO) run ./cmd/cadbench -exp hibernate -benchout BENCH_hibernate.json
 	$(GO) run ./cmd/cadbench -exp incremental -n 5000 -benchout BENCH_incremental.json
+	$(GO) run ./cmd/cadbench -exp cluster -n 5000 -benchout BENCH_cluster.json
 
 # One-iteration compile-and-run of every benchmark plus a small-size
 # run of the block experiment: catches bit-rotted benchmark code
@@ -70,6 +71,15 @@ fuzz-smoke:
 hibernate-smoke:
 	$(GO) run ./cmd/cadbench -exp hibernate -streams 100
 	$(GO) test -race -run 'TestHibernat|TestGovernor|TestCrashDuringHibernationChurn' -count=1 ./internal/service ./cmd/cadd
+
+# Cluster smoke: real cadd subprocesses — three ring nodes plus the
+# router replaying an Enron prefix byte-identically to a single node,
+# and a WAL-shipped standby promoted after a kill -9 — plus the
+# in-process cluster suite (ring pins, scatter merges, replication
+# byte-identity). CI runs this.
+cluster-smoke:
+	$(GO) test -race -run 'TestCluster' -count=1 ./cmd/cadd
+	$(GO) test -race -count=1 ./internal/cluster
 
 # The durability acceptance test: build the real cadd binary, kill -9
 # it mid-push, restart on the same -data-dir and require the recovered

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cadbench -exp table1|table2|fig2|fig3|fig4|fig5|fig6|verbatim|scale|
-//	              stream|block|incremental|hibernate|ablation|distance|enron|dblp|precip|all [flags]
+//	              stream|block|incremental|hibernate|cluster|ablation|distance|enron|dblp|precip|all [flags]
 //
 // The quantitative experiments accept -n, -trials, -k and -seed so you
 // can trade fidelity against runtime; the defaults are sized to finish
@@ -50,7 +50,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, incremental, hibernate, ablation, distance, enron, dblp, precip, or all")
+		exp      = fs.String("exp", "all", "experiment id: table1, table2, fig2, fig3, fig4, fig5, fig6, verbatim, scale, stream, block, incremental, hibernate, cluster, ablation, distance, enron, dblp, precip, or all")
 		n        = fs.Int("n", 500, "synthetic GMM size for fig5/fig6 (paper: 2000)")
 		trials   = fs.Int("trials", 10, "realizations to average for fig5/fig6 (paper: 100)")
 		k        = fs.Int("k", 50, "commute-embedding dimension")
@@ -59,8 +59,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		detail   = fs.Bool("detail", false, "print per-transition / per-year detail tables")
 		family   = fs.String("family", "uniform", "graph family for -exp scale: uniform, preferential or smallworld")
 		plot     = fs.Bool("plot", false, "render ASCII charts alongside the tables (fig6 ROC, enron timeline)")
-		streams  = fs.Int("streams", 0, "stream count for -exp hibernate (0 = the experiment default of 1000)")
-		benchout = fs.String("benchout", "", "write -exp stream/block/incremental/hibernate results as JSON to this file (e.g. BENCH_stream.json)")
+		streams  = fs.Int("streams", 0, "stream count for -exp hibernate/cluster (0 = the experiment default)")
+		benchout = fs.String("benchout", "", "write -exp stream/block/incremental/hibernate/cluster results as JSON to this file (e.g. BENCH_stream.json)")
 		traceOut = fs.String("trace-out", "", "write -exp stream/incremental per-push pipeline traces to this file as Chrome trace_event JSON")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	)
@@ -291,6 +291,17 @@ func run(id string, cfg benchConfig) error {
 			return err
 		}
 		if err := res.Table().Fprint(cfg.out); err != nil {
+			return err
+		}
+		return writeBenchout(cfg, res.WriteJSON)
+	case "cluster":
+		res, err := experiments.Cluster(experiments.ClusterConfig{
+			N: cfg.n, Streams: cfg.streams, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(cfg.out); err != nil {
 			return err
 		}
 		return writeBenchout(cfg, res.WriteJSON)

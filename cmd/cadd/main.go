@@ -10,6 +10,9 @@
 //	     [-log-format text|json] [-log-level info] [-trace-buffer 64]
 //	     [-data-dir /var/lib/cadd] [-fsync always|off] [-snapshot-every 64]
 //	     [-mem-budget 256MiB] [-hibernate-after 10m] [-min-resident 1]
+//	     [-cluster-peers a=http://h1:8470,b=http://h2:8470] [-node-id a]
+//	     [-replicate-to http://standby:8470] [-health-interval 2s]
+//	     [-route-redirect]
 //
 // API (all JSON; see internal/service for the wire types):
 //
@@ -66,6 +69,21 @@
 // /streams endpoint reports each stream's residency state and
 // estimated bytes. See docs/MEMORY.md.
 //
+// Cluster mode (see docs/CLUSTER.md): -cluster-peers names the static
+// member set as id=url pairs. With -node-id naming this process, cadd
+// runs as a cluster node — it serves the streams a shared consistent-
+// hash ring assigns it and proxies misrouted stream requests one hop
+// to their owner. With -cluster-peers but no -node-id, cadd runs as a
+// stateless router: stream-scoped calls forward to the owner (or
+// redirect with -route-redirect), cluster-wide reads (/v1/streams,
+// /streams, /v1/reports, /debug/traces, /metrics) scatter to every
+// healthy node and merge. -health-interval tunes the peer liveness
+// probe period. -replicate-to streams every journal artifact (WAL
+// frames, snapshots, configs) to a standby cadd's /v1/replica API so
+// a byte-identical warm copy is ready for promotion; it requires
+// -data-dir, and any durable cadd exposes the /v1/replica surface to
+// accept such shipments.
+//
 // -pprof serves the net/http/pprof profiling endpoints (/debug/pprof/)
 // on a dedicated listener, kept off the public API address so profiling
 // is never exposed by accident. It is off by default; pass e.g.
@@ -99,6 +117,7 @@ import (
 	"syscall"
 	"time"
 
+	"dyngraph/internal/cluster"
 	"dyngraph/internal/service"
 )
 
@@ -129,6 +148,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memBudget       = fs.String("mem-budget", "", "resident detector-state budget across streams, e.g. 256MiB (off when empty; needs -data-dir)")
 		hibernateAfter  = fs.Duration("hibernate-after", 0, "hibernate streams idle this long (off when 0; needs -data-dir)")
 		minResident     = fs.Int("min-resident", 1, "streams never hibernated by the governor")
+		clusterPeers    = fs.String("cluster-peers", "", "static cluster membership as id=url pairs, comma separated (off when empty)")
+		nodeID          = fs.String("node-id", "", "this process's id in -cluster-peers; with -cluster-peers but no -node-id, cadd runs as a stateless router")
+		replicateTo     = fs.String("replicate-to", "", "ship every journal artifact to this standby cadd's /v1/replica API (needs -data-dir)")
+		healthInterval  = fs.Duration("health-interval", 2*time.Second, "cluster peer liveness probe period")
+		routeRedirect   = fs.Bool("route-redirect", false, "router mode: answer stream calls with 307 to the owner instead of proxying")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -159,6 +183,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *nodeID != "" && *clusterPeers == "" {
+		fmt.Fprintln(stderr, "cadd: -node-id needs -cluster-peers")
+		return 2
+	}
+	if *replicateTo != "" && *dataDir == "" {
+		fmt.Fprintln(stderr, "cadd: -replicate-to needs -data-dir (replication ships the journal)")
+		return 2
+	}
+	if *clusterPeers != "" && *nodeID == "" {
+		// Router mode: no detector state at all, just placement,
+		// forwarding and scatter-gather over the peers.
+		return runRouter(ctx, stdout, stderr, logger, *addr, *clusterPeers, *healthInterval, *routeRedirect, *shutdownTimeout)
+	}
+
+	// Cluster-node plumbing, built before the server so its hooks can be
+	// wired into the service config.
+	var (
+		mem          *cluster.Membership
+		nodeProxy    *cluster.NodeProxy
+		replicator   *cluster.Replicator
+		extraMetrics []func(io.Writer)
+		replSink     service.ReplicationSink
+	)
+	if *replicateTo != "" {
+		replicator = cluster.NewReplicator(*replicateTo, nil, logger)
+		replSink = replicator
+		extraMetrics = append(extraMetrics, replicator.WriteMetrics)
+	}
+	if *clusterPeers != "" {
+		peers, err := cluster.ParsePeers(*clusterPeers)
+		if err != nil {
+			fmt.Fprintln(stderr, "cadd:", err)
+			return 2
+		}
+		mem, err = cluster.NewMembership(cluster.MembershipConfig{
+			Peers:          peers,
+			HealthInterval: *healthInterval,
+			Logger:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "cadd:", err)
+			return 2
+		}
+		nodeProxy, err = cluster.NewNodeProxy(*nodeID, mem, nil, logger)
+		if err != nil {
+			fmt.Fprintln(stderr, "cadd:", err)
+			return 2
+		}
+		extraMetrics = append(extraMetrics, mem.WriteMetrics, nodeProxy.WriteMetrics)
+	}
+
 	defaultTrace := *traceBuffer
 	if defaultTrace <= 0 {
 		defaultTrace = -1 // service: negative disables, 0 means default
@@ -174,6 +249,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MemBudgetBytes:     budgetBytes,
 		HibernateAfter:     *hibernateAfter,
 		MinResident:        *minResident,
+		NodeID:             *nodeID,
+		Replication:        replSink,
+		ExtraMetrics:       extraMetrics,
 	})
 	if *dataDir != "" {
 		// Recover journaled streams before the listener opens, so the
@@ -223,8 +301,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// Handler assembly, innermost out: the service API, the cluster
+	// ownership proxy around it, and the replica surface beside it (any
+	// durable cadd can accept WAL shipments and be promoted).
+	handler := srv.Handler()
+	if nodeProxy != nil {
+		handler = nodeProxy.Wrap(handler)
+	}
+	var replica *cluster.Replica
+	if *dataDir != "" {
+		replica, err = cluster.NewReplica(cluster.ReplicaConfig{
+			DataDir: *dataDir,
+			Promote: srv.RecoverStream,
+			Logger:  logger,
+		})
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "cadd:", err)
+			return 1
+		}
+		outer := http.NewServeMux()
+		outer.Handle("/v1/replica/", replica.Handler())
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	if mem != nil {
+		mem.Start()
+		logger.Info("cluster node up", "node_id", *nodeID, "peers", len(mem.Peers()),
+			"health_interval", healthInterval.String())
+	}
+	if replicator != nil {
+		logger.Info("replicating journal", "target", *replicateTo)
+	}
+
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -252,12 +363,87 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cadd:", err)
 		code = 1
 	}
+	if replicator != nil {
+		// Drain the replication queue after the streams drain, so the
+		// standby holds everything this process acknowledged.
+		if err := replicator.Flush(sctx); err != nil {
+			fmt.Fprintln(stderr, "cadd:", err)
+			code = 1
+		}
+		replicator.Close()
+	}
+	if mem != nil {
+		mem.Stop()
+	}
+	if replica != nil {
+		replica.Close()
+	}
 	if ps != nil {
 		// Best-effort: an aborted in-flight profile is not a failed drain.
 		if err := ps.Shutdown(sctx); err != nil {
 			fmt.Fprintln(stderr, "cadd: pprof shutdown:", err)
 		}
 	}
+	fmt.Fprintln(stdout, "cadd: bye")
+	return code
+}
+
+// runRouter serves the stateless cluster front door: same listen and
+// shutdown discipline as a node, none of the detector machinery.
+func runRouter(ctx context.Context, stdout, stderr io.Writer, logger *slog.Logger,
+	addr, clusterPeers string, healthInterval time.Duration, redirect bool,
+	shutdownTimeout time.Duration) int {
+	peers, err := cluster.ParsePeers(clusterPeers)
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 2
+	}
+	mem, err := cluster.NewMembership(cluster.MembershipConfig{
+		Peers:          peers,
+		HealthInterval: healthInterval,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 2
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Membership: mem,
+		Redirect:   redirect,
+		Logger:     logger,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 1
+	}
+	mem.Start()
+	fmt.Fprintf(stdout, "cadd: router listening on %s\n", ln.Addr())
+	logger.Info("router listening", "addr", ln.Addr().String(), "peers", len(peers),
+		"redirect", redirect, "health_interval", healthInterval.String())
+
+	hs := &http.Server{Handler: router.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "cadd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "cadd: router shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "cadd: http shutdown:", err)
+		code = 1
+	}
+	mem.Stop()
 	fmt.Fprintln(stdout, "cadd: bye")
 	return code
 }

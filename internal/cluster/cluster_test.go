@@ -1,0 +1,534 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dyngraph/internal/enron"
+	"dyngraph/internal/promtext"
+	"dyngraph/internal/service"
+)
+
+// testCluster is an in-process 3-node cluster plus router: real
+// service.Servers behind real HTTP listeners, one shared Membership
+// (each process runs its own in production; sharing changes nothing
+// the tests observe and keeps liveness deterministic).
+type testCluster struct {
+	ids     []string
+	mem     *Membership
+	servers map[string]*service.Server
+	nodes   map[string]*httptest.Server
+	proxies map[string]*NodeProxy
+	router  *httptest.Server
+}
+
+func newTestCluster(t *testing.T) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		ids:     []string{"cadd-a", "cadd-b", "cadd-c"},
+		servers: map[string]*service.Server{},
+		nodes:   map[string]*httptest.Server{},
+		proxies: map[string]*NodeProxy{},
+	}
+	// Listeners first (membership needs the URLs), handlers installed
+	// below once the membership exists.
+	handlers := map[string]http.Handler{}
+	peers := make([]Peer, 0, len(tc.ids))
+	for _, id := range tc.ids {
+		id := id
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := handlers[id]
+			if h == nil {
+				http.Error(w, "node not ready", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(hs.Close)
+		tc.nodes[id] = hs
+		peers = append(peers, Peer{ID: id, URL: hs.URL})
+	}
+	mem, err := NewMembership(MembershipConfig{Peers: peers, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.mem = mem
+	for _, id := range tc.ids {
+		np, err := NewNodeProxy(id, mem, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := service.New(service.Config{
+			NodeID:       id,
+			ExtraMetrics: []func(io.Writer){mem.WriteMetrics, np.WriteMetrics},
+		})
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		tc.servers[id] = srv
+		tc.proxies[id] = np
+		handlers[id] = np.Wrap(srv.Handler())
+	}
+	rt, err := NewRouter(RouterConfig{Membership: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = httptest.NewServer(rt.Handler())
+	t.Cleanup(tc.router.Close)
+	return tc
+}
+
+func getRaw(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestClusterRoutedEndToEnd drives the full scatter-gather surface
+// through the router: stream CRUD and pushes land on their ring
+// owners, cluster-wide reads merge every node's view, the merged
+// /metrics exposition is lint-clean, and a dead owner's streams route
+// to the agreed fallback.
+func TestClusterRoutedEndToEnd(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	cl := service.NewClient(tc.router.URL, nil)
+	data := enron.Generate(enron.Config{Months: 6, Seed: 1})
+
+	streams := []string{"enron-00", "enron-01", "enron-02", "enron-03", "enron-04", "enron-05"}
+	for _, id := range streams {
+		if err := cl.CreateStream(ctx, id, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+			t.Fatalf("create %s through router: %v", id, err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := cl.Push(ctx, id, data.Seq.At(i), true); err != nil {
+				t.Fatalf("push %s month %d: %v", id, i, err)
+			}
+		}
+	}
+
+	// Placement: each stream must live on exactly its ring owner.
+	ring := tc.mem.Ring()
+	for _, id := range streams {
+		owner := ring.Owner(id)
+		for node, srv := range tc.servers {
+			var has bool
+			for _, info := range srv.ListStreams() {
+				if info.ID == id {
+					has = true
+				}
+			}
+			if has != (node == owner) {
+				t.Errorf("stream %s: present on %s = %v, ring owner is %s", id, node, has, owner)
+			}
+		}
+	}
+
+	// Scatter-gather list: all streams, merged and sorted.
+	infos, err := cl.Streams(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(streams) {
+		t.Fatalf("router /v1/streams returned %d streams, want %d", len(infos), len(streams))
+	}
+	for i, info := range infos {
+		if info.ID != streams[i] {
+			t.Fatalf("merged stream list out of order: %v", infos)
+		}
+	}
+
+	// Bulk reports: disjoint union of every node's map.
+	reports, err := cl.Reports(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(streams) {
+		t.Fatalf("router /v1/reports returned %d entries, want %d", len(reports), len(streams))
+	}
+
+	// Per-stream report through the router is byte-identical to the
+	// owner's own serving.
+	for _, id := range streams {
+		path := "/v1/streams/" + id + "/report"
+		st1, _, viaRouter := getRaw(t, tc.router.URL+path)
+		st2, _, direct := getRaw(t, tc.nodes[ring.Owner(id)].URL+path)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("report %s: router status %d, direct status %d", id, st1, st2)
+		}
+		if !bytes.Equal(viaRouter, direct) {
+			t.Errorf("report %s: routed bytes differ from the owner's", id)
+		}
+	}
+
+	// Admin and trace fan-outs respond and merge.
+	if st, _, _ := getRaw(t, tc.router.URL+"/streams"); st != http.StatusOK {
+		t.Errorf("router /streams: status %d", st)
+	}
+	if st, _, _ := getRaw(t, tc.router.URL+"/debug/traces"); st != http.StatusOK {
+		t.Errorf("router /debug/traces: status %d", st)
+	}
+
+	// The merged exposition is valid Prometheus text and carries the
+	// per-node instance labels plus the router's own series.
+	st, _, metricsBody := getRaw(t, tc.router.URL+"/metrics")
+	if st != http.StatusOK {
+		t.Fatalf("router /metrics: status %d", st)
+	}
+	stats, err := promtext.Lint(string(metricsBody))
+	if err != nil {
+		t.Fatalf("merged /metrics fails lint: %v", err)
+	}
+	if stats.Samples == 0 || stats.HistogramSeries == 0 {
+		t.Fatalf("merged /metrics too empty: %+v", stats)
+	}
+	body := string(metricsBody)
+	for _, id := range tc.ids {
+		if !strings.Contains(body, fmt.Sprintf("instance=%q", id)) {
+			t.Errorf("merged /metrics has no samples for %s", id)
+		}
+	}
+	for _, series := range []string{"cadd_router_scatters_total", "cadd_router_forwards_total", "cadd_cluster_peer_up"} {
+		if _, ok := stats.Types[series]; !ok {
+			t.Errorf("merged /metrics missing %s", series)
+		}
+	}
+
+	// Failover routing: mark a stream's owner dead and the router and
+	// node proxies must agree on the ring-sequence fallback.
+	victim := streams[0]
+	seq := ring.Sequence(victim)
+	owner, fallback := seq[0], seq[1]
+	tc.mem.SetHealth(owner, false)
+	_, hdr, _ := getRaw(t, tc.router.URL+"/v1/streams/"+victim)
+	if got := hdr.Get(service.NodeHeader); got != fallback {
+		t.Errorf("with %s down, stream %s served by %q, want fallback %s", owner, victim, got, fallback)
+	}
+	tc.mem.SetHealth(owner, true)
+}
+
+// TestNodeProxyForwardsSingleHop: a stream request sent to the wrong
+// node is proxied exactly one hop to the owner; an already-forwarded
+// request is served where it lands.
+func TestNodeProxyForwardsSingleHop(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	const stream = "enron-00"
+	owner := tc.mem.Ring().Owner(stream)
+	if err := service.NewClient(tc.router.URL, nil).CreateStream(ctx, stream, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wrong string
+	for _, id := range tc.ids {
+		if id != owner {
+			wrong = id
+			break
+		}
+	}
+
+	// Misrouted request: served by the owner via one proxy hop.
+	st, hdr, _ := getRaw(t, tc.nodes[wrong].URL+"/v1/streams/"+stream)
+	if st != http.StatusOK {
+		t.Fatalf("misrouted GET: status %d", st)
+	}
+	if got := hdr.Get(service.NodeHeader); got != owner {
+		t.Errorf("misrouted GET served by %q, want owner %s", got, owner)
+	}
+
+	// Forwarded requests are terminal: no second hop even when the
+	// receiver disagrees about ownership.
+	req, _ := http.NewRequest(http.MethodGet, tc.nodes[wrong].URL+"/v1/streams/"+stream, nil)
+	req.Header.Set(ForwardedHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(service.NodeHeader); got != wrong {
+		t.Errorf("forwarded GET served by %q, want local node %s", got, wrong)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("forwarded GET for unowned stream: status %d, want 404", resp.StatusCode)
+	}
+
+	// The hop was counted.
+	var buf bytes.Buffer
+	tc.proxies[wrong].WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), fmt.Sprintf("cadd_cluster_forwards_total{peer=%q} 1", owner)) {
+		t.Errorf("forward not counted:\n%s", buf.String())
+	}
+}
+
+// TestReplicationByteIdenticalAndPromote is the warm-failover
+// acceptance check: a primary shipping its journal leaves the follower
+// with byte-identical files (config, WAL, compact snapshot), and after
+// the primary dies, promoting the replica yields a byte-identical
+// /report through the ordinary recovery path.
+func TestReplicationByteIdenticalAndPromote(t *testing.T) {
+	ctx := context.Background()
+	primaryDir, followerDir := t.TempDir(), t.TempDir()
+
+	// Follower: a durable node plus the replica surface.
+	follower := service.New(service.Config{DataDir: followerDir, NodeID: "cadd-b"})
+	defer follower.Shutdown(ctx)
+	replica, err := NewReplica(ReplicaConfig{DataDir: followerDir, Promote: follower.RecoverStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	fmux := http.NewServeMux()
+	fmux.Handle("/v1/replica/", replica.Handler())
+	fmux.Handle("/", follower.Handler())
+	fsrv := httptest.NewServer(fmux)
+	defer fsrv.Close()
+
+	// Primary ships every journal artifact to the follower.
+	repl := NewReplicator(fsrv.URL, nil, nil)
+	defer repl.Close()
+	primary := service.New(service.Config{
+		DataDir:       primaryDir,
+		NodeID:        "cadd-a",
+		SnapshotEvery: 4, // force a mid-stream compaction into the test
+		Replication:   repl,
+	})
+	psrv := httptest.NewServer(primary.Handler())
+	defer psrv.Close()
+
+	const stream = "enron-01"
+	pcl := service.NewClient(psrv.URL, nil)
+	if err := pcl.CreateStream(ctx, stream, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := enron.Generate(enron.Config{Months: 10, Seed: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := pcl.Push(ctx, stream, data.Seq.At(i), true); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	flushCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := repl.Flush(flushCtx); err != nil {
+		t.Fatal(err)
+	}
+	if repl.Lost(stream) {
+		t.Fatal("replication marked the stream lost")
+	}
+
+	// The replicated directory is byte-identical to the primary's.
+	pdir := filepath.Join(primaryDir, "streams", stream)
+	rdir := filepath.Join(followerDir, "replica", stream)
+	for _, name := range []string{"config.json", "wal.log", "snapshot.bin"} {
+		want, err := os.ReadFile(filepath.Join(pdir, name))
+		if err != nil {
+			t.Fatalf("primary %s: %v", name, err)
+		}
+		got, err := os.ReadFile(filepath.Join(rdir, name))
+		if err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: replica differs from primary (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+
+	// The replica listing reflects the caught-up state.
+	st, _, listing := getRaw(t, fsrv.URL+"/v1/replica/streams")
+	if st != http.StatusOK || !strings.Contains(string(listing), stream) {
+		t.Fatalf("replica listing: status %d body %s", st, listing)
+	}
+
+	// Capture the primary's report, then "lose" the primary.
+	st, _, wantReport := getRaw(t, psrv.URL+"/v1/streams/"+stream+"/report")
+	if st != http.StatusOK {
+		t.Fatalf("primary report: status %d", st)
+	}
+	psrv.Close()
+	primary.Shutdown(ctx)
+
+	// Promote and serve from the follower: byte-identical report.
+	resp, err := http.Post(fsrv.URL+"/v1/replica/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoteBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d body %s", resp.StatusCode, promoteBody)
+	}
+	st, _, gotReport := getRaw(t, fsrv.URL+"/v1/streams/"+stream+"/report")
+	if st != http.StatusOK {
+		t.Fatalf("promoted report: status %d", st)
+	}
+	if !bytes.Equal(wantReport, gotReport) {
+		t.Fatalf("promoted report differs from the primary's (%d vs %d bytes)", len(gotReport), len(wantReport))
+	}
+
+	// Promoted stream is out of the replica set; promoting again with
+	// nothing staged is a no-op success.
+	st, _, listing = getRaw(t, fsrv.URL+"/v1/replica/streams")
+	if st != http.StatusOK || strings.Contains(string(listing), stream) {
+		t.Fatalf("replica listing after promote: status %d body %s", st, listing)
+	}
+}
+
+// TestReplicationHealsLostStream: a follower that was down while
+// frames shipped marks the stream lost, and the next compaction's
+// full-state snapshot heals it.
+func TestReplicationHealsLostStream(t *testing.T) {
+	ctx := context.Background()
+	primaryDir, followerDir := t.TempDir(), t.TempDir()
+	replica, err := NewReplica(ReplicaConfig{DataDir: followerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	// A follower that refuses every per-frame append but accepts
+	// full-state ops — the "came back after an outage" shape.
+	var rejectFrames atomic.Bool
+	fmux := http.NewServeMux()
+	fmux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if rejectFrames.Load() && strings.HasSuffix(r.URL.Path, "/wal") {
+			http.Error(w, "outage", http.StatusServiceUnavailable)
+			return
+		}
+		replica.Handler().ServeHTTP(w, r)
+	})
+	fsrv := httptest.NewServer(fmux)
+	defer fsrv.Close()
+
+	repl := NewReplicator(fsrv.URL, nil, nil)
+	defer repl.Close()
+	primary := service.New(service.Config{
+		DataDir:       primaryDir,
+		SnapshotEvery: 4,
+		Replication:   repl,
+	})
+	defer primary.Shutdown(ctx)
+	psrv := httptest.NewServer(primary.Handler())
+	defer psrv.Close()
+
+	const stream = "enron-02"
+	pcl := service.NewClient(psrv.URL, nil)
+	if err := pcl.CreateStream(ctx, stream, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := enron.Generate(enron.Config{Months: 10, Seed: 1})
+
+	rejectFrames.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, err := pcl.Push(ctx, stream, data.Seq.At(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := repl.Flush(flushCtx); err != nil {
+		t.Fatal(err)
+	}
+	if !repl.Lost(stream) {
+		t.Fatal("stream should be lost while the follower rejects frames")
+	}
+
+	// Outage over; the SnapshotEvery=4 compaction lands a full-state
+	// snapshot that heals the stream.
+	rejectFrames.Store(false)
+	for i := 2; i < 8; i++ {
+		if _, err := pcl.Push(ctx, stream, data.Seq.At(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushCtx2, cancel2 := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel2()
+	if err := repl.Flush(flushCtx2); err != nil {
+		t.Fatal(err)
+	}
+	if repl.Lost(stream) {
+		t.Fatal("stream still lost after a full-state snapshot shipped")
+	}
+
+	// Replica state equals the primary's current journal.
+	for _, name := range []string{"wal.log", "snapshot.bin"} {
+		want, err := os.ReadFile(filepath.Join(primaryDir, "streams", stream, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(followerDir, "replica", stream, name))
+		if err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: healed replica differs from primary", name)
+		}
+	}
+}
+
+// TestMergeExpositions exercises the merge rules directly: instance
+// labels injected, first-peer HELP/TYPE wins, histogram bucket order
+// preserved, and the output lint-clean.
+func TestMergeExpositions(t *testing.T) {
+	a := `# HELP cadd_streams Registered streams.
+# TYPE cadd_streams gauge
+cadd_streams 2
+# HELP cadd_push_seconds Push latency.
+# TYPE cadd_push_seconds histogram
+cadd_push_seconds_bucket{le="0.1"} 1
+cadd_push_seconds_bucket{le="+Inf"} 2
+cadd_push_seconds_sum 0.3
+cadd_push_seconds_count 2
+`
+	b := `# HELP cadd_streams Registered streams.
+# TYPE cadd_streams gauge
+cadd_streams 5
+# HELP cadd_push_seconds Push latency.
+# TYPE cadd_push_seconds histogram
+cadd_push_seconds_bucket{le="0.1"} 0
+cadd_push_seconds_bucket{le="+Inf"} 1
+cadd_push_seconds_sum 0.9
+cadd_push_seconds_count 1
+`
+	merged, err := mergeExpositions([]peerExposition{
+		{instance: "cadd-a", body: a},
+		{instance: "cadd-b", body: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := promtext.Lint(merged)
+	if err != nil {
+		t.Fatalf("merged exposition fails lint: %v\n%s", err, merged)
+	}
+	if stats.Samples != 10 {
+		t.Errorf("merged samples = %d, want 10\n%s", stats.Samples, merged)
+	}
+	if stats.HistogramSeries != 2 {
+		t.Errorf("merged histogram series = %d, want 2", stats.HistogramSeries)
+	}
+	if !strings.Contains(merged, `cadd_streams{instance="cadd-a"} 2`) ||
+		!strings.Contains(merged, `cadd_streams{instance="cadd-b"} 5`) {
+		t.Errorf("instance labels missing:\n%s", merged)
+	}
+	if strings.Count(merged, "# TYPE cadd_streams gauge") != 1 {
+		t.Errorf("TYPE emitted more than once:\n%s", merged)
+	}
+}

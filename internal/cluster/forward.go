@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// NodeProxy is the node-side ownership middleware: wrapped around a
+// cadd server's handler, it serves stream-scoped requests the node
+// owns and proxies misrouted ones a single hop to the stream's current
+// owner. Clients can therefore talk to any node (or a router that is
+// slightly behind on liveness) and still land on the right one.
+type NodeProxy struct {
+	self   string
+	mem    *Membership
+	hc     *http.Client
+	logger *slog.Logger
+
+	mu       sync.Mutex
+	forwards map[string]int64 // destination peer id → count
+}
+
+// NewNodeProxy builds the middleware for the node named self (which
+// must be one of mem's peers). A nil client gets the pooled default.
+func NewNodeProxy(self string, mem *Membership, hc *http.Client, logger *slog.Logger) (*NodeProxy, error) {
+	if _, ok := mem.PeerByID(self); !ok {
+		return nil, fmt.Errorf("cluster: node id %q is not in the peer list", self)
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &NodeProxy{self: self, mem: mem, hc: hc, logger: logger, forwards: map[string]int64{}}, nil
+}
+
+// Wrap returns next behind the ownership check. Non-stream routes,
+// owned streams, already-forwarded requests, and streams with no
+// healthy owner all fall through to next; everything else proxies one
+// hop to the owner (with ForwardedHeader set, so the receiving node
+// serves it unconditionally).
+func (np *NodeProxy) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := streamFromPath(r.URL.Path)
+		if !ok || r.Header.Get(ForwardedHeader) != "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		owner, ok := np.mem.Owner(id)
+		if !ok || owner.ID == np.self {
+			// No healthy owner means our liveness view is bleak enough
+			// that bouncing the request would only lose it; serving
+			// locally keeps a single surviving node fully functional.
+			next.ServeHTTP(w, r)
+			return
+		}
+		np.mu.Lock()
+		np.forwards[owner.ID]++
+		np.mu.Unlock()
+		extra := http.Header{ForwardedHeader: []string{np.self}}
+		if proxyTo(w, r, np.hc, owner.URL, extra) {
+			return
+		}
+		np.mem.SetHealth(owner.ID, false)
+		np.logger.Warn("forwarding to stream owner failed; serving locally", "stream", id, "owner", owner.ID)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// WriteMetrics appends the forward counter in Prometheus text form —
+// mounted into /metrics via service.Config.ExtraMetrics.
+func (np *NodeProxy) WriteMetrics(w io.Writer) {
+	np.mu.Lock()
+	peers := make([]string, 0, len(np.forwards))
+	for id := range np.forwards {
+		peers = append(peers, id)
+	}
+	sort.Strings(peers)
+	counts := make([]int64, len(peers))
+	for i, id := range peers {
+		counts[i] = np.forwards[id]
+	}
+	np.mu.Unlock()
+	fmt.Fprintf(w, "# HELP cadd_cluster_forwards_total Misrouted stream requests this node proxied to their owner.\n# TYPE cadd_cluster_forwards_total counter\n")
+	if len(peers) == 0 {
+		fmt.Fprintf(w, "cadd_cluster_forwards_total 0\n")
+		return
+	}
+	for i, id := range peers {
+		fmt.Fprintf(w, "cadd_cluster_forwards_total{peer=%q} %d\n", id, counts[i])
+	}
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Peer is one cluster member: a stable id (the ring key) and the base
+// URL its cadd API listens on.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -cluster-peers flag form
+// "id=http://host:port,id2=http://host2:port2" into peers sorted by id.
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawURL == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=url", part)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: %q is not an absolute URL", id, rawURL)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return peers, nil
+}
+
+// MembershipConfig configures a Membership.
+type MembershipConfig struct {
+	// Peers is the static member list (from -cluster-peers).
+	Peers []Peer
+	// VirtualNodes overrides the ring's vnode count (0: default).
+	VirtualNodes int
+	// HealthInterval is the background health-check period (default
+	// 2s). Each check GETs <peer>/healthz with a timeout of half the
+	// interval.
+	HealthInterval time.Duration
+	// Client issues the health checks; nil gets a dedicated one.
+	Client *http.Client
+	// Logger receives health-transition logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Membership combines the static peer list, the ring placement derived
+// from it, and each peer's dynamically-tracked health. All processes in
+// the cluster run one (the router and every node), so they agree on
+// placement by construction and converge on liveness within a health
+// interval of each other.
+type Membership struct {
+	peers  []Peer // sorted by id
+	byID   map[string]Peer
+	ring   *Ring
+	hc     *http.Client
+	logger *slog.Logger
+
+	interval time.Duration
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu      sync.RWMutex
+	healthy map[string]bool
+}
+
+// NewMembership builds a membership over cfg.Peers. Every peer starts
+// healthy (optimistic: a cluster booting in any order must not bounce
+// requests off nodes that simply have not been probed yet); the first
+// health pass corrects the picture. Call Start to launch the
+// background checker and Stop to halt it.
+func NewMembership(cfg MembershipConfig) (*Membership, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: membership needs at least one peer")
+	}
+	ids := make([]string, len(cfg.Peers))
+	byID := make(map[string]Peer, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		ids[i] = p.ID
+		if _, dup := byID[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		byID[p.ID] = p
+	}
+	ring, err := NewRing(ids, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	interval := cfg.HealthInterval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: interval / 2}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	peers := append([]Peer(nil), cfg.Peers...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	healthy := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		healthy[p.ID] = true
+	}
+	return &Membership{
+		peers:    peers,
+		byID:     byID,
+		ring:     ring,
+		hc:       hc,
+		logger:   logger,
+		interval: interval,
+		healthy:  healthy,
+	}, nil
+}
+
+// Start launches the background health checker.
+func (m *Membership) Start() {
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.CheckNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the background checker and waits for an in-flight pass.
+func (m *Membership) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	m.wg.Wait()
+	m.stop = nil
+}
+
+// CheckNow probes every peer's /healthz once and updates the health
+// map. Exposed so tests and boot paths can converge without waiting
+// for the ticker.
+func (m *Membership) CheckNow(ctx context.Context) {
+	for _, p := range m.peers {
+		ok := m.probe(ctx, p)
+		m.SetHealth(p.ID, ok)
+	}
+}
+
+func (m *Membership) probe(ctx context.Context, p Peer) bool {
+	ctx, cancel := context.WithTimeout(ctx, m.interval/2+time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// SetHealth records a peer's liveness. Routers and proxies also call
+// this on request failures, so a dead peer is shunned before the next
+// health pass notices.
+func (m *Membership) SetHealth(id string, ok bool) {
+	m.mu.Lock()
+	prev, known := m.healthy[id]
+	if known && prev != ok {
+		m.logger.Info("peer health changed", "peer", id, "healthy", ok)
+	}
+	if known {
+		m.healthy[id] = ok
+	}
+	m.mu.Unlock()
+}
+
+// Healthy reports a peer's last-known liveness.
+func (m *Membership) Healthy(id string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.healthy[id]
+}
+
+// Peers returns the members sorted by id.
+func (m *Membership) Peers() []Peer {
+	return append([]Peer(nil), m.peers...)
+}
+
+// PeerByID resolves a peer id.
+func (m *Membership) PeerByID(id string) (Peer, bool) {
+	p, ok := m.byID[id]
+	return p, ok
+}
+
+// Ring exposes the placement ring (for tests and diagnostics).
+func (m *Membership) Ring() *Ring { return m.ring }
+
+// Owner returns the first healthy peer in the stream's ring sequence —
+// the node that should serve it right now. ok is false when every peer
+// is down. Both the router and the node-side proxy use this, so when a
+// node dies they agree on which survivor absorbs its streams.
+func (m *Membership) Owner(stream string) (Peer, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, id := range m.ring.Sequence(stream) {
+		if m.healthy[id] {
+			return m.byID[id], true
+		}
+	}
+	return Peer{}, false
+}
+
+// Health returns every peer's last-known liveness keyed by id.
+func (m *Membership) Health() map[string]bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]bool, len(m.healthy))
+	for id, ok := range m.healthy {
+		out[id] = ok
+	}
+	return out
+}
+
+// WriteMetrics appends per-peer liveness gauges in Prometheus text
+// form — mounted into /metrics via service.Config.ExtraMetrics.
+func (m *Membership) WriteMetrics(w io.Writer) {
+	health := m.Health()
+	fmt.Fprintf(w, "# HELP cadd_cluster_peer_up Last-known liveness of each cluster peer (1 healthy, 0 down).\n# TYPE cadd_cluster_peer_up gauge\n")
+	for _, p := range m.peers {
+		v := 0
+		if health[p.ID] {
+			v = 1
+		}
+		fmt.Fprintf(w, "cadd_cluster_peer_up{peer=%q} %d\n", p.ID, v)
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file merges several nodes' Prometheus text expositions into one
+// valid exposition. The constraints that shape it:
+//
+//   - HELP/TYPE must appear exactly once per metric name, before any of
+//     its samples. The first peer (in sorted-id order) wins; peers run
+//     the same binary, so the strings agree in practice.
+//   - Histogram bucket samples must stay in each peer's original order
+//     — sorting samples lexically would scramble le="..." ordering
+//     (le="10" < le="2"). So samples are grouped by metric name and,
+//     within a group, emitted peer block by peer block.
+//   - Per-node series would collide (every node exposes
+//     cadd_streams, etc.), so every sample gets an instance="<peer>"
+//     label, which also makes the merged histogram series disjoint and
+//     therefore valid.
+//
+// The result passes internal/promtext.Lint — enforced by tests, the
+// same linter the single-node exposition is held to.
+
+// peerExposition is one node's /metrics body.
+type peerExposition struct {
+	instance string
+	body     string
+}
+
+// metricGroup collects everything belonging to one metric name:
+// comments from the first peer that declared it, then each peer's
+// samples in arrival order. Histogram suffix samples (_bucket, _sum,
+// _count) group under their base name so they always follow its TYPE.
+type metricGroup struct {
+	help     string
+	typeLine string
+	samples  []string
+}
+
+// mergeExpositions merges the peers' expositions. Peers must already be
+// ordered (the router scatters and sorts by peer id).
+func mergeExpositions(parts []peerExposition) (string, error) {
+	order := []string{}                 // metric names in first-seen order
+	groups := map[string]*metricGroup{} // name → group
+	types := map[string]string{}        // name → declared type (for suffix resolution)
+
+	group := func(name string) *metricGroup {
+		g := groups[name]
+		if g == nil {
+			g = &metricGroup{}
+			groups[name] = g
+			order = append(order, name)
+		}
+		return g
+	}
+
+	for _, part := range parts {
+		for _, line := range strings.Split(strings.TrimRight(part.body, "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				fields := strings.SplitN(line, " ", 4)
+				if len(fields) < 4 {
+					return "", fmt.Errorf("peer %s: malformed comment %q", part.instance, line)
+				}
+				g := group(fields[2])
+				if fields[1] == "HELP" {
+					if g.help == "" {
+						g.help = line
+					}
+				} else {
+					if g.typeLine == "" {
+						g.typeLine = line
+						types[fields[2]] = fields[3]
+					}
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue // other comments are dropped
+			}
+			name := sampleName(line)
+			if name == "" {
+				return "", fmt.Errorf("peer %s: malformed sample %q", part.instance, line)
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if b, ok := strings.CutSuffix(name, suffix); ok && types[b] == "histogram" {
+					base = b
+					break
+				}
+			}
+			tagged, err := injectInstance(line, part.instance)
+			if err != nil {
+				return "", fmt.Errorf("peer %s: %w", part.instance, err)
+			}
+			group(base).samples = append(group(base).samples, tagged)
+		}
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		g := groups[name]
+		if len(g.samples) == 0 {
+			continue // a name every peer declared but nobody sampled
+		}
+		if g.help != "" {
+			b.WriteString(g.help)
+			b.WriteByte('\n')
+		}
+		if g.typeLine != "" {
+			b.WriteString(g.typeLine)
+			b.WriteByte('\n')
+		}
+		for _, s := range g.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}
+
+// sampleName extracts the metric name from a sample line.
+func sampleName(line string) string {
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return ""
+	}
+	return line[:end]
+}
+
+// injectInstance adds instance="<peer>" to a sample line's label set.
+func injectInstance(line, instance string) (string, error) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", fmt.Errorf("no value separator in %q", line)
+	}
+	key, val := line[:sp], line[sp:]
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if !strings.HasSuffix(key, "}") {
+			return "", fmt.Errorf("unterminated label set in %q", key)
+		}
+		return key[:len(key)-1] + fmt.Sprintf(",instance=%q}", instance) + val, nil
+	}
+	return key + fmt.Sprintf("{instance=%q}", instance) + val, nil
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ForwardedHeader marks a request that has already been proxied once by
+// a node. The router never sets it; a node that proxies a misrouted
+// stream request does, and a node that receives it serves locally no
+// matter what its own ownership view says. That bounds any request to
+// router → node → true owner — two placement disagreements cannot
+// bounce a request around the cluster.
+const ForwardedHeader = "X-Cadd-Forwarded"
+
+// hopHeaders are the hop-by-hop headers a proxy must not forward.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// proxyTo replays the inbound request against base (a peer's URL),
+// preserving method, path, query, headers and body, and streams the
+// peer's response back — status, headers and body untouched, so a
+// proxied /report stays byte-identical to a direct one. extra headers
+// are added to the outbound request. Returns false when the peer could
+// not be reached (nothing has been written to w yet, so the caller can
+// fall back or answer 502).
+func proxyTo(w http.ResponseWriter, r *http.Request, hc *http.Client, base string, extra http.Header) bool {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		return false
+	}
+	out.Header = r.Header.Clone()
+	for _, h := range hopHeaders {
+		out.Header.Del(h)
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			out.Header.Set(k, v)
+		}
+	}
+	if r.ContentLength >= 0 {
+		out.ContentLength = r.ContentLength
+	}
+	resp, err := hc.Do(out)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	dst := w.Header()
+	for k, vs := range resp.Header {
+		if isHopHeader(k) {
+			continue
+		}
+		dst[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(k, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// streamFromPath extracts the stream id from a stream-scoped API path
+// (/v1/streams/{id}[/...]); ok is false for every other path, including
+// the collection routes and the replica endpoints.
+func streamFromPath(path string) (string, bool) {
+	rest, found := strings.CutPrefix(path, "/v1/streams/")
+	if !found || rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}

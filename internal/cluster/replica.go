@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dyngraph/internal/wal"
+)
+
+// maxReplicaBody bounds replica request bodies, matching the WAL
+// layer's own 64 MiB frame limit (plus framing headroom).
+const maxReplicaBody = (64 << 20) + 1024
+
+// ReplicaConfig configures a Replica.
+type ReplicaConfig struct {
+	// DataDir is the node's data directory. Replicated journals live
+	// under <DataDir>/replica/<stream>/, apart from the node's own
+	// streams, until promotion moves them into <DataDir>/streams/.
+	DataDir string
+	// Promote brings one promoted stream live — cmd/cadd wires it to
+	// service.Server.RecoverStream, which runs the ordinary recovery
+	// path (digest chain and contiguity verification included) on the
+	// moved directory.
+	Promote func(stream string) error
+	// Logger receives replica logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Replica is the follower half of WAL shipping: an HTTP surface a
+// primary's Replicator pushes journal artifacts at. Every applied op
+// keeps the replicated directory byte-identical to the primary's
+// (frames are appended verbatim; config and snapshots are the
+// primary's exact bytes), so promotion is a rename plus the ordinary
+// recovery path and yields byte-identical reports.
+type Replica struct {
+	cfg ReplicaConfig
+
+	mu   sync.Mutex
+	logs map[string]*os.File // open wal.log append handles
+}
+
+// NewReplica builds a follower rooted at cfg.DataDir.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: replica needs a data dir")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Replica{cfg: cfg, logs: map[string]*os.File{}}, nil
+}
+
+// dir is one replicated stream's directory.
+func (rp *Replica) dir(stream string) string {
+	return filepath.Join(rp.cfg.DataDir, "replica", stream)
+}
+
+// validStreamID mirrors the serving layer's id rules so a hostile
+// primary cannot traverse paths.
+func validStreamID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return id != "." && id != ".."
+}
+
+// Handler builds the replica's HTTP surface, rooted at /v1/replica/.
+func (rp *Replica) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replica/streams", rp.handleList)
+	mux.HandleFunc("PUT /v1/replica/streams/{id}/config", rp.streamOp(rp.applyConfig))
+	mux.HandleFunc("POST /v1/replica/streams/{id}/wal", rp.streamOp(rp.applyFrame))
+	mux.HandleFunc("PUT /v1/replica/streams/{id}/walfile", rp.streamOp(rp.applyWALFile))
+	mux.HandleFunc("PUT /v1/replica/streams/{id}/snapshot", rp.streamOp(rp.applySnapshot))
+	mux.HandleFunc("DELETE /v1/replica/streams/{id}", rp.streamOp(rp.applyDelete))
+	mux.HandleFunc("POST /v1/replica/promote", rp.handlePromote)
+	return mux
+}
+
+// streamOp adapts a per-stream apply function into a handler: id
+// validation, body reading, single-writer locking, uniform errors.
+func (rp *Replica) streamOp(apply func(stream string, body []byte) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !validStreamID(id) {
+			writeError(w, http.StatusBadRequest, "bad stream id %q", id)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		rp.mu.Lock()
+		err = apply(id, body)
+		rp.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusConflict, "stream %q: %v", id, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// applyConfig resets the stream's replicated state to a fresh stream:
+// drop whatever was there, write the primary's exact config bytes.
+func (rp *Replica) applyConfig(stream string, body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("empty config")
+	}
+	if err := json.Unmarshal(body, &struct{}{}); err != nil {
+		return fmt.Errorf("config is not JSON: %v", err)
+	}
+	rp.closeLogLocked(stream)
+	dir := rp.dir(stream)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "config.json"), body, 0o644)
+}
+
+// applyFrame verifies and appends one WAL frame verbatim.
+func (rp *Replica) applyFrame(stream string, body []byte) error {
+	if _, err := wal.VerifyFrame(body); err != nil {
+		return err
+	}
+	f, err := rp.logLocked(stream)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		rp.closeLogLocked(stream)
+		return err
+	}
+	return nil
+}
+
+// applyWALFile verifies and atomically replaces the whole log — the
+// baseline form, when per-frame shipping cannot reconstruct history
+// the follower missed.
+func (rp *Replica) applyWALFile(stream string, body []byte) error {
+	if _, err := wal.VerifyFrames(body); err != nil {
+		return err
+	}
+	if !rp.haveConfigLocked(stream) {
+		return fmt.Errorf("no replicated config")
+	}
+	rp.closeLogLocked(stream)
+	return writeFileAtomic(filepath.Join(rp.dir(stream), "wal.log"), body)
+}
+
+// applySnapshot installs a compact snapshot and truncates the log,
+// mirroring the primary's compaction (snapshot rename, then reset).
+func (rp *Replica) applySnapshot(stream string, body []byte) error {
+	if !rp.haveConfigLocked(stream) {
+		return fmt.Errorf("no replicated config")
+	}
+	if err := wal.WriteSnapshotFile(filepath.Join(rp.dir(stream), "snapshot.bin"), body); err != nil {
+		return err
+	}
+	rp.closeLogLocked(stream)
+	return writeFileAtomic(filepath.Join(rp.dir(stream), "wal.log"), nil)
+}
+
+// applyDelete drops the stream's replicated state.
+func (rp *Replica) applyDelete(stream string, _ []byte) error {
+	rp.closeLogLocked(stream)
+	return os.RemoveAll(rp.dir(stream))
+}
+
+func (rp *Replica) haveConfigLocked(stream string) bool {
+	_, err := os.Stat(filepath.Join(rp.dir(stream), "config.json"))
+	return err == nil
+}
+
+// logLocked returns the stream's open append handle, opening it on
+// first use. Callers hold rp.mu.
+func (rp *Replica) logLocked(stream string) (*os.File, error) {
+	if f, ok := rp.logs[stream]; ok {
+		return f, nil
+	}
+	if !rp.haveConfigLocked(stream) {
+		return nil, fmt.Errorf("no replicated config")
+	}
+	f, err := os.OpenFile(filepath.Join(rp.dir(stream), "wal.log"), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	rp.logs[stream] = f
+	return f, nil
+}
+
+func (rp *Replica) closeLogLocked(stream string) {
+	if f, ok := rp.logs[stream]; ok {
+		f.Close()
+		delete(rp.logs, stream)
+	}
+}
+
+// ReplicaStreamInfo is one replicated stream's status — what a
+// failover controller (or test) polls to know the follower has caught
+// up before trusting it.
+type ReplicaStreamInfo struct {
+	ID          string `json:"id"`
+	Frames      int    `json:"frames"`
+	WALBytes    int64  `json:"wal_bytes"`
+	HasSnapshot bool   `json:"has_snapshot"`
+}
+
+func (rp *Replica) handleList(w http.ResponseWriter, _ *http.Request) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	out, err := rp.listLocked()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "listing replicas: %v", err)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (rp *Replica) listLocked() ([]ReplicaStreamInfo, error) {
+	root := filepath.Join(rp.cfg.DataDir, "replica")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return []ReplicaStreamInfo{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplicaStreamInfo, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		info := ReplicaStreamInfo{ID: e.Name()}
+		if data, err := os.ReadFile(filepath.Join(root, e.Name(), "wal.log")); err == nil {
+			info.WALBytes = int64(len(data))
+			if n, err := wal.VerifyFrames(data); err == nil {
+				info.Frames = n
+			}
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), "snapshot.bin")); err == nil {
+			info.HasSnapshot = true
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// promoteRequest selects which replicated streams to promote; empty
+// Streams means all of them.
+type promoteRequest struct {
+	Streams []string `json:"streams"`
+}
+
+// promoteResult reports one stream's promotion outcome.
+type promoteResult struct {
+	ID    string `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// handlePromote moves replicated stream directories into the node's
+// own streams/ tree and brings each live via the Promote callback —
+// the warm-failover moment. A stream the node already serves is
+// refused (the replica would shadow live state); a replica that fails
+// recovery is reported and its directory left in streams/ for
+// inspection, exactly like a boot-time recovery failure.
+func (rp *Replica) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req promoteRequest
+	if r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil && len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeError(w, http.StatusBadRequest, "bad promote request: %v", err)
+				return
+			}
+		}
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	ids := req.Streams
+	if len(ids) == 0 {
+		infos, err := rp.listLocked()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "listing replicas: %v", err)
+			return
+		}
+		for _, info := range infos {
+			ids = append(ids, info.ID)
+		}
+	}
+	results := make([]promoteResult, 0, len(ids))
+	failed := 0
+	for _, id := range ids {
+		res := promoteResult{ID: id}
+		if err := rp.promoteOneLocked(id); err != nil {
+			res.Error = err.Error()
+			failed++
+		}
+		results = append(results, res)
+	}
+	rp.cfg.Logger.Info("promotion finished", "streams", len(ids), "failed", failed)
+	status := http.StatusOK
+	if failed > 0 {
+		status = http.StatusConflict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(results)
+}
+
+func (rp *Replica) promoteOneLocked(id string) error {
+	if !validStreamID(id) {
+		return fmt.Errorf("bad stream id")
+	}
+	src := rp.dir(id)
+	if _, err := os.Stat(src); err != nil {
+		return fmt.Errorf("no replicated state: %w", err)
+	}
+	dst := filepath.Join(rp.cfg.DataDir, "streams", id)
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("stream already exists locally")
+	}
+	rp.closeLogLocked(id)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return err
+	}
+	if rp.cfg.Promote == nil {
+		return nil
+	}
+	return rp.cfg.Promote(id)
+}
+
+// Close releases every open log handle.
+func (rp *Replica) Close() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for id, f := range rp.logs {
+		f.Close()
+		delete(rp.logs, id)
+	}
+}
+
+// writeFileAtomic writes data via a same-directory temp file + rename
+// (nil data writes an empty file — the log-truncate case).
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyngraph/internal/service"
+)
+
+// opKind is one replication operation's type.
+type opKind int
+
+const (
+	opConfig opKind = iota
+	opFrame
+	opSnapshot
+	opWAL
+	opDelete
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opConfig:
+		return "config"
+	case opFrame:
+		return "frame"
+	case opSnapshot:
+		return "snapshot"
+	case opWAL:
+		return "walfile"
+	case opDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// replOp is one queued shipment.
+type replOp struct {
+	kind   opKind
+	stream string
+	data   []byte
+}
+
+// defaultQueueDepth bounds the replication queue. At the default
+// snapshot cadence a slot is one push record, so this is seconds of
+// lag at any realistic push rate; past it the primary sheds (marking
+// streams lost, healed by their next full-state op) rather than
+// blocking the push path.
+const defaultQueueDepth = 4096
+
+// Replicator implements service.ReplicationSink by shipping every
+// journal artifact, in order, to a follower's /v1/replica API over a
+// single background sender. Ship methods enqueue and return — the push
+// path never blocks on the network.
+//
+// Loss handling: if the queue overflows or the follower rejects an op
+// after retries, the stream is marked lost and its subsequent frame
+// ops are skipped (appending frames to a hole would corrupt the
+// replica silently). Any successfully applied full-state op — config,
+// snapshot, or whole-WAL baseline — rewrites the stream's replicated
+// state from scratch and clears the mark, so the next compaction heals
+// a lost stream automatically. Promotion re-verifies the digest chain
+// regardless, so an unhealed replica is refused, never half-promoted.
+type Replicator struct {
+	target string
+	hc     *http.Client
+	logger *slog.Logger
+
+	ch   chan replOp
+	wg   sync.WaitGroup
+	lag  atomic.Int64 // ops queued but not yet applied
+	done chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	lost    map[string]bool
+	shipped int64
+	dropped int64
+}
+
+// NewReplicator starts a replicator shipping to the follower at
+// target (e.g. "http://host:port"). A nil client gets a pooled default
+// with a per-request timeout.
+func NewReplicator(target string, hc *http.Client, logger *slog.Logger) *Replicator {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second, Transport: service.NewPooledTransport()}
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	r := &Replicator{
+		target: strings.TrimRight(target, "/"),
+		hc:     hc,
+		logger: logger,
+		ch:     make(chan replOp, defaultQueueDepth),
+		done:   make(chan struct{}),
+		lost:   map[string]bool{},
+	}
+	r.wg.Add(1)
+	go r.sender()
+	return r
+}
+
+var _ service.ReplicationSink = (*Replicator)(nil)
+
+// ShipConfig implements service.ReplicationSink.
+func (r *Replicator) ShipConfig(stream string, cfgLine []byte) {
+	r.enqueue(replOp{kind: opConfig, stream: stream, data: cfgLine})
+}
+
+// ShipFrame implements service.ReplicationSink.
+func (r *Replicator) ShipFrame(stream string, frame []byte) {
+	r.enqueue(replOp{kind: opFrame, stream: stream, data: frame})
+}
+
+// ShipSnapshot implements service.ReplicationSink.
+func (r *Replicator) ShipSnapshot(stream string, payload []byte) {
+	r.enqueue(replOp{kind: opSnapshot, stream: stream, data: payload})
+}
+
+// ShipWAL implements service.ReplicationSink.
+func (r *Replicator) ShipWAL(stream string, data []byte) {
+	r.enqueue(replOp{kind: opWAL, stream: stream, data: data})
+}
+
+// ShipDelete implements service.ReplicationSink.
+func (r *Replicator) ShipDelete(stream string) {
+	r.enqueue(replOp{kind: opDelete, stream: stream})
+}
+
+func (r *Replicator) enqueue(op replOp) {
+	// The closed flag and the channel send share the mutex so an
+	// enqueue can never race Close's close(r.ch).
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	select {
+	case r.ch <- op:
+		r.lag.Add(1)
+		r.mu.Unlock()
+	default:
+		r.mu.Unlock()
+		// Shedding beats blocking a stream worker: mark the stream
+		// lost; its next snapshot rewrites the replica whole.
+		r.markLost(op.stream, fmt.Errorf("replication queue full"))
+	}
+}
+
+func (r *Replicator) sender() {
+	defer r.wg.Done()
+	for op := range r.ch {
+		r.apply(op)
+		r.lag.Add(-1)
+	}
+}
+
+func (r *Replicator) apply(op replOp) {
+	if op.kind == opFrame && r.isLost(op.stream) {
+		// Appending past a hole would corrupt the replica silently;
+		// wait for the next full-state op instead.
+		r.mu.Lock()
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	if err := r.send(op); err != nil {
+		r.markLost(op.stream, err)
+		return
+	}
+	r.mu.Lock()
+	r.shipped++
+	fullState := op.kind == opConfig || op.kind == opSnapshot || op.kind == opWAL || op.kind == opDelete
+	if fullState && r.lost[op.stream] {
+		delete(r.lost, op.stream)
+		r.logger.Info("replication healed", "stream", op.stream, "op", op.kind.String())
+	}
+	r.mu.Unlock()
+}
+
+// send issues one op with bounded retries (the follower may be
+// restarting); only after the retries fail is the stream marked lost.
+func (r *Replicator) send(op replOp) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.done:
+				return err
+			case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+			}
+		}
+		if err = r.sendOnce(op); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (r *Replicator) sendOnce(op replOp) error {
+	method := http.MethodPut
+	path := "/v1/replica/streams/" + op.stream
+	switch op.kind {
+	case opConfig:
+		path += "/config"
+	case opFrame:
+		method, path = http.MethodPost, path+"/wal"
+	case opSnapshot:
+		path += "/snapshot"
+	case opWAL:
+		path += "/walfile"
+	case opDelete:
+		method = http.MethodDelete
+	}
+	var body io.Reader
+	if op.data != nil {
+		body = bytes.NewReader(op.data)
+	}
+	req, err := http.NewRequest(method, r.target+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+func (r *Replicator) markLost(stream string, err error) {
+	r.mu.Lock()
+	first := !r.lost[stream]
+	r.lost[stream] = true
+	r.dropped++
+	r.mu.Unlock()
+	if first {
+		r.logger.Warn("replication lost a stream; healing at its next snapshot",
+			"stream", stream, "err", err)
+	}
+}
+
+func (r *Replicator) isLost(stream string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lost[stream]
+}
+
+// Lost reports whether the stream currently has unreplicated loss.
+func (r *Replicator) Lost(stream string) bool { return r.isLost(stream) }
+
+// Lag returns the number of queued-but-unapplied ops.
+func (r *Replicator) Lag() int64 { return r.lag.Load() }
+
+// Flush blocks until the queue drains or ctx expires.
+func (r *Replicator) Flush(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for r.lag.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: replication flush: %w (%d ops pending)", ctx.Err(), r.lag.Load())
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// Close stops accepting ops, drains what is queued, and joins the
+// sender.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	close(r.ch)
+	r.wg.Wait()
+}
+
+// WriteMetrics appends the replication series in Prometheus text form
+// — mounted into /metrics via service.Config.ExtraMetrics.
+func (r *Replicator) WriteMetrics(w io.Writer) {
+	r.mu.Lock()
+	shipped, dropped, lost := r.shipped, r.dropped, int64(len(r.lost))
+	r.mu.Unlock()
+	fmt.Fprintf(w, "# HELP cadd_replication_lag_records Journal ops queued for the follower but not yet applied.\n# TYPE cadd_replication_lag_records gauge\ncadd_replication_lag_records %d\n", r.Lag())
+	fmt.Fprintf(w, "# HELP cadd_replication_shipped_total Journal ops applied by the follower.\n# TYPE cadd_replication_shipped_total counter\ncadd_replication_shipped_total %d\n", shipped)
+	fmt.Fprintf(w, "# HELP cadd_replication_dropped_total Journal ops shed or skipped while a stream was lost.\n# TYPE cadd_replication_dropped_total counter\ncadd_replication_dropped_total %d\n", dropped)
+	fmt.Fprintf(w, "# HELP cadd_replication_lost_streams Streams currently awaiting a healing snapshot.\n# TYPE cadd_replication_lost_streams gauge\ncadd_replication_lost_streams %d\n", lost)
+}

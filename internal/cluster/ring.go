@@ -1,0 +1,139 @@
+// Package cluster scales cadd horizontally: a deterministic
+// consistent-hash ring assigns each stream to one node, a thin
+// stateless router scatter-gathers cluster-wide reads and forwards
+// stream-scoped calls to their owner, a node-side proxy corrects
+// misrouted requests in a single hop, and a WAL shipper keeps a warm
+// byte-identical follower per node so failover is a directory rename
+// plus the ordinary recovery path.
+//
+// Membership is static (a -cluster-peers flag every process shares);
+// liveness is dynamic (each process health-checks its peers and routes
+// a dead node's streams to the first healthy node in that stream's
+// ring sequence). Nothing here coordinates: every component derives
+// the same placement from the same peer list, which is what makes the
+// router stateless and restartable.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is the per-node vnode count. 64 points per node
+// keeps the ring's load spread within a few percent of even for small
+// clusters while staying cheap to build and search.
+const defaultVirtualNodes = 64
+
+// point is one vnode on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node ids.
+// Placement depends only on the set of ids (never their order) and the
+// vnode count, so every process that shares the peer list derives the
+// same owners with no coordination; adding a node moves to it only the
+// arcs its own vnodes capture, leaving every other stream where it was.
+type Ring struct {
+	points []point
+	nodes  []string // sorted, deduplicated
+	vnodes int
+}
+
+// NewRing builds a ring over the given node ids with vnodes virtual
+// nodes each (0 selects the default). Duplicate ids collapse; order is
+// irrelevant.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for _, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if len(uniq) == 0 || uniq[len(uniq)-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	r := &Ring{nodes: uniq, vnodes: vnodes}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node id so placement
+		// stays deterministic whatever the input order was.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// hash64 is FNV-64a run through a splitmix64 finalizer. FNV alone
+// clusters sequential keys (stream names and vnode labels differ only
+// in their last bytes, and FNV's final multiply leaves such hashes
+// near each other on the ring); the finalizer's avalanche spreads them
+// uniformly. Both halves are fixed arithmetic — stable across
+// processes, platforms and Go releases, which is what pins placement
+// between the router, every node, and the golden tests.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Nodes returns the ring's node ids, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// start returns the index of the first ring point at or after key's
+// hash, wrapping at the top.
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the node that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.start(key)].node
+}
+
+// Sequence returns every node in key's ring order, starting with the
+// owner: the failover preference list. A request for key goes to the
+// first healthy node in this sequence, so all processes agree on where
+// a dead node's streams land without coordinating.
+func (r *Ring) Sequence(key string) []string {
+	seq := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for i, start := 0, r.start(key); len(seq) < len(r.nodes) && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			seq = append(seq, p.node)
+		}
+	}
+	return seq
+}

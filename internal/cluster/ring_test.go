@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingOrderInvariance: placement depends on the set of node ids,
+// never the order the peer list spelled them in.
+func TestRingOrderInvariance(t *testing.T) {
+	nodes := []string{"cadd-a", "cadd-b", "cadd-c", "cadd-d", "cadd-e"}
+	ref, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		ring, err := NewRing(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("stream-%03d", i)
+			if got, want := ring.Owner(key), ref.Owner(key); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q under order %v, want %q", trial, key, got, shuffled, want)
+			}
+		}
+	}
+	dup, err := NewRing([]string{"cadd-b", "cadd-a", "cadd-a", "cadd-c", "cadd-d", "cadd-e"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("stream-%03d", i)
+		if dup.Owner(key) != ref.Owner(key) {
+			t.Fatalf("duplicate ids changed placement for %q", key)
+		}
+	}
+}
+
+// TestRingGoldenPlacement pins the exact owner of each Enron shard name
+// on the canonical 3-node ring. If this test breaks, the hash or vnode
+// scheme changed and every deployed cluster would reshuffle — that must
+// be a deliberate, versioned decision, not an accident.
+func TestRingGoldenPlacement(t *testing.T) {
+	ring, err := NewRing([]string{"cadd-a", "cadd-b", "cadd-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"enron-00": "cadd-b",
+		"enron-01": "cadd-a",
+		"enron-02": "cadd-a",
+		"enron-03": "cadd-c",
+		"enron-04": "cadd-b",
+		"enron-05": "cadd-c",
+		"enron-06": "cadd-b",
+		"enron-07": "cadd-a",
+		"enron-08": "cadd-a",
+		"enron-09": "cadd-c",
+		"enron-10": "cadd-a",
+		"enron-11": "cadd-b",
+	}
+	for key, want := range golden {
+		if got := ring.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want pinned %q", key, got, want)
+		}
+	}
+	wantSeq := []string{"cadd-b", "cadd-a", "cadd-c"}
+	seq := ring.Sequence("enron-00")
+	if len(seq) != len(wantSeq) {
+		t.Fatalf("Sequence(enron-00) = %v, want %v", seq, wantSeq)
+	}
+	for i := range wantSeq {
+		if seq[i] != wantSeq[i] {
+			t.Fatalf("Sequence(enron-00) = %v, want pinned %v", seq, wantSeq)
+		}
+	}
+}
+
+// TestRingAddNodeMovement: growing the ring moves roughly its fair
+// share of keys, and every moved key moves TO the new node — nothing
+// shuffles between survivors.
+func TestRingAddNodeMovement(t *testing.T) {
+	before, err := NewRing([]string{"cadd-a", "cadd-b", "cadd-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"cadd-a", "cadd-b", "cadd-c", "cadd-d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 600
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("stream-%03d", i)
+		oldOwner, newOwner := before.Owner(key), after.Owner(key)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "cadd-d" {
+			t.Fatalf("key %q moved %q -> %q, not to the new node", key, oldOwner, newOwner)
+		}
+	}
+	// Fair share is keys/4 = 150; allow 50% slack for hash variance.
+	if limit := keys / 4 * 3 / 2; moved > limit {
+		t.Fatalf("adding one node moved %d of %d keys (> %d)", moved, keys, limit)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved nothing — ring is ignoring the new node")
+	}
+}
+
+// TestRingLoadSpread: with the default vnode count no node's share
+// strays wildly from even.
+func TestRingLoadSpread(t *testing.T) {
+	ring, err := NewRing([]string{"cadd-a", "cadd-b", "cadd-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 900
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(fmt.Sprintf("stream-%03d", i))]++
+	}
+	for _, node := range ring.Nodes() {
+		share := counts[node]
+		if share < keys/6 || share > keys/2 {
+			t.Errorf("node %s owns %d of %d keys — load spread out of bounds (%v)", node, share, keys, counts)
+		}
+	}
+}
+
+// TestRingSequence: the failover list covers every node exactly once
+// and starts with the owner, for every key.
+func TestRingSequence(t *testing.T) {
+	ring, err := NewRing([]string{"cadd-a", "cadd-b", "cadd-c", "cadd-d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("stream-%03d", i)
+		seq := ring.Sequence(key)
+		if len(seq) != 4 {
+			t.Fatalf("Sequence(%q) has %d entries, want 4", key, len(seq))
+		}
+		if seq[0] != ring.Owner(key) {
+			t.Fatalf("Sequence(%q)[0] = %q, Owner = %q", key, seq[0], ring.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats %q: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingRejectsBadInput: empty ring and empty ids fail loudly.
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("NewRing with empty id succeeded")
+	}
+}

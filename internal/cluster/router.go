@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dyngraph/internal/obs"
+	"dyngraph/internal/service"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Membership supplies placement and liveness. The router shares the
+	// exact ring every node derives, so it and the nodes agree on
+	// ownership without coordinating.
+	Membership *Membership
+	// Client issues forwarded and scattered requests; nil gets a
+	// pooled default.
+	Client *http.Client
+	// Redirect answers stream-scoped calls with 307 + the owner's URL
+	// instead of proxying — cheaper per request once clients follow
+	// redirects (the typed client does), at the cost of a second
+	// round-trip on first contact.
+	Redirect bool
+	// Logger receives routing logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Router is the cluster's thin stateless front door: stream-scoped
+// calls go to the stream's first healthy owner, cluster-wide reads
+// scatter to every healthy node and merge, /metrics merges every
+// node's exposition with an instance label. It holds no state beyond
+// liveness, so any number of routers can run and any of them can
+// restart freely.
+type Router struct {
+	cfg RouterConfig
+	hc  *http.Client
+
+	mu       sync.Mutex
+	forwards map[string]int64 // peer id → stream-scoped requests sent
+	scatters int64
+	errors   int64 // scatter legs that failed
+}
+
+// NewRouter builds a router over the membership.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Membership == nil {
+		return nil, fmt.Errorf("cluster: router needs a membership")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Transport: service.NewPooledTransport()}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Router{cfg: cfg, hc: cfg.Client, forwards: map[string]int64{}}, nil
+}
+
+// Handler builds the router's HTTP surface. It mirrors the node API so
+// clients are oblivious: the same typed client works against a single
+// node or the whole cluster.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/streams", rt.handleListStreams)
+	mux.HandleFunc("GET /streams", rt.handleAdminStreams)
+	mux.HandleFunc("GET /v1/reports", rt.handleReports)
+	mux.HandleFunc("GET /debug/traces", rt.handleTraces)
+	mux.HandleFunc("/v1/streams/{id}", rt.handleStream)
+	mux.HandleFunc("/v1/streams/{id}/{rest...}", rt.handleStream)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.EnsureRequestID(r.Header)
+		w.Header().Set(obs.RequestIDHeader, r.Header.Get(obs.RequestIDHeader))
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleStream routes one stream-scoped request to the stream's first
+// healthy owner — by proxy, or by 307 in redirect mode.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	owner, ok := rt.cfg.Membership.Owner(id)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no healthy node for stream %q", id)
+		return
+	}
+	if rt.cfg.Redirect {
+		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+	rt.mu.Lock()
+	rt.forwards[owner.ID]++
+	rt.mu.Unlock()
+	if !proxyTo(w, r, rt.hc, owner.URL, nil) {
+		rt.cfg.Membership.SetHealth(owner.ID, false)
+		rt.cfg.Logger.Warn("owner unreachable", "stream", id, "owner", owner.ID)
+		writeError(w, http.StatusBadGateway, "stream %q: owner %s unreachable", id, owner.ID)
+	}
+}
+
+// scatterResult is one leg of a fan-out.
+type scatterResult struct {
+	peer Peer
+	body []byte
+	err  error
+}
+
+// scatter GETs path on every healthy peer concurrently, propagating
+// the inbound request's id so all legs correlate, and returns the
+// per-peer results ordered by peer id. Peers that fail are marked
+// unhealthy and reported with err set.
+func (rt *Router) scatter(ctx context.Context, requestID, path string) []scatterResult {
+	rt.mu.Lock()
+	rt.scatters++
+	rt.mu.Unlock()
+	peers := rt.cfg.Membership.Peers()
+	results := make([]scatterResult, 0, len(peers))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, p := range peers {
+		if !rt.cfg.Membership.Healthy(p.ID) {
+			continue
+		}
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			body, err := rt.fetch(ctx, requestID, p, path)
+			mu.Lock()
+			results = append(results, scatterResult{peer: p, body: body, err: err})
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			rt.mu.Lock()
+			rt.errors++
+			rt.mu.Unlock()
+			rt.cfg.Membership.SetHealth(res.peer.ID, false)
+			rt.cfg.Logger.Warn("scatter leg failed", "peer", res.peer.ID, "path", path, "err", res.err)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].peer.ID < results[j].peer.ID })
+	return results
+}
+
+func (rt *Router) fetch(ctx context.Context, requestID string, p Peer, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if requestID != "" {
+		req.Header.Set(obs.RequestIDHeader, requestID)
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s%s: %s", p.URL, path, resp.Status)
+	}
+	return body, nil
+}
+
+// mergeJSONArrays scatters path and merges per-peer JSON arrays into
+// one, sorted by the named string field when sortField is non-empty.
+func (rt *Router) mergeJSONArrays(w http.ResponseWriter, r *http.Request, path, sortField string) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), path)
+	merged := make([]json.RawMessage, 0, 64)
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		var items []json.RawMessage
+		if err := json.Unmarshal(res.body, &items); err != nil {
+			writeError(w, http.StatusBadGateway, "peer %s sent malformed %s: %v", res.peer.ID, path, err)
+			return
+		}
+		merged = append(merged, items...)
+	}
+	if sortField != "" {
+		sort.SliceStable(merged, func(i, j int) bool {
+			return jsonStringField(merged[i], sortField) < jsonStringField(merged[j], sortField)
+		})
+	}
+	writeJSON(w, merged)
+}
+
+func jsonStringField(raw json.RawMessage, field string) string {
+	var m map[string]json.RawMessage
+	if json.Unmarshal(raw, &m) != nil {
+		return ""
+	}
+	var s string
+	json.Unmarshal(m[field], &s)
+	return s
+}
+
+func (rt *Router) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	rt.mergeJSONArrays(w, r, "/v1/streams", "id")
+}
+
+func (rt *Router) handleAdminStreams(w http.ResponseWriter, r *http.Request) {
+	rt.mergeJSONArrays(w, r, "/streams", "id")
+}
+
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	// A single-stream or chrome-format request belongs to one node;
+	// everything else merges the per-stream arrays.
+	q := r.URL.Query()
+	if stream := q.Get("stream"); stream != "" {
+		rt.handleStreamScopedTraces(w, r, stream)
+		return
+	}
+	if q.Get("format") == "chrome" {
+		writeError(w, http.StatusBadRequest, "chrome format is per-node; use ?stream= or scrape a node directly")
+		return
+	}
+	rt.mergeJSONArrays(w, r, "/debug/traces", "stream")
+}
+
+func (rt *Router) handleStreamScopedTraces(w http.ResponseWriter, r *http.Request, stream string) {
+	owner, ok := rt.cfg.Membership.Owner(stream)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no healthy node for stream %q", stream)
+		return
+	}
+	if !proxyTo(w, r, rt.hc, owner.URL, nil) {
+		rt.cfg.Membership.SetHealth(owner.ID, false)
+		writeError(w, http.StatusBadGateway, "stream %q: owner %s unreachable", stream, owner.ID)
+	}
+}
+
+// handleReports merges every node's bulk-report map. Stream ids are
+// unique cluster-wide (one owner each), so the union is disjoint.
+func (rt *Router) handleReports(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), "/v1/reports")
+	merged := map[string]json.RawMessage{}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		var part map[string]json.RawMessage
+		if err := json.Unmarshal(res.body, &part); err != nil {
+			writeError(w, http.StatusBadGateway, "peer %s sent malformed reports: %v", res.peer.ID, err)
+			return
+		}
+		for id, rep := range part {
+			merged[id] = rep
+		}
+	}
+	writeJSON(w, merged)
+}
+
+// handleMetrics merges every node's Prometheus exposition, tagging
+// each sample with instance="<peer id>" (see merge.go), then appends
+// the router's own series.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), "/metrics")
+	parts := make([]peerExposition, 0, len(results))
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		parts = append(parts, peerExposition{instance: res.peer.ID, body: string(res.body)})
+	}
+	merged, err := mergeExpositions(parts)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "merging node metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, merged)
+	rt.writeOwnMetrics(w)
+}
+
+func (rt *Router) writeOwnMetrics(w io.Writer) {
+	rt.mu.Lock()
+	peers := make([]string, 0, len(rt.forwards))
+	for id := range rt.forwards {
+		peers = append(peers, id)
+	}
+	sort.Strings(peers)
+	counts := make([]int64, len(peers))
+	for i, id := range peers {
+		counts[i] = rt.forwards[id]
+	}
+	scatters, errors := rt.scatters, rt.errors
+	rt.mu.Unlock()
+	fmt.Fprintf(w, "# HELP cadd_router_forwards_total Stream-scoped requests the router sent to each node.\n# TYPE cadd_router_forwards_total counter\n")
+	if len(peers) == 0 {
+		fmt.Fprintf(w, "cadd_router_forwards_total 0\n")
+	}
+	for i, id := range peers {
+		fmt.Fprintf(w, "cadd_router_forwards_total{peer=%q} %d\n", id, counts[i])
+	}
+	fmt.Fprintf(w, "# HELP cadd_router_scatters_total Cluster-wide fan-out requests served.\n# TYPE cadd_router_scatters_total counter\ncadd_router_scatters_total %d\n", scatters)
+	fmt.Fprintf(w, "# HELP cadd_router_scatter_errors_total Scatter legs that failed (peer marked unhealthy).\n# TYPE cadd_router_scatter_errors_total counter\ncadd_router_scatter_errors_total %d\n", errors)
+}
+
+// routerHealth is the router's /healthz body: its own liveness plus
+// every peer's.
+type routerHealth struct {
+	Status string          `json:"status"`
+	Role   string          `json:"role"`
+	Peers  map[string]bool `json:"peers"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, routerHealth{Status: "ok", Role: "router", Peers: rt.cfg.Membership.Health()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, "{\n  \"error\": %s\n}\n", msg)
+}

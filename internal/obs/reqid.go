@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// RequestIDHeader is the header that carries a request's correlation id
+// across every hop: client → router → owning node → (proxied) peer. A
+// scatter-gather fan-out stamps one id on all its legs, so the spans
+// and logs the legs produce on different nodes join on the same id.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted ids so a hostile header cannot bloat
+// logs and span attributes.
+const maxRequestIDLen = 64
+
+// EnsureRequestID returns the request id from h, minting a random 8-byte
+// hex id into the header when absent. Over-long ids are truncated (and
+// rewritten into the header truncated, so every downstream hop agrees on
+// the id). The returned id is "" only in the vanishingly unlikely case
+// that the system's entropy source fails.
+func EnsureRequestID(h http.Header) string {
+	id := h.Get(RequestIDHeader)
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+		h.Set(RequestIDHeader, id)
+	}
+	if id == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			id = hex.EncodeToString(b[:])
+			h.Set(RequestIDHeader, id)
+		}
+	}
+	return id
+}

@@ -1,0 +1,213 @@
+// Package promtext validates Prometheus text exposition format
+// (version 0.0.4), stdlib only. It began life inside the service
+// package's metrics tests; the cluster router's aggregated /metrics —
+// which merges several nodes' expositions into one — reuses the same
+// linter, so both the single-node and the merged form are held to one
+// standard: HELP/TYPE before samples, no duplicate TYPE lines,
+// histogram buckets cumulative and monotone in le, +Inf equal to
+// _count, and every sample lexing as name{labels} value.
+package promtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stats summarizes a linted exposition.
+type Stats struct {
+	// Samples is the number of sample lines.
+	Samples int
+	// Types maps each declared metric name to its TYPE.
+	Types map[string]string
+	// HistogramSeries is the number of distinct histogram series
+	// (name plus non-le labels).
+	HistogramSeries int
+}
+
+type histState struct {
+	lastLe    float64
+	lastCount float64
+	infCount  float64
+	haveInf   bool
+}
+
+// Lint parses body as Prometheus text exposition and returns an error
+// on the first violation. On success it returns summary statistics so
+// callers can additionally assert coverage (e.g. "metric X is
+// present").
+func Lint(body string) (Stats, error) {
+	stats := Stats{Types: map[string]string{}}
+	hists := map[string]*histState{} // per series (name + non-le labels)
+	counts := map[string]float64{}   // per-series _count values
+
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			return stats, fmt.Errorf("line %d: empty line in exposition", lineNo)
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				return stats, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if _, dup := stats.Types[name]; dup {
+					return stats, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					return stats, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				stats.Types[name] = fields[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return stats, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return stats, fmt.Errorf("line %d: no value separator in %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			return stats, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		name, labelPart := key, ""
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return stats, fmt.Errorf("line %d: unterminated label set in %q", lineNo, key)
+			}
+			name, labelPart = key[:i], key[i+1:len(key)-1]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && stats.Types[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		declared, ok := stats.Types[base]
+		if !ok {
+			return stats, fmt.Errorf("line %d: sample %s has no TYPE declaration before it", lineNo, name)
+		}
+		stats.Samples++
+
+		if declared != "histogram" {
+			if declared == "counter" && val < 0 {
+				return stats, fmt.Errorf("line %d: negative counter %s = %g", lineNo, name, val)
+			}
+			continue
+		}
+		// Histogram sample: split off the le label to track bucket
+		// monotonicity per series. The label set is parsed properly —
+		// le may appear in any position (merged expositions append an
+		// instance label after it).
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			leStr, rest, err := extractLabel(labelPart, "le")
+			if err != nil {
+				return stats, fmt.Errorf("line %d: %v in %q", lineNo, err, line)
+			}
+			if leStr == "" {
+				return stats, fmt.Errorf("line %d: bucket sample without le label: %q", lineNo, line)
+			}
+			series := base + "{" + rest + "}"
+			st := hists[series]
+			if st == nil {
+				st = &histState{lastLe: -1}
+				hists[series] = st
+			}
+			if leStr == "+Inf" {
+				st.infCount, st.haveInf = val, true
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return stats, fmt.Errorf("line %d: bad le %q", lineNo, leStr)
+				}
+				if st.haveInf {
+					return stats, fmt.Errorf("line %d: finite bucket after +Inf in %s", lineNo, series)
+				}
+				if le <= st.lastLe {
+					return stats, fmt.Errorf("line %d: le=%g not increasing (prev %g) in %s", lineNo, le, st.lastLe, series)
+				}
+				st.lastLe = le
+			}
+			if val < st.lastCount {
+				return stats, fmt.Errorf("line %d: bucket count %g decreased (prev %g) in %s", lineNo, val, st.lastCount, series)
+			}
+			st.lastCount = val
+		case strings.HasSuffix(name, "_count"):
+			_, rest, err := extractLabel(labelPart, "le")
+			if err != nil {
+				return stats, fmt.Errorf("line %d: %v in %q", lineNo, err, line)
+			}
+			counts[base+"{"+rest+"}"] = val
+		}
+	}
+
+	for series, st := range hists {
+		if !st.haveInf {
+			return stats, fmt.Errorf("histogram %s has no +Inf bucket", series)
+		}
+		cnt, ok := counts[series]
+		if !ok {
+			return stats, fmt.Errorf("histogram %s has no _count sample", series)
+		}
+		if cnt != st.infCount {
+			return stats, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, cnt, st.infCount)
+		}
+	}
+	stats.HistogramSeries = len(hists)
+	return stats, nil
+}
+
+// extractLabel parses a label set ('k1="v1",k2="v2"' — no braces) and
+// returns the named label's value plus the remaining labels rejoined in
+// their original order. A missing label returns "" with the set intact;
+// a malformed set is an error.
+func extractLabel(labelPart, name string) (value, rest string, err error) {
+	if labelPart == "" {
+		return "", "", nil
+	}
+	var kept []string
+	s := labelPart
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return "", "", fmt.Errorf("malformed label set %q", labelPart)
+		}
+		key := s[:eq]
+		// Scan the quoted value, honoring backslash escapes.
+		i := eq + 2
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label value in %q", labelPart)
+		}
+		val := s[eq+2 : i]
+		if key == name {
+			value = val
+		} else {
+			kept = append(kept, s[:i+1])
+		}
+		s = s[i+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return "", "", fmt.Errorf("malformed label set %q", labelPart)
+			}
+			s = s[1:]
+		}
+	}
+	return value, strings.Join(kept, ","), nil
+}

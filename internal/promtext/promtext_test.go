@@ -1,0 +1,66 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const validExposition = `# HELP reqs_total Requests served.
+# TYPE reqs_total counter
+reqs_total{code="200"} 41
+reqs_total{code="500"} 1
+# HELP lat_seconds Request latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="1"} 5
+lat_seconds_bucket{le="+Inf"} 7
+lat_seconds_sum 4.2
+lat_seconds_count 7
+# HELP up Server liveness.
+# TYPE up gauge
+up 1
+`
+
+func TestLintValid(t *testing.T) {
+	stats, err := Lint(validExposition)
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if stats.Samples != 8 {
+		t.Fatalf("Samples = %d, want 8", stats.Samples)
+	}
+	if stats.HistogramSeries != 1 {
+		t.Fatalf("HistogramSeries = %d, want 1", stats.HistogramSeries)
+	}
+	if stats.Types["lat_seconds"] != "histogram" || stats.Types["up"] != "gauge" {
+		t.Fatalf("Types = %v", stats.Types)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty line", "# TYPE a counter\na 1\n\na 2\n", "empty line"},
+		{"duplicate TYPE", "# TYPE a counter\na 1\n# TYPE a counter\n", "duplicate TYPE"},
+		{"sample before TYPE", "a 1\n", "no TYPE declaration"},
+		{"negative counter", "# TYPE a counter\na -1\n", "negative counter"},
+		{"bad value", "# TYPE a counter\na x\n", "bad value"},
+		{"unknown type", "# TYPE a enum\n", "unknown type"},
+		{"le not increasing", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n", "not increasing"},
+		{"bucket not cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "decreased"},
+		{"inf != count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n", "_count"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Lint(tc.body)
+			if err == nil {
+				t.Fatalf("Lint accepted:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

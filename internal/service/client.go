@@ -106,14 +106,35 @@ type Client struct {
 	retry RetryPolicy // zero MaxAttempts: retries disabled
 }
 
+// NewPooledTransport returns an http.Transport tuned for sustained
+// many-worker traffic against a small set of cadd hosts. The stdlib
+// default keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so a replayer with more than 2
+// concurrent pushers churns through fresh TCP connections — every push
+// past the pool pays a handshake and loses the warm congestion window.
+// 128 idle connections per host covers any realistic worker count;
+// idle connections are dropped after 90s.
+func NewPooledTransport() *http.Transport {
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		tr = &http.Transport{}
+	}
+	tr = tr.Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 128
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8470"). A nil httpClient gets a dedicated client
-// with DefaultTimeout, not http.DefaultClient, whose lack of a timeout
-// turns an unresponsive server into a goroutine leak. Retries are off
-// until WithRetry.
+// with DefaultTimeout and a pooled transport (NewPooledTransport), not
+// http.DefaultClient, whose lack of a timeout turns an unresponsive
+// server into a goroutine leak and whose 2-per-host idle pool throttles
+// concurrent pushers. Retries are off until WithRetry.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: DefaultTimeout}
+		httpClient = &http.Client{Timeout: DefaultTimeout, Transport: NewPooledTransport()}
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
 }
@@ -184,24 +205,49 @@ func (c *Client) classify(err error, idempotent bool) (advised time.Duration, re
 	return 0, idempotent // transport error: the request may have landed
 }
 
-// once issues exactly one HTTP request, translating error statuses
+// maxRedirects bounds how many 307/308 hops once will follow — enough
+// for a cluster router redirect plus a stale-ownership correction, and
+// small enough that a redirect loop fails fast.
+const maxRedirects = 3
+
+// once issues one logical HTTP request, translating error statuses
 // into *StatusError and always draining the response body so the
-// underlying connection is reusable.
+// underlying connection is reusable. A 307/308 from a cluster router
+// running in redirect mode is followed (bounded by maxRedirects) with
+// the method and body preserved, whether or not the injected
+// http.Client does its own redirect following.
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
+	target := c.base + path
+	var resp *http.Response
+	for hop := 0; ; hop++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, target, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if resp, err = c.hc.Do(req); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTemporaryRedirect && resp.StatusCode != http.StatusPermanentRedirect {
+			break
+		}
+		loc := resp.Header.Get("Location")
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if loc == "" || hop >= maxRedirects {
+			return fmt.Errorf("service: %s %s: redirect to %q refused after %d hops", method, path, loc, hop+1)
+		}
+		u, err := req.URL.Parse(loc)
+		if err != nil {
+			return fmt.Errorf("service: %s %s: bad redirect location %q: %w", method, path, loc, err)
+		}
+		target = u.String()
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
@@ -319,6 +365,15 @@ func (c *Client) PushSnapshotAt(ctx context.Context, id string, snap Snapshot, i
 func (c *Client) Report(ctx context.Context, id string) (core.ReportJSON, error) {
 	var out core.ReportJSON
 	err := c.do(ctx, http.MethodGet, "/v1/streams/"+id+"/report", nil, &out)
+	return out, err
+}
+
+// Reports fetches every stream's report in one request, keyed by
+// stream id — against a cluster router this is the scatter-gathered
+// union across all nodes.
+func (c *Client) Reports(ctx context.Context) (map[string]core.ReportJSON, error) {
+	var out map[string]core.ReportJSON
+	err := c.do(ctx, http.MethodGet, "/v1/reports", nil, &out)
 	return out, err
 }
 

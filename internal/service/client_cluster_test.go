@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestNewPooledTransportSettings pins the keep-alive pool the default
+// client ships with: the stdlib's 2-idle-connections-per-host default
+// would force every concurrent pusher past the second onto a fresh TCP
+// connection.
+func TestNewPooledTransportSettings(t *testing.T) {
+	tr := NewPooledTransport()
+	if tr.MaxIdleConnsPerHost < 128 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want >= 128 (must cover any realistic worker count)", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConns = %d < MaxIdleConnsPerHost = %d", tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
+	}
+	if tr.IdleConnTimeout <= 0 {
+		t.Fatal("IdleConnTimeout unset: idle connections would live forever")
+	}
+
+	cl := NewClient("http://example.invalid", nil)
+	got, ok := cl.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", cl.hc.Transport)
+	}
+	if got.MaxIdleConnsPerHost != tr.MaxIdleConnsPerHost {
+		t.Fatalf("default client MaxIdleConnsPerHost = %d, want %d", got.MaxIdleConnsPerHost, tr.MaxIdleConnsPerHost)
+	}
+}
+
+// TestClientFollowsRouterRedirects: a cluster router in redirect mode
+// answers stream-scoped calls with 307 + the owner's URL. The typed
+// client must follow with the method and body intact — even when its
+// http.Client has redirect following disabled.
+func TestClientFollowsRouterRedirects(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.Method != http.MethodPost || !strings.Contains(string(body), `"edges"`) {
+			t.Errorf("owner saw %s with body %q, want the original POST body", r.Method, body)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(PushResult{Stream: "s", Queued: true})
+	}))
+	defer owner.Close()
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}))
+	defer router.Close()
+
+	// ErrUseLastResponse forces the manual follow in Client.once.
+	hc := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	res, err := NewClient(router.URL, hc).Push(context.Background(), "s", smallGraph(t), false)
+	if err != nil {
+		t.Fatalf("push through redirect: %v", err)
+	}
+	if !res.Queued {
+		t.Fatalf("result %+v, want the owner's queued ack", res)
+	}
+}
+
+// TestClientBoundsRedirectLoops: a misconfigured pair of routers
+// pointing at each other must fail fast, not spin.
+func TestClientBoundsRedirectLoops(t *testing.T) {
+	var calls int32
+	var hs *httptest.Server
+	hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Redirect(w, r, hs.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	}))
+	defer hs.Close()
+
+	hc := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	_, err := NewClient(hs.URL, hc).StreamInfo(context.Background(), "s")
+	if err == nil || !strings.Contains(err.Error(), "redirect") {
+		t.Fatalf("want a redirect-loop error, got %v", err)
+	}
+	if n := atomic.LoadInt32(&calls); n > maxRedirects+1 {
+		t.Fatalf("redirect loop made %d requests, want <= %d", n, maxRedirects+1)
+	}
+}

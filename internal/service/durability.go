@@ -61,6 +61,9 @@ type journal struct {
 	streamID      string
 	logger        *slog.Logger
 	metrics       *metrics
+	// sink, when set, receives every frame and snapshot this journal
+	// writes, byte-for-byte — the WAL-shipping tap behind warm failover.
+	sink ReplicationSink
 	// failed is atomic because the governor reads it from outside the
 	// worker goroutine when deciding whether a stream can hibernate
 	// (a failed journal cannot produce the snapshot hibernation needs).
@@ -101,12 +104,21 @@ func (j *journal) recordPush(d *pushJournalData) {
 	}
 	rec.Digest = wal.StateDigest(j.chain, d.instance, d.delta, d.evicted, d.total)
 	payload, err := wal.EncodeRecord(rec)
+	var frame []byte
 	if err == nil {
-		err = j.log.Append(payload)
+		frame, err = wal.EncodeFrame(payload)
+	}
+	if err == nil {
+		// The frame is encoded once and both appended locally and
+		// shipped, so the follower's log stays byte-identical to ours.
+		err = j.log.AppendFrame(frame)
 	}
 	if err != nil {
 		j.fail("append", err)
 		return
+	}
+	if j.sink != nil {
+		j.sink.ShipFrame(j.streamID, frame)
 	}
 	j.chain = rec.Digest
 	j.sinceSnapshot++
@@ -134,6 +146,11 @@ func (j *journal) compact(st *core.OnlineState) {
 	if err != nil {
 		j.fail("snapshot", err)
 		return
+	}
+	if j.sink != nil {
+		// A snapshot op rewrites the follower's full stream state
+		// (snapshot file + log truncate), mirroring the reset above.
+		j.sink.ShipSnapshot(j.streamID, payload)
 	}
 	j.sinceSnapshot = 0
 }
@@ -368,7 +385,12 @@ func (s *Server) Recover() error {
 			s.metrics.add("cadd_recovery_failures_total", labels("stream", id), 1)
 			s.cfg.Logger.Error("stream recovery failed; directory left for inspection",
 				"stream", id, "dir", dir, "err", err)
+			continue
 		}
+		// A follower attached at boot starts from nothing: ship the
+		// whole on-disk baseline so subsequent frames land on a stream
+		// the replica actually has.
+		s.shipBaseline(id)
 	}
 	return nil
 }
@@ -447,6 +469,7 @@ func (s *Server) recoverOne(id, dir string) error {
 			streamID:      id,
 			logger:        s.cfg.Logger,
 			metrics:       s.metrics,
+			sink:          s.cfg.Replication,
 		}
 		st := startStream(id, cfg, s.metrics, s.cfg.Logger, det, int64(rs.state.T), j, nil, s.sizedFor(id))
 		e = &entry{id: id, st: st}
@@ -468,7 +491,7 @@ func (s *Server) recoverOne(id, dir string) error {
 // config.json (written atomically so recovery never sees a torn one)
 // and an empty log. Caller (CreateStream) has already refused ids with
 // leftover unrecovered data.
-func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync bool, logger *slog.Logger, m *metrics) (*journal, error) {
+func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync bool, logger *slog.Logger, m *metrics, sink ReplicationSink) (*journal, error) {
 	dir := streamDir(dataDir, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: stream %q: %w", id, err)
@@ -477,7 +500,8 @@ func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync b
 	if err != nil {
 		return nil, fmt.Errorf("service: stream %q config: %w", id, err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, streamConfigFile), append(cfgJSON, '\n')); err != nil {
+	cfgLine := append(append([]byte(nil), cfgJSON...), '\n')
+	if err := writeFileAtomic(filepath.Join(dir, streamConfigFile), cfgLine); err != nil {
 		return nil, fmt.Errorf("service: stream %q: %w", id, err)
 	}
 	log, _, err := wal.Open(filepath.Join(dir, streamWALFile), wal.Options{Fsync: fsync}, func([]byte) error {
@@ -485,6 +509,11 @@ func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync b
 	})
 	if err != nil {
 		return nil, fmt.Errorf("service: stream %q: %w", id, err)
+	}
+	if sink != nil {
+		// Ship the exact bytes written to config.json, newline included,
+		// so the follower's copy is byte-identical.
+		sink.ShipConfig(id, cfgLine)
 	}
 	return &journal{
 		log:           log,
@@ -494,6 +523,7 @@ func newJournal(dataDir, id string, cfg StreamConfig, snapshotEvery int, fsync b
 		streamID:      id,
 		logger:        logger,
 		metrics:       m,
+		sink:          sink,
 	}, nil
 }
 

@@ -1,12 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -20,6 +20,11 @@ import (
 // applies.
 const maxSnapshotBytes = 64 << 20
 
+// NodeHeader names the cluster node that actually served a response.
+// The router and the node-side forwarding middleware leave it intact,
+// so a client (or test) can always see where a request landed.
+const NodeHeader = "X-Cadd-Node"
+
 // Handler builds the server's HTTP API. Routes use the Go 1.22 method
 // + wildcard mux patterns. Every request gets an id (the caller's
 // X-Request-ID, or a generated one) that is echoed in the response,
@@ -31,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /streams", s.handleAdminStreams)
 	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	mux.HandleFunc("GET /v1/reports", s.handleReports)
 	mux.HandleFunc("PUT /v1/streams/{id}", s.handleCreateStream)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamInfo)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
@@ -45,20 +51,18 @@ type requestIDKey struct{}
 
 // withRequestID assigns every request its id: the caller's X-Request-ID
 // (truncated to 64 characters) or a random one. The id is echoed in the
-// response header so clients can correlate retries, traces and logs.
+// response header so clients can correlate retries, traces and logs;
+// obs.EnsureRequestID also writes the id back into the request headers,
+// so a node that proxies a misrouted request forwards the same id and
+// both nodes' logs join on it. When the server has a cluster node id,
+// the response also names which node actually served the request.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get("X-Request-ID")
-		if len(id) > 64 {
-			id = id[:64]
+		id := obs.EnsureRequestID(r.Header)
+		w.Header().Set(obs.RequestIDHeader, id)
+		if s.cfg.NodeID != "" {
+			w.Header().Set(NodeHeader, s.cfg.NodeID)
 		}
-		if id == "" {
-			var b [8]byte
-			if _, err := rand.Read(b[:]); err == nil {
-				id = hex.EncodeToString(b[:])
-			}
-		}
-		w.Header().Set("X-Request-ID", id)
 		s.cfg.Logger.Debug("http request", "method", r.Method, "path", r.URL.Path, "request_id", id)
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
 	})
@@ -96,7 +100,7 @@ func writeAcquireError(w http.ResponseWriter, id string, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Streams: s.NumStreams()})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Streams: s.NumStreams(), Node: s.cfg.NodeID})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -107,9 +111,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	infos := s.ListStreams()
 	fmt.Fprintf(w, "# HELP cadd_streams Live detection streams.\n# TYPE cadd_streams gauge\n")
 	writeGauge(w, "cadd_streams", "", float64(len(infos)))
-	if len(infos) == 0 {
-		return
+	if len(infos) > 0 {
+		s.writeStreamMetrics(w, infos)
 	}
+	// Cluster components (membership, forward proxy, replicator)
+	// publish their series through the node's own scrape endpoint —
+	// even with zero streams, so an idle node or standby still reports
+	// peer liveness and replication progress.
+	for _, extra := range s.cfg.ExtraMetrics {
+		extra(w)
+	}
+}
+
+// writeStreamMetrics emits the per-stream scrape-time gauges; split
+// out so an empty registry can skip it without skipping the rest of
+// the exposition.
+func (s *Server) writeStreamMetrics(w io.Writer, infos []StreamInfo) {
 	fmt.Fprintf(w, "# HELP cadd_queue_depth Snapshots waiting in a stream's bounded queue.\n# TYPE cadd_queue_depth gauge\n")
 	for _, info := range infos {
 		writeGauge(w, "cadd_queue_depth", labels("stream", info.ID), float64(info.QueueDepth))
@@ -132,6 +149,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeGauge(w, "cadd_hibernated_streams", "", float64(hibernated))
 	fmt.Fprintf(w, "# HELP cadd_resident_bytes Estimated resident bytes of all live detector state (budget ledger total).\n# TYPE cadd_resident_bytes gauge\n")
 	writeGauge(w, "cadd_resident_bytes", "", float64(s.AccountedBytes()))
+}
+
+// handleReports serves every registered stream's report in one
+// response, keyed by stream id — the bulk form the cluster router
+// scatter-gathers so a cross-cluster report is one request per node
+// rather than one per stream. Hibernated streams are rehydrated, like
+// the single-stream endpoint would.
+func (s *Server) handleReports(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]json.RawMessage)
+	for _, info := range s.ListStreams() {
+		st, err := s.acquire(info.ID)
+		if err != nil {
+			continue // deleted between the listing and the acquire
+		}
+		var buf bytes.Buffer
+		if err := core.WriteReportJSON(&buf, st.report()); err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding report for %q: %v", info.ID, err)
+			return
+		}
+		out[info.ID] = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleAdminStreams serves the read-only memory-governance view:

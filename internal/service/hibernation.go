@@ -262,6 +262,7 @@ func (s *Server) journalFor(id string, rs *recoveredStream) *journal {
 		streamID:      id,
 		logger:        s.cfg.Logger,
 		metrics:       s.metrics,
+		sink:          s.cfg.Replication,
 	}
 }
 

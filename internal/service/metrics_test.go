@@ -3,9 +3,10 @@ package service
 import (
 	"bytes"
 	"fmt"
-	"strconv"
 	"strings"
 	"testing"
+
+	"dyngraph/internal/promtext"
 )
 
 // TestLabelsCanonicalForm pins the label-string contract every series
@@ -77,7 +78,9 @@ func TestHistogramBucketRegistration(t *testing.T) {
 // TestMetricsExpositionValidity is a parser-style check of the full
 // /metrics output after real traffic: HELP/TYPE precede their samples,
 // histogram buckets are cumulative and monotone in le, the +Inf bucket
-// equals _count, and every sample line lexes as name{labels} value.
+// equals _count, and every sample line lexes as name{labels} value. The
+// parser itself lives in internal/promtext so the cluster router's
+// merged /metrics is held to the same standard.
 func TestMetricsExpositionValidity(t *testing.T) {
 	srv, _ := newTestServer(t, Config{})
 	if err := srv.CreateStream("fmt", StreamConfig{L: 3, SlowPushSeconds: 1e-9, TraceBuffer: 1}); err != nil {
@@ -91,139 +94,19 @@ func TestMetricsExpositionValidity(t *testing.T) {
 	}
 	body := getPath(t, srv, "/metrics").Body.String()
 
-	type histState struct {
-		lastLe    float64
-		lastCount float64
-		infCount  float64
-		haveInf   bool
+	stats, err := promtext.Lint(body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
 	}
-	hists := map[string]*histState{} // per series (name + non-le labels)
-	types := map[string]string{}     // metric name → declared type
-	counts := map[string]float64{}   // per-series _count values
-	var samples int
-
-	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		lineNo := ln + 1
-		if line == "" {
-			t.Fatalf("line %d: empty line in exposition", lineNo)
-		}
-		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
-			fields := strings.SplitN(line, " ", 4)
-			if len(fields) < 4 {
-				t.Fatalf("line %d: malformed comment %q", lineNo, line)
-			}
-			if fields[1] == "TYPE" {
-				name := fields[2]
-				if _, dup := types[name]; dup {
-					t.Fatalf("line %d: duplicate TYPE for %s", lineNo, name)
-				}
-				switch fields[3] {
-				case "counter", "gauge", "histogram":
-				default:
-					t.Fatalf("line %d: unknown type %q", lineNo, fields[3])
-				}
-				types[name] = fields[3]
-			}
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
-		}
-
-		// Sample line: name[{labels}] value
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			t.Fatalf("line %d: no value separator in %q", lineNo, line)
-		}
-		key, valStr := line[:sp], line[sp+1:]
-		val, err := strconv.ParseFloat(valStr, 64)
-		if err != nil && valStr != "+Inf" {
-			t.Fatalf("line %d: bad value %q: %v", lineNo, valStr, err)
-		}
-		name, labelPart := key, ""
-		if i := strings.IndexByte(key, '{'); i >= 0 {
-			if !strings.HasSuffix(key, "}") {
-				t.Fatalf("line %d: unterminated label set in %q", lineNo, key)
-			}
-			name, labelPart = key[:i], key[i+1:len(key)-1]
-		}
-		base := name
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if b, ok := strings.CutSuffix(name, suffix); ok && types[b] == "histogram" {
-				base = b
-				break
-			}
-		}
-		declared, ok := types[base]
-		if !ok {
-			t.Fatalf("line %d: sample %s has no TYPE declaration before it", lineNo, name)
-		}
-		samples++
-
-		if declared != "histogram" {
-			if declared == "counter" && val < 0 {
-				t.Fatalf("line %d: negative counter %s = %g", lineNo, name, val)
-			}
-			continue
-		}
-		// Histogram sample: split off the le label to track bucket
-		// monotonicity per series.
-		switch {
-		case strings.HasSuffix(name, "_bucket"):
-			leIdx := strings.LastIndex(labelPart, `le="`)
-			if leIdx < 0 {
-				t.Fatalf("line %d: bucket sample without le label: %q", lineNo, line)
-			}
-			leStr := labelPart[leIdx+4 : len(labelPart)-1]
-			series := base + "{" + strings.TrimSuffix(labelPart[:leIdx], ",") + "}"
-			st := hists[series]
-			if st == nil {
-				st = &histState{lastLe: -1}
-				hists[series] = st
-			}
-			if leStr == "+Inf" {
-				st.infCount, st.haveInf = val, true
-			} else {
-				le, err := strconv.ParseFloat(leStr, 64)
-				if err != nil {
-					t.Fatalf("line %d: bad le %q", lineNo, leStr)
-				}
-				if st.haveInf {
-					t.Fatalf("line %d: finite bucket after +Inf in %s", lineNo, series)
-				}
-				if le <= st.lastLe {
-					t.Fatalf("line %d: le=%g not increasing (prev %g) in %s", lineNo, le, st.lastLe, series)
-				}
-				st.lastLe = le
-			}
-			if val < st.lastCount {
-				t.Fatalf("line %d: bucket count %g decreased (prev %g) in %s", lineNo, val, st.lastCount, series)
-			}
-			st.lastCount = val
-		case strings.HasSuffix(name, "_count"):
-			counts[base+"{"+labelPart+"}"] = val
-		}
-	}
-	if samples == 0 {
+	if stats.Samples == 0 {
 		t.Fatal("no samples in exposition")
 	}
-	if len(hists) == 0 {
+	if stats.HistogramSeries == 0 {
 		t.Fatal("no histogram series in exposition")
 	}
-	for series, st := range hists {
-		if !st.haveInf {
-			t.Errorf("histogram %s has no +Inf bucket", series)
-		}
-		cnt, ok := counts[series]
-		if !ok {
-			t.Errorf("histogram %s has no _count sample", series)
-		} else if cnt != st.infCount {
-			t.Errorf("histogram %s: _count %g != +Inf bucket %g", series, cnt, st.infCount)
-		}
-	}
-	// Spot-check the series this PR added are actually in the scrape.
+	// Spot-check the observability series are actually in the scrape.
 	for _, want := range []string{"cadd_push_stage_seconds", "cadd_trace_drops_total", "cadd_slow_pushes_total"} {
-		if _, ok := types[want]; !ok {
+		if _, ok := stats.Types[want]; !ok {
 			t.Errorf("exposition missing %s", want)
 		}
 	}

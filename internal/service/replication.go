@@ -1,0 +1,100 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dyngraph/internal/wal"
+)
+
+// A ReplicationSink receives a durable server's journal artifacts as
+// they are produced, byte-for-byte: the config line written at stream
+// creation, every WAL frame as it is appended, every compact snapshot
+// payload, whole-log baselines, and deletions. internal/cluster
+// implements it as an asynchronous shipper to a warm follower whose
+// data directory stays byte-identical to the primary's, so failover is
+// a rename plus the ordinary recovery path.
+//
+// ShipFrame is called from stream worker goroutines on the push path;
+// implementations must enqueue and return, never block. Callers retain
+// no reference to the byte slices after the call, so sinks may hold
+// them without copying.
+type ReplicationSink interface {
+	// ShipConfig delivers the exact contents of a stream's config.json.
+	ShipConfig(stream string, cfgLine []byte)
+	// ShipFrame delivers one encoded WAL frame, exactly the bytes
+	// appended to the primary's wal.log.
+	ShipFrame(stream string, frame []byte)
+	// ShipSnapshot delivers a compact-snapshot payload (the argument to
+	// wal.WriteSnapshotFile). Applying it also truncates the follower's
+	// log, mirroring the primary's post-snapshot reset — so a snapshot
+	// rewrites the stream's full replicated state.
+	ShipSnapshot(stream string, payload []byte)
+	// ShipWAL delivers the stream's whole current wal.log, replacing
+	// the follower's copy. Used for baselines (boot, re-attach), where
+	// per-frame shipping cannot reconstruct history the follower missed.
+	ShipWAL(stream string, data []byte)
+	// ShipDelete removes the stream from the follower.
+	ShipDelete(stream string)
+}
+
+// shipBaseline ships a stream's full on-disk journal — config, compact
+// snapshot when present, and the current log — so a follower that has
+// nothing for the stream (fresh attach, boot recovery) reaches the
+// exact state subsequent frames will append to. Ordering is safe
+// because the stream's worker (the only frame source) starts after the
+// recovery paths that call this.
+func (s *Server) shipBaseline(id string) {
+	sink := s.cfg.Replication
+	if sink == nil || s.cfg.DataDir == "" {
+		return
+	}
+	dir := streamDir(s.cfg.DataDir, id)
+	cfgLine, err := os.ReadFile(filepath.Join(dir, streamConfigFile))
+	if err != nil {
+		s.cfg.Logger.Error("replication baseline: reading config failed", "stream", id, "err", err)
+		return
+	}
+	sink.ShipConfig(id, cfgLine)
+	snap, err := wal.ReadSnapshotFile(filepath.Join(dir, streamSnapshotFile))
+	switch {
+	case err == nil:
+		sink.ShipSnapshot(id, snap)
+	case errors.Is(err, wal.ErrNoSnapshot):
+	default:
+		s.cfg.Logger.Error("replication baseline: reading snapshot failed", "stream", id, "err", err)
+		return
+	}
+	logData, err := os.ReadFile(filepath.Join(dir, streamWALFile))
+	if err != nil && !os.IsNotExist(err) {
+		s.cfg.Logger.Error("replication baseline: reading log failed", "stream", id, "err", err)
+		return
+	}
+	if len(logData) > 0 {
+		sink.ShipWAL(id, logData)
+	}
+}
+
+// RecoverStream restores and registers the single stream whose journal
+// directory is already in place under DataDir — the promotion path: a
+// follower moves a replicated stream directory into streams/ and calls
+// this to bring the warm copy live. Recovery runs the same digest-chain
+// and contiguity verification as boot, so an inconsistent replica is
+// refused rather than promoted.
+func (s *Server) RecoverStream(id string) error {
+	if s.cfg.DataDir == "" {
+		return fmt.Errorf("service: recovering stream %q requires a data dir", id)
+	}
+	dir := streamDir(s.cfg.DataDir, id)
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("service: recovering stream %q: %w", id, err)
+	}
+	if err := s.recoverOne(id, dir); err != nil {
+		s.metrics.add("cadd_recovery_failures_total", labels("stream", id), 1)
+		return fmt.Errorf("service: recovering stream %q: %w", id, err)
+	}
+	s.shipBaseline(id)
+	return nil
+}

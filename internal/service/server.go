@@ -63,6 +63,23 @@ type Config struct {
 	// crossing the high watermark additionally kicks a pass
 	// immediately.
 	GovernorInterval time.Duration
+
+	// Replication, when set, receives every stream's journal artifacts
+	// as they are produced — config at creation, each WAL frame as it
+	// is appended, each compact snapshot, deletions — so a follower can
+	// maintain a byte-identical copy of the data directory (see
+	// internal/cluster). Requires DataDir. Sink methods are called from
+	// stream worker goroutines and must not block.
+	Replication ReplicationSink
+	// ExtraMetrics are appended to the /metrics exposition after the
+	// server's own series — the hook cluster components (forward proxy,
+	// replicator) use to publish their counters through the node's
+	// scrape endpoint.
+	ExtraMetrics []func(io.Writer)
+	// NodeID, when non-empty, names this server in a cluster: responses
+	// carry it in the X-Cadd-Node header and /healthz reports it, so
+	// clients and tests can see which node actually served a request.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -197,7 +214,7 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 			return fmt.Errorf("service: stream %q has unrecovered journal data at %s; remove the directory to discard it", id, dir)
 		}
 		var err error
-		j, err = newJournal(s.cfg.DataDir, id, cfg, s.cfg.SnapshotEvery, s.cfg.Fsync, s.cfg.Logger, s.metrics)
+		j, err = newJournal(s.cfg.DataDir, id, cfg, s.cfg.SnapshotEvery, s.cfg.Fsync, s.cfg.Logger, s.metrics, s.cfg.Replication)
 		if err != nil {
 			return err
 		}
@@ -243,6 +260,9 @@ func (s *Server) DeleteStream(id string) bool {
 		if err := os.RemoveAll(streamDir(s.cfg.DataDir, id)); err != nil {
 			s.cfg.Logger.Error("removing stream journal failed", "stream", id, "err", err)
 		}
+	}
+	if s.cfg.Replication != nil {
+		s.cfg.Replication.ShipDelete(id)
 	}
 	s.cfg.Logger.Info("stream deleted", "stream", id)
 	return true

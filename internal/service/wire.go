@@ -276,8 +276,10 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body. Node is the serving cluster
+// node's id, omitted outside cluster mode.
 type healthResponse struct {
 	Status  string `json:"status"`
 	Streams int    `json:"streams"`
+	Node    string `json:"node,omitempty"`
 }

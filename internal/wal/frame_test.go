@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEncodeFrameMatchesAppend pins the frame-export invariant behind
+// WAL shipping: EncodeFrame produces exactly the bytes Append puts on
+// disk, so a follower applying shipped frames ends up with a log file
+// byte-identical to the primary's.
+func TestEncodeFrameMatchesAppend(t *testing.T) {
+	dir := t.TempDir()
+	payloads := [][]byte{[]byte("one"), []byte("two-longer-payload"), {0, 1, 2, 0xff}}
+
+	appendPath := filepath.Join(dir, "append.log")
+	l1, _, err := Open(appendPath, Options{}, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	framePath := filepath.Join(dir, "frame.log")
+	l2, _, err := Open(framePath, Options{}, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped bytes.Buffer
+	for _, p := range payloads {
+		if err := l1.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := EncodeFrame(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped.Write(frame)
+		if err := l2.AppendFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(appendPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(framePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("AppendFrame log differs from Append log (%d vs %d bytes)", len(b), len(a))
+	}
+	if !bytes.Equal(a, shipped.Bytes()) {
+		t.Fatalf("on-disk log differs from the concatenated encoded frames")
+	}
+	if n, err := VerifyFrames(a); err != nil || n != len(payloads) {
+		t.Fatalf("VerifyFrames = %d, %v; want %d, nil", n, err, len(payloads))
+	}
+}
+
+func TestVerifyFrameRejectsCorruption(t *testing.T) {
+	frame, err := EncodeFrame([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload, err := VerifyFrame(frame); err != nil || string(payload) != "hello" {
+		t.Fatalf("VerifyFrame(valid) = %q, %v", payload, err)
+	}
+
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := VerifyFrame(flipped); err == nil {
+		t.Fatal("VerifyFrame accepted a corrupt payload")
+	}
+	if _, err := VerifyFrame(frame[:len(frame)-1]); err == nil {
+		t.Fatal("VerifyFrame accepted a truncated frame")
+	}
+	extended := append(append([]byte(nil), frame...), 0x00)
+	if _, err := VerifyFrame(extended); err == nil {
+		t.Fatal("VerifyFrame accepted trailing bytes")
+	}
+	if _, err := VerifyFrame(nil); err == nil {
+		t.Fatal("VerifyFrame accepted an empty frame")
+	}
+
+	two := append(append([]byte(nil), frame...), frame...)
+	if n, err := VerifyFrames(two); err != nil || n != 2 {
+		t.Fatalf("VerifyFrames(two frames) = %d, %v", n, err)
+	}
+	if _, err := VerifyFrames(two[:len(two)-2]); err == nil {
+		t.Fatal("VerifyFrames accepted a torn tail")
+	}
+}

@@ -154,20 +154,94 @@ func (l *Log) replayAndRepair(fn func(payload []byte) error) (Recovery, error) {
 	return rec, nil
 }
 
-// Append writes one record frame. With Options.Fsync the record is
-// durable when Append returns; otherwise durability waits for the OS
-// (or the next Sync call).
-func (l *Log) Append(payload []byte) error {
+// EncodeFrame wraps a payload in the log's frame format —
+// [uint32 length][uint32 CRC32-C][payload] — without writing it
+// anywhere. The frame bytes are exactly what Append would put on disk,
+// which is what makes WAL shipping byte-identical: a primary encodes
+// once, appends the frame locally and streams the same bytes to its
+// follower.
+func EncodeFrame(payload []byte) ([]byte, error) {
 	if len(payload) == 0 {
-		return errors.New("wal: empty record")
+		return nil, errors.New("wal: empty record")
 	}
 	if len(payload) > maxFrameSize {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxFrameSize)
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxFrameSize)
 	}
 	frame := make([]byte, frameHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// VerifyFrame checks that frame is exactly one well-formed record frame
+// and returns its payload (aliasing frame's memory). A replica applies
+// shipped frames only after this check, so a corrupt or truncated
+// segment is refused before it reaches the follower's log.
+func VerifyFrame(frame []byte) ([]byte, error) {
+	if len(frame) < frameHeaderSize+1 {
+		return nil, fmt.Errorf("wal: frame of %d bytes is shorter than a header plus payload", len(frame))
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length == 0 || length > maxFrameSize {
+		return nil, fmt.Errorf("wal: frame declares an invalid payload length %d", length)
+	}
+	if int64(len(frame)) != frameHeaderSize+int64(length) {
+		return nil, fmt.Errorf("wal: frame of %d bytes does not match its declared payload length %d", len(frame), length)
+	}
+	payload := frame[frameHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, errors.New("wal: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// VerifyFrames checks that data is a sequence of well-formed frames
+// with no trailing bytes and returns the record count — the validation
+// a replica runs before adopting a whole shipped log file.
+func VerifyFrames(data []byte) (int, error) {
+	records := 0
+	for off := 0; off < len(data); {
+		if len(data)-off < frameHeaderSize {
+			return records, fmt.Errorf("wal: torn header at offset %d", off)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		if length == 0 || length > maxFrameSize {
+			return records, fmt.Errorf("wal: invalid payload length %d at offset %d", length, off)
+		}
+		end := off + frameHeaderSize + int(length)
+		if end > len(data) {
+			return records, fmt.Errorf("wal: frame at offset %d runs past the end", off)
+		}
+		if _, err := VerifyFrame(data[off:end]); err != nil {
+			return records, fmt.Errorf("wal: frame at offset %d: %w", off, err)
+		}
+		records++
+		off = end
+	}
+	return records, nil
+}
+
+// Append writes one record frame. With Options.Fsync the record is
+// durable when Append returns; otherwise durability waits for the OS
+// (or the next Sync call).
+func (l *Log) Append(payload []byte) error {
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	return l.AppendFrame(frame)
+}
+
+// AppendFrame writes one already-encoded frame (from EncodeFrame, or
+// shipped over the wire and checked with VerifyFrame). The frame lands
+// on disk byte-for-byte, so a follower's log file stays identical to
+// its primary's.
+func (l *Log) AppendFrame(frame []byte) error {
+	if _, err := VerifyFrame(frame); err != nil {
+		return err
+	}
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append to %s: %w", l.path, err)
 	}
