@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke cluster-smoke
+# Build identity stamped into the binaries (cadd -version, the
+# cadd_build_info metric and /statusz). Falls back to "dev" outside a
+# git checkout.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X dyngraph/internal/buildinfo.Version=$(VERSION)
+
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke cluster-smoke obs-smoke install
 
 tier1: vet build test
 
@@ -11,7 +17,11 @@ vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
+
+# Install the version-stamped binaries into GOBIN.
+install:
+	$(GO) install -ldflags '$(LDFLAGS)' ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -80,6 +90,18 @@ hibernate-smoke:
 cluster-smoke:
 	$(GO) test -race -run 'TestCluster' -count=1 ./cmd/cadd
 	$(GO) test -race -count=1 ./internal/cluster
+
+# Observability smoke: real cadd subprocesses — three ring nodes with a
+# push-latency SLO plus the router, built with a stamped version —
+# routed pushes must produce one stitched cross-node trace (validated
+# by internal/tracecheck with a pid per node), a parseable /statusz on
+# every node and the router, and a merged /metrics exposition that
+# lints with exemplars, SLO burn-rate gauges and runtime series. The
+# cadtop render tests ride along so the operations view stays honest
+# against the same document shapes. CI runs this.
+obs-smoke:
+	$(GO) test -race -run 'TestObsSmoke' -count=1 ./cmd/cadd
+	$(GO) test -race -count=1 ./cmd/cadtop
 
 # The durability acceptance test: build the real cadd binary, kill -9
 # it mid-push, restart on the same -data-dir and require the recovered

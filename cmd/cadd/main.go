@@ -8,6 +8,7 @@
 //	cadd [-addr :8470] [-queue 64] [-max-streams 1024]
 //	     [-shutdown-timeout 30s] [-pprof 127.0.0.1:0]
 //	     [-log-format text|json] [-log-level info] [-trace-buffer 64]
+//	     [-slo-push-p99 0.25] [-version]
 //	     [-data-dir /var/lib/cadd] [-fsync always|off] [-snapshot-every 64]
 //	     [-mem-budget 256MiB] [-hibernate-after 10m] [-min-resident 1]
 //	     [-cluster-peers a=http://h1:8470,b=http://h2:8470] [-node-id a]
@@ -25,14 +26,20 @@
 //	                                        429 = queue full, retry later)
 //	GET    /v1/streams/{id}/report          re-thresholded history
 //	GET    /v1/streams/{id}/transitions/{t} one transition's anomalies
-//	GET    /healthz                         liveness
+//	GET    /healthz                         liveness (?verbose=1 = /statusz)
+//	GET    /statusz                         operational snapshot: build,
+//	                                        uptime, residency, SLO burn
+//	                                        rates, runtime stats, slowest
+//	                                        recent pushes
 //	GET    /metrics                         Prometheus text format
 //	GET    /streams                         residency state + resident
 //	                                        bytes per stream (admin)
 //	GET    /debug/traces                    retained push traces (JSON;
-//	                                        ?stream= filters, ?format=chrome
-//	                                        emits Chrome trace_event JSON
-//	                                        for chrome://tracing / Perfetto)
+//	                                        ?stream= filters, ?trace= picks
+//	                                        one distributed trace,
+//	                                        ?format=chrome emits Chrome
+//	                                        trace_event JSON for
+//	                                        chrome://tracing / Perfetto)
 //
 // Structured logs (stream lifecycle, push errors, slow pushes) go to
 // stderr; -log-format json switches them to one-JSON-object-per-line
@@ -42,7 +49,17 @@
 //
 // -trace-buffer sets the per-stream trace retention behind
 // /debug/traces (0 disables tracing for streams that don't set their
-// own trace_buffer).
+// own trace_buffer). Pushes carry a distributed trace context in the
+// X-Cadd-Trace header (W3C-traceparent shaped) — minted here when the
+// caller sends none, continued when the router or a client does — so a
+// routed cluster push yields one cross-node trace, stitched by the
+// router's /debug/traces?trace=<id>. See docs/OBSERVABILITY.md.
+//
+// -slo-push-p99 sets a default per-stream push-latency SLO objective
+// in seconds (at most 1% of pushes may exceed it); burn rates over 5m
+// and 1h windows are exported as cadd_slo_push_burn_rate and in
+// /statusz. Streams override with slo_push_seconds (negative opts
+// out). -version prints the build stamp and exits.
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains every
 // stream's queue (bounded by -shutdown-timeout), and exits — accepted
@@ -117,7 +134,9 @@ import (
 	"syscall"
 	"time"
 
+	"dyngraph/internal/buildinfo"
 	"dyngraph/internal/cluster"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/service"
 )
 
@@ -153,9 +172,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		replicateTo     = fs.String("replicate-to", "", "ship every journal artifact to this standby cadd's /v1/replica API (needs -data-dir)")
 		healthInterval  = fs.Duration("health-interval", 2*time.Second, "cluster peer liveness probe period")
 		routeRedirect   = fs.Bool("route-redirect", false, "router mode: answer stream calls with 307 to the owner instead of proxying")
+		sloPushP99      = fs.Float64("slo-push-p99", 0, "default per-stream push-latency SLO objective in seconds, p99 (off when 0)")
+		showVersion     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "cadd %s %s\n", buildinfo.Version, buildinfo.GoVersion())
+		return 0
 	}
 	budgetBytes, err := parseByteSize(*memBudget)
 	if err != nil {
@@ -200,16 +225,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Cluster-node plumbing, built before the server so its hooks can be
 	// wired into the service config.
 	var (
-		mem          *cluster.Membership
-		nodeProxy    *cluster.NodeProxy
-		replicator   *cluster.Replicator
-		extraMetrics []func(io.Writer)
-		replSink     service.ReplicationSink
+		mem            *cluster.Membership
+		nodeProxy      *cluster.NodeProxy
+		replicator     *cluster.Replicator
+		extraMetrics   []func(io.Writer)
+		statusSections []service.StatusSection
+		replSink       service.ReplicationSink
 	)
+	// Go runtime telemetry: a background sampler feeding the
+	// cadd_go_* series and the /statusz runtime section; the push hot
+	// path never touches it.
+	sampler := obs.NewRuntimeSampler(0)
+	sampler.Start()
+	defer sampler.Stop()
+	extraMetrics = append(extraMetrics, sampler.WriteMetrics)
+	statusSections = append(statusSections, service.StatusSection{
+		Name: "runtime", Value: func() any { return sampler.Stats() },
+	})
 	if *replicateTo != "" {
 		replicator = cluster.NewReplicator(*replicateTo, nil, logger)
 		replSink = replicator
 		extraMetrics = append(extraMetrics, replicator.WriteMetrics)
+		statusSections = append(statusSections, service.StatusSection{
+			Name: "replication", Value: func() any { return replicator.Status() },
+		})
 	}
 	if *clusterPeers != "" {
 		peers, err := cluster.ParsePeers(*clusterPeers)
@@ -232,6 +271,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		extraMetrics = append(extraMetrics, mem.WriteMetrics, nodeProxy.WriteMetrics)
+		statusSections = append(statusSections, service.StatusSection{
+			Name: "peers", Value: func() any { return mem.Health() },
+		})
 	}
 
 	defaultTrace := *traceBuffer
@@ -252,6 +294,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		NodeID:             *nodeID,
 		Replication:        replSink,
 		ExtraMetrics:       extraMetrics,
+		SLOPushP99:         *sloPushP99,
+		StatusSections:     statusSections,
 	})
 	if *dataDir != "" {
 		// Recover journaled streams before the listener opens, so the

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyngraph/internal/obs"
+	"dyngraph/internal/promtext"
+	"dyngraph/internal/service"
+	"dyngraph/internal/tracecheck"
+)
+
+// TestObsSmokeCluster is the observability acceptance check behind
+// `make obs-smoke`: real cadd subprocesses — three ring nodes plus the
+// router, built with a -ldflags-stamped version — replay pushes through
+// the router and must yield (1) one stitched cross-node trace,
+// retrievable from the router by the trace id the push response
+// announced, whose Chrome export validates under tracecheck with
+// distinct pids for router and owner; (2) a parseable /statusz on the
+// router covering every node, with SLO burn rates and runtime-sampler
+// sections present; (3) a merged cluster /metrics exposition that
+// passes promtext.Lint with exemplars, SLO gauges, runtime series and
+// the stamped cadd_build_info intact.
+func TestObsSmokeCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs four subprocesses")
+	}
+	const stampedVersion = "obs-smoke-stamp"
+	bin := filepath.Join(t.TempDir(), "cadd")
+	build := exec.Command("go", "build",
+		"-ldflags", "-X dyngraph/internal/buildinfo.Version="+stampedVersion,
+		"-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ports := freePorts(t, 3)
+	peers := fmt.Sprintf("cadd-a=http://127.0.0.1:%d,cadd-b=http://127.0.0.1:%d,cadd-c=http://127.0.0.1:%d",
+		ports[0], ports[1], ports[2])
+	for i, id := range []string{"cadd-a", "cadd-b", "cadd-c"} {
+		startCadd(t, bin, []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-node-id", id,
+			"-cluster-peers", peers,
+			"-slo-push-p99", "0.25",
+		})
+	}
+	_, routerBase := startCadd(t, bin, []string{
+		"-addr", "127.0.0.1:0",
+		"-cluster-peers", peers,
+	})
+
+	// Replay a few pushes through the router; the last sync push's
+	// response header announces the trace id to stitch.
+	ctx := context.Background()
+	cl := service.NewClient(routerBase, nil)
+	gs := crashSequence(4)
+	streams := []string{"obs-00", "obs-01", "obs-02"}
+	var traceID string
+	for _, id := range streams {
+		if err := cl.CreateStream(ctx, id, service.StreamConfig{L: 2}); err != nil {
+			t.Fatalf("create %s through router: %v", id, err)
+		}
+		for i, g := range gs {
+			body, err := json.Marshal(service.SnapshotFromGraph(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(routerBase+"/v1/streams/"+id+"/snapshots?sync=1",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("push %s frame %d: %v", id, i, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("push %s frame %d: status %d", id, i, resp.StatusCode)
+			}
+			tc, ok := obs.ParseTraceHeader(resp.Header)
+			if !ok {
+				t.Fatalf("push %s frame %d: response has no %s header", id, i, obs.TraceHeader)
+			}
+			traceID = tc.TraceID
+		}
+	}
+
+	// (1) One stitched cross-node trace, valid under tracecheck, with
+	// the router and the owning node as separate processes.
+	chrome := httpGetRaw(t, routerBase+"/debug/traces?trace="+traceID+"&format=chrome")
+	res, err := tracecheck.CheckBytes(chrome)
+	if err != nil {
+		t.Fatalf("stitched chrome trace invalid: %v\n%s", err, chrome)
+	}
+	if res.Pids < 2 {
+		t.Errorf("stitched trace has %d process(es), want >= 2 (router + owner)", res.Pids)
+	}
+	var stitched struct {
+		TraceID string            `json:"trace_id"`
+		Spans   []json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(httpGetRaw(t, routerBase+"/debug/traces?trace="+traceID), &stitched); err != nil {
+		t.Fatalf("stitched JSON: %v", err)
+	}
+	if stitched.TraceID != traceID || len(stitched.Spans) == 0 {
+		t.Errorf("stitched trace %q has %d spans, want id %q with spans", stitched.TraceID, len(stitched.Spans), traceID)
+	}
+
+	// (2) Router /statusz parses and covers every node; each node doc
+	// carries the SLO and runtime sections.
+	var statusz struct {
+		Status string                     `json:"status"`
+		Role   string                     `json:"role"`
+		Nodes  map[string]json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal(httpGetRaw(t, routerBase+"/statusz"), &statusz); err != nil {
+		t.Fatalf("router /statusz: %v", err)
+	}
+	if statusz.Status != "ok" || statusz.Role != "router" || len(statusz.Nodes) != 3 {
+		t.Fatalf("router /statusz = status %q role %q with %d nodes, want ok/router/3",
+			statusz.Status, statusz.Role, len(statusz.Nodes))
+	}
+	sloStreams := 0
+	for id, raw := range statusz.Nodes {
+		var node struct {
+			Status  string         `json:"status"`
+			Version string         `json:"version"`
+			SLO     map[string]any `json:"slo"`
+			Runtime map[string]any `json:"runtime"`
+		}
+		if err := json.Unmarshal(raw, &node); err != nil {
+			t.Fatalf("node %s statusz: %v", id, err)
+		}
+		if node.Status != "ok" {
+			t.Errorf("node %s status %q, want ok", id, node.Status)
+		}
+		if node.Version != stampedVersion {
+			t.Errorf("node %s version %q, want stamped %q", id, node.Version, stampedVersion)
+		}
+		if len(node.Runtime) == 0 {
+			t.Errorf("node %s statusz has no runtime section", id)
+		}
+		sloStreams += len(node.SLO)
+	}
+	// Stream placement varies with the hash ring, but every stream got
+	// the default objective, so the cluster-wide SLO census is complete.
+	if sloStreams != len(streams) {
+		t.Errorf("statusz reports %d streams under SLO across the cluster, want %d", sloStreams, len(streams))
+	}
+
+	// (3) The merged exposition lints with exemplars and carries the
+	// SLO gauges, runtime series and the stamped build info.
+	metrics := string(httpGetRaw(t, routerBase+"/metrics"))
+	if _, err := promtext.Lint(metrics); err != nil {
+		t.Fatalf("merged /metrics fails lint: %v", err)
+	}
+	for _, want := range []string{
+		` # {trace_id="`,
+		"cadd_slo_push_objective_seconds",
+		"cadd_slo_push_burn_rate",
+		"cadd_go_goroutines",
+		`cadd_build_info{go_version=`,
+		stampedVersion,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("merged /metrics missing %q", want)
+		}
+	}
+	samples, err := promtext.Parse(metrics)
+	if err != nil {
+		t.Fatalf("parse merged metrics: %v", err)
+	}
+	instances := map[string]bool{}
+	for _, s := range samples {
+		if s.Name == "cadd_snapshots_processed_total" {
+			instances[s.Label("instance")] = true
+		}
+	}
+	for _, id := range []string{"cadd-a", "cadd-b", "cadd-c"} {
+		if !instances[id] {
+			t.Errorf("merged metrics carry no processed counter from %s", id)
+		}
+	}
+}

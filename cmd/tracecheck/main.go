@@ -1,6 +1,7 @@
 // Command tracecheck validates a Chrome trace_event JSON document, the
 // format cadrun/cadbench -trace-out and cadd's
-// /debug/traces?format=chrome emit.
+// /debug/traces?format=chrome emit (including the router's stitched
+// cross-node form).
 //
 // Usage:
 //
@@ -12,32 +13,20 @@
 // non-negative timestamps, and prints a one-line summary. Exit status
 // is non-zero on the first invalid file — `make trace-smoke` uses this
 // to catch a bit-rotted trace pipeline without a human loading the
-// file into chrome://tracing.
+// file into chrome://tracing. The validation itself lives in
+// internal/tracecheck so tests can call it directly.
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+
+	"dyngraph/internal/tracecheck"
 )
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
-}
-
-// traceDoc mirrors the subset of the Chrome trace_event JSON object
-// format the validator cares about.
-type traceDoc struct {
-	TraceEvents []struct {
-		Name  string  `json:"name"`
-		Phase string  `json:"ph"`
-		Ts    float64 `json:"ts"`
-		Dur   float64 `json:"dur"`
-		Pid   *int    `json:"pid"`
-		Tid   *int    `json:"tid"`
-	} `json:"traceEvents"`
-	DisplayTimeUnit string `json:"displayTimeUnit"`
 }
 
 func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -65,40 +54,10 @@ func check(path string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		src = f
 	}
-	raw, err := io.ReadAll(src)
+	res, err := tracecheck.Check(src)
 	if err != nil {
 		return err
 	}
-	var doc traceDoc
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("not valid JSON: %w", err)
-	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("traceEvents is empty")
-	}
-	var spans, meta int
-	for i, ev := range doc.TraceEvents {
-		switch ev.Phase {
-		case "X":
-			if ev.Name == "" {
-				return fmt.Errorf("event %d: complete event without a name", i)
-			}
-			if ev.Ts < 0 || ev.Dur < 0 {
-				return fmt.Errorf("event %d (%s): negative timestamp or duration", i, ev.Name)
-			}
-			if ev.Pid == nil || ev.Tid == nil {
-				return fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
-			}
-			spans++
-		case "M":
-			meta++
-		default:
-			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Phase)
-		}
-	}
-	if spans == 0 {
-		return fmt.Errorf("no complete (ph=X) span events")
-	}
-	fmt.Fprintf(stdout, "%s: ok (%d spans, %d metadata events)\n", path, spans, meta)
+	fmt.Fprintf(stdout, "%s: ok (%d spans, %d metadata events)\n", path, res.Spans, res.Meta)
 	return nil
 }

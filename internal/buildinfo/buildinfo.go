@@ -1,0 +1,18 @@
+// Package buildinfo carries the version stamp baked into cadd binaries
+// at build time. The Makefile sets Version via
+//
+//	-ldflags "-X dyngraph/internal/buildinfo.Version=$(VERSION)"
+//
+// (VERSION defaults to `git describe`); plain `go build` binaries
+// report "dev". The stamp surfaces in three places so a fleet's
+// versions are auditable from any of them: `cadd -version`, the
+// cadd_build_info metric, and the /statusz build section.
+package buildinfo
+
+import "runtime"
+
+// Version is the build stamp; overridden by the linker.
+var Version = "dev"
+
+// GoVersion is the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }

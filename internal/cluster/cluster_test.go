@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,6 +16,8 @@ import (
 	"time"
 
 	"dyngraph/internal/enron"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/promtext"
 	"dyngraph/internal/service"
 )
@@ -480,6 +483,262 @@ func TestReplicationHealsLostStream(t *testing.T) {
 		if !bytes.Equal(want, got) {
 			t.Errorf("%s: healed replica differs from primary", name)
 		}
+	}
+}
+
+// postSnapshot POSTs one graph to a snapshot endpoint with ?sync=1 and
+// optional extra headers, returning the response (body drained and
+// closed).
+func postSnapshot(t *testing.T, url string, g *graph.Graph, hdr http.Header) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(service.SnapshotFromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"?sync=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestClusterStitchedTrace is the distributed-tracing acceptance test:
+// a push routed through the router yields ONE stitched trace,
+// retrievable from the router by trace id, with the router's route span
+// parenting the owner node's push span — and the Chrome export renders
+// the two processes under distinct pids.
+func TestClusterStitchedTrace(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	cl := service.NewClient(tc.router.URL, nil)
+	const stream = "enron-00"
+	owner := tc.mem.Ring().Owner(stream)
+	if err := cl.CreateStream(ctx, stream, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := enron.Generate(enron.Config{Months: 4, Seed: 1})
+
+	var traceID string
+	for i := 0; i < 3; i++ {
+		resp := postSnapshot(t, tc.router.URL+"/v1/streams/"+stream+"/snapshots", data.Seq.At(i), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed push %d: status %d", i, resp.StatusCode)
+		}
+		tcx, ok := obs.ParseTraceValue(resp.Header.Get(obs.TraceHeader))
+		if !ok {
+			t.Fatalf("push %d response has no usable %s header: %q", i, obs.TraceHeader, resp.Header.Get(obs.TraceHeader))
+		}
+		traceID = tcx.TraceID
+	}
+
+	// Stitched JSON: one cross-process tree, route above push.
+	st, _, body := getRaw(t, tc.router.URL+"/debug/traces?trace="+traceID)
+	if st != http.StatusOK {
+		t.Fatalf("stitched trace: status %d body %s", st, body)
+	}
+	var stitched struct {
+		TraceID string          `json:"trace_id"`
+		Spans   []obs.TraceJSON `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &stitched); err != nil {
+		t.Fatalf("stitched trace: %v\n%s", err, body)
+	}
+	if stitched.TraceID != traceID {
+		t.Errorf("stitched trace_id = %q, want %q", stitched.TraceID, traceID)
+	}
+	if len(stitched.Spans) != 1 {
+		t.Fatalf("stitched trace has %d roots, want 1 (route above push)\n%s", len(stitched.Spans), body)
+	}
+	route := stitched.Spans[0]
+	if route.Name != "route" {
+		t.Errorf("stitched root is %q, want route", route.Name)
+	}
+	if got := route.Attrs[obs.AttrNode]; got != "router" {
+		t.Errorf("route span node = %v, want router", got)
+	}
+	var push *obs.TraceJSON
+	for i := range route.Children {
+		if route.Children[i].Name == "push" {
+			push = &route.Children[i]
+		}
+	}
+	if push == nil {
+		t.Fatalf("route span has no push child:\n%s", body)
+	}
+	if got := push.Attrs[obs.AttrNode]; got != owner {
+		t.Errorf("push span node = %v, want owner %s", got, owner)
+	}
+	if len(push.Children) == 0 {
+		t.Error("push span lost its detector stage children in stitching")
+	}
+
+	// Chrome export: one pid per node, with both processes named.
+	st, _, cbody := getRaw(t, tc.router.URL+"/debug/traces?trace="+traceID+"&format=chrome")
+	if st != http.StatusOK {
+		t.Fatalf("chrome trace: status %d", st)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cbody, &doc); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	procs := map[string]int{} // process name → pid
+	xPids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs[fmt.Sprint(ev.Args["name"])] = ev.Pid
+		case ev.Ph == "X":
+			xPids[ev.Pid] = true
+		}
+	}
+	for _, name := range []string{"router", owner} {
+		pid, ok := procs[name]
+		if !ok {
+			t.Errorf("chrome trace has no process %q (got %v)", name, procs)
+			continue
+		}
+		if !xPids[pid] {
+			t.Errorf("process %q (pid %d) has no spans", name, pid)
+		}
+	}
+	if procs["router"] == procs[owner] {
+		t.Errorf("router and %s share pid %d; want one pid per node", owner, procs[owner])
+	}
+
+	// Satellite: the merged cross-node listing tags every entry with the
+	// node it came from, like the merged /metrics instance label.
+	st, _, mbody := getRaw(t, tc.router.URL+"/debug/traces")
+	if st != http.StatusOK {
+		t.Fatalf("merged traces: status %d", st)
+	}
+	var entries []struct {
+		Stream   string `json:"stream"`
+		Instance string `json:"instance"`
+	}
+	if err := json.Unmarshal(mbody, &entries); err != nil {
+		t.Fatalf("merged traces: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("merged traces empty")
+	}
+	for _, e := range entries {
+		if e.Instance == "" {
+			t.Errorf("merged trace entry for %q has no instance tag", e.Stream)
+		}
+	}
+
+	// Router /statusz embeds every node's document.
+	st, _, sbody := getRaw(t, tc.router.URL+"/statusz")
+	if st != http.StatusOK {
+		t.Fatalf("router /statusz: status %d", st)
+	}
+	var statusz struct {
+		Role  string                     `json:"role"`
+		Peers map[string]bool            `json:"peers"`
+		Nodes map[string]json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal(sbody, &statusz); err != nil {
+		t.Fatalf("router /statusz: %v", err)
+	}
+	if statusz.Role != "router" {
+		t.Errorf("router /statusz role = %q", statusz.Role)
+	}
+	for _, id := range tc.ids {
+		node, ok := statusz.Nodes[id]
+		if !ok {
+			t.Errorf("router /statusz missing node %s", id)
+			continue
+		}
+		var ns struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(node, &ns); err != nil || ns.Status != "ok" {
+			t.Errorf("node %s statusz: status %q err %v", id, ns.Status, err)
+		}
+	}
+}
+
+// TestForwardPreservesClientTrace: a client-minted trace context
+// survives the node-side single-hop forward — the owner continues the
+// same trace id and parents its push span under the client's span.
+func TestForwardPreservesClientTrace(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	const stream = "enron-00"
+	owner := tc.mem.Ring().Owner(stream)
+	if err := service.NewClient(tc.router.URL, nil).CreateStream(ctx, stream, service.StreamConfig{L: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wrong string
+	for _, id := range tc.ids {
+		if id != owner {
+			wrong = id
+			break
+		}
+	}
+	data := enron.Generate(enron.Config{Months: 2, Seed: 1})
+
+	mint := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID("client")}
+	hdr := http.Header{}
+	mint.SetHeader(hdr)
+	resp := postSnapshot(t, tc.nodes[wrong].URL+"/v1/streams/"+stream+"/snapshots", data.Seq.At(0), hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded push: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(service.NodeHeader); got != owner {
+		t.Fatalf("push served by %q, want forward to owner %s", got, owner)
+	}
+	echo, ok := obs.ParseTraceValue(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("no trace header echoed")
+	}
+	if echo.TraceID != mint.TraceID {
+		t.Errorf("forward changed the trace id: %s → %s", mint.TraceID, echo.TraceID)
+	}
+
+	// The owner retained the trace, parented under the client's span.
+	st, _, body := getRaw(t, tc.nodes[owner].URL+"/debug/traces?trace="+mint.TraceID)
+	if st != http.StatusOK {
+		t.Fatalf("owner traces: status %d", st)
+	}
+	var entries []struct {
+		Instance string          `json:"instance"`
+		Traces   []obs.TraceJSON `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Traces) != 1 {
+		t.Fatalf("owner retains %d entries for the trace, want exactly the one push\n%s", len(entries), body)
+	}
+	if entries[0].Instance != owner {
+		t.Errorf("trace entry instance = %q, want %s", entries[0].Instance, owner)
+	}
+	root := entries[0].Traces[0]
+	if got := root.Attrs[obs.AttrParentSpanID]; got != mint.SpanID {
+		t.Errorf("push parent span = %v, want the client's %s", got, mint.SpanID)
+	}
+	if got := root.Attrs[obs.AttrTraceID]; got != mint.TraceID {
+		t.Errorf("push trace id = %v, want %s", got, mint.TraceID)
 	}
 }
 

@@ -133,12 +133,19 @@ func sampleName(line string) string {
 }
 
 // injectInstance adds instance="<peer>" to a sample line's label set.
+// An OpenMetrics exemplar suffix (` # {labels} value`) is carried
+// through untouched — the trace id it names is still meaningful after
+// the merge, and the instance label tells which node to ask for it.
 func injectInstance(line, instance string) (string, error) {
-	sp := strings.LastIndexByte(line, ' ')
+	sample, exemplar, hasExemplar := strings.Cut(line, " # ")
+	sp := strings.LastIndexByte(sample, ' ')
 	if sp < 0 {
 		return "", fmt.Errorf("no value separator in %q", line)
 	}
-	key, val := line[:sp], line[sp:]
+	key, val := sample[:sp], sample[sp:]
+	if hasExemplar {
+		val += " # " + exemplar
+	}
 	if i := strings.IndexByte(key, '{'); i >= 0 {
 		if !strings.HasSuffix(key, "}") {
 			return "", fmt.Errorf("unterminated label set in %q", key)

@@ -298,6 +298,31 @@ func (r *Replicator) Close() {
 	r.wg.Wait()
 }
 
+// ReplicationStatus is the replicator's /statusz section — the same
+// figures as its metrics, in JSON form for operators and cadtop.
+type ReplicationStatus struct {
+	Target      string `json:"target"`
+	LagRecords  int64  `json:"lag_records"`
+	Shipped     int64  `json:"shipped"`
+	Dropped     int64  `json:"dropped"`
+	LostStreams int64  `json:"lost_streams"`
+}
+
+// Status snapshots the replicator for /statusz (mounted via
+// service.Config.StatusSections).
+func (r *Replicator) Status() ReplicationStatus {
+	r.mu.Lock()
+	shipped, dropped, lost := r.shipped, r.dropped, int64(len(r.lost))
+	r.mu.Unlock()
+	return ReplicationStatus{
+		Target:      r.target,
+		LagRecords:  r.Lag(),
+		Shipped:     shipped,
+		Dropped:     dropped,
+		LostStreams: lost,
+	}
+}
+
 // WriteMetrics appends the replication series in Prometheus text form
 // — mounted into /metrics via service.Config.ExtraMetrics.
 func (r *Replicator) WriteMetrics(w io.Writer) {

@@ -7,9 +7,12 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
+	"time"
 
+	"dyngraph/internal/buildinfo"
 	"dyngraph/internal/obs"
 	"dyngraph/internal/service"
 )
@@ -42,11 +45,26 @@ type Router struct {
 	cfg RouterConfig
 	hc  *http.Client
 
+	// tracer retains the router's own "route" spans — the top leg of
+	// every distributed push trace, stitched above the node spans by
+	// /debug/traces?trace=.
+	tracer  *obs.Tracer
+	started time.Time
+
 	mu       sync.Mutex
 	forwards map[string]int64 // peer id → stream-scoped requests sent
 	scatters int64
 	errors   int64 // scatter legs that failed
 }
+
+// routerNodeName is the node attribute the router's own spans carry in
+// stitched traces — a reserved pseudo-node id alongside the real peers.
+const routerNodeName = "router"
+
+// routerTraceBuffer is the number of recent route spans the router
+// retains for stitching (matching the node-side per-stream default
+// would undersize it: the router sees every stream's pushes).
+const routerTraceBuffer = 256
 
 // NewRouter builds a router over the membership.
 func NewRouter(cfg RouterConfig) (*Router, error) {
@@ -59,7 +77,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Router{cfg: cfg, hc: cfg.Client, forwards: map[string]int64{}}, nil
+	return &Router{
+		cfg:      cfg,
+		hc:       cfg.Client,
+		tracer:   obs.NewTracer(routerTraceBuffer),
+		started:  time.Now(),
+		forwards: map[string]int64{},
+	}, nil
 }
 
 // Handler builds the router's HTTP surface. It mirrors the node API so
@@ -68,6 +92,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /statusz", rt.handleStatusz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /v1/streams", rt.handleListStreams)
 	mux.HandleFunc("GET /streams", rt.handleAdminStreams)
@@ -84,6 +109,12 @@ func (rt *Router) Handler() http.Handler {
 
 // handleStream routes one stream-scoped request to the stream's first
 // healthy owner — by proxy, or by 307 in redirect mode.
+//
+// Proxied requests join the distributed trace: the router continues the
+// caller's X-Cadd-Trace context (or mints a fresh trace), records its
+// own "route" span, and forwards the context so the owner's push span
+// parents under the route leg. In redirect mode the client talks to the
+// owner directly on the second hop, so the router records nothing.
 func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	owner, ok := rt.cfg.Membership.Owner(id)
@@ -98,7 +129,36 @@ func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	rt.forwards[owner.ID]++
 	rt.mu.Unlock()
+
+	// Continue or start the trace, and stamp the outbound request so the
+	// owner's span parents under this route leg. The response echoes the
+	// context too (the owner's own X-Cadd-Trace wins when it sets one —
+	// same trace id either way).
+	var parentSpan string
+	tc, ok := obs.ParseTraceHeader(r.Header)
+	if ok {
+		parentSpan = tc.SpanID
+	} else {
+		tc.TraceID = obs.NewTraceID()
+	}
+	tc.SpanID = obs.NewSpanID(routerNodeName)
+	tc.SetHeader(r.Header)
+	tc.SetHeader(w.Header())
+
+	span := rt.tracer.Start("route")
+	span.SetString(obs.AttrTraceID, tc.TraceID)
+	span.SetString(obs.AttrSpanID, tc.SpanID)
+	if parentSpan != "" {
+		span.SetString(obs.AttrParentSpanID, parentSpan)
+	}
+	span.SetString(obs.AttrNode, routerNodeName)
+	span.SetString("stream", id)
+	span.SetString("peer", owner.ID)
+	span.SetString("method", r.Method)
+	defer span.End()
+
 	if !proxyTo(w, r, rt.hc, owner.URL, nil) {
+		span.SetBool("error", true)
 		rt.cfg.Membership.SetHealth(owner.ID, false)
 		rt.cfg.Logger.Warn("owner unreachable", "stream", id, "owner", owner.ID)
 		writeError(w, http.StatusBadGateway, "stream %q: owner %s unreachable", id, owner.ID)
@@ -219,18 +279,141 @@ func (rt *Router) handleAdminStreams(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
-	// A single-stream or chrome-format request belongs to one node;
-	// everything else merges the per-stream arrays.
+	// A single-stream request belongs to one node; ?trace= stitches one
+	// distributed trace across every node; everything else merges the
+	// per-stream arrays, tagging each entry with its node.
 	q := r.URL.Query()
 	if stream := q.Get("stream"); stream != "" {
 		rt.handleStreamScopedTraces(w, r, stream)
 		return
 	}
-	if q.Get("format") == "chrome" {
-		writeError(w, http.StatusBadRequest, "chrome format is per-node; use ?stream= or scrape a node directly")
+	if id := q.Get("trace"); id != "" {
+		rt.handleStitchedTrace(w, r, id, q.Get("format"))
 		return
 	}
-	rt.mergeJSONArrays(w, r, "/debug/traces", "stream")
+	if q.Get("format") == "chrome" {
+		writeError(w, http.StatusBadRequest, "chrome format needs ?trace= (stitched cross-node) or ?stream= (one node); or scrape a node directly")
+		return
+	}
+	rt.handleMergedTraces(w, r)
+}
+
+// mergedTraceEntry mirrors the node-side streamTracesJSON field by
+// field so the router can fill a missing instance tag without
+// reordering or dropping anything.
+type mergedTraceEntry struct {
+	Stream   string            `json:"stream"`
+	Instance string            `json:"instance,omitempty"`
+	Retained int               `json:"retained"`
+	Dropped  uint64            `json:"dropped"`
+	Traces   []json.RawMessage `json:"traces"`
+}
+
+// handleMergedTraces merges every node's /debug/traces array, tagging
+// each entry with the node it came from — like the merged /metrics
+// instance label, and for the same reason: span ids are only namespaced
+// per node, so entries from different nodes are otherwise ambiguous.
+func (rt *Router) handleMergedTraces(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), "/debug/traces")
+	merged := make([]mergedTraceEntry, 0, 64)
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		var entries []mergedTraceEntry
+		if err := json.Unmarshal(res.body, &entries); err != nil {
+			writeError(w, http.StatusBadGateway, "peer %s sent malformed traces: %v", res.peer.ID, err)
+			return
+		}
+		for i := range entries {
+			if entries[i].Instance == "" {
+				entries[i].Instance = res.peer.ID
+			}
+		}
+		merged = append(merged, entries...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Stream < merged[j].Stream })
+	writeJSON(w, merged)
+}
+
+// stitchedTraceJSON is the /debug/traces?trace= response: the
+// distributed trace's spans as one cross-node tree (plus any spans the
+// stitcher could not parent, as additional roots).
+type stitchedTraceJSON struct {
+	TraceID string          `json:"trace_id"`
+	Spans   []obs.TraceJSON `json:"spans"`
+}
+
+// handleStitchedTrace scatter-gathers one trace id's spans from every
+// node, adds the router's own route spans, and stitches them into a
+// single cross-process tree — JSON by default, Chrome trace_event
+// (one pid per node) with format=chrome.
+func (rt *Router) handleStitchedTrace(w http.ResponseWriter, r *http.Request, id, format string) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), "/debug/traces?trace="+url.QueryEscape(id))
+	byNode := map[string]*obs.NodeTraces{}
+	var order []string
+	add := func(node string, roots ...*obs.Span) {
+		nt := byNode[node]
+		if nt == nil {
+			nt = &obs.NodeTraces{Node: node}
+			byNode[node] = nt
+			order = append(order, node)
+		}
+		nt.Roots = append(nt.Roots, roots...)
+	}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		var entries []struct {
+			Instance string          `json:"instance"`
+			Traces   []obs.TraceJSON `json:"traces"`
+		}
+		if err := json.Unmarshal(res.body, &entries); err != nil {
+			writeError(w, http.StatusBadGateway, "peer %s sent malformed traces: %v", res.peer.ID, err)
+			return
+		}
+		for _, e := range entries {
+			node := e.Instance
+			if node == "" {
+				node = res.peer.ID
+			}
+			for _, tj := range e.Traces {
+				add(node, obs.SpanFromJSON(tj))
+			}
+		}
+	}
+	// The router's own route legs for this trace. SpanFromJSON detaches
+	// the copies: Stitch reparents children, which must never mutate the
+	// live ring.
+	for _, root := range rt.tracer.Traces() {
+		if a, ok := root.Attr(obs.AttrTraceID); ok && a.Str == id {
+			add(routerNodeName, obs.SpanFromJSON(root.ToJSON()))
+		}
+	}
+	nodes := make([]obs.NodeTraces, 0, len(order))
+	total := 0
+	for _, n := range order {
+		nodes = append(nodes, *byNode[n])
+		total += len(byNode[n].Roots)
+	}
+	if total == 0 {
+		writeError(w, http.StatusNotFound, "no spans retained for trace %q", id)
+		return
+	}
+	if format == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChromeNodes(w, nodes); err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding trace: %v", err)
+		}
+		return
+	}
+	stitched := obs.Stitch(nodes)
+	out := stitchedTraceJSON{TraceID: id, Spans: make([]obs.TraceJSON, len(stitched))}
+	for i, sp := range stitched {
+		out.Spans[i] = sp.ToJSON()
+	}
+	writeJSON(w, out)
 }
 
 func (rt *Router) handleStreamScopedTraces(w http.ResponseWriter, r *http.Request, stream string) {
@@ -320,8 +503,37 @@ type routerHealth struct {
 	Peers  map[string]bool `json:"peers"`
 }
 
-func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("verbose") == "1" {
+		rt.handleStatusz(w, r)
+		return
+	}
 	writeJSON(w, routerHealth{Status: "ok", Role: "router", Peers: rt.cfg.Membership.Health()})
+}
+
+// handleStatusz is the router's operational snapshot: its own identity
+// and uptime, peer liveness, and every healthy node's /statusz document
+// embedded verbatim under its node id — one request for a whole-cluster
+// health picture (what cadtop polls in cluster mode).
+func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), r.Header.Get(obs.RequestIDHeader), "/statusz")
+	nodes := make(map[string]json.RawMessage, len(results))
+	for _, res := range results {
+		if res.err != nil {
+			nodes[res.peer.ID] = json.RawMessage(`{"status":"unreachable"}`)
+			continue
+		}
+		nodes[res.peer.ID] = json.RawMessage(res.body)
+	}
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"role":           "router",
+		"version":        buildinfo.Version,
+		"go_version":     buildinfo.GoVersion(),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+		"peers":          rt.cfg.Membership.Health(),
+		"nodes":          nodes,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -38,3 +38,73 @@ func BenchmarkSpanEnabled(b *testing.B) {
 		root.End()
 	}
 }
+
+// BenchmarkObsDisabledPushPath measures the full per-push
+// instrumentation surface with everything off: nil tracer, nil SLO
+// tracker, nil runtime sampler. This is what an untraced push pays for
+// the distributed-observability layer — it must stay allocation free
+// (TestObsDisabledZeroAllocs pins that) and in the nanoseconds.
+func BenchmarkObsDisabledPushPath(b *testing.B) {
+	var tr *Tracer
+	var slo *SLO
+	var rs *RuntimeSampler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("push")
+		st := root.StartChild("oracle")
+		st.SetString("kind", "embedding")
+		st.SetInt("iters", 12)
+		st.End()
+		sc := root.StartChild("score")
+		sc.End()
+		jp := root.StartChild("journal")
+		jp.End()
+		root.End()
+		slo.Observe(0.001)
+		_ = rs.Stats().Goroutines
+	}
+}
+
+// BenchmarkSLOEnabled measures one Observe against a live tracker: a
+// bucket index, two adds, a mutex — and zero allocations.
+func BenchmarkSLOEnabled(b *testing.B) {
+	slo := NewSLO(0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		slo.Observe(0.001)
+	}
+}
+
+// TestObsDisabledZeroAllocs enforces in CI what the disabled-path
+// benchmarks report: with tracing, the SLO tracker, and the runtime
+// sampler all off, the push hot path's instrumentation allocates
+// nothing.
+func TestObsDisabledZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	var slo *SLO
+	var rs *RuntimeSampler
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.Start("push")
+		st := root.StartChild("oracle")
+		st.SetInt("iters", 12)
+		st.End()
+		root.End()
+		slo.Observe(0.001)
+		_ = rs.Stats()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestSLOEnabledZeroAllocs pins that a live SLO tracker's Observe is
+// allocation free — it runs on every push once an objective is set.
+func TestSLOEnabledZeroAllocs(t *testing.T) {
+	slo := NewSLO(0.05)
+	allocs := testing.AllocsPerRun(1000, func() {
+		slo.Observe(0.001)
+	})
+	if allocs != 0 {
+		t.Fatalf("SLO.Observe allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSampler periodically snapshots Go runtime health — GC pauses,
+// heap residency, goroutine count, scheduler latency — on a background
+// goroutine, so scrapes and /statusz reads are a mutex-guarded struct
+// copy instead of a stop-the-world ReadMemStats on the serving path.
+// A nil *RuntimeSampler is a valid "sampling off" value: Stats returns
+// zeros and WriteMetrics writes nothing, costing the push hot path
+// exactly one nil check.
+type RuntimeSampler struct {
+	interval time.Duration
+
+	mu    sync.Mutex
+	stats RuntimeStats
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// RuntimeStats is one sample of runtime health (the /statusz "runtime"
+// section).
+type RuntimeStats struct {
+	SampledUnixNs       int64   `json:"sampled_unix_ns"`
+	Goroutines          int     `json:"goroutines"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	HeapObjects         uint64  `json:"heap_objects"`
+	StackSysBytes       uint64  `json:"stack_sys_bytes"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	LastGCPauseSeconds  float64 `json:"last_gc_pause_seconds"`
+	SchedLatencyP50     float64 `json:"sched_latency_p50_seconds"`
+	SchedLatencyP99     float64 `json:"sched_latency_p99_seconds"`
+}
+
+// NewRuntimeSampler returns a sampler taking one sample per interval
+// (interval <= 0 defaults to 10s). The first sample is taken
+// synchronously so Stats is never zero after construction; call Start
+// to begin background sampling and Stop to halt it.
+func NewRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	rs := &RuntimeSampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	rs.sample()
+	return rs
+}
+
+// Start launches the background sampling goroutine.
+func (rs *RuntimeSampler) Start() {
+	if rs == nil {
+		return
+	}
+	go func() {
+		defer close(rs.done)
+		tick := time.NewTicker(rs.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				rs.sample()
+			case <-rs.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts background sampling and waits for the goroutine to exit.
+// Safe to call more than once and without a prior Start.
+func (rs *RuntimeSampler) Stop() {
+	if rs == nil {
+		return
+	}
+	rs.stopOnce.Do(func() { close(rs.stop) })
+	select {
+	case <-rs.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// Stats returns the most recent sample (zero value on nil).
+func (rs *RuntimeSampler) Stats() RuntimeStats {
+	if rs == nil {
+		return RuntimeStats{}
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.stats
+}
+
+func (rs *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeStats{
+		SampledUnixNs:       time.Now().UnixNano(),
+		Goroutines:          runtime.NumGoroutine(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		HeapObjects:         ms.HeapObjects,
+		StackSysBytes:       ms.StackSys,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	sched := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(sched)
+	if sched[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := sched[0].Value.Float64Histogram()
+		s.SchedLatencyP50 = histQuantile(h, 0.50)
+		s.SchedLatencyP99 = histQuantile(h, 0.99)
+	}
+	rs.mu.Lock()
+	rs.stats = s
+	rs.mu.Unlock()
+}
+
+// histQuantile estimates a quantile from a runtime/metrics histogram,
+// attributing each bucket's mass to its upper bound (infinite bounds
+// fall back to the finite edge below).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			hi := i + 1
+			if hi >= len(h.Buckets) {
+				hi = len(h.Buckets) - 1
+			}
+			edge := h.Buckets[hi]
+			if edge > 1e300 || edge < -1e300 { // ±Inf edge
+				edge = h.Buckets[i]
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// WriteMetrics appends the sampler's gauges and counters in Prometheus
+// text format (no-op on nil) — wired into /metrics via the serving
+// layer's ExtraMetrics hooks.
+func (rs *RuntimeSampler) WriteMetrics(w io.Writer) {
+	if rs == nil {
+		return
+	}
+	s := rs.Stats()
+	writeOne := func(name, help, typ string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+	}
+	writeOne("cadd_go_goroutines", "Live goroutines at the last runtime sample.", "gauge", s.Goroutines)
+	writeOne("cadd_go_gomaxprocs", "GOMAXPROCS at the last runtime sample.", "gauge", s.GOMAXPROCS)
+	writeOne("cadd_go_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge", s.HeapAllocBytes)
+	writeOne("cadd_go_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge", s.HeapSysBytes)
+	writeOne("cadd_go_heap_objects", "Live heap objects.", "gauge", s.HeapObjects)
+	writeOne("cadd_go_stack_sys_bytes", "Stack memory obtained from the OS.", "gauge", s.StackSysBytes)
+	writeOne("cadd_go_gc_cycles_total", "Completed GC cycles.", "counter", s.GCCycles)
+	writeOne("cadd_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter", formatMetricFloat(s.GCPauseTotalSeconds))
+	writeOne("cadd_go_last_gc_pause_seconds", "Duration of the most recent GC pause.", "gauge", formatMetricFloat(s.LastGCPauseSeconds))
+	writeOne("cadd_go_sched_latency_p50_seconds", "Median goroutine scheduling latency.", "gauge", formatMetricFloat(s.SchedLatencyP50))
+	writeOne("cadd_go_sched_latency_p99_seconds", "99th-percentile goroutine scheduling latency.", "gauge", formatMetricFloat(s.SchedLatencyP99))
+}
+
+func formatMetricFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO tracks a push-latency objective over rolling windows and exposes
+// multi-window burn rates, the SRE-workbook alerting signal: with a
+// p99-style objective ("at most 1% of pushes slower than T"), a burn
+// rate of 1.0 means the error budget is being consumed exactly as
+// fast as it accrues; 14.4 on a short window is the classic page
+// threshold. Observations land in fixed-width time buckets arranged in
+// a ring sized to the longest window, so Observe is O(1), allocation
+// free, and the whole tracker costs a few hundred bytes per stream.
+//
+// A nil *SLO is a valid "objective off" value: Observe no-ops and
+// BurnRates returns nil, mirroring the nil-Tracer convention.
+type SLO struct {
+	objective float64 // latency threshold in seconds
+	budget    float64 // allowed slow fraction (0.01 = p99 objective)
+	interval  time.Duration
+	windows   []time.Duration
+
+	mu     sync.Mutex
+	epochs []int64 // bucket epoch (unix time / interval), -1 when unused
+	totals []int64
+	slows  []int64
+}
+
+// BurnRate is one window's budget-consumption reading.
+type BurnRate struct {
+	Window string  `json:"window"`
+	Total  int64   `json:"total"`
+	Slow   int64   `json:"slow"`
+	Rate   float64 `json:"burn_rate"`
+}
+
+// DefaultSLOWindows are the multi-window pair burn-rate alerting wants:
+// a short window that reacts fast and a long window that filters noise.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// sloBudget is the allowed slow fraction: objectives are phrased as
+// p99 targets ("p99 push latency under T"), i.e. 1% error budget.
+const sloBudget = 0.01
+
+// sloInterval is the bucket width; windows are quantized to it.
+const sloInterval = 10 * time.Second
+
+// NewSLO returns a tracker for "at most 1% of observations above
+// objectiveSeconds" over DefaultSLOWindows (or the given windows).
+// objectiveSeconds <= 0 returns nil — the objective is off.
+func NewSLO(objectiveSeconds float64, windows ...time.Duration) *SLO {
+	if objectiveSeconds <= 0 {
+		return nil
+	}
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	longest := windows[0]
+	for _, w := range windows[1:] {
+		if w > longest {
+			longest = w
+		}
+	}
+	n := int(longest / sloInterval)
+	if n < 1 {
+		n = 1
+	}
+	s := &SLO{
+		objective: objectiveSeconds,
+		budget:    sloBudget,
+		interval:  sloInterval,
+		windows:   windows,
+		epochs:    make([]int64, n),
+		totals:    make([]int64, n),
+		slows:     make([]int64, n),
+	}
+	for i := range s.epochs {
+		s.epochs[i] = -1
+	}
+	return s
+}
+
+// Objective returns the latency threshold in seconds (0 on nil).
+func (s *SLO) Objective() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.objective
+}
+
+// Observe records one push latency. Nil-safe and allocation free.
+func (s *SLO) Observe(seconds float64) {
+	s.ObserveAt(time.Now(), seconds)
+}
+
+// ObserveAt is Observe with an explicit clock (tests).
+func (s *SLO) ObserveAt(now time.Time, seconds float64) {
+	if s == nil {
+		return
+	}
+	epoch := now.UnixNano() / int64(s.interval)
+	s.mu.Lock()
+	i := int(epoch % int64(len(s.epochs)))
+	if s.epochs[i] != epoch {
+		s.epochs[i] = epoch
+		s.totals[i] = 0
+		s.slows[i] = 0
+	}
+	s.totals[i]++
+	if seconds > s.objective {
+		s.slows[i]++
+	}
+	s.mu.Unlock()
+}
+
+// BurnRates returns one reading per configured window (nil on nil).
+func (s *SLO) BurnRates() []BurnRate {
+	return s.BurnRatesAt(time.Now())
+}
+
+// BurnRatesAt is BurnRates with an explicit clock (tests).
+func (s *SLO) BurnRatesAt(now time.Time) []BurnRate {
+	if s == nil {
+		return nil
+	}
+	epoch := now.UnixNano() / int64(s.interval)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BurnRate, 0, len(s.windows))
+	for _, w := range s.windows {
+		span := int64(w / s.interval)
+		if span < 1 {
+			span = 1
+		}
+		if span > int64(len(s.epochs)) {
+			span = int64(len(s.epochs))
+		}
+		var total, slow int64
+		for i := range s.epochs {
+			if e := s.epochs[i]; e > epoch-span && e <= epoch {
+				total += s.totals[i]
+				slow += s.slows[i]
+			}
+		}
+		br := BurnRate{Window: FormatWindow(w), Total: total, Slow: slow}
+		if total > 0 {
+			br.Rate = (float64(slow) / float64(total)) / s.budget
+		}
+		out = append(out, br)
+	}
+	return out
+}
+
+// FormatWindow renders a window duration compactly ("5m", "1h") for
+// metric labels and JSON, trimming time.Duration's trailing zero units.
+func FormatWindow(d time.Duration) string {
+	if d%time.Hour == 0 {
+		return fmt.Sprintf("%dh", d/time.Hour)
+	}
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dm", d/time.Minute)
+	}
+	if d%time.Second == 0 {
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+	return d.String()
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnRates(t *testing.T) {
+	slo := NewSLO(0.05, 5*time.Minute, time.Hour)
+	base := time.Unix(1700000000, 0)
+
+	// 100 pushes in the last minute, 2 over the objective: 2% slow
+	// against a 1% budget → burn rate 2 on both windows.
+	for i := 0; i < 98; i++ {
+		slo.ObserveAt(base.Add(time.Duration(i)*100*time.Millisecond), 0.01)
+	}
+	slo.ObserveAt(base.Add(30*time.Second), 0.2)
+	slo.ObserveAt(base.Add(40*time.Second), 0.3)
+
+	rates := slo.BurnRatesAt(base.Add(time.Minute))
+	if len(rates) != 2 {
+		t.Fatalf("got %d windows, want 2", len(rates))
+	}
+	for _, br := range rates {
+		if br.Total != 100 || br.Slow != 2 {
+			t.Fatalf("window %s: total=%d slow=%d, want 100/2", br.Window, br.Total, br.Slow)
+		}
+		if br.Rate < 1.99 || br.Rate > 2.01 {
+			t.Fatalf("window %s: burn rate %v, want 2", br.Window, br.Rate)
+		}
+	}
+	if rates[0].Window != "5m" || rates[1].Window != "1h" {
+		t.Fatalf("window labels = %s/%s, want 5m/1h", rates[0].Window, rates[1].Window)
+	}
+
+	// Ten minutes later the 5m window has forgotten the slow pushes but
+	// the 1h window still remembers them.
+	later := slo.BurnRatesAt(base.Add(11 * time.Minute))
+	if later[0].Total != 0 {
+		t.Fatalf("5m window retained %d observations past its span", later[0].Total)
+	}
+	if later[1].Slow != 2 {
+		t.Fatalf("1h window lost its slow pushes: %+v", later[1])
+	}
+}
+
+func TestSLORingReuseClearsStaleBuckets(t *testing.T) {
+	// Two observations exactly one ring length apart land in the same
+	// bucket slot; the old epoch's counts must not leak into the new one.
+	slo := NewSLO(0.05, time.Minute)
+	base := time.Unix(1700000000, 0)
+	slo.ObserveAt(base, 1.0) // slow
+	ringSpan := time.Duration(len(slo.epochs)) * slo.interval
+	slo.ObserveAt(base.Add(ringSpan), 0.001) // fast, same slot, new epoch
+	rates := slo.BurnRatesAt(base.Add(ringSpan))
+	if rates[0].Total != 1 || rates[0].Slow != 0 {
+		t.Fatalf("stale bucket leaked: %+v", rates[0])
+	}
+}
+
+func TestSLONilAndOff(t *testing.T) {
+	var nilSLO *SLO
+	nilSLO.Observe(1.0) // must not panic
+	if nilSLO.BurnRates() != nil || nilSLO.Objective() != 0 {
+		t.Fatalf("nil SLO not inert")
+	}
+	if NewSLO(0) != nil || NewSLO(-1) != nil {
+		t.Fatalf("non-positive objective should return nil tracker")
+	}
+}
+
+func TestFormatWindow(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		30 * time.Second: "30s",
+		90 * time.Minute: "90m",
+	}
+	for d, want := range cases {
+		if got := FormatWindow(d); got != want {
+			t.Errorf("FormatWindow(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestRuntimeSamplerLifecycle(t *testing.T) {
+	rs := NewRuntimeSampler(time.Millisecond)
+	s := rs.Stats()
+	if s.Goroutines <= 0 || s.GOMAXPROCS <= 0 || s.HeapAllocBytes == 0 {
+		t.Fatalf("initial synchronous sample empty: %+v", s)
+	}
+	rs.Start()
+	rs.Stop()
+	rs.Stop() // idempotent
+
+	var off *RuntimeSampler
+	off.Start()
+	off.Stop()
+	if off.Stats() != (RuntimeStats{}) {
+		t.Fatalf("nil sampler returned non-zero stats")
+	}
+	var sb strings.Builder
+	off.WriteMetrics(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil sampler wrote metrics: %q", sb.String())
+	}
+	rs.WriteMetrics(&sb)
+	for _, want := range []string{"cadd_go_goroutines", "cadd_go_heap_alloc_bytes", "cadd_go_gc_cycles_total", "cadd_go_sched_latency_p99_seconds"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("runtime metrics missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file reassembles cross-process traces. Each process retains only
+// the spans it recorded; the router gathers every process's wire-form
+// roots for one trace ID and stitches them into a single tree by
+// matching a root's parent_span_id attribute against the span_id minted
+// on another process (see tracectx.go for how the IDs travel).
+
+// NodeTraces is one process's contribution to a distributed trace: the
+// process name ("router" or a node id) and its locally-rooted spans.
+type NodeTraces struct {
+	Node  string
+	Roots []*Span
+}
+
+// SpanFromJSON reconstructs a span tree from its wire form. The result
+// is a detached copy owned by the caller — stitching mutates child
+// lists, so published (immutable) spans must round-trip through
+// ToJSON/SpanFromJSON before being stitched. JSON numbers decode as
+// float64; integral attribute values are restored to KindInt so
+// re-export matches the original encoding.
+func SpanFromJSON(tj TraceJSON) *Span {
+	sp := &Span{
+		name:  tj.Name,
+		start: time.Unix(0, tj.StartUnixNs),
+		dur:   time.Duration(tj.DurationNs),
+		ended: true,
+	}
+	if len(tj.Attrs) > 0 {
+		keys := make([]string, 0, len(tj.Attrs))
+		for k := range tj.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := tj.Attrs[k].(type) {
+			case string:
+				sp.SetString(k, v)
+			case bool:
+				sp.SetBool(k, v)
+			case float64:
+				if v == float64(int64(v)) {
+					sp.SetInt(k, int64(v))
+				} else {
+					sp.SetFloat(k, v)
+				}
+			case int64:
+				sp.SetInt(k, v)
+			case json.Number:
+				if i, err := v.Int64(); err == nil {
+					sp.SetInt(k, i)
+				} else if f, err := v.Float64(); err == nil {
+					sp.SetFloat(k, f)
+				}
+			}
+		}
+	}
+	for _, c := range tj.Children {
+		sp.children = append(sp.children, SpanFromJSON(c))
+	}
+	return sp
+}
+
+// Stitch links the per-process root spans of one distributed trace into
+// cross-process trees: a root whose parent_span_id matches the span_id
+// of a root from another (or the same) process becomes that root's
+// child; roots with no retained parent stay top-level. Every root is
+// tagged with its process via the node attribute when the recorder did
+// not already do so. The spans are mutated — pass detached copies (see
+// SpanFromJSON), never spans still published in a Tracer ring.
+//
+// Result order: top-level roots sorted by start time, so the router leg
+// (which starts first) leads the stitched tree.
+func Stitch(nodes []NodeTraces) []*Span {
+	type owned struct {
+		span *Span
+		node string
+	}
+	var all []owned
+	byID := make(map[string]*Span)
+	for _, nt := range nodes {
+		for _, root := range nt.Roots {
+			if root == nil {
+				continue
+			}
+			if _, ok := root.Attr(AttrNode); !ok && nt.Node != "" {
+				root.SetString(AttrNode, nt.Node)
+			}
+			if a, ok := root.Attr(AttrSpanID); ok && a.Kind == KindString && a.Str != "" {
+				byID[a.Str] = root
+			}
+			all = append(all, owned{span: root, node: nt.Node})
+		}
+	}
+	var tops []*Span
+	for _, o := range all {
+		parent := (*Span)(nil)
+		if a, ok := o.span.Attr(AttrParentSpanID); ok && a.Kind == KindString {
+			if p := byID[a.Str]; p != nil && p != o.span {
+				parent = p
+			}
+		}
+		if parent != nil {
+			parent.children = append(parent.children, o.span)
+		} else {
+			tops = append(tops, o.span)
+		}
+	}
+	sort.SliceStable(tops, func(i, j int) bool { return tops[i].start.Before(tops[j].start) })
+	return tops
+}
+
+// WriteChromeNodes writes a multi-process Chrome trace_event document:
+// one pid per process (sorted by process name for stable output) with a
+// process_name metadata event, and within each process the same
+// stream-grouped synthetic threads WriteChrome uses. This is the
+// "?format=chrome" shape of the router's stitched /debug/traces view —
+// chrome://tracing and Perfetto render each cadd process as its own
+// track group on a shared wall-clock axis.
+func WriteChromeNodes(w io.Writer, nodes []NodeTraces) error {
+	doc := chromeDocument{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	sorted := make([]NodeTraces, len(nodes))
+	copy(sorted, nodes)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	groupOf := func(root *Span) string {
+		if a, ok := root.Attr(chromeGroupAttr); ok && a.Kind == KindString {
+			return a.Str
+		}
+		return ""
+	}
+
+	var emit func(sp *Span, pid, tid int)
+	emit = func(sp *Span, pid, tid int) {
+		ev := chromeEvent{
+			Name: sp.name,
+			Ph:   "X",
+			Ts:   float64(sp.start.UnixNano()) / float64(time.Microsecond),
+			Dur:  float64(sp.dur.Nanoseconds()) / float64(time.Microsecond),
+			Pid:  pid,
+			Tid:  tid,
+		}
+		if len(sp.attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+		for _, c := range sp.children {
+			emit(c, pid, tid)
+		}
+	}
+
+	for i, nt := range sorted {
+		pid := i + 1
+		name := nt.Node
+		if name == "" {
+			name = "cadd"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+		tids := map[string]int{}
+		var groups []string
+		for _, root := range nt.Roots {
+			g := groupOf(root)
+			if _, ok := tids[g]; !ok {
+				tids[g] = len(tids) + 1
+				groups = append(groups, g)
+			}
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			name := g
+			if name == "" {
+				name = "main"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tids[g],
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, root := range nt.Roots {
+			if root == nil {
+				continue
+			}
+			emit(root, pid, tids[groupOf(root)])
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

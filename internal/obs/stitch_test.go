@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// buildRemoteRoot fabricates one node's published root span for a
+// distributed trace, already in detached (stitchable) form.
+func buildRemoteRoot(t *testing.T, name, node, traceID, spanID, parentID string, start time.Time, dur time.Duration) *Span {
+	t.Helper()
+	tr := NewTracer(4)
+	root := tr.Start(name)
+	root.SetString("stream", "s1")
+	root.SetString(AttrTraceID, traceID)
+	root.SetString(AttrSpanID, spanID)
+	if parentID != "" {
+		root.SetString(AttrParentSpanID, parentID)
+	}
+	root.SetString(AttrNode, node)
+	child := root.StartChild("oracle")
+	child.End()
+	root.End()
+	sp := SpanFromJSON(root.ToJSON())
+	// Pin the fabricated timeline so stitch ordering is deterministic.
+	sp.start = start
+	sp.dur = dur
+	return sp
+}
+
+func TestStitchCrossNodeTree(t *testing.T) {
+	traceID := NewTraceID()
+	routerSpan := NewSpanID("router")
+	nodeSpan := NewSpanID("cadd-b")
+	base := time.Unix(1700000000, 0)
+
+	router := buildRemoteRoot(t, "route", "router", traceID, routerSpan, "", base, 10*time.Millisecond)
+	node := buildRemoteRoot(t, "push", "cadd-b", traceID, nodeSpan, routerSpan, base.Add(time.Millisecond), 8*time.Millisecond)
+	orphan := buildRemoteRoot(t, "push", "cadd-c", traceID, NewSpanID("cadd-c"), NewSpanID("nowhere"), base.Add(2*time.Millisecond), time.Millisecond)
+
+	tops := Stitch([]NodeTraces{
+		{Node: "cadd-b", Roots: []*Span{node}},
+		{Node: "router", Roots: []*Span{router}},
+		{Node: "cadd-c", Roots: []*Span{orphan}},
+	})
+	if len(tops) != 2 {
+		t.Fatalf("got %d top-level roots, want 2 (stitched tree + orphan)", len(tops))
+	}
+	// Sorted by start: router leg first.
+	if tops[0].Name() != "route" {
+		t.Fatalf("first top-level root = %q, want route", tops[0].Name())
+	}
+	var stitched *Span
+	for _, c := range tops[0].Children() {
+		if c.Name() == "push" {
+			stitched = c
+		}
+	}
+	if stitched == nil {
+		t.Fatalf("node push span not stitched under router route span")
+	}
+	if a, ok := stitched.Attr(AttrNode); !ok || a.Str != "cadd-b" {
+		t.Fatalf("stitched span node attr = %v, want cadd-b", a)
+	}
+	if stitched.Child("oracle") == nil {
+		t.Fatalf("stitched span lost its local children")
+	}
+}
+
+func TestSpanFromJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.Start("push")
+	root.SetString("stream", "s9")
+	root.SetInt("instance", 7)
+	root.SetFloat("score", 1.25)
+	root.SetBool("sync", true)
+	c := root.StartChild("score")
+	c.SetInt("n", 3)
+	c.End()
+	root.End()
+
+	// Through real JSON bytes, as the router receives it.
+	raw, err := json.Marshal(root.ToJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tj TraceJSON
+	if err := json.Unmarshal(raw, &tj); err != nil {
+		t.Fatal(err)
+	}
+	got := SpanFromJSON(tj)
+	if got.Name() != "push" || len(got.Children()) != 1 {
+		t.Fatalf("shape lost: name=%q children=%d", got.Name(), len(got.Children()))
+	}
+	if a, _ := got.Attr("instance"); a.Kind != KindInt || a.Int != 7 {
+		t.Fatalf("int attr not restored: %+v", a)
+	}
+	if a, _ := got.Attr("score"); a.Kind != KindFloat || a.Float != 1.25 {
+		t.Fatalf("float attr not restored: %+v", a)
+	}
+	if a, _ := got.Attr("sync"); a.Kind != KindBool || !a.Bool {
+		t.Fatalf("bool attr not restored: %+v", a)
+	}
+	if got.Duration() != root.Duration() {
+		t.Fatalf("duration drift: %v vs %v", got.Duration(), root.Duration())
+	}
+}
+
+func TestWriteChromeNodesOnePidPerNode(t *testing.T) {
+	traceID := NewTraceID()
+	base := time.Unix(1700000000, 0)
+	router := buildRemoteRoot(t, "route", "router", traceID, NewSpanID("router"), "", base, 10*time.Millisecond)
+	node := buildRemoteRoot(t, "push", "cadd-b", traceID, NewSpanID("cadd-b"), "", base.Add(time.Millisecond), 8*time.Millisecond)
+
+	var buf bytes.Buffer
+	err := WriteChromeNodes(&buf, []NodeTraces{
+		{Node: "router", Roots: []*Span{router}},
+		{Node: "cadd-b", Roots: []*Span{node}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome doc not JSON: %v", err)
+	}
+	pidOf := map[string]int{}
+	xPids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pidOf[ev.Args["name"].(string)] = ev.Pid
+		}
+		if ev.Ph == "X" {
+			xPids[ev.Name] = ev.Pid
+		}
+	}
+	if len(pidOf) != 2 {
+		t.Fatalf("process_name metadata for %d processes, want 2: %v", len(pidOf), pidOf)
+	}
+	if pidOf["router"] == pidOf["cadd-b"] {
+		t.Fatalf("router and node share pid %d", pidOf["router"])
+	}
+	if xPids["route"] != pidOf["router"] || xPids["push"] != pidOf["cadd-b"] {
+		t.Fatalf("span events landed in wrong processes: %v vs %v", xPids, pidOf)
+	}
+}

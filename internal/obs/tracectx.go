@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+)
+
+// TraceHeader carries the cross-process trace context between cadd
+// processes (router → node → forwarded node). The value follows the
+// W3C traceparent shape — "00-<32 hex trace id>-<16 hex span id>-01" —
+// so existing tooling that understands traceparent can read it, while
+// the dedicated header name keeps cadd's propagation independent of
+// whatever tracing middleware a deployment may already run.
+const TraceHeader = "X-Cadd-Trace"
+
+// Trace-context attribute keys. Spans carry their identity as plain
+// string attributes, so the propagation layer composes with the
+// existing Span/Tracer machinery without widening the hot-path struct.
+const (
+	AttrTraceID      = "trace_id"
+	AttrSpanID       = "span_id"
+	AttrParentSpanID = "parent_span_id"
+	// AttrNode names the process a span was recorded on ("router" or a
+	// node id). Stitching injects it when the recording side did not.
+	AttrNode = "node"
+)
+
+// TraceContext is one hop's view of a distributed trace: the
+// trace-wide ID plus the span ID of the sender (the receiver's parent).
+type TraceContext struct {
+	TraceID string // 32 lowercase hex characters, not all zero
+	SpanID  string // 16 lowercase hex characters, not all zero
+}
+
+// Valid reports whether both IDs have the required shape.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// String renders the header value ("" when invalid).
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// SetHeader stamps the context onto an outgoing header set (no-op when
+// invalid).
+func (tc TraceContext) SetHeader(h http.Header) {
+	if v := tc.String(); v != "" {
+		h.Set(TraceHeader, v)
+	}
+}
+
+// ParseTraceHeader extracts the trace context from an incoming header
+// set. Parsing is strict: anything but a well-formed
+// "00-<32 hex>-<16 hex>-<2 hex>" value (unknown versions are rejected,
+// all-zero IDs are rejected) returns ok=false, and the receiver falls
+// back to minting a fresh local trace — a malformed upstream must
+// never corrupt or join an unrelated trace.
+func ParseTraceHeader(h http.Header) (TraceContext, bool) {
+	return ParseTraceValue(h.Get(TraceHeader))
+}
+
+// ParseTraceValue parses one header value (see ParseTraceHeader).
+func ParseTraceValue(v string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" || !isHexID(parts[3], 2) {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: parts[1], SpanID: parts[2]}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// NewTraceID mints a random 128-bit trace ID as 32 hex characters.
+func NewTraceID() string {
+	var b [16]byte
+	mustRand(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a 64-bit span ID as 16 hex characters, namespaced by
+// the recording process: the first 4 characters are a stable hash of
+// the node name, the remaining 12 are random. Namespacing makes span
+// IDs minted independently on different nodes collision-free in
+// practice and lets a human eyeball which process produced an ID when
+// reading a stitched trace.
+func NewSpanID(node string) string {
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	var b [6]byte
+	mustRand(b[:])
+	return fmt.Sprintf("%04x%s", uint16(h.Sum32()), hex.EncodeToString(b[:]))
+}
+
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+func mustRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the platforms we run on; dying loudly
+		// beats silently reusing an ID.
+		panic("obs: crypto/rand failed: " + err.Error())
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID("cadd-a")}
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	h := http.Header{}
+	tc.SetHeader(h)
+	got, ok := ParseTraceHeader(h)
+	if !ok {
+		t.Fatalf("ParseTraceHeader rejected %q", h.Get(TraceHeader))
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, tc)
+	}
+}
+
+func TestParseTraceValueRejectsMalformed(t *testing.T) {
+	valid := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID("n")}.String()
+	bad := []string{
+		"",
+		"garbage",
+		"00-short-0011223344556677-01",
+		"00-" + strings.Repeat("0", 32) + "-0011223344556677-01",     // all-zero trace id
+		"00-" + NewTraceID() + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"01-" + NewTraceID() + "-0011223344556677-01",                // unknown version
+		strings.ToUpper(valid),                                       // uppercase hex
+		valid + "-extra",
+		"00-" + strings.Repeat("g", 32) + "-0011223344556677-01", // non-hex
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceValue(v); ok {
+			t.Errorf("ParseTraceValue(%q) accepted, want reject", v)
+		}
+	}
+	if _, ok := ParseTraceValue(valid); !ok {
+		t.Fatalf("ParseTraceValue rejected valid %q", valid)
+	}
+	// Surrounding whitespace is tolerated (header values in the wild).
+	if _, ok := ParseTraceValue("  " + valid + " "); !ok {
+		t.Fatalf("ParseTraceValue rejected padded valid value")
+	}
+}
+
+func TestNewSpanIDNamespacing(t *testing.T) {
+	a1, a2 := NewSpanID("cadd-a"), NewSpanID("cadd-a")
+	b1 := NewSpanID("cadd-b")
+	if a1[:4] != a2[:4] {
+		t.Fatalf("same node, different prefixes: %s vs %s", a1, a2)
+	}
+	if a1[:4] == b1[:4] {
+		t.Fatalf("different nodes share prefix: %s vs %s", a1, b1)
+	}
+	if a1 == a2 {
+		t.Fatalf("two span ids from one node collide: %s", a1)
+	}
+	for _, id := range []string{a1, a2, b1} {
+		if !isHexID(id, 16) {
+			t.Fatalf("span id %q is not 16 hex chars", id)
+		}
+	}
+	if !isHexID(NewTraceID(), 32) {
+		t.Fatalf("trace id is not 32 hex chars")
+	}
+}

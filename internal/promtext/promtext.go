@@ -69,12 +69,21 @@ func Lint(body string) (Stats, error) {
 			return stats, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
 		}
 
-		// Sample line: name[{labels}] value
-		sp := strings.LastIndexByte(line, ' ')
+		// Sample line: name[{labels}] value, optionally followed by an
+		// OpenMetrics-style exemplar (` # {labels} value`) linking the
+		// sample to a trace. The exemplar is validated, then stripped
+		// before the sample itself is parsed.
+		sample, exemplar, hasExemplar := strings.Cut(line, " # ")
+		if hasExemplar {
+			if err := checkExemplar(exemplar); err != nil {
+				return stats, fmt.Errorf("line %d: %v in %q", lineNo, err, line)
+			}
+		}
+		sp := strings.LastIndexByte(sample, ' ')
 		if sp < 0 {
 			return stats, fmt.Errorf("line %d: no value separator in %q", lineNo, line)
 		}
-		key, valStr := line[:sp], line[sp+1:]
+		key, valStr := sample[:sp], sample[sp+1:]
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil && valStr != "+Inf" {
 			return stats, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
@@ -96,6 +105,9 @@ func Lint(body string) (Stats, error) {
 		declared, ok := stats.Types[base]
 		if !ok {
 			return stats, fmt.Errorf("line %d: sample %s has no TYPE declaration before it", lineNo, name)
+		}
+		if hasExemplar && declared != "counter" && !strings.HasSuffix(name, "_bucket") {
+			return stats, fmt.Errorf("line %d: exemplar on %s sample %s (only counters and histogram buckets may carry one)", lineNo, declared, name)
 		}
 		stats.Samples++
 
@@ -166,6 +178,92 @@ func Lint(body string) (Stats, error) {
 	}
 	stats.HistogramSeries = len(hists)
 	return stats, nil
+}
+
+// checkExemplar validates the part after a sample's ` # ` separator:
+// `{labels} value` with an optional trailing timestamp, per the
+// OpenMetrics exemplar syntax.
+func checkExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar %q does not start with a label set", ex)
+	}
+	end := strings.IndexByte(ex, '}')
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar label set in %q", ex)
+	}
+	if _, _, err := extractLabel(ex[1:end], ""); err != nil {
+		return fmt.Errorf("bad exemplar labels: %v", err)
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar %q needs a value (and at most a timestamp) after the label set", ex)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("bad exemplar value %q: %v", f, err)
+		}
+	}
+	return nil
+}
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Parse extracts every sample line from body, ignoring comments and
+// stripping exemplars — the lightweight reader dashboards (cadtop) use
+// against /metrics. It tolerates what Lint would flag structurally
+// (ordering, histogram invariants) but still rejects lines that do not
+// lex as name[{labels}] value.
+func Parse(body string) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, _, _ := strings.Cut(line, " # ")
+		sp := strings.LastIndexByte(sample, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := sample[:sp], sample[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		s := Sample{Name: key, Labels: map[string]string{}}
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("line %d: unterminated label set in %q", ln+1, key)
+			}
+			s.Name = key[:i]
+			rest := key[i+1 : len(key)-1]
+			for rest != "" {
+				// extractLabel peels labels one at a time: grab the first
+				// key, extract it, continue with the remainder.
+				eq := strings.IndexByte(rest, '=')
+				if eq <= 0 {
+					return nil, fmt.Errorf("line %d: malformed label set %q", ln+1, key)
+				}
+				name := rest[:eq]
+				v, remaining, err := extractLabel(rest, name)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				s.Labels[name] = v
+				rest = remaining
+			}
+		}
+		s.Value = val
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // extractLabel parses a label set ('k1="v1",k2="v2"' — no braces) and

@@ -12,6 +12,7 @@ import (
 
 	"dyngraph/internal/core"
 	"dyngraph/internal/graph"
+	"dyngraph/internal/obs"
 	"dyngraph/internal/wal"
 )
 
@@ -90,7 +91,10 @@ func (j *journal) snapshotDue() bool {
 // recordPush appends one push record, then compacts when d.snap is
 // set. Called by the worker after every successful push, before a
 // synchronous pusher is acked — an acked push is always journaled.
-func (j *journal) recordPush(d *pushJournalData) {
+// parent (nil-safe) receives child spans for the WAL append, the
+// replication ship and any compaction, so journal latency is
+// attributable per phase in the push trace.
+func (j *journal) recordPush(d *pushJournalData, parent *obs.Span) {
 	if j.failed.Load() {
 		return
 	}
@@ -111,19 +115,30 @@ func (j *journal) recordPush(d *pushJournalData) {
 	if err == nil {
 		// The frame is encoded once and both appended locally and
 		// shipped, so the follower's log stays byte-identical to ours.
+		asp := parent.StartChild("wal_append")
+		asp.SetInt("bytes", int64(len(frame)))
 		err = j.log.AppendFrame(frame)
+		asp.End()
 	}
 	if err != nil {
 		j.fail("append", err)
 		return
 	}
 	if j.sink != nil {
+		// ShipFrame only enqueues on the replicator's bounded channel,
+		// but the span keeps the hop visible in the stitched cross-node
+		// trace: a slow or full sink shows up here.
+		ssp := parent.StartChild("replicate_ship")
+		ssp.SetInt("bytes", int64(len(frame)))
 		j.sink.ShipFrame(j.streamID, frame)
+		ssp.End()
 	}
 	j.chain = rec.Digest
 	j.sinceSnapshot++
 	if d.snap != nil {
+		csp := parent.StartChild("snapshot_compact")
 		j.compact(d.snap)
+		csp.End()
 	}
 }
 
@@ -412,6 +427,11 @@ func (s *Server) recoverOne(id, dir string) error {
 		return err
 	}
 	cfg := rs.cfg.withDefaults(s.cfg.DefaultQueueSize, s.cfg.DefaultTraceBuffer)
+	if cfg.SLOPushSeconds == 0 {
+		// Journals written before the SLO existed (or with the default
+		// left in place) adopt the server's current objective.
+		cfg.SLOPushSeconds = s.cfg.SLOPushP99
+	}
 	coreCfg, err := cfg.coreConfig()
 	if err != nil {
 		rs.log.Close()

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 
+	"dyngraph/internal/buildinfo"
 	"dyngraph/internal/core"
 	"dyngraph/internal/obs"
 )
@@ -32,6 +33,7 @@ const NodeHeader = "X-Cadd-Node"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /streams", s.handleAdminStreams)
@@ -99,13 +101,22 @@ func writeAcquireError(w http.ResponseWriter, id string, err error) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// ?verbose=1 upgrades the liveness probe to the full /statusz
+	// document, so one well-known endpoint serves both.
+	if r.URL.Query().Get("verbose") == "1" {
+		s.handleStatusz(w, r)
+		return
+	}
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Streams: s.NumStreams(), Node: s.cfg.NodeID})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeTo(w)
+	// Build identity as the conventional value-1 info gauge.
+	fmt.Fprintf(w, "# HELP cadd_build_info Build metadata; the value is always 1.\n# TYPE cadd_build_info gauge\n")
+	writeGauge(w, "cadd_build_info", labels("version", buildinfo.Version, "go_version", buildinfo.GoVersion()), 1)
 
 	// Live gauges, computed at scrape time from the registry itself.
 	infos := s.ListStreams()
@@ -141,6 +152,10 @@ func (s *Server) writeStreamMetrics(w io.Writer, infos []StreamInfo) {
 	for _, st := range s.streamsByID("") {
 		writeGauge(w, "cadd_trace_drops_total", labels("stream", st.id), float64(st.traceDropped()))
 	}
+	// SLO objective and multi-window burn-rate gauges for streams with
+	// an objective configured, computed from each stream's rolling
+	// windows at scrape time.
+	s.writeSLOMetrics(w)
 	// Memory-governance gauges, read from the registry and the ledger.
 	resident, hibernated := s.stateCounts()
 	fmt.Fprintf(w, "# HELP cadd_resident_streams Streams with detector state in memory.\n# TYPE cadd_resident_streams gauge\n")
@@ -149,6 +164,36 @@ func (s *Server) writeStreamMetrics(w io.Writer, infos []StreamInfo) {
 	writeGauge(w, "cadd_hibernated_streams", "", float64(hibernated))
 	fmt.Fprintf(w, "# HELP cadd_resident_bytes Estimated resident bytes of all live detector state (budget ledger total).\n# TYPE cadd_resident_bytes gauge\n")
 	writeGauge(w, "cadd_resident_bytes", "", float64(s.AccountedBytes()))
+}
+
+// writeSLOMetrics emits per-stream SLO gauges: the configured latency
+// objective and one burn-rate sample per rolling window. Headers are
+// emitted only when at least one resident stream has an objective, so
+// SLO-less deployments scrape an unchanged exposition.
+func (s *Server) writeSLOMetrics(w io.Writer) {
+	type sloRow struct {
+		id  string
+		slo *obs.SLO
+	}
+	var rows []sloRow
+	for _, st := range s.streamsByID("") {
+		if st.slo != nil {
+			rows = append(rows, sloRow{id: st.id, slo: st.slo})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP cadd_slo_push_objective_seconds Push-latency SLO objective: at most 1%% of pushes may exceed this.\n# TYPE cadd_slo_push_objective_seconds gauge\n")
+	for _, row := range rows {
+		writeGauge(w, "cadd_slo_push_objective_seconds", labels("stream", row.id), row.slo.Objective())
+	}
+	fmt.Fprintf(w, "# HELP cadd_slo_push_burn_rate Error-budget burn rate per rolling window (1 = consuming budget exactly at the sustainable rate).\n# TYPE cadd_slo_push_burn_rate gauge\n")
+	for _, row := range rows {
+		for _, br := range row.slo.BurnRates() {
+			writeGauge(w, "cadd_slo_push_burn_rate", labels("stream", row.id, "window", br.Window), br.Rate)
+		}
+	}
 }
 
 // handleReports serves every registered stream's report in one
@@ -210,6 +255,12 @@ func (s *Server) streamsByID(filter string) []*stream {
 // format.
 type streamTracesJSON struct {
 	Stream string `json:"stream"`
+	// Instance names the cluster node the traces were recorded on
+	// (omitted outside cluster mode). The router's scatter-gather merge
+	// relies on it: span ids are only namespaced per node, so without
+	// the tag, traces from different nodes would interleave
+	// indistinguishably.
+	Instance string `json:"instance,omitempty"`
 	// Retained is the number of traces currently in the ring; Dropped
 	// counts older ones evicted by its fixed capacity.
 	Retained int             `json:"retained"`
@@ -218,11 +269,13 @@ type streamTracesJSON struct {
 }
 
 // handleTraces serves the retained push traces. Default: a JSON array
-// of per-stream span trees. ?stream= filters to one stream;
+// of per-stream span trees. ?stream= filters to one stream; ?trace=
+// filters to the spans of one distributed trace id (across streams);
 // ?format=chrome emits the Chrome trace_event form (load the response
 // in chrome://tracing or ui.perfetto.dev).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	filter := r.URL.Query().Get("stream")
+	traceID := r.URL.Query().Get("trace")
 	streams := s.streamsByID(filter)
 	if filter != "" && len(streams) == 0 && !s.exists(filter) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", filter)
@@ -232,7 +285,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "chrome" {
 		var all []*obs.Span
 		for _, st := range streams {
-			all = append(all, st.traces()...)
+			all = append(all, filterTraces(st.traces(), traceID)...)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := obs.WriteChrome(w, all); err != nil {
@@ -243,9 +296,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 	out := make([]streamTracesJSON, 0, len(streams))
 	for _, st := range streams {
-		traces := st.traces()
+		traces := filterTraces(st.traces(), traceID)
+		if traceID != "" && len(traces) == 0 {
+			continue // keep the trace-scoped view free of empty entries
+		}
 		entry := streamTracesJSON{
 			Stream:   st.id,
+			Instance: s.cfg.NodeID,
 			Retained: len(traces),
 			Dropped:  st.traceDropped(),
 			Traces:   make([]obs.TraceJSON, len(traces)),
@@ -256,6 +313,21 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		out = append(out, entry)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// filterTraces keeps the roots whose trace_id attribute matches id
+// (all of them for id "").
+func filterTraces(traces []*obs.Span, id string) []*obs.Span {
+	if id == "" {
+		return traces
+	}
+	var out []*obs.Span
+	for _, tr := range traces {
+		if a, ok := tr.Attr(obs.AttrTraceID); ok && a.Str == id {
+			out = append(out, tr)
+		}
+	}
+	return out
 }
 
 func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
@@ -333,7 +405,19 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		expected = n
 	}
-	res, err := s.push(id, g, sync, requestID(r.Context()), expected)
+	// Distributed trace context: continue the caller's trace (the
+	// router's, or a client minting its own header) or start a fresh
+	// one, mint this node's namespaced span id, and echo the context in
+	// the response so the client can fetch the stitched trace by id.
+	pc := pushContext{requestID: requestID(r.Context())}
+	if tc, ok := obs.ParseTraceHeader(r.Header); ok {
+		pc.traceID, pc.parentSpanID = tc.TraceID, tc.SpanID
+	} else {
+		pc.traceID = obs.NewTraceID()
+	}
+	pc.spanID = obs.NewSpanID(s.cfg.NodeID)
+	obs.TraceContext{TraceID: pc.traceID, SpanID: pc.spanID}.SetHeader(w.Header())
+	res, err := s.push(id, g, sync, pc, expected)
 	switch {
 	case errors.Is(err, errUnknownStream):
 		writeError(w, http.StatusNotFound, "unknown stream %q", id)

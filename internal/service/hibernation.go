@@ -283,7 +283,7 @@ func (s *Server) sizedFor(id string) func(int64) {
 // Push ingests one snapshot into a stream, rehydrating it first when
 // hibernated. The programmatic twin of POST /v1/streams/{id}/snapshots.
 func (s *Server) Push(id string, g *graph.Graph, sync bool) (PushResult, error) {
-	return s.push(id, g, sync, "", -1)
+	return s.push(id, g, sync, pushContext{}, -1)
 }
 
 // push is the shared ingest path: acquire (rehydrating if needed),
@@ -291,13 +291,13 @@ func (s *Server) Push(id string, g *graph.Graph, sync bool) (PushResult, error) 
 // a concurrent hibernation — the retried acquire parks on the entry
 // mutex until the swap completes, so the retry either reaches the
 // rehydrated stream or surfaces a real closure (delete, shutdown).
-func (s *Server) push(id string, g *graph.Graph, sync bool, requestID string, expected int64) (PushResult, error) {
+func (s *Server) push(id string, g *graph.Graph, sync bool, pc pushContext, expected int64) (PushResult, error) {
 	for attempt := 0; ; attempt++ {
 		st, err := s.acquire(id)
 		if err != nil {
 			return PushResult{}, err
 		}
-		res, err := st.enqueue(g, sync, requestID, expected)
+		res, err := st.enqueue(g, sync, pc, expected)
 		if errors.Is(err, errStreamClosed) && attempt < 3 {
 			continue
 		}

@@ -46,6 +46,18 @@ type histogram struct {
 	buckets []float64 // cumulative counts per bound
 	count   float64
 	sum     float64
+	// exemplars holds the most recent exemplar per bucket (slot
+	// len(bounds) is +Inf), allocated lazily on the first exemplared
+	// observation so histograms without exemplars pay nothing.
+	exemplars []exemplar
+}
+
+// exemplar links one observed value to the trace that produced it, in
+// OpenMetrics form: `<sample> # {trace_id="…"} <value>` appended to the
+// bucket line the value fell into.
+type exemplar struct {
+	labels string // rendered label pairs without braces, e.g. trace_id="ab12"
+	value  float64
 }
 
 func newMetrics() *metrics {
@@ -107,6 +119,15 @@ func (m *metrics) add(name, labelStr string, v float64) {
 
 // observe records one value in a histogram series.
 func (m *metrics) observe(name, labelStr string, v float64) {
+	m.observeExemplar(name, labelStr, v, "")
+}
+
+// observeExemplar records one value and, when exemplarLabels is
+// non-empty (rendered pairs without braces, e.g. `trace_id="ab12"`),
+// attaches it as the exemplar of the bucket the value fell into —
+// last write wins, so a scrape links each bucket to a recent
+// representative trace.
+func (m *metrics) observeExemplar(name, labelStr string, v float64, exemplarLabels string) {
 	m.mu.Lock()
 	series := m.hists[name]
 	if series == nil {
@@ -122,13 +143,23 @@ func (m *metrics) observe(name, labelStr string, v float64) {
 		h = &histogram{bounds: bounds, buckets: make([]float64, len(bounds))}
 		series[labelStr] = h
 	}
+	slot := len(h.bounds) // +Inf unless a finite bound catches it
 	for i, bound := range h.bounds {
 		if v <= bound {
 			h.buckets[i]++
+			if i < slot {
+				slot = i
+			}
 		}
 	}
 	h.count++
 	h.sum += v
+	if exemplarLabels != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[slot] = exemplar{labels: exemplarLabels, value: v}
+	}
 	m.mu.Unlock()
 }
 
@@ -171,14 +202,36 @@ func (m *metrics) writeTo(w io.Writer) {
 		for _, ls := range sortedKeys(series) {
 			h := series[ls]
 			for i, bound := range h.bounds {
-				fmt.Fprintf(w, "%s_bucket%s %s\n", name,
-					mergeLabel(ls, "le", formatValue(bound)), formatValue(h.buckets[i]))
+				fmt.Fprintf(w, "%s_bucket%s %s%s\n", name,
+					mergeLabel(ls, "le", formatValue(bound)), formatValue(h.buckets[i]), h.exemplarSuffix(i))
 			}
-			fmt.Fprintf(w, "%s_bucket%s %s\n", name, mergeLabel(ls, "le", "+Inf"), formatValue(h.count))
+			fmt.Fprintf(w, "%s_bucket%s %s%s\n", name,
+				mergeLabel(ls, "le", "+Inf"), formatValue(h.count), h.exemplarSuffix(len(h.bounds)))
 			fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, formatValue(h.sum))
 			fmt.Fprintf(w, "%s_count%s %s\n", name, ls, formatValue(h.count))
 		}
 	}
+}
+
+// exemplarSuffix renders bucket slot i's exemplar (" # {…} v"), or ""
+// when the bucket has none. Caller holds m.mu via writeTo.
+func (h *histogram) exemplarSuffix(i int) string {
+	if h.exemplars == nil || h.exemplars[i].labels == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {%s} %s", h.exemplars[i].labels, formatValue(h.exemplars[i].value))
+}
+
+// counterTotal sums one counter metric across all its label sets (0
+// when absent) — the /statusz rollup for per-stream counters.
+func (m *metrics) counterTotal(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total float64
+	for _, v := range m.counts[name] {
+		total += v
+	}
+	return total
 }
 
 // writeGauge renders one gauge sample with its TYPE header handled by

@@ -5,15 +5,26 @@ import (
 	"dyngraph/internal/graph"
 )
 
+// pushContext carries the request-scoped identifiers a push inherits
+// from its HTTP arrival: the request id and the distributed-trace
+// context minted or continued by the snapshot handler (see
+// obs.TraceHeader). All fields are empty for programmatic pushes.
+type pushContext struct {
+	requestID    string
+	traceID      string // 32 hex chars; "" when the push is untraced
+	spanID       string // this node's span id for the push root
+	parentSpanID string // the upstream hop's span id ("" at the trace root)
+}
+
 // job is one enqueued snapshot. done is non-nil for synchronous pushes
 // and receives exactly one result when the worker has scored (or
-// failed to score) the instance. requestID is the originating HTTP
-// request's id, carried into the push trace and slow-push logs.
+// failed to score) the instance. pc is the originating request's
+// context, carried into the push trace and slow-push logs.
 type job struct {
-	g         *graph.Graph
-	instance  int64
-	requestID string
-	done      chan jobResult
+	g        *graph.Graph
+	instance int64
+	pc       pushContext
+	done     chan jobResult
 }
 
 // jobResult is what a synchronous pusher waits for.

@@ -80,6 +80,24 @@ type Config struct {
 	// carry it in the X-Cadd-Node header and /healthz reports it, so
 	// clients and tests can see which node actually served a request.
 	NodeID string
+
+	// SLOPushP99 is the default per-stream push-latency SLO objective in
+	// seconds (the cadd -slo-push-p99 flag): at most 1% of a stream's
+	// pushes may take longer. Streams can override or opt out via
+	// StreamConfig.SLOPushSeconds. 0 disables the default objective.
+	SLOPushP99 float64
+	// StatusSections are extra named sections appended to the /statusz
+	// document — the hook cadd uses to surface the runtime sampler,
+	// cluster peer health and replication progress through the node's
+	// status endpoint. Value functions must be safe for concurrent use.
+	StatusSections []StatusSection
+}
+
+// StatusSection is one pluggable /statusz section: Name keys the JSON
+// field, Value is evaluated per request.
+type StatusSection struct {
+	Name  string
+	Value func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +141,8 @@ type Server struct {
 	ledger *budget.Accountant
 	lru    *hibernate.LRU
 	flight hibernate.Flight
+
+	started time.Time // for /statusz uptime
 
 	mu       sync.RWMutex
 	streams  map[string]*entry
@@ -173,6 +193,7 @@ func New(cfg Config) *Server {
 		ledger:  budget.New(capacity),
 		lru:     hibernate.NewLRU(),
 		streams: make(map[string]*entry),
+		started: time.Now(),
 	}
 	if cfg.MemBudgetBytes > 0 || cfg.HibernateAfter > 0 {
 		if cfg.DataDir == "" {
@@ -193,6 +214,12 @@ func (s *Server) CreateStream(id string, cfg StreamConfig) error {
 		return err
 	}
 	cfg = cfg.withDefaults(s.cfg.DefaultQueueSize, s.cfg.DefaultTraceBuffer)
+	if cfg.SLOPushSeconds == 0 {
+		// Resolved here (not in withDefaults) so the persisted config
+		// carries the effective objective and recovery keeps it even if
+		// the server flag later changes.
+		cfg.SLOPushSeconds = s.cfg.SLOPushP99
+	}
 	if _, err := cfg.coreConfig(); err != nil {
 		return fmt.Errorf("service: stream %q: %w", id, err)
 	}

@@ -41,6 +41,7 @@ type stream struct {
 	metrics *metrics
 	logger  *slog.Logger
 	tracer  *obs.Tracer // nil when the stream's TraceBuffer is negative
+	slo     *obs.SLO    // nil when the stream has no latency objective
 	oracle  string      // metrics label: "exact", "embedding" or "none"
 
 	enqMu    sync.Mutex
@@ -113,6 +114,9 @@ func startStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger,
 	if s.tracer == nil && cfg.TraceBuffer > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceBuffer)
 	}
+	// nil when the objective is off (SLOPushSeconds <= 0 after the
+	// server default was resolved at creation/recovery).
+	s.slo = obs.NewSLO(cfg.SLOPushSeconds)
 	s.oracle = oracleKind(variant)
 	// Seed the ledger before the worker starts so even never-pushed
 	// streams are accounted (and admission pressure is visible).
@@ -168,16 +172,22 @@ func (s *stream) run() {
 		s.detMu.Lock()
 		s.resolveOracle(j.g.N())
 		// The worker owns the root span so the trace carries the serving
-		// context (stream, arrival index, request id) above the
-		// detector's pipeline stages.
+		// context (stream, arrival index, request id, distributed-trace
+		// identity) above the detector's pipeline stages.
 		root := s.tracer.Start("push")
 		root.SetString("stream", s.id)
 		root.SetInt("instance", j.instance)
-		if j.requestID != "" {
-			root.SetString("request_id", j.requestID)
+		if j.pc.requestID != "" {
+			root.SetString("request_id", j.pc.requestID)
+		}
+		if j.pc.traceID != "" {
+			root.SetString(obs.AttrTraceID, j.pc.traceID)
+			root.SetString(obs.AttrSpanID, j.pc.spanID)
+			if j.pc.parentSpanID != "" {
+				root.SetString(obs.AttrParentSpanID, j.pc.parentSpanID)
+			}
 		}
 		rep, err := s.det.PushTraced(j.g, root)
-		root.End()
 		delta := s.det.Delta()
 		ost := s.det.LastOracleStats()
 		s.processed++
@@ -220,23 +230,39 @@ func (s *stream) run() {
 		}
 		if jdata != nil {
 			// Journal before acking the synchronous pusher: an acked
-			// push is always journaled.
-			s.journal.recordPush(jdata)
+			// push is always journaled. The write gets its own stage span
+			// so fsync and replication-ship latency show up in the trace
+			// (and the stage histogram) next to the detector stages.
+			jsp := root.StartChild("journal")
+			s.journal.recordPush(jdata, jsp)
+			jsp.End()
 		}
+		// The root ends after the journal write, so its duration matches
+		// what a synchronous pusher actually waited for; ending it also
+		// publishes the trace, making it visible at /debug/traces before
+		// the pusher is acked.
+		root.End()
 
 		elapsed := time.Since(start).Seconds()
 		s.metrics.observe("cadd_push_seconds", labels("oracle", s.oracle), elapsed)
 		s.metrics.add("cadd_snapshots_processed_total", labels("stream", s.id), 1)
 		if root != nil {
+			// Traced pushes exemplar each stage bucket with their trace id,
+			// linking the histogram back to the exact trace at /debug/traces.
+			var exLabels string
+			if j.pc.traceID != "" {
+				exLabels = `trace_id="` + j.pc.traceID + `"`
+			}
 			for _, st := range root.Children() {
-				s.metrics.observe("cadd_push_stage_seconds",
-					labels("stream", s.id, "stage", st.Name()), st.Duration().Seconds())
+				s.metrics.observeExemplar("cadd_push_stage_seconds",
+					labels("stream", s.id, "stage", st.Name()), st.Duration().Seconds(), exLabels)
 			}
 		}
+		s.slo.Observe(elapsed)
 		s.noteLatency(elapsed, j, root)
 		if err != nil {
 			s.metrics.add("cadd_push_errors_total", labels("stream", s.id), 1)
-			s.logger.Error("push failed", "instance", j.instance, "request_id", j.requestID, "err", err)
+			s.logger.Error("push failed", "instance", j.instance, "request_id", j.pc.requestID, "err", err)
 		}
 		if ost.Built {
 			mode := ost.Mode
@@ -302,7 +328,7 @@ func (s *stream) noteLatency(elapsed float64, j job, root *obs.Span) {
 	s.metrics.add("cadd_slow_pushes_total", labels("stream", s.id), 1)
 	args := []any{
 		"instance", j.instance,
-		"request_id", j.requestID,
+		"request_id", j.pc.requestID,
 		"seconds", elapsed,
 		"threshold_seconds", threshold,
 	}
@@ -359,8 +385,8 @@ func (s *stream) traceDropped() uint64 {
 // the next expected arrival is a re-push of an already-accepted
 // snapshot and is acked as a duplicate without re-scoring; one above
 // it is a gap and is refused with errOutOfOrder.
-func (s *stream) enqueue(g *graph.Graph, sync bool, requestID string, expected int64) (PushResult, error) {
-	j := job{g: g, requestID: requestID}
+func (s *stream) enqueue(g *graph.Graph, sync bool, pc pushContext, expected int64) (PushResult, error) {
+	j := job{g: g, pc: pc}
 	if sync {
 		j.done = make(chan jobResult, 1)
 	}

@@ -1,0 +1,304 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dyngraph/internal/obs"
+	"dyngraph/internal/promtext"
+)
+
+// postSnapshotTraced is postSnapshot with a caller-supplied
+// X-Cadd-Trace header value ("" sends none).
+func postSnapshotTraced(t *testing.T, srv *Server, stream string, snap Snapshot, traceHeader string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/streams/"+stream+"/snapshots?sync=1", bytes.NewReader(body))
+	if traceHeader != "" {
+		req.Header.Set(obs.TraceHeader, traceHeader)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// tracesForID fetches /debug/traces?trace=<id> and returns the decoded
+// entries.
+func tracesForID(t *testing.T, srv *Server, id string) []struct {
+	Stream   string          `json:"stream"`
+	Instance string          `json:"instance"`
+	Traces   []obs.TraceJSON `json:"traces"`
+} {
+	t.Helper()
+	rec := getPath(t, srv, "/debug/traces?trace="+id)
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces?trace=%s: status %d", id, rec.Code)
+	}
+	var entries []struct {
+		Stream   string          `json:"stream"`
+		Instance string          `json:"instance"`
+		Traces   []obs.TraceJSON `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestPushTraceContext pins the trace-context edge cases: no header
+// mints a fresh local trace, a malformed header is ignored (fresh
+// trace, not an error), and a valid header is continued with the
+// node's own span parented under the caller's.
+func TestPushTraceContext(t *testing.T) {
+	srv, _ := newTestServer(t, Config{NodeID: "cadd-test"})
+	if err := srv.CreateStream("tc", StreamConfig{L: 3}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 6, 7)
+
+	// No header → fresh trace, echoed in the response.
+	rec := postSnapshotTraced(t, srv, "tc", SnapshotFromGraph(seq.At(0)), "")
+	if rec.Code != 200 {
+		t.Fatalf("push: status %d body %s", rec.Code, rec.Body.String())
+	}
+	fresh, ok := obs.ParseTraceValue(rec.Result().Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("no usable trace header echoed: %q", rec.Result().Header.Get(obs.TraceHeader))
+	}
+	entries := tracesForID(t, srv, fresh.TraceID)
+	if len(entries) != 1 || len(entries[0].Traces) != 1 {
+		t.Fatalf("fresh trace not retained: %+v", entries)
+	}
+	root := entries[0].Traces[0]
+	if _, has := root.Attrs[obs.AttrParentSpanID]; has {
+		t.Errorf("fresh local trace should have no parent span, got %v", root.Attrs[obs.AttrParentSpanID])
+	}
+	if got := entries[0].Instance; got != "cadd-test" {
+		t.Errorf("trace entry instance = %q, want cadd-test", got)
+	}
+
+	// Malformed headers → fresh trace each time, never an error.
+	for _, bad := range []string{
+		"zz-not-a-trace",
+		"00-shorttrace-span-01",
+		"00-00000000000000000000000000000000-0000000000000000-01",
+	} {
+		rec := postSnapshotTraced(t, srv, "tc", SnapshotFromGraph(seq.At(1)), bad)
+		if rec.Code != 200 {
+			t.Fatalf("push with malformed header %q: status %d", bad, rec.Code)
+		}
+		got, ok := obs.ParseTraceValue(rec.Result().Header.Get(obs.TraceHeader))
+		if !ok {
+			t.Fatalf("malformed header %q: response trace header unusable", bad)
+		}
+		if strings.Contains(bad, got.TraceID) {
+			t.Errorf("malformed header %q was continued instead of replaced", bad)
+		}
+	}
+
+	// Valid header → continued: same trace id, node-minted span id,
+	// caller's span as parent.
+	caller := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID("client")}
+	rec = postSnapshotTraced(t, srv, "tc", SnapshotFromGraph(seq.At(2)), caller.String())
+	if rec.Code != 200 {
+		t.Fatalf("push with valid header: status %d", rec.Code)
+	}
+	echo, ok := obs.ParseTraceValue(rec.Result().Header.Get(obs.TraceHeader))
+	if !ok || echo.TraceID != caller.TraceID {
+		t.Fatalf("trace id not continued: got %+v, want trace %s", echo, caller.TraceID)
+	}
+	if echo.SpanID == caller.SpanID {
+		t.Error("node echoed the caller's span id instead of minting its own")
+	}
+	entries = tracesForID(t, srv, caller.TraceID)
+	if len(entries) != 1 || len(entries[0].Traces) != 1 {
+		t.Fatalf("continued trace not retained: %+v", entries)
+	}
+	root = entries[0].Traces[0]
+	if got := root.Attrs[obs.AttrParentSpanID]; got != caller.SpanID {
+		t.Errorf("push parent span = %v, want the caller's %s", got, caller.SpanID)
+	}
+	if got := root.Attrs[obs.AttrSpanID]; got != echo.SpanID {
+		t.Errorf("push span id attr = %v, want the echoed %s", got, echo.SpanID)
+	}
+
+	// The ?trace= filter is exact: an unknown id returns no entries,
+	// and the chrome form of a known one is non-empty.
+	if got := tracesForID(t, srv, obs.NewTraceID()); len(got) != 0 {
+		t.Errorf("unknown trace id matched %d entries", len(got))
+	}
+	chrome := getPath(t, srv, "/debug/traces?trace="+caller.TraceID+"&format=chrome")
+	if chrome.Code != 200 || !strings.Contains(chrome.Body.String(), `"ph":"X"`) {
+		t.Errorf("chrome trace-filtered export: status %d body %.120s", chrome.Code, chrome.Body.String())
+	}
+}
+
+// TestStatuszEndpoint: the operational snapshot parses, carries build
+// identity, census, ingest rollups, SLO burn rates, push-latency
+// percentiles and the slowest pushes, and extends with pluggable
+// sections. /healthz?verbose=1 serves the same document.
+func TestStatuszEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{
+		NodeID:     "cadd-a",
+		SLOPushP99: 0.25,
+		StatusSections: []StatusSection{
+			{Name: "runtime", Value: func() any { return map[string]int{"custom": 42} }},
+		},
+	})
+	if err := srv.CreateStream("sz", StreamConfig{L: 3}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 5, 3)
+	for i := 0; i < 5; i++ {
+		if rec := postSnapshot(t, srv, "sz", SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+			t.Fatalf("push %d: status %d", i, rec.Code)
+		}
+	}
+
+	for _, path := range []string{"/statusz", "/healthz?verbose=1"} {
+		rec := getPath(t, srv, path)
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+		var doc struct {
+			Status        string  `json:"status"`
+			Node          string  `json:"node"`
+			Version       string  `json:"version"`
+			GoVersion     string  `json:"go_version"`
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			Streams       struct {
+				Total    int `json:"total"`
+				Resident int `json:"resident"`
+			} `json:"streams"`
+			Memory struct {
+				ResidentBytes int64 `json:"resident_bytes"`
+			} `json:"memory"`
+			Ingest struct {
+				Ingested  int64 `json:"ingested"`
+				Processed int64 `json:"processed"`
+			} `json:"ingest"`
+			SLO map[string]struct {
+				ObjectiveSeconds float64        `json:"objective_seconds"`
+				BurnRates        []obs.BurnRate `json:"burn_rates"`
+			} `json:"slo"`
+			PushLatency map[string]struct {
+				Samples    int     `json:"samples"`
+				P50Seconds float64 `json:"p50_seconds"`
+				P99Seconds float64 `json:"p99_seconds"`
+			} `json:"push_latency"`
+			SlowestPushes []struct {
+				Stream  string  `json:"stream"`
+				TraceID string  `json:"trace_id"`
+				Seconds float64 `json:"seconds"`
+			} `json:"slowest_pushes"`
+			Runtime map[string]int `json:"runtime"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: %v\n%s", path, err, rec.Body.String())
+		}
+		if doc.Status != "ok" || doc.Node != "cadd-a" {
+			t.Errorf("%s: status %q node %q", path, doc.Status, doc.Node)
+		}
+		if doc.Version == "" || doc.GoVersion == "" {
+			t.Errorf("%s: missing build identity: %q / %q", path, doc.Version, doc.GoVersion)
+		}
+		if doc.UptimeSeconds <= 0 {
+			t.Errorf("%s: uptime %v", path, doc.UptimeSeconds)
+		}
+		if doc.Streams.Total != 1 || doc.Streams.Resident != 1 {
+			t.Errorf("%s: census %+v", path, doc.Streams)
+		}
+		if doc.Memory.ResidentBytes <= 0 {
+			t.Errorf("%s: resident bytes %d", path, doc.Memory.ResidentBytes)
+		}
+		if doc.Ingest.Ingested != 5 || doc.Ingest.Processed != 5 {
+			t.Errorf("%s: ingest rollup %+v", path, doc.Ingest)
+		}
+		slo, ok := doc.SLO["sz"]
+		if !ok {
+			t.Fatalf("%s: no slo section for sz: %s", path, rec.Body.String())
+		}
+		if slo.ObjectiveSeconds != 0.25 {
+			t.Errorf("%s: objective %v, want the server default 0.25", path, slo.ObjectiveSeconds)
+		}
+		if len(slo.BurnRates) != len(obs.DefaultSLOWindows) {
+			t.Errorf("%s: %d burn-rate windows, want %d", path, len(slo.BurnRates), len(obs.DefaultSLOWindows))
+		}
+		lat, ok := doc.PushLatency["sz"]
+		if !ok || lat.Samples != 5 || lat.P99Seconds < lat.P50Seconds || lat.P50Seconds <= 0 {
+			t.Errorf("%s: push latency %+v ok=%v", path, lat, ok)
+		}
+		if len(doc.SlowestPushes) == 0 || len(doc.SlowestPushes) > 5 {
+			t.Fatalf("%s: %d slowest pushes", path, len(doc.SlowestPushes))
+		}
+		for i, sp := range doc.SlowestPushes {
+			if sp.TraceID == "" || sp.Stream != "sz" {
+				t.Errorf("%s: slowest push %d incomplete: %+v", path, i, sp)
+			}
+			if i > 0 && sp.Seconds > doc.SlowestPushes[i-1].Seconds {
+				t.Errorf("%s: slowest pushes not sorted descending", path)
+			}
+		}
+		if doc.Runtime["custom"] != 42 {
+			t.Errorf("%s: pluggable section missing: %v", path, doc.Runtime)
+		}
+	}
+}
+
+// TestSLOMetricsAndExemplars: streams with an objective export the SLO
+// gauges; an opted-out stream exports none; traced pushes exemplar the
+// stage histogram; and the exposition stays lint-clean through all of
+// it.
+func TestSLOMetricsAndExemplars(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	// Tiny objective: every push violates it, so the burn rate is the
+	// deterministic maximum 1/budget = 100.
+	if err := srv.CreateStream("hot", StreamConfig{L: 3, SLOPushSeconds: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicitly opted out of the (absent) server default.
+	if err := srv.CreateStream("off", StreamConfig{L: 3, SLOPushSeconds: -1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 4, 5)
+	for i := 0; i < 4; i++ {
+		for _, id := range []string{"hot", "off"} {
+			if rec := postSnapshot(t, srv, id, SnapshotFromGraph(seq.At(i)), ""); rec.Code != 200 {
+				t.Fatalf("push %s %d: status %d", id, i, rec.Code)
+			}
+		}
+	}
+	body := getPath(t, srv, "/metrics").Body.String()
+	if _, err := promtext.Lint(body); err != nil {
+		t.Fatalf("exposition with SLO gauges and exemplars fails lint: %v", err)
+	}
+	if !strings.Contains(body, `cadd_slo_push_objective_seconds{stream="hot"} 1e-12`) {
+		t.Errorf("objective gauge missing:\n%s", body)
+	}
+	for _, window := range []string{"5m", "1h"} {
+		if !strings.Contains(body, `cadd_slo_push_burn_rate{stream="hot",window="`+window+`"} 100`) {
+			t.Errorf("burn-rate gauge for %s missing or not at the 100 ceiling", window)
+		}
+	}
+	if strings.Contains(body, `cadd_slo_push_objective_seconds{stream="off"}`) {
+		t.Error("opted-out stream still exports an SLO objective")
+	}
+	if !strings.Contains(body, ` # {trace_id="`) {
+		t.Error("no exemplars in the exposition")
+	}
+	if !strings.Contains(body, "cadd_build_info{") {
+		t.Error("cadd_build_info missing")
+	}
+	// Exemplars stay off the frozen legacy histogram.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "cadd_push_seconds_bucket") && strings.Contains(line, " # ") {
+			t.Errorf("exemplar leaked onto the frozen series: %s", line)
+		}
+	}
+}

@@ -104,6 +104,13 @@ type StreamConfig struct {
 	// threshold to ≈1.5× the stream's observed p99; negative disables
 	// slow-push logging.
 	SlowPushSeconds float64 `json:"slow_push_seconds,omitempty"`
+	// SLOPushSeconds is the stream's push-latency SLO objective in
+	// seconds: at most 1% of pushes may take longer (a p99 objective).
+	// Multi-window burn rates against it are exported as
+	// cadd_slo_push_burn_rate and in /statusz. 0 inherits the server
+	// default (Config.SLOPushP99, itself off by default); negative
+	// disables the objective for this stream.
+	SLOPushSeconds float64 `json:"slo_push_seconds,omitempty"`
 }
 
 func (c StreamConfig) withDefaults(defaultQueue, defaultTrace int) StreamConfig {

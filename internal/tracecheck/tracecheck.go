@@ -1,0 +1,87 @@
+// Package tracecheck validates Chrome trace_event JSON documents — the
+// format cadrun/cadbench -trace-out, cadd's /debug/traces?format=chrome
+// and the router's stitched cross-node export all emit. It is the
+// library behind cmd/tracecheck, shared so tests (the obs-smoke cluster
+// test in particular) can assert a trace is loadable without shelling
+// out to the binary.
+package tracecheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Result summarizes a validated document.
+type Result struct {
+	// Spans is the number of complete ("X") events; Meta the number of
+	// metadata ("M") events.
+	Spans int
+	Meta  int
+	// Pids is the number of distinct process ids across span events —
+	// a stitched cross-node trace has one per node.
+	Pids int
+}
+
+// traceDoc mirrors the subset of the Chrome trace_event JSON object
+// format the validator cares about.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		Ts    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		Pid   *int    `json:"pid"`
+		Tid   *int    `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// Check validates one Chrome trace_event document: well-formed JSON, a
+// non-empty traceEvents array, complete events with names, non-negative
+// timestamps and pid/tid, and no phases other than X and M.
+func Check(r io.Reader) (Result, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Result{}, err
+	}
+	return CheckBytes(raw)
+}
+
+// CheckBytes is Check over an in-memory document.
+func CheckBytes(raw []byte) (Result, error) {
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Result{}, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return Result{}, fmt.Errorf("traceEvents is empty")
+	}
+	var res Result
+	pids := map[int]bool{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name == "" {
+				return Result{}, fmt.Errorf("event %d: complete event without a name", i)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return Result{}, fmt.Errorf("event %d (%s): negative timestamp or duration", i, ev.Name)
+			}
+			if ev.Pid == nil || ev.Tid == nil {
+				return Result{}, fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+			}
+			pids[*ev.Pid] = true
+			res.Spans++
+		case "M":
+			res.Meta++
+		default:
+			return Result{}, fmt.Errorf("event %d: unexpected phase %q", i, ev.Phase)
+		}
+	}
+	if res.Spans == 0 {
+		return Result{}, fmt.Errorf("no complete (ph=X) span events")
+	}
+	res.Pids = len(pids)
+	return res, nil
+}
