@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X dyngraph/internal/buildinfo.Version=$(VERSION)
 
-.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke cluster-smoke obs-smoke install
+.PHONY: tier1 vet build test race ci bench benchsmoke trace-smoke fuzz-smoke crash-smoke hibernate-smoke incremental-smoke cluster-smoke obs-smoke grow-smoke install
 
 tier1: vet build test
 
@@ -109,3 +109,15 @@ obs-smoke:
 # -race so the recovery path is also raced. CI runs this.
 crash-smoke:
 	$(GO) test -race -run 'TestCrashRecovery|TestDurability' -count=1 ./cmd/cadd ./internal/service
+
+# Dynamic-vertex-set smoke: the datagen grow dataset (a growing
+# sequence, exercising the text format's `v t count` directives)
+# replayed through real routed cadd subprocesses byte-identically to
+# the batch cadrun encoding, a kill -9 mid-growth of an external-ID
+# stream, and the growth test suite (common-vertex-set scoring,
+# cursor rollback on failed pushes, recovery and hibernation across a
+# vertex-set change). CI runs this.
+grow-smoke:
+	$(GO) run ./cmd/datagen -dataset grow -out /tmp/cad-grow-smoke.txt
+	$(GO) run ./cmd/cadrun -in /tmp/cad-grow-smoke.txt > /dev/null
+	$(GO) test -race -run 'TestGrow|TestFailedPushRetry|TestExternalID|TestDurabilityRecoveryGrowth|TestHibernateRehydrateGrowth' -count=1 ./cmd/cadd ./internal/service

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"dyngraph/internal/commute"
+	"dyngraph/internal/core"
+	"dyngraph/internal/datagen"
+	"dyngraph/internal/graph"
+	"dyngraph/internal/service"
+)
+
+// growSequence materializes the grow dataset exactly as the datagen →
+// cadrun pipeline does: generate, serialize to the text format (whose
+// `v t count` directives carry the per-instance vertex counts), and
+// parse it back. Running the bytes through the codec keeps the smoke
+// honest about the on-disk format, not just the in-memory graphs.
+func growSequence(t *testing.T, seed int64) *graph.Sequence {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteSequence(&buf, datagen.GrowSequence(datagen.GrowConfig{Seed: seed})); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := graph.ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// growIDSnapshot names vertex i "a<i>", so consecutive snapshots agree
+// on identity and growth interns new IDs in index order.
+func growIDSnapshot(g *graph.Graph) service.Snapshot {
+	s := service.SnapshotFromGraph(g)
+	ids := make([]string, g.N())
+	for i := range ids {
+		ids[i] = "a" + strconv.Itoa(i)
+	}
+	s.IDs = ids
+	return s
+}
+
+// TestGrowSmokeRoutedReplay is the growing-vertex-set acceptance
+// check: real cadd subprocesses — three ring nodes plus the router —
+// replay the grow dataset, and the routed /report must be
+// byte-identical to the batch cadrun encoding of the same sequence
+// (transitions score on the common vertex set either way).
+func TestGrowSmokeRoutedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs four subprocesses")
+	}
+	bin := buildCadd(t)
+	ports := freePorts(t, 3)
+	peers := fmt.Sprintf("cadd-a=http://127.0.0.1:%d,cadd-b=http://127.0.0.1:%d,cadd-c=http://127.0.0.1:%d",
+		ports[0], ports[1], ports[2])
+	for i, id := range []string{"cadd-a", "cadd-b", "cadd-c"} {
+		startCadd(t, bin, []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-node-id", id,
+			"-cluster-peers", peers,
+		})
+	}
+	_, routerBase := startCadd(t, bin, []string{
+		"-addr", "127.0.0.1:0",
+		"-cluster-peers", peers,
+	})
+
+	ctx := context.Background()
+	cl := service.NewClient(routerBase, nil)
+	seq := growSequence(t, 7)
+	const l, seed = 3.0, 7
+	cfg := service.StreamConfig{L: l, Seed: seed}
+	streams := []string{"grow-00", "grow-01", "grow-02"}
+	for _, id := range streams {
+		if err := cl.CreateStream(ctx, id, cfg); err != nil {
+			t.Fatalf("create %s through router: %v", id, err)
+		}
+		for i := 0; i < seq.T(); i++ {
+			if _, err := cl.Push(ctx, id, seq.At(i), true); err != nil {
+				t.Fatalf("push %s instance %d: %v", id, i, err)
+			}
+		}
+	}
+
+	// The batch cadrun path over the identical parsed sequence.
+	det := core.New(core.Config{Commute: commute.Config{Seed: seed}})
+	trs, err := det.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.Threshold(trs, core.SelectDelta(trs, l))
+	var batch bytes.Buffer
+	if err := core.WriteReportJSON(&batch, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range streams {
+		got := httpGetRaw(t, routerBase+"/v1/streams/"+id+"/report")
+		if !bytes.Equal(got, batch.Bytes()) {
+			t.Errorf("stream %s: routed grow replay differs from batch cadrun encoding (%d vs %d bytes)",
+				id, len(got), batch.Len())
+		}
+	}
+}
+
+// TestGrowSmokeCrashRecovery crash-cycles a durable cadd mid-way
+// through a growing external-ID stream: SIGKILL lands after the vertex
+// set has grown past the last snapshot (so WAL replay itself must grow
+// the vertex table), and after an instance-indexed resume the /report
+// — external IDs included — must be byte-identical to an uninterrupted
+// replay.
+func TestGrowSmokeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-cycles a subprocess")
+	}
+	bin := buildCadd(t)
+	dataDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-snapshot-every", "3",
+		"-fsync", "always",
+	}
+	seq := growSequence(t, 11)
+	total := seq.T()
+	synced := 5 // past the instance-3 snapshot: instances 3,4 live only in the WAL
+	cfg := service.StreamConfig{L: 3}
+	ctx := context.Background()
+
+	proc, base := startCadd(t, bin, args)
+	cl := service.NewClient(base, nil)
+	if err := cl.CreateStream(ctx, "authors", cfg); err != nil {
+		t.Fatalf("create stream: %v", err)
+	}
+	for i := 0; i < synced; i++ {
+		if _, err := cl.PushSnapshotAt(ctx, "authors", growIDSnapshot(seq.At(i)), int64(i), true); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// One more in flight when the SIGKILL lands.
+	if _, err := cl.PushSnapshotAt(ctx, "authors", growIDSnapshot(seq.At(synced)), int64(synced), false); err != nil {
+		t.Fatalf("async push %d: %v", synced, err)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	proc.Wait()
+
+	proc2, base2 := startCadd(t, bin, args)
+	defer func() { proc2.Process.Kill(); proc2.Wait() }()
+	cl2 := service.NewClient(base2, nil).WithRetry(service.RetryPolicy{})
+
+	info, err := cl2.StreamInfo(ctx, "authors")
+	if err != nil {
+		t.Fatalf("stream did not survive the crash: %v", err)
+	}
+	if info.Ingested < int64(synced) || info.Ingested > int64(synced)+1 {
+		t.Fatalf("recovered Ingested=%d, want %d or %d", info.Ingested, synced, synced+1)
+	}
+	for i := 0; i < total; i++ {
+		res, err := cl2.PushSnapshotAt(ctx, "authors", growIDSnapshot(seq.At(i)), int64(i), true)
+		if err != nil {
+			t.Fatalf("resume push %d: %v", i, err)
+		}
+		if wantDup := int64(i) < info.Ingested; res.Duplicate != wantDup {
+			t.Fatalf("push %d: duplicate=%v, want %v", i, res.Duplicate, wantDup)
+		}
+	}
+
+	got := httpGetRaw(t, base2+"/v1/streams/authors/report")
+	want := uninterruptedIDReport(t, cfg, seq)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered grow report differs from uninterrupted run:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// uninterruptedIDReport replays the sequence as external-ID snapshots
+// on a fresh in-process, non-durable server — the reference the
+// crashed-and-recovered daemon must match byte for byte, vertex_ids
+// included.
+func uninterruptedIDReport(t *testing.T, cfg service.StreamConfig, seq *graph.Sequence) []byte {
+	t.Helper()
+	srv := service.New(service.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cl := service.NewClient(hs.URL, hs.Client())
+	ctx := context.Background()
+	if err := cl.CreateStream(ctx, "authors", cfg); err != nil {
+		t.Fatalf("reference create: %v", err)
+	}
+	for i := 0; i < seq.T(); i++ {
+		if _, err := cl.PushSnapshot(ctx, "authors", growIDSnapshot(seq.At(i)), true); err != nil {
+			t.Fatalf("reference push %d: %v", i, err)
+		}
+	}
+	return httpGetRaw(t, hs.URL+"/v1/streams/authors/report")
+}

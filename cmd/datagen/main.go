@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	datagen -dataset toy|gmm|random|enron|dblp|precip -out file.txt [flags]
+//	datagen -dataset toy|gmm|random|grow|enron|dblp|precip -out file.txt [flags]
 package main
 
 import (
@@ -29,9 +29,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dataset = fs.String("dataset", "", "toy, gmm, random, enron, dblp or precip (required)")
+		dataset = fs.String("dataset", "", "toy, gmm, random, grow, enron, dblp or precip (required)")
 		out     = fs.String("out", "-", "output file ('-' for stdout)")
-		n       = fs.Int("n", 0, "size override where applicable (gmm points, random vertices, dblp authors)")
+		n       = fs.Int("n", 0, "size override where applicable (gmm points, random/grow initial vertices, dblp authors)")
 		seed    = fs.Int64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +51,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			size = 10000
 		}
 		seq = datagen.RandomSequence(datagen.RandomConfig{N: size, Seed: *seed})
+	case "grow":
+		seq = datagen.GrowSequence(datagen.GrowConfig{N0: *n, Seed: *seed})
 	case "enron":
 		seq = enron.Generate(enron.Config{Seed: *seed}).Seq
 	case "dblp":

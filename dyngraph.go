@@ -58,6 +58,7 @@ import (
 	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
 	"dyngraph/internal/eval"
+	"dyngraph/internal/gdist"
 	"dyngraph/internal/graph"
 	"dyngraph/internal/obs"
 	"dyngraph/internal/service"
@@ -74,8 +75,19 @@ type GraphBuilder = graph.Builder
 // Edge is an undirected weighted edge with I < J.
 type Edge = graph.Edge
 
-// Sequence is a temporal sequence of graphs over one vertex set.
+// Sequence is a temporal sequence of graphs. The vertex set may grow
+// across instances (see NewDynamicSequence); transitions score on the
+// common vertex set of their two snapshots.
 type Sequence = graph.Sequence
+
+// ErrVertexMismatch is returned by operations that require two graphs
+// on the same vertex set (e.g. EditDistance) when the counts differ.
+var ErrVertexMismatch = graph.ErrVertexMismatch
+
+// EditDistance is the weighted graph edit distance between two graphs
+// on the same vertex set. It returns ErrVertexMismatch if the vertex
+// counts differ.
+func EditDistance(a, b *Graph) (float64, error) { return gdist.EditDistance(a, b) }
 
 // EdgeScore is a node pair with its per-transition anomaly score ΔE.
 type EdgeScore = core.EdgeScore
@@ -107,12 +119,21 @@ func FromEdges(n int, edges []Edge, labels []string) (*Graph, error) {
 	return graph.FromEdges(n, edges, labels)
 }
 
-// NewSequence validates and wraps a slice of graphs.
+// NewSequence validates and wraps a slice of graphs on one fixed
+// vertex set.
 func NewSequence(graphs []*Graph) (*Sequence, error) { return graph.NewSequence(graphs) }
 
+// NewDynamicSequence wraps graphs whose vertex counts may grow over
+// time (vertices may be added but not removed). Detectors score each
+// transition on the common vertex set of its two snapshots.
+func NewDynamicSequence(graphs []*Graph) (*Sequence, error) {
+	return graph.NewDynamicSequence(graphs)
+}
+
 // ReadSequence parses the plain-text edge-list format ("t i j w" lines,
-// optional "n <count> t <count>" header) used by cmd/cadrun and
-// cmd/datagen.
+// optional "n <count> t <count>" header, optional "v <t> <count>"
+// per-instance vertex-count directives for growing sequences) used by
+// cmd/cadrun and cmd/datagen.
 func ReadSequence(r io.Reader) (*Sequence, error) { return graph.ReadSequence(r) }
 
 // WriteSequence writes a sequence in the same format.

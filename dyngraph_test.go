@@ -2,6 +2,7 @@ package dyngraph_test
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -221,5 +222,65 @@ func TestExplainPublicAPI(t *testing.T) {
 	}
 	if _, err := adjRes.Explain(0, want[0], want[1]); err == nil {
 		t.Fatal("ADJ should refuse Explain")
+	}
+}
+
+func TestDynamicSequenceDetection(t *testing.T) {
+	// A growing sequence: instance 1 adds a vertex, instance 2 plants a
+	// bridge among the original vertices. The detector must accept the
+	// growth, score transitions on the common vertex set, and localize
+	// the planted edge — not the new vertex's debut.
+	mk := func(n int, bridge bool) *dyngraph.Graph {
+		b := dyngraph.NewGraphBuilder(n)
+		for c := 0; c < 2; c++ {
+			base := c * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					b.SetEdge(base+i, base+j, 3)
+				}
+			}
+		}
+		b.SetEdge(0, 6, 0.2)
+		for k := 12; k < n; k++ {
+			b.SetEdge(k%12, k, 1)
+		}
+		if bridge {
+			b.SetEdge(2, 9, 4)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if _, err := dyngraph.NewDynamicSequence([]*dyngraph.Graph{mk(13, false), mk(12, false)}); err == nil {
+		t.Fatal("shrinking dynamic sequence accepted")
+	}
+	seq, err := dyngraph.NewDynamicSequence([]*dyngraph.Graph{mk(12, false), mk(13, false), mk(13, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dyngraph.NewDetector(dyngraph.Options{}).Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.AutoThreshold(2)
+	if len(rep.Transitions) != 2 {
+		t.Fatalf("transitions = %d, want 2", len(rep.Transitions))
+	}
+	if rep.Transitions[0].Anomalous() {
+		t.Fatalf("growth-only transition flagged: %+v", rep.Transitions[0].Edges)
+	}
+	tr := rep.Transitions[1]
+	if !tr.Anomalous() || tr.Edges[0].I != 2 || tr.Edges[0].J != 9 {
+		t.Fatalf("planted bridge not localized: %+v", tr.Edges)
+	}
+}
+
+func TestVertexMismatchError(t *testing.T) {
+	g3 := dyngraph.NewGraphBuilder(3).MustBuild()
+	g5 := dyngraph.NewGraphBuilder(5).MustBuild()
+	if _, err := dyngraph.EditDistance(g3, g5); !errors.Is(err, dyngraph.ErrVertexMismatch) {
+		t.Fatalf("EditDistance on mismatched graphs: %v, want ErrVertexMismatch", err)
 	}
 }

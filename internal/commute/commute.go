@@ -318,7 +318,11 @@ func NewEmbeddingFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, 
 // nil parent disables the spans.
 func NewEmbeddingFromTraced(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) (*Embedding, error) {
 	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
-		prev.n != g.N() || prev.key != cfg.key() {
+		prev.n > g.N() || prev.key != cfg.key() {
+		// Growth (prev.n < g.N()) keeps prev: edge-keyed projection
+		// signs are position-independent, so the retained rows'
+		// solutions stay valid warm guesses and the new vertices'
+		// rows start at zero. Only a shrunk vertex set discards.
 		prev = nil
 	}
 	return buildEmbedding(g, prev, cfg, parent)
@@ -422,7 +426,10 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Spa
 		// constants — the converged-guess early exit would hand those
 		// stale means straight back; re-center it first. On unchanged
 		// structure the block is untouched, preserving the bit-identical
-		// warm-rebuild contract.
+		// warm-rebuild contract. On a grown vertex set the row-major
+		// copy fills exactly the retained vertices' rows (new rows stay
+		// zero) and sameComponents reports false on the length mismatch,
+		// so the extended guess block is always re-centered.
 		copy(emb.z, prev.z)
 		if !sameComponents(emb.lap, prev.lap) {
 			emb.lap.ProjectBlock(emb.z, k)
@@ -461,7 +468,9 @@ func buildEmbedding(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Spa
 // (BenchmarkEmbeddingBlockedVsPerRow, cadbench -exp block).
 func NewEmbeddingPerRowFrom(g *graph.Graph, prev *Embedding, cfg Config) (*Embedding, error) {
 	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
-		prev.n != g.N() || prev.key != cfg.key() {
+		prev.n > g.N() || prev.key != cfg.key() {
+		// Same growth rule as NewEmbeddingFromTraced: retained rows
+		// warm-start, a shrunk vertex set discards.
 		prev = nil
 	}
 	return buildEmbeddingPerRow(g, prev, cfg)
@@ -494,8 +503,11 @@ func buildEmbeddingPerRow(g *graph.Graph, prev *Embedding, cfg Config) (*Embeddi
 		var err error
 		if prev != nil {
 			// Warm start from the previous snapshot's solution of this
-			// row's (slightly different) system.
-			for i := 0; i < n; i++ {
+			// row's (slightly different) system. On a grown vertex set
+			// only the retained vertices have previous values; new
+			// vertices' entries start at zero, like the block path.
+			sparse.Zero(x)
+			for i := 0; i < n && i < prev.n; i++ {
 				x[i] = prev.z[i*k+row]
 			}
 			if recenter {

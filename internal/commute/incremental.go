@@ -60,15 +60,24 @@ func NewEmbeddingIncremental(g *graph.Graph, prev *Embedding, cfg Config) (*Embe
 // "pcg" (the verification solve).
 func NewEmbeddingIncrementalTraced(g *graph.Graph, prev *Embedding, cfg Config, parent *obs.Span) (*Embedding, error) {
 	if prev == nil || !cfg.SharedProjections || prev.g == nil ||
-		prev.n != g.N() || prev.key != cfg.key() {
+		prev.n > g.N() || prev.key != cfg.key() {
+		// A grown snapshot (prev.n < g.N()) keeps prev: the retained
+		// block warm-starts row extension. Only a shrunk one discards.
 		prev = nil
 	}
 	var dropped int
-	if cfg.SparsifyTargetNNZ > 0 && prev != nil {
+	// Sparsification and the Woodbury correction both index state sized
+	// to the previous snapshot (resistance estimates, the RHS block), so
+	// they require an unchanged vertex set; a grown snapshot falls
+	// through to the warm build, which extends the rows.
+	if cfg.SparsifyTargetNNZ > 0 && prev != nil && prev.n == g.N() {
 		g, dropped = sparsifyTraced(g, prev, cfg, parent)
 	}
-	if prev != nil && cfg.IncrementalUpdates && prev.y != nil {
-		diff := graph.DiffSupport(prev.g, g)
+	if prev != nil && prev.n == g.N() && cfg.IncrementalUpdates && prev.y != nil {
+		diff, err := graph.DiffSupport(prev.g, g)
+		if err != nil {
+			diff = nil // unreachable given prev.n == g.N(); stay panic-free
+		}
 		if len(diff) > 0 && len(diff) <= cfg.incrementalMaxEdits() {
 			emb, err := buildEmbeddingWoodbury(g, prev, diff, cfg, parent)
 			if err != nil {

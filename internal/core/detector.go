@@ -157,12 +157,14 @@ func (d *Detector) RunDetailed(seq *graph.Sequence) ([]Transition, []commute.Ora
 		}
 	}
 	out := make([]Transition, seq.T()-1)
-	allPairs := d.cfg.comAllPairs(seq.N())
 	for t := 0; t < seq.T()-1; t++ {
 		var og, oh commute.Oracle
 		if oracles != nil {
 			og, oh = oracles[t], oracles[t+1]
 		}
+		// allPairs follows the newer snapshot's vertex count, matching
+		// what OnlineDetector evaluates at the equivalent push.
+		allPairs := d.cfg.comAllPairs(seq.At(t + 1).N())
 		scores := TransitionScores(seq.At(t), seq.At(t+1), og, oh, d.cfg.Variant, allPairs)
 		out[t] = Transition{T: t, Scores: scores, Total: TotalScore(scores)}
 	}
@@ -174,6 +176,10 @@ func (d *Detector) RunDetailed(seq *graph.Sequence) ([]Transition, []commute.Ora
 type Report struct {
 	Delta       float64
 	Transitions []TransitionReport
+	// VertexIDs optionally maps dense vertex indices to stable external
+	// IDs (set by streams ingesting external-ID snapshots; nil for raw
+	// index inputs, including every batch run).
+	VertexIDs []string
 }
 
 // TransitionReport is one transition's anomaly sets.

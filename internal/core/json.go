@@ -25,10 +25,13 @@ type TransitionJSON struct {
 	Nodes      []int      `json:"nodes"`
 }
 
-// ReportJSON is the wire form of a Report.
+// ReportJSON is the wire form of a Report. VertexIDs is omitted when
+// empty so reports over raw index inputs stay byte-identical to the
+// pre-external-ID encoding (the golden tests pin this).
 type ReportJSON struct {
 	Delta       float64          `json:"delta"`
 	Transitions []TransitionJSON `json:"transitions"`
+	VertexIDs   []string         `json:"vertex_ids,omitempty"`
 }
 
 // JSON converts one transition's anomaly sets to their wire form.
@@ -42,7 +45,7 @@ func (tr TransitionReport) JSON() TransitionJSON {
 
 // JSON converts the report to its wire form.
 func (r Report) JSON() ReportJSON {
-	out := ReportJSON{Delta: r.Delta}
+	out := ReportJSON{Delta: r.Delta, VertexIDs: r.VertexIDs}
 	for _, tr := range r.Transitions {
 		out.Transitions = append(out.Transitions, tr.JSON())
 	}

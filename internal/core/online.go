@@ -29,7 +29,7 @@ import (
 type OnlineDetector struct {
 	cfg        Config
 	l          float64
-	n          int // vertex count, fixed by the first instance
+	n          int // current vertex count: non-decreasing, set by each instance
 	t          int // instances consumed
 	prev       *graph.Graph
 	prevOra    commute.Oracle
@@ -37,6 +37,12 @@ type OnlineDetector struct {
 	delta      float64
 	maxHistory int
 	evicted    int
+
+	// ids optionally maps dense vertex indices to stable external IDs
+	// (streams ingesting external-ID snapshots set it after each push;
+	// raw index streams leave it nil). Purely presentational: scoring
+	// never consults it. len(ids) == n when set.
+	ids []string
 
 	// δ re-selection cache: one precomputed step function per retained
 	// transition (aligned with history), plus reusable scratch, so the
@@ -219,11 +225,14 @@ func (o *OnlineDetector) PushTraced(g *graph.Graph, parent *obs.Span) (*Transiti
 	if g == nil {
 		return nil, fmt.Errorf("core: Push(nil)")
 	}
-	if o.t == 0 {
-		o.n = g.N()
-	} else if g.N() != o.n {
-		return nil, fmt.Errorf("core: instance %d has %d vertices, want %d (fixed vertex set)", o.t, g.N(), o.n)
+	if g.N() < o.n {
+		// Growth is fine — dense indices are stable, scoring restricts
+		// itself to the common vertex set, and the embedding extends its
+		// retained rows — but a shrinking count would silently re-key
+		// vertices, so it is refused.
+		return nil, fmt.Errorf("core: instance %d has %d vertices, want at least %d (vertices may be added but not removed)", o.t, g.N(), o.n)
 	}
+	o.n = g.N()
 	parent.SetInt("t", int64(o.t))
 	parent.SetInt("n", int64(g.N()))
 
@@ -331,6 +340,25 @@ func (o *OnlineDetector) PushTraced(g *graph.Graph, parent *obs.Span) (*Transiti
 // instance arrives).
 func (o *OnlineDetector) Delta() float64 { return o.delta }
 
+// SetVertexIDs attaches the external-ID slice for the current vertex
+// set (dense-index order). It returns an error if the length does not
+// match the consumed instances' vertex count; nil clears the mapping.
+func (o *OnlineDetector) SetVertexIDs(ids []string) error {
+	if ids == nil {
+		o.ids = nil
+		return nil
+	}
+	if len(ids) != o.n {
+		return fmt.Errorf("core: SetVertexIDs got %d ids, want %d", len(ids), o.n)
+	}
+	o.ids = append(o.ids[:0], ids...)
+	return nil
+}
+
+// VertexIDs returns the external-ID slice (nil for raw index streams).
+// The slice must not be modified.
+func (o *OnlineDetector) VertexIDs() []string { return o.ids }
+
 // Transitions returns the scored history retained under the
 // max-history window (all of it by default). The slice must not be
 // modified.
@@ -340,5 +368,9 @@ func (o *OnlineDetector) Transitions() []Transition { return o.history }
 // batch-equivalent view of the stream consumed so far (of the window
 // only, when SetMaxHistory bounds it).
 func (o *OnlineDetector) Report() Report {
-	return Threshold(o.history, o.delta)
+	rep := Threshold(o.history, o.delta)
+	if o.ids != nil {
+		rep.VertexIDs = append([]string(nil), o.ids...)
+	}
+	return rep
 }

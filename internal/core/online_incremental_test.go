@@ -187,7 +187,7 @@ func TestOnlineIncrementalUnchangedGraphStaysFree(t *testing.T) {
 // far below the warm fallback's for the same edit.
 func TestOnlineIncrementalStatsSurfaceBaseSolves(t *testing.T) {
 	gs := editSequence(t, 120, 2, nil, 17)
-	edits := len(graph.DiffSupport(gs[0], gs[1]))
+	edits := len(graph.DiffSupportCommon(gs[0], gs[1]))
 	if edits == 0 || edits > 6 {
 		t.Fatalf("test sequence edit count %d outside the incremental budget", edits)
 	}

@@ -54,15 +54,86 @@ func TestOnlineMatchesBatchAfterFullStream(t *testing.T) {
 	}
 }
 
-func TestOnlineRejectsVertexCountChange(t *testing.T) {
+func TestOnlineRejectsVertexCountShrink(t *testing.T) {
 	o := NewOnline(Config{}, 1)
 	g3 := graph.NewBuilder(3).MustBuild()
 	g4 := graph.NewBuilder(4).MustBuild()
-	if _, err := o.Push(g3); err != nil {
+	if _, err := o.Push(g4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.Push(g4); err == nil {
-		t.Fatal("want error on vertex-count change")
+	if _, err := o.Push(g3); err == nil {
+		t.Fatal("want error on vertex-count shrink")
+	}
+}
+
+func TestOnlineAcceptsVertexGrowth(t *testing.T) {
+	o := NewOnline(Config{}, 1)
+	b3 := graph.NewBuilder(3)
+	b3.AddEdge(0, 1, 1)
+	b3.AddEdge(1, 2, 1)
+	if _, err := o.Push(b3.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	// Grown snapshot: vertex 3 joins, an existing edge reweights, and a
+	// new-vertex edge appears (the latter outside the common set).
+	b4 := graph.NewBuilder(4)
+	b4.AddEdge(0, 1, 1)
+	b4.AddEdge(1, 2, 5)
+	b4.AddEdge(2, 3, 2)
+	rep, err := o.Push(b4.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("no transition report")
+	}
+	// The first grown transition scores only the common vertex set:
+	// (1,2) changed within it, (2,3) touches the new vertex.
+	tr := o.Transitions()[0]
+	for _, s := range tr.Scores {
+		if s.J >= 3 {
+			t.Fatalf("score on new vertex leaked into common-set transition: %+v", s)
+		}
+	}
+	// Next transition scores the full 4-vertex set.
+	b4b := graph.NewBuilder(4)
+	b4b.AddEdge(0, 1, 1)
+	b4b.AddEdge(1, 2, 5)
+	if _, err := o.Push(b4b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range o.Transitions()[1].Scores {
+		if s.I == 2 && s.J == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dropped new-vertex edge (2,3) not scored on the following transition")
+	}
+}
+
+func TestOnlineVertexIDs(t *testing.T) {
+	o := NewOnline(Config{}, 1)
+	g := graph.NewBuilder(2).MustBuild()
+	if _, err := o.Push(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetVertexIDs([]string{"a"}); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+	if err := o.SetVertexIDs([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := o.Report()
+	if len(rep.VertexIDs) != 2 || rep.VertexIDs[1] != "b" {
+		t.Fatalf("Report VertexIDs = %v", rep.VertexIDs)
+	}
+	if err := o.SetVertexIDs(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Report().VertexIDs != nil {
+		t.Fatal("VertexIDs not cleared")
 	}
 }
 

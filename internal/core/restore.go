@@ -23,7 +23,8 @@ import (
 // deliberately absent — it is rebuilt lazily on the next Push (see
 // RestoreOnline).
 type OnlineState struct {
-	// N is the fixed vertex count (0 before the first instance).
+	// N is the current vertex count (0 before the first instance;
+	// non-decreasing over the stream's life).
 	N int
 	// T is the number of instances consumed.
 	T int
@@ -38,6 +39,9 @@ type OnlineState struct {
 	History []Transition
 	// Prev is the most recent graph instance (nil only when T is 0).
 	Prev *graph.Graph
+	// VertexIDs is the external-ID mapping in dense-index order (nil
+	// for raw index streams; len == N when set).
+	VertexIDs []string
 }
 
 // State snapshots the detector for a durability layer. The history
@@ -45,7 +49,7 @@ type OnlineState struct {
 // array in place), but the per-transition score slices are shared:
 // they are immutable once scored.
 func (o *OnlineDetector) State() OnlineState {
-	return OnlineState{
+	st := OnlineState{
 		N:       o.n,
 		T:       o.t,
 		Evicted: o.evicted,
@@ -53,6 +57,10 @@ func (o *OnlineDetector) State() OnlineState {
 		History: append([]Transition(nil), o.history...),
 		Prev:    o.prev,
 	}
+	if o.ids != nil {
+		st.VertexIDs = append([]string(nil), o.ids...)
+	}
+	return st
 }
 
 // RestoreOnline reconstructs a streaming detector from journaled
@@ -87,6 +95,9 @@ func RestoreOnline(cfg Config, l float64, st OnlineState) (*OnlineDetector, erro
 	if st.Prev.N() != st.N {
 		return nil, fmt.Errorf("core: restore: previous graph has %d vertices, state says %d", st.Prev.N(), st.N)
 	}
+	if st.VertexIDs != nil && len(st.VertexIDs) != st.N {
+		return nil, fmt.Errorf("core: restore: %d vertex IDs for %d vertices", len(st.VertexIDs), st.N)
+	}
 	if max := st.T - 1; len(st.History) > max {
 		return nil, fmt.Errorf("core: restore: %d retained transitions exceed the %d consumed instances", len(st.History), st.T)
 	}
@@ -108,6 +119,9 @@ func RestoreOnline(cfg Config, l float64, st OnlineState) (*OnlineDetector, erro
 	o.t = st.T
 	o.evicted = st.Evicted
 	o.prev = st.Prev
+	if st.VertexIDs != nil {
+		o.ids = append([]string(nil), st.VertexIDs...)
+	}
 	o.history = append([]Transition(nil), st.History...)
 	o.steps = make([]deltaSteps, len(o.history))
 	for i, tr := range o.history {

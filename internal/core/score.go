@@ -63,9 +63,19 @@ type EdgeScore struct {
 // reproducible) while the restricted support keeps COM runnable at the
 // scalability-experiment sizes, matching the paper's remark that COM's
 // runtime is comparable to CAD's.
+//
+// All supports are restricted to the common vertex set of the two
+// snapshots: with a fixed vertex set (the paper's framework) that is a
+// no-op, and on a growing stream a transition scores exactly the
+// vertices present on both sides — a vertex added at t+1 has no
+// commute times at t, so its edges first score on the t+1 → t+2
+// transition (Khoa & Chawla's common-vertex-set restriction).
 func scoreSupport(g, h *graph.Graph, v Variant, allPairs bool) []graph.Key {
 	if v == VariantCOM && allPairs {
 		n := g.N()
+		if h.N() < n {
+			n = h.N()
+		}
 		keys := make([]graph.Key, 0, n*(n-1)/2)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
@@ -74,7 +84,7 @@ func scoreSupport(g, h *graph.Graph, v Variant, allPairs bool) []graph.Key {
 		}
 		return keys
 	}
-	return graph.DiffSupport(g, h)
+	return graph.DiffSupportCommon(g, h)
 }
 
 // TransitionScores computes the variant's edge scores for the

@@ -28,7 +28,7 @@ func TestToyStructure(t *testing.T) {
 		}
 	}
 	// Exactly the scripted changes differ.
-	diff := graph.DiffSupport(g0, g1)
+	diff := graph.DiffSupportCommon(g0, g1)
 	if len(diff) != len(ToyChanges()) {
 		t.Fatalf("diff support = %d pairs, want %d", len(diff), len(ToyChanges()))
 	}
@@ -148,7 +148,7 @@ func TestRandomSequenceShape(t *testing.T) {
 		t.Fatal("instance 0 should be connected by default")
 	}
 	// The transition must actually change something.
-	if len(graph.DiffSupport(seq.At(0), seq.At(1))) == 0 {
+	if len(graph.DiffSupportCommon(seq.At(0), seq.At(1))) == 0 {
 		t.Fatal("no transition changes")
 	}
 }

@@ -111,7 +111,7 @@ func TestFamilySequenceTransitionHasWork(t *testing.T) {
 		if seq.T() != 2 {
 			t.Fatalf("%s: T = %d", fam, seq.T())
 		}
-		if len(graph.DiffSupport(seq.At(0), seq.At(1))) == 0 {
+		if len(graph.DiffSupportCommon(seq.At(0), seq.At(1))) == 0 {
 			t.Fatalf("%s: no transition changes", fam)
 		}
 	}

@@ -1,0 +1,119 @@
+package datagen
+
+import (
+	"dyngraph/internal/graph"
+	"dyngraph/internal/xrand"
+)
+
+// GrowConfig parameterizes the growing-vertex-set sequence: a
+// DBLP-style collaboration network where new authors keep joining,
+// used to exercise the dynamic-vertex-set path end to end (the `grow`
+// dataset of cmd/datagen and the grow-smoke CI check).
+type GrowConfig struct {
+	// N0 is the initial vertex count (default 60).
+	N0 int
+	// T is the number of instances (default 8).
+	T int
+	// PerStep is how many vertices join at each instance after the
+	// first (default 5), so instance t has N0 + t·PerStep vertices.
+	PerStep int
+	// Communities is the number of planted communities (default 4).
+	Communities int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (c GrowConfig) withDefaults() GrowConfig {
+	if c.N0 <= 0 {
+		c.N0 = 60
+	}
+	if c.T <= 0 {
+		c.T = 8
+	}
+	if c.PerStep < 0 {
+		c.PerStep = 0
+	} else if c.PerStep == 0 {
+		c.PerStep = 5
+	}
+	if c.Communities <= 0 {
+		c.Communities = 4
+	}
+	return c
+}
+
+// GrowSequence generates a growing community-structured sequence:
+// vertices belong to one of Communities groups (vertex v to v mod
+// Communities), intra-community edges persist with jittered weights,
+// and each instance adds PerStep new vertices wired into their
+// community. The middle transition plants a cross-community clique
+// among existing vertices — the anomaly a detector should localize —
+// so growth alone (which scores only on the common vertex set) is not
+// flagged. The result is a dynamic sequence: vertex counts grow by
+// PerStep per instance and never shrink.
+func GrowSequence(cfg GrowConfig) *graph.Sequence {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(cfg.Seed)
+	k := cfg.Communities
+
+	// Persistent intra-community backbone, generated once for the final
+	// vertex count; instance t exposes the prefix of vertices alive then.
+	nFinal := cfg.N0 + (cfg.T-1)*cfg.PerStep
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	var backbone []edge
+	seen := make(map[graph.Key]struct{})
+	add := func(i, j int, w float64) {
+		if i == j {
+			return
+		}
+		key := graph.MakeKey(i, j)
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		backbone = append(backbone, edge{key.I, key.J, w})
+	}
+	// Each vertex links to a few earlier vertices of its community, so
+	// every prefix of the vertex order is itself a connected community
+	// structure (plus a weak ring of inter-community bridges for global
+	// connectivity).
+	for v := k; v < nFinal; v++ {
+		links := 2 + rng.Intn(2)
+		for l := 0; l < links; l++ {
+			u := v%k + k*rng.Intn(v/k) // earlier vertex, same community
+			add(u, v, 1+rng.Float64())
+		}
+	}
+	for c := 0; c < k; c++ {
+		add(c, (c+1)%k, 0.2) // weak bridges keep instances connected
+	}
+
+	gs := make([]*graph.Graph, cfg.T)
+	for t := 0; t < cfg.T; t++ {
+		n := cfg.N0 + t*cfg.PerStep
+		b := graph.NewBuilder(n)
+		for _, e := range backbone {
+			if e.i >= n || e.j >= n {
+				continue
+			}
+			// Small per-instance weight jitter: every transition has
+			// benign change everywhere, so δ has a noise floor to clear.
+			jitter := float64((cfg.Seed+int64(t*31+e.i*7+e.j))%7) * 0.02
+			b.SetEdge(e.i, e.j, e.w+jitter)
+		}
+		if t == cfg.T/2 {
+			// The planted anomaly: a sudden cross-community clique among
+			// four long-established vertices.
+			anom := []int{0, 1, 2, 3}
+			for x := 0; x < len(anom); x++ {
+				for y := x + 1; y < len(anom); y++ {
+					b.SetEdge(anom[x], anom[y], 8)
+				}
+			}
+		}
+		gs[t] = b.MustBuild()
+	}
+	return graph.MustDynamicSequence(gs)
+}

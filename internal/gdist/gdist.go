@@ -23,12 +23,17 @@ import (
 // EditDistance is the weighted graph edit distance restricted to a
 // fixed vertex set: the total edge-weight change Σ|A(i,j) − B(i,j)|
 // over i < j (edge insertions and deletions count their full weight).
-func EditDistance(a, b *graph.Graph) float64 {
+// It returns graph.ErrVertexMismatch if the vertex counts differ.
+func EditDistance(a, b *graph.Graph) (float64, error) {
+	keys, err := graph.DiffSupport(a, b)
+	if err != nil {
+		return 0, err
+	}
 	var d float64
-	for _, k := range graph.DiffSupport(a, b) {
+	for _, k := range keys {
 		d += math.Abs(a.Weight(k.I, k.J) - b.Weight(k.I, k.J))
 	}
-	return d
+	return d, nil
 }
 
 // SpectralDistance is the l2 distance between the k largest adjacency
@@ -78,7 +83,7 @@ func topSpectrum(g *graph.Graph, k int) ([]float64, error) {
 type DistanceFunc func(a, b *graph.Graph) (float64, error)
 
 // Edit adapts EditDistance to DistanceFunc.
-func Edit(a, b *graph.Graph) (float64, error) { return EditDistance(a, b), nil }
+func Edit(a, b *graph.Graph) (float64, error) { return EditDistance(a, b) }
 
 // Spectral returns a DistanceFunc using the k leading eigenvalues.
 func Spectral(k int) DistanceFunc {

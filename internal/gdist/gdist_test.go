@@ -1,6 +1,7 @@
 package gdist
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,14 +25,25 @@ func pair(t *testing.T) (*graph.Graph, *graph.Graph) {
 
 func TestEditDistance(t *testing.T) {
 	a, b := pair(t)
-	if got := EditDistance(a, b); got != 3.5 {
+	dist := func(x, y *graph.Graph) float64 {
+		t.Helper()
+		d, err := EditDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if got := dist(a, b); got != 3.5 {
 		t.Fatalf("EditDistance = %g, want 3.5", got)
 	}
-	if got := EditDistance(a, a); got != 0 {
+	if got := dist(a, a); got != 0 {
 		t.Fatalf("self distance = %g", got)
 	}
-	if got, want := EditDistance(a, b), EditDistance(b, a); got != want {
+	if got, want := dist(a, b), dist(b, a); got != want {
 		t.Fatalf("asymmetric: %g vs %g", got, want)
+	}
+	if _, err := EditDistance(a, graph.NewBuilder(2).MustBuild()); !errors.Is(err, graph.ErrVertexMismatch) {
+		t.Fatalf("err = %v, want ErrVertexMismatch", err)
 	}
 }
 

@@ -23,6 +23,18 @@ func FuzzReadSequence(f *testing.F) {
 	f.Add("0 0 1 1e308\n0 0 1 1e308\n")
 	f.Add("0 0 1 -0\n")
 	f.Add("n 2 t 1\n0 0 1 0x1p-3\n")
+	// Duplicate edge lines accumulate (pinned semantics, not last-wins).
+	f.Add("0 0 1 1\n0 0 1 2\n")
+	f.Add("n 3 t 2\n0 1 2 0.5\n0 2 1 0.5\n1 1 2 3\n")
+	// Out-of-order vertex ids within an instance.
+	f.Add("0 5 3 1\n0 1 2 1\n")
+	f.Add("0 9 0 1\n0 0 1 1\n1 2 1 1\n")
+	// Growing vertex sets via "v" directives.
+	f.Add("n 4 t 2\nv 0 2\nv 1 4\n0 0 1 1\n1 2 3 1\n")
+	f.Add("v 0 2\nv 1 3\n0 0 1 1\n1 0 2 1\n")
+	f.Add("v 0 3\nv 0 4\n")
+	f.Add("n 2 t 1\nv 0 9\n")
+	f.Add("v 1 2\n0 0 1 1\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		seq, err := ReadSequence(strings.NewReader(input))
@@ -46,6 +58,9 @@ func FuzzReadSequence(f *testing.F) {
 		}
 		for tt := 0; tt < seq.T(); tt++ {
 			a, b := seq.At(tt), back.At(tt)
+			if a.N() != b.N() {
+				t.Fatalf("round trip changed vertex count at t=%d: %d→%d", tt, a.N(), b.N())
+			}
 			if a.NumEdges() != b.NumEdges() {
 				t.Fatalf("round trip changed edge count at t=%d", tt)
 			}

@@ -10,12 +10,19 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"dyngraph/internal/dense"
 	"dyngraph/internal/sparse"
 )
+
+// ErrVertexMismatch reports an operation over two graphs whose vertex
+// counts differ where the caller required identical vertex sets.
+// Callers that can tolerate growth should use DiffSupportCommon (or
+// check the counts themselves) instead of treating this as fatal.
+var ErrVertexMismatch = errors.New("graph: vertex count mismatch")
 
 // Edge is an undirected weighted edge with I < J by convention.
 type Edge struct {
@@ -300,37 +307,59 @@ func (g *Graph) IsConnected() bool {
 // DiffSupport returns the canonical keys of every node pair whose
 // weight differs between g and h — the support of A_{t+1} − A_t, which
 // is the only place a CAD score ΔE_t can be non-zero. The keys are
-// sorted. It panics if the vertex counts differ (the paper's framework
-// fixes V across time).
-func DiffSupport(g, h *Graph) []Key {
+// sorted. It returns ErrVertexMismatch if the vertex counts differ
+// (the paper's framework fixes V across time); callers scoring dynamic
+// streams use DiffSupportCommon instead.
+func DiffSupport(g, h *Graph) ([]Key, error) {
 	if g.N() != h.N() {
-		panic("graph: DiffSupport on graphs with different vertex sets")
+		return nil, fmt.Errorf("%w: %d vs %d vertices", ErrVertexMismatch, g.N(), h.N())
 	}
-	// Both adjacency rows are column-sorted (the Edges contract), so a
-	// single synchronized merge over the upper triangles finds every
-	// differing pair in O(nnz) with the output already in (I, J) order —
-	// no per-entry weight lookups, no map, no sort. This runs on every
-	// streaming push (build-strategy choice, solver patching, scoring),
-	// so the linear walk matters.
+	return diffSupportUpTo(g, h, g.N()), nil
+}
+
+// DiffSupportCommon returns the sorted canonical keys of every node
+// pair, restricted to the common vertex set {0..min(gN,hN)-1}, whose
+// weight differs between g and h. On equal vertex counts it is exactly
+// DiffSupport; when one graph is larger, edges touching the extra
+// vertices are outside the common set and are not reported — they
+// start contributing to CAD scores on the next transition, once both
+// endpoints exist in consecutive snapshots (Khoa & Chawla's
+// common-vertex-set restriction).
+func DiffSupportCommon(g, h *Graph) []Key {
+	n := g.N()
+	if h.N() < n {
+		n = h.N()
+	}
+	return diffSupportUpTo(g, h, n)
+}
+
+// diffSupportUpTo merges the upper triangles of g and h over rows and
+// columns < n. Both adjacency rows are column-sorted (the Edges
+// contract), so a single synchronized merge finds every differing pair
+// in O(nnz) with the output already in (I, J) order — no per-entry
+// weight lookups, no map, no sort. This runs on every streaming push
+// (build-strategy choice, solver patching, scoring), so the linear
+// walk matters.
+func diffSupportUpTo(g, h *Graph, n int) []Key {
 	var out []Key
-	for i := 0; i < g.n; i++ {
+	for i := 0; i < n; i++ {
 		gi, gw := g.Neighbors(i)
 		hi, hw := h.Neighbors(i)
 		p, q := 0, 0
 		for p < len(gi) || q < len(hi) {
 			switch {
 			case q == len(hi) || (p < len(gi) && gi[p] < hi[q]):
-				if gi[p] > i {
+				if gi[p] > i && gi[p] < n {
 					out = append(out, Key{I: i, J: gi[p]})
 				}
 				p++
 			case p == len(gi) || hi[q] < gi[p]:
-				if hi[q] > i {
+				if hi[q] > i && hi[q] < n {
 					out = append(out, Key{I: i, J: hi[q]})
 				}
 				q++
 			default:
-				if gw[p] != hw[q] && gi[p] > i {
+				if gw[p] != hw[q] && gi[p] > i && gi[p] < n {
 					out = append(out, Key{I: i, J: gi[p]})
 				}
 				p++

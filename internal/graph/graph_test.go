@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -183,7 +184,10 @@ func TestDiffSupport(t *testing.T) {
 	b2.AddEdge(2, 3, 1) // added
 	g2 := b2.MustBuild()
 
-	diff := DiffSupport(g1, g2)
+	diff, err := DiffSupport(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []Key{{1, 2}, {2, 3}}
 	if len(diff) != len(want) {
 		t.Fatalf("diff = %v, want %v", diff, want)
@@ -194,9 +198,121 @@ func TestDiffSupport(t *testing.T) {
 		}
 	}
 	// Symmetric: deletion detected from the other side.
-	diffRev := DiffSupport(g2, g1)
+	diffRev, err := DiffSupport(g2, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(diffRev) != len(want) {
 		t.Fatalf("reverse diff = %v", diffRev)
+	}
+	// Equal-n inputs: the common-set variant is bit-identical.
+	common := DiffSupportCommon(g1, g2)
+	if len(common) != len(diff) {
+		t.Fatalf("common = %v, want %v", common, diff)
+	}
+	for i := range diff {
+		if common[i] != diff[i] {
+			t.Fatalf("common = %v, want %v", common, diff)
+		}
+	}
+}
+
+func TestDiffSupportVertexMismatch(t *testing.T) {
+	b1 := NewBuilder(3)
+	b1.AddEdge(0, 1, 1)
+	b1.AddEdge(1, 2, 1)
+	small := b1.MustBuild()
+
+	b2 := NewBuilder(5)
+	b2.AddEdge(0, 1, 1) // unchanged
+	b2.AddEdge(1, 2, 2) // modified, in common set
+	b2.AddEdge(2, 3, 1) // touches a new vertex: outside common set
+	b2.AddEdge(3, 4, 1) // entirely new
+	big := b2.MustBuild()
+
+	if _, err := DiffSupport(small, big); !errors.Is(err, ErrVertexMismatch) {
+		t.Fatalf("DiffSupport err = %v, want ErrVertexMismatch", err)
+	}
+	if _, err := DiffSupport(big, small); !errors.Is(err, ErrVertexMismatch) {
+		t.Fatalf("DiffSupport err = %v, want ErrVertexMismatch", err)
+	}
+
+	want := []Key{{1, 2}}
+	for _, diff := range [][]Key{DiffSupportCommon(small, big), DiffSupportCommon(big, small)} {
+		if len(diff) != 1 || diff[0] != want[0] {
+			t.Fatalf("DiffSupportCommon = %v, want %v", diff, want)
+		}
+	}
+}
+
+func TestVertexTable(t *testing.T) {
+	vt := NewVertexTable()
+	for i, id := range []string{"alice", "bob", "carol"} {
+		idx, added := vt.Intern(id)
+		if idx != i || !added {
+			t.Fatalf("Intern(%q) = %d,%v, want %d,true", id, idx, added, i)
+		}
+	}
+	if idx, added := vt.Intern("bob"); idx != 1 || added {
+		t.Fatalf("re-Intern(bob) = %d,%v, want 1,false", idx, added)
+	}
+	if idx, ok := vt.Lookup("carol"); !ok || idx != 2 {
+		t.Fatalf("Lookup(carol) = %d,%v", idx, ok)
+	}
+	if _, ok := vt.Lookup("dave"); ok {
+		t.Fatal("Lookup(dave) should miss")
+	}
+	if vt.Len() != 3 || vt.ID(0) != "alice" {
+		t.Fatalf("Len=%d ID(0)=%q", vt.Len(), vt.ID(0))
+	}
+
+	// Truncate forgets later interns and frees their IDs for reuse.
+	vt.Intern("dave")
+	vt.Truncate(3)
+	if vt.Len() != 3 {
+		t.Fatalf("Len after Truncate = %d", vt.Len())
+	}
+	if _, ok := vt.Lookup("dave"); ok {
+		t.Fatal("dave survived Truncate")
+	}
+	if idx, added := vt.Intern("erin"); idx != 3 || !added {
+		t.Fatalf("Intern(erin) = %d,%v", idx, added)
+	}
+
+	// Round trip through the materialized ID slice.
+	rebuilt, err := VertexTableFromIDs(vt.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Len() != vt.Len() {
+		t.Fatalf("rebuilt Len = %d", rebuilt.Len())
+	}
+	if idx, ok := rebuilt.Lookup("erin"); !ok || idx != 3 {
+		t.Fatalf("rebuilt Lookup(erin) = %d,%v", idx, ok)
+	}
+	if _, err := VertexTableFromIDs([]string{"a", "", "c"}); err == nil {
+		t.Fatal("want error for empty ID")
+	}
+	if _, err := VertexTableFromIDs([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("want error for duplicate ID")
+	}
+}
+
+func TestDynamicSequence(t *testing.T) {
+	g2 := NewBuilder(2).MustBuild()
+	g3 := triangle(t)
+	if _, err := NewDynamicSequence(nil); err == nil {
+		t.Fatal("want error for empty sequence")
+	}
+	if _, err := NewDynamicSequence([]*Graph{g3, g2}); err == nil {
+		t.Fatal("want error for shrinking vertex count")
+	}
+	s, err := NewDynamicSequence([]*Graph{g2, g3, g3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 3 || s.N() != 3 {
+		t.Fatalf("T=%d N=%d, want 3, 3", s.T(), s.N())
 	}
 }
 

@@ -18,14 +18,47 @@ import (
 // weight w, whitespace-separated. Lines beginning with '#' and blank
 // lines are ignored. A header line "n <count> t <count>" may declare
 // the vertex and time counts explicitly; otherwise both are inferred
-// as max+1 over the records. The format round-trips through
-// WriteSequence and ReadSequence and is what cmd/cadrun consumes.
+// as max+1 over the records. Records may appear in any order, and a
+// pair repeated within one instance ACCUMULATES: the instance's edge
+// weight is the sum of all its lines, matching Builder.AddEdge (a
+// multigraph collapses to summed weights; this is pinned behaviour,
+// not last-wins). The format round-trips through WriteSequence and
+// ReadSequence and is what cmd/cadrun consumes.
+//
+// Sequences with a growing vertex set additionally carry directives
+//
+//	v <t> <count>
+//
+// declaring the vertex count of instance t. Instances without a
+// directive infer their count from their own records; counts are
+// clamped to be non-decreasing over time (a vertex, once added, never
+// disappears, even if all its edges do). Without any v directive every
+// instance spans the full global vertex set — the paper's fixed-V
+// semantics, and what WriteSequence emits for fixed-V sequences, so
+// legacy files are byte-identical.
 
 // WriteSequence writes s in the edge-list format described above.
+// Fixed-V sequences produce the legacy header-plus-records form; a
+// sequence with non-uniform vertex counts additionally gets one
+// "v <t> <count>" directive per instance.
 func WriteSequence(w io.Writer, s *Sequence) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "n %d t %d\n", s.N(), s.T()); err != nil {
 		return err
+	}
+	uniform := true
+	for t := 0; t < s.T(); t++ {
+		if s.At(t).N() != s.N() {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		for t := 0; t < s.T(); t++ {
+			if _, err := fmt.Fprintf(bw, "v %d %d\n", t, s.At(t).N()); err != nil {
+				return err
+			}
+		}
 	}
 	for t := 0; t < s.T(); t++ {
 		for _, e := range s.At(t).Edges() {
@@ -51,6 +84,7 @@ func ReadSequence(r io.Reader) (*Sequence, error) {
 		n, T       int
 		haveHeader bool
 		lineNo     int
+		vdecl      map[int]int // instance -> declared vertex count ("v" directives)
 	)
 	for sc.Scan() {
 		lineNo++
@@ -67,6 +101,29 @@ func ReadSequence(r io.Reader) (*Sequence, error) {
 				return nil, fmt.Errorf("graph: bad header at line %d: %q", lineNo, line)
 			}
 			haveHeader = true
+			continue
+		}
+		if len(fields) == 3 && fields[0] == "v" {
+			t, err1 := strconv.Atoi(fields[1])
+			c, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || t < 0 || c < 0 {
+				return nil, fmt.Errorf("graph: bad vertex-count directive at line %d: %q", lineNo, line)
+			}
+			if vdecl == nil {
+				vdecl = make(map[int]int)
+			}
+			if _, dup := vdecl[t]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertex-count directive for instance %d", lineNo, t)
+			}
+			vdecl[t] = c
+			if !haveHeader {
+				if t+1 > T {
+					T = t + 1
+				}
+				if c > n {
+					n = c
+				}
+			}
 			continue
 		}
 		if len(fields) != 4 {
@@ -136,14 +193,55 @@ func ReadSequence(r io.Reader) (*Sequence, error) {
 	if cells := (n + 1) * T; cells > maxCells || cells < 0 {
 		return nil, fmt.Errorf("graph: sequence dimensions n=%d, t=%d exceed the %d-cell parser limit", n, T, maxCells)
 	}
-	builders := make([]*Builder, T)
-	for t := range builders {
-		builders[t] = NewBuilder(n)
+	for t, c := range vdecl {
+		if t >= T || c > n {
+			return nil, fmt.Errorf("graph: directive (v %d %d) exceeds declared header n=%d t=%d", t, c, n, T)
+		}
 	}
 	for _, r := range recs {
 		if r.t >= T || r.i >= n || r.j >= n {
 			return nil, fmt.Errorf("graph: record (t=%d,%d,%d) exceeds declared header n=%d t=%d", r.t, r.i, r.j, n, T)
 		}
+	}
+	// Per-instance vertex counts. Without directives every instance
+	// spans the global vertex set (fixed-V, the paper's semantics).
+	// With directives, instance t gets the larger of its declared
+	// count and what its own records require, clamped non-decreasing
+	// so a once-added vertex never disappears.
+	counts := make([]int, T)
+	for t := range counts {
+		counts[t] = n
+	}
+	if len(vdecl) > 0 {
+		inferred := make([]int, T)
+		for _, r := range recs {
+			if r.i+1 > inferred[r.t] {
+				inferred[r.t] = r.i + 1
+			}
+			if r.j+1 > inferred[r.t] {
+				inferred[r.t] = r.j + 1
+			}
+		}
+		prev := 0
+		for t := range counts {
+			c := inferred[t]
+			if d, ok := vdecl[t]; ok && d > c {
+				c = d
+			}
+			if c < prev {
+				c = prev
+			}
+			counts[t] = c
+			prev = c
+		}
+	}
+	builders := make([]*Builder, T)
+	for t := range builders {
+		builders[t] = NewBuilder(counts[t])
+	}
+	for _, r := range recs {
+		// Duplicate pairs accumulate: AddEdge sums repeated (i, j)
+		// lines within an instance (see the format comment).
 		builders[r.t].AddEdge(r.i, r.j, r.w)
 	}
 	graphs := make([]*Graph, T)
@@ -153,6 +251,9 @@ func ReadSequence(r io.Reader) (*Sequence, error) {
 			return nil, fmt.Errorf("graph: instance %d: %w", t, err)
 		}
 		graphs[t] = g
+	}
+	if len(vdecl) > 0 {
+		return NewDynamicSequence(graphs)
 	}
 	return NewSequence(graphs)
 }

@@ -2,8 +2,11 @@ package graph
 
 import "fmt"
 
-// Sequence is a temporal sequence of graphs G_1..G_T over a fixed
-// vertex set, the input object of the paper's problem statement.
+// Sequence is a temporal sequence of graphs G_1..G_T, the input object
+// of the paper's problem statement. The paper fixes the vertex set
+// across time (NewSequence enforces that); NewDynamicSequence admits a
+// growing vertex set, with CAD scores defined on the common vertex set
+// of consecutive snapshots.
 type Sequence struct {
 	graphs []*Graph
 }
@@ -36,11 +39,44 @@ func MustSequence(graphs []*Graph) *Sequence {
 	return s
 }
 
+// NewDynamicSequence validates a sequence whose vertex set may grow
+// over time: vertex counts must be non-decreasing (dense indices are
+// stable — a vertex, once added, keeps its index and never disappears,
+// even if all its edges do). It returns an error on an empty input or
+// a shrinking vertex count.
+func NewDynamicSequence(graphs []*Graph) (*Sequence, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("graph: empty sequence")
+	}
+	prev := 0
+	for t, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("graph: nil graph at index %d", t)
+		}
+		if g.N() < prev {
+			return nil, fmt.Errorf("graph: vertex count shrinks at index %d: %d < %d (vertices may be added but not removed)", t, g.N(), prev)
+		}
+		prev = g.N()
+	}
+	return &Sequence{graphs: append([]*Graph(nil), graphs...)}, nil
+}
+
+// MustDynamicSequence is NewDynamicSequence but panics on error.
+func MustDynamicSequence(graphs []*Graph) *Sequence {
+	s, err := NewDynamicSequence(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // T returns the number of time instances.
 func (s *Sequence) T() int { return len(s.graphs) }
 
-// N returns the (shared) vertex count.
-func (s *Sequence) N() int { return s.graphs[0].N() }
+// N returns the vertex count of the final instance — for a fixed-V
+// sequence that is the shared count, for a dynamic sequence the
+// maximum (counts are non-decreasing).
+func (s *Sequence) N() int { return s.graphs[len(s.graphs)-1].N() }
 
 // At returns the graph at time index t (0-based).
 func (s *Sequence) At(t int) *Graph { return s.graphs[t] }

@@ -1,0 +1,90 @@
+package graph
+
+import "fmt"
+
+// VertexTable is an append-only mapping between stable external vertex
+// IDs (arbitrary non-empty strings chosen by the data source) and the
+// dense indices 0..n-1 the detectors operate on. A stream that ingests
+// a growing graph interns each snapshot's IDs in arrival order: an ID
+// seen before keeps its dense index forever, a new ID is assigned the
+// next free index. Dense indices therefore never move, which is what
+// lets embeddings, WAL replay and report output stay stable as the
+// vertex set grows.
+//
+// VertexTable is not safe for concurrent use; in the streaming daemon
+// it is owned by the single per-stream worker goroutine.
+type VertexTable struct {
+	ids   []string
+	index map[string]int
+}
+
+// NewVertexTable returns an empty table.
+func NewVertexTable() *VertexTable {
+	return &VertexTable{index: make(map[string]int)}
+}
+
+// VertexTableFromIDs rebuilds a table from a previously materialized ID
+// slice (WAL snapshot, RestoreOnline state). It returns an error on
+// empty or duplicate IDs so corrupted state is refused rather than
+// silently aliased.
+func VertexTableFromIDs(ids []string) (*VertexTable, error) {
+	t := NewVertexTable()
+	for i, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("graph: vertex table has empty ID at index %d", i)
+		}
+		if prev, ok := t.index[id]; ok {
+			return nil, fmt.Errorf("graph: vertex table has duplicate ID %q at indices %d and %d", id, prev, i)
+		}
+		t.index[id] = i
+		t.ids = append(t.ids, id)
+	}
+	return t, nil
+}
+
+// Intern returns the dense index for id, assigning the next free index
+// if the ID is new. added reports whether the ID was newly assigned.
+// It panics on an empty ID (callers validate wire input first).
+func (t *VertexTable) Intern(id string) (idx int, added bool) {
+	if id == "" {
+		panic("graph: Intern empty vertex ID")
+	}
+	if idx, ok := t.index[id]; ok {
+		return idx, false
+	}
+	idx = len(t.ids)
+	t.index[id] = idx
+	t.ids = append(t.ids, id)
+	return idx, true
+}
+
+// Lookup returns the dense index for id without interning.
+func (t *VertexTable) Lookup(id string) (idx int, ok bool) {
+	idx, ok = t.index[id]
+	return idx, ok
+}
+
+// ID returns the external ID at dense index i.
+func (t *VertexTable) ID(i int) string { return t.ids[i] }
+
+// Len returns the number of interned vertices.
+func (t *VertexTable) Len() int { return len(t.ids) }
+
+// IDs returns a copy of the ID slice in dense-index order.
+func (t *VertexTable) IDs() []string {
+	return append([]string(nil), t.ids...)
+}
+
+// Truncate rolls the table back to its first n IDs, forgetting later
+// interns. The streaming worker uses this to undo the interning done
+// for a snapshot whose push subsequently failed scoring, so a rejected
+// push leaves no trace. It panics if n exceeds the current length.
+func (t *VertexTable) Truncate(n int) {
+	if n > len(t.ids) {
+		panic(fmt.Sprintf("graph: Truncate(%d) beyond table length %d", n, len(t.ids)))
+	}
+	for _, id := range t.ids[n:] {
+		delete(t.index, id)
+	}
+	t.ids = t.ids[:n]
+}

@@ -328,6 +328,9 @@ func (c *Client) Push(ctx context.Context, id string, g *graph.Graph, sync bool)
 }
 
 // PushSnapshot is Push for callers that already hold the wire form.
+// A snapshot with IDs set addresses vertices by stable external ID:
+// the stream grows its vertex set as unseen IDs arrive (a stream stays
+// in one addressing mode — raw index or external ID — for its life).
 func (c *Client) PushSnapshot(ctx context.Context, id string, snap Snapshot, sync bool) (PushResult, error) {
 	path := "/v1/streams/" + id + "/snapshots"
 	if sync {

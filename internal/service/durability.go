@@ -80,6 +80,7 @@ type pushJournalData struct {
 	total    float64
 	delta    float64
 	evicted  int64
+	newIDs   []string          // external IDs this push interned; nil for raw streams
 	snap     *core.OnlineState // non-nil when a compaction is due
 }
 
@@ -99,12 +100,13 @@ func (j *journal) recordPush(d *pushJournalData, parent *obs.Span) {
 		return
 	}
 	rec := &wal.PushRecord{
-		Instance: d.instance,
-		Graph:    graphToWAL(d.g),
-		Scores:   scoresToWAL(d.scores),
-		Total:    d.total,
-		Delta:    d.delta,
-		Evicted:  d.evicted,
+		Instance:     d.instance,
+		Graph:        graphToWAL(d.g),
+		Scores:       scoresToWAL(d.scores),
+		Total:        d.total,
+		Delta:        d.delta,
+		Evicted:      d.evicted,
+		NewVertexIDs: d.newIDs,
 	}
 	rec.Digest = wal.StateDigest(j.chain, d.instance, d.delta, d.evicted, d.total)
 	payload, err := wal.EncodeRecord(rec)
@@ -248,6 +250,9 @@ func snapshotFromState(cfgJSON []byte, st *core.OnlineState, chain uint64) *wal.
 		g := graphToWAL(st.Prev)
 		snap.Prev = &g
 	}
+	if st.VertexIDs != nil {
+		snap.VertexIDs = append([]string(nil), st.VertexIDs...)
+	}
 	return snap
 }
 
@@ -268,6 +273,12 @@ func stateFromSnapshot(snap *wal.StreamSnapshot) (core.OnlineState, error) {
 			return st, fmt.Errorf("snapshot graph: %w", err)
 		}
 		st.Prev = g
+	}
+	if snap.VertexIDs != nil {
+		if len(snap.VertexIDs) != st.N {
+			return st, fmt.Errorf("snapshot has %d vertex ids for %d vertices", len(snap.VertexIDs), st.N)
+		}
+		st.VertexIDs = append([]string(nil), snap.VertexIDs...)
 	}
 	return st, nil
 }
@@ -343,8 +354,16 @@ func recoverStreamDir(dir string, fsync bool) (*recoveredStream, error) {
 		}
 		if st.T == 0 {
 			st.N = g.N()
-		} else if g.N() != st.N {
-			return fmt.Errorf("instance %d has %d vertices, stream has %d", r.Instance, g.N(), st.N)
+		} else if g.N() < st.N {
+			return fmt.Errorf("instance %d has %d vertices, stream has %d (vertices may be added but not removed)", r.Instance, g.N(), st.N)
+		} else {
+			st.N = g.N()
+		}
+		if len(r.NewVertexIDs) > 0 {
+			st.VertexIDs = append(st.VertexIDs, r.NewVertexIDs...)
+		}
+		if st.VertexIDs != nil && len(st.VertexIDs) != st.N {
+			return fmt.Errorf("instance %d leaves %d vertex ids for %d vertices", r.Instance, len(st.VertexIDs), st.N)
 		}
 		if r.Instance > 0 {
 			st.History = append(st.History, core.Transition{

@@ -13,6 +13,7 @@ import (
 
 	"dyngraph/internal/buildinfo"
 	"dyngraph/internal/core"
+	"dyngraph/internal/graph"
 	"dyngraph/internal/obs"
 )
 
@@ -388,10 +389,24 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
 		return
 	}
-	g, err := snap.Graph()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
-		return
+	// Two addressing modes: external-ID snapshots are validated here but
+	// mapped to dense indices by the stream's worker (which owns the
+	// vertex table); raw index snapshots are built into a graph up front.
+	var g *graph.Graph
+	var snapRef *Snapshot
+	if snap.IDs != nil {
+		if err := snap.validateIDs(); err != nil {
+			writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+			return
+		}
+		snapRef = &snap
+	} else {
+		var err error
+		g, err = snap.Graph()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+			return
+		}
 	}
 	sync := r.URL.Query().Get("sync") == "1"
 	// ?instance=N asserts the arrival index, making the push idempotent
@@ -417,7 +432,7 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	pc.spanID = obs.NewSpanID(s.cfg.NodeID)
 	obs.TraceContext{TraceID: pc.traceID, SpanID: pc.spanID}.SetHeader(w.Header())
-	res, err := s.push(id, g, sync, pc, expected)
+	res, err := s.push(id, g, snapRef, sync, pc, expected)
 	switch {
 	case errors.Is(err, errUnknownStream):
 		writeError(w, http.StatusNotFound, "unknown stream %q", id)
@@ -433,8 +448,10 @@ func (s *Server) handlePostSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "stream %q: %v", id, err)
 		return
 	case err != nil:
-		// The snapshot was accepted but scoring failed (e.g. a vertex
-		// count that does not match the stream's fixed set).
+		// The snapshot was accepted but scoring failed (e.g. a shrinking
+		// vertex count, or mixing raw-index and external-ID snapshots on
+		// one stream). The arrival cursor is rolled back, so a corrected
+		// retry at the same ?instance index succeeds.
 		writeError(w, http.StatusUnprocessableEntity, "stream %q: %v", id, err)
 		return
 	}

@@ -283,7 +283,25 @@ func (s *Server) sizedFor(id string) func(int64) {
 // Push ingests one snapshot into a stream, rehydrating it first when
 // hibernated. The programmatic twin of POST /v1/streams/{id}/snapshots.
 func (s *Server) Push(id string, g *graph.Graph, sync bool) (PushResult, error) {
-	return s.push(id, g, sync, pushContext{}, -1)
+	return s.push(id, g, nil, sync, pushContext{}, -1)
+}
+
+// PushSnapshot ingests one wire-form snapshot, supporting both
+// addressing modes: external-ID snapshots (Snapshot.IDs set) are
+// mapped to dense indices by the stream's worker. The programmatic
+// twin of POST /v1/streams/{id}/snapshots with an ids body.
+func (s *Server) PushSnapshot(id string, snap Snapshot, sync bool) (PushResult, error) {
+	if snap.IDs != nil {
+		if err := snap.validateIDs(); err != nil {
+			return PushResult{}, err
+		}
+		return s.push(id, nil, &snap, sync, pushContext{}, -1)
+	}
+	g, err := snap.Graph()
+	if err != nil {
+		return PushResult{}, err
+	}
+	return s.push(id, g, nil, sync, pushContext{}, -1)
 }
 
 // push is the shared ingest path: acquire (rehydrating if needed),
@@ -291,13 +309,13 @@ func (s *Server) Push(id string, g *graph.Graph, sync bool) (PushResult, error) 
 // a concurrent hibernation — the retried acquire parks on the entry
 // mutex until the swap completes, so the retry either reaches the
 // rehydrated stream or surfaces a real closure (delete, shutdown).
-func (s *Server) push(id string, g *graph.Graph, sync bool, pc pushContext, expected int64) (PushResult, error) {
+func (s *Server) push(id string, g *graph.Graph, snap *Snapshot, sync bool, pc pushContext, expected int64) (PushResult, error) {
 	for attempt := 0; ; attempt++ {
 		st, err := s.acquire(id)
 		if err != nil {
 			return PushResult{}, err
 		}
-		res, err := st.enqueue(g, sync, pc, expected)
+		res, err := st.enqueue(g, snap, sync, pc, expected)
 		if errors.Is(err, errStreamClosed) && attempt < 3 {
 			continue
 		}

@@ -16,12 +16,16 @@ type pushContext struct {
 	parentSpanID string // the upstream hop's span id ("" at the trace root)
 }
 
-// job is one enqueued snapshot. done is non-nil for synchronous pushes
-// and receives exactly one result when the worker has scored (or
-// failed to score) the instance. pc is the originating request's
-// context, carried into the push trace and slow-push logs.
+// job is one enqueued snapshot. Exactly one of g (raw index mode, the
+// graph prebuilt by the handler) and snap (external-ID mode, mapped to
+// dense indices by the worker, which owns the stream's vertex table)
+// is set. done is non-nil for synchronous pushes and receives exactly
+// one result when the worker has scored (or failed to score) the
+// instance. pc is the originating request's context, carried into the
+// push trace and slow-push logs.
 type job struct {
 	g        *graph.Graph
+	snap     *Snapshot
 	instance int64
 	pc       pushContext
 	done     chan jobResult

@@ -259,7 +259,7 @@ func waitDrained(t *testing.T, cl *Client, id string) {
 	t.Fatalf("stream %q did not drain in time", id)
 }
 
-func TestPushVertexMismatchIs422(t *testing.T) {
+func TestPushVertexShrinkIs422(t *testing.T) {
 	_, cl := newTestServer(t, Config{})
 	ctx := context.Background()
 	if err := cl.CreateStream(ctx, "s", StreamConfig{}); err != nil {
@@ -268,9 +268,14 @@ func TestPushVertexMismatchIs422(t *testing.T) {
 	if _, err := cl.Push(ctx, "s", graph.NewBuilder(5).MustBuild(), true); err != nil {
 		t.Fatal(err)
 	}
-	_, err := cl.Push(ctx, "s", graph.NewBuilder(6).MustBuild(), true)
+	// Growth is accepted: a larger snapshot extends the vertex set.
+	if _, err := cl.Push(ctx, "s", graph.NewBuilder(6).MustBuild(), true); err != nil {
+		t.Fatalf("vertex growth push: %v", err)
+	}
+	// Shrink is not: vertices may be added but never removed.
+	_, err := cl.Push(ctx, "s", graph.NewBuilder(5).MustBuild(), true)
 	if err == nil || !strings.Contains(err.Error(), "vertices") {
-		t.Fatalf("vertex mismatch push: %v, want detector error", err)
+		t.Fatalf("vertex shrink push: %v, want detector error", err)
 	}
 	info, ierr := cl.StreamInfo(ctx, "s")
 	if ierr != nil {

@@ -71,6 +71,15 @@ type stream struct {
 	// dir). Owned by the worker goroutine after construction.
 	journal *journal
 
+	// Vertex addressing mode, owned by the worker goroutine (seeded
+	// before the worker starts). A stream is locked to one mode by its
+	// first successful push: vt non-nil means external-ID mode (the
+	// worker interns IDs and maps snapshots to dense indices);
+	// rawLocked means raw index mode. A push in the wrong mode fails
+	// like any scoring error and leaves no trace.
+	vt        *graph.VertexTable
+	rawLocked bool
+
 	done chan struct{} // closed when the worker has drained and exited
 }
 
@@ -113,6 +122,23 @@ func startStream(id string, cfg StreamConfig, m *metrics, logger *slog.Logger,
 	s.tracer = tracer
 	if s.tracer == nil && cfg.TraceBuffer > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceBuffer)
+	}
+	// Re-establish the addressing mode of a restored stream before the
+	// worker starts: a journaled ID table locks external-ID mode (and
+	// is rebuilt so interning continues where it left off); journaled
+	// instances without one lock raw mode.
+	if ids := det.VertexIDs(); ids != nil {
+		vt, err := graph.VertexTableFromIDs(ids)
+		if err != nil {
+			// RestoreOnline length-checked the slice; duplicates here mean
+			// a corrupted journal. Refusing the table (not the stream)
+			// keeps reports serving; ID pushes will fail loudly.
+			s.logger.Error("vertex table rebuild failed", "err", err)
+		} else {
+			s.vt = vt
+		}
+	} else if ingested > 0 {
+		s.rawLocked = true
 	}
 	// nil when the objective is off (SLOPushSeconds <= 0 after the
 	// server default was resolved at creation/recovery).
@@ -169,8 +195,14 @@ func (s *stream) run() {
 	}
 	for j := range s.queue.jobs() {
 		start := time.Now()
+		// Resolve the job to a dense graph before taking the detector
+		// lock: the vertex table is worker-owned, so ID interning and
+		// edge remapping never block readers.
+		g, newIDs, preLen, err := s.resolveJob(&j)
 		s.detMu.Lock()
-		s.resolveOracle(j.g.N())
+		if err == nil {
+			s.resolveOracle(g.N())
+		}
 		// The worker owns the root span so the trace carries the serving
 		// context (stream, arrival index, request id, distributed-trace
 		// identity) above the detector's pipeline stages.
@@ -187,7 +219,21 @@ func (s *stream) run() {
 				root.SetString(obs.AttrParentSpanID, j.pc.parentSpanID)
 			}
 		}
-		rep, err := s.det.PushTraced(j.g, root)
+		var rep *core.TransitionReport
+		if err == nil {
+			rep, err = s.det.PushTraced(g, root)
+		} else {
+			root.SetString("error", err.Error())
+		}
+		if err == nil {
+			if j.snap == nil {
+				s.rawLocked = true
+			} else if serr := s.det.SetVertexIDs(s.vt.IDs()); serr != nil {
+				// Cannot happen — graphWithTable sizes the graph to the
+				// table — but never let the mapping drift silently.
+				s.logger.Error("vertex id attach failed", "err", serr)
+			}
+		}
 		delta := s.det.Delta()
 		ost := s.det.LastOracleStats()
 		s.processed++
@@ -202,12 +248,13 @@ func (s *stream) run() {
 			trs := s.det.Transitions()
 			evicted := s.det.Evicted()
 			jdata = &pushJournalData{
-				g: j.g,
+				g: g,
 				// The detector's own instance index — it can trail the
 				// arrival index when earlier pushes failed to score.
 				instance: int64(len(trs) + evicted),
 				delta:    delta,
 				evicted:  int64(evicted),
+				newIDs:   newIDs,
 			}
 			if jdata.instance > 0 {
 				newest := trs[len(trs)-1]
@@ -225,6 +272,9 @@ func (s *stream) run() {
 			footprint = s.det.SizeBytes()
 		}
 		s.detMu.Unlock()
+		if err != nil {
+			s.rollbackFailedPush(&j, preLen)
+		}
 		if s.sized != nil {
 			s.sized(footprint)
 		}
@@ -292,6 +342,56 @@ func (s *stream) run() {
 			j.done <- jobResult{report: rep, delta: delta, err: err}
 		}
 	}
+}
+
+// resolveJob turns a queued job into the dense graph to push. Raw jobs
+// carry a prebuilt graph; external-ID jobs are interned into the
+// worker-owned vertex table and remapped here. preLen is the table
+// length before this job's interns — the rollback point if the push
+// later fails. A job in the wrong mode for the stream resolves to an
+// error, which the worker treats exactly like a scoring failure.
+func (s *stream) resolveJob(j *job) (g *graph.Graph, newIDs []string, preLen int, err error) {
+	if j.snap == nil {
+		if s.vt != nil {
+			return nil, nil, 0, fmt.Errorf("service: stream ingests external-ID snapshots; raw index snapshot refused")
+		}
+		return j.g, nil, 0, nil
+	}
+	if s.rawLocked {
+		return nil, nil, 0, fmt.Errorf("service: stream ingests raw index snapshots; external-ID snapshot refused")
+	}
+	if s.vt == nil {
+		s.vt = graph.NewVertexTable()
+	}
+	preLen = s.vt.Len()
+	g, newIDs, err = j.snap.graphWithTable(s.vt)
+	if err != nil {
+		return nil, nil, preLen, err
+	}
+	return g, newIDs, preLen, nil
+}
+
+// rollbackFailedPush undoes the side effects of a push that failed to
+// score, so a rejected snapshot leaves no trace: IDs interned for it
+// are forgotten (jobs resolve in queue order, so truncation only ever
+// discards this job's interns) and, when no later arrival has been
+// accepted meanwhile, the arrival-index cursor steps back so a
+// corrected re-push at the same instance index succeeds instead of
+// being mistaken for a duplicate.
+func (s *stream) rollbackFailedPush(j *job, preLen int) {
+	if j.snap != nil && s.vt != nil {
+		s.vt.Truncate(preLen)
+		if s.vt.Len() == 0 {
+			// The failed push was the one that would have locked ID mode;
+			// unlock it again.
+			s.vt = nil
+		}
+	}
+	s.enqMu.Lock()
+	if s.ingested == j.instance+1 {
+		s.ingested--
+	}
+	s.enqMu.Unlock()
 }
 
 // slowPushWindow is the latency-ring size behind the adaptive
@@ -376,7 +476,9 @@ func (s *stream) traceDropped() uint64 {
 	return s.tracer.Dropped()
 }
 
-// enqueue accepts one snapshot. Synchronous pushes return the worker's
+// enqueue accepts one snapshot — either a prebuilt dense graph (raw
+// index mode) or an external-ID Snapshot the worker will map (snap
+// non-nil; g must then be nil). Synchronous pushes return the worker's
 // result; asynchronous ones return immediately with the assigned
 // arrival index. errQueueFull means the bounded queue rejected it.
 //
@@ -384,9 +486,11 @@ func (s *stream) traceDropped() uint64 {
 // the idempotency handle for at-least-once delivery: an index below
 // the next expected arrival is a re-push of an already-accepted
 // snapshot and is acked as a duplicate without re-scoring; one above
-// it is a gap and is refused with errOutOfOrder.
-func (s *stream) enqueue(g *graph.Graph, sync bool, pc pushContext, expected int64) (PushResult, error) {
-	j := job{g: g, pc: pc}
+// it is a gap and is refused with errOutOfOrder. A push that fails to
+// score rolls the cursor back (rollbackFailedPush), so the failed
+// index is re-usable by a corrected snapshot.
+func (s *stream) enqueue(g *graph.Graph, snap *Snapshot, sync bool, pc pushContext, expected int64) (PushResult, error) {
+	j := job{g: g, snap: snap, pc: pc}
 	if sync {
 		j.done = make(chan jobResult, 1)
 	}

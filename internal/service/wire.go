@@ -37,6 +37,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 
 	"dyngraph/internal/commute"
 	"dyngraph/internal/core"
@@ -175,15 +176,32 @@ type SnapshotEdge struct {
 	W float64 `json:"w"`
 }
 
-// Snapshot is one graph instance posted to a stream. N is required and
-// must match the stream's fixed vertex set after the first snapshot.
+// Snapshot is one graph instance posted to a stream.
+//
+// Two addressing modes exist, fixed per stream by its first snapshot:
+//
+//   - Raw index mode (IDs nil): N is required, edges address dense
+//     vertex indices 0..N-1 directly, and N may grow but never shrink
+//     across the stream's life (the paper's fixed-V framework is the
+//     special case of a constant N).
+//   - External-ID mode (IDs set): IDs names this snapshot's vertices
+//     with stable external identifiers (len(IDs) == N, unique,
+//     non-empty) and edges address positions in IDs. The stream
+//     interns IDs in arrival order into its vertex table — an ID seen
+//     before keeps its dense index forever — so the posted snapshot
+//     may introduce vertices freely and omit known ones (they simply
+//     have no edges that instant).
+//
+// Mixing modes on one stream is refused, as is combining IDs with
+// Labels (the interned IDs become the vertex labels).
 type Snapshot struct {
 	N      int            `json:"n"`
 	Edges  []SnapshotEdge `json:"edges"`
 	Labels []string       `json:"labels,omitempty"`
+	IDs    []string       `json:"ids,omitempty"`
 }
 
-// Graph validates and builds the snapshot's graph.
+// Graph validates and builds the snapshot's graph (raw index mode).
 func (s Snapshot) Graph() (*graph.Graph, error) {
 	if s.N <= 0 {
 		return nil, fmt.Errorf("snapshot needs n > 0, got %d", s.N)
@@ -193,6 +211,70 @@ func (s Snapshot) Graph() (*graph.Graph, error) {
 		edges[i] = graph.Edge{I: e.I, J: e.J, W: e.W}
 	}
 	return graph.FromEdges(s.N, edges, s.Labels)
+}
+
+// validateIDs checks the shape of an external-ID snapshot before it is
+// queued: the ID slice matches N and is usable as a mapping (unique,
+// non-empty), edges address ID positions, and weights are already
+// known-good — the checks a raw-mode push gets from Graph(), performed
+// here so a malformed body is a 400 at the handler rather than a
+// scoring failure in the worker.
+func (s Snapshot) validateIDs() error {
+	if s.N <= 0 {
+		return fmt.Errorf("snapshot needs n > 0, got %d", s.N)
+	}
+	if len(s.IDs) != s.N {
+		return fmt.Errorf("snapshot has %d ids for n=%d vertices", len(s.IDs), s.N)
+	}
+	if s.Labels != nil {
+		return fmt.Errorf("snapshot cannot combine ids with labels (interned ids become the labels)")
+	}
+	seen := make(map[string]struct{}, len(s.IDs))
+	for i, id := range s.IDs {
+		if id == "" {
+			return fmt.Errorf("snapshot id at position %d is empty", i)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("snapshot id %q appears more than once", id)
+		}
+		seen[id] = struct{}{}
+	}
+	for _, e := range s.Edges {
+		if e.I < 0 || e.I >= s.N || e.J < 0 || e.J >= s.N {
+			return fmt.Errorf("edge (%d,%d) out of range for n=%d", e.I, e.J, s.N)
+		}
+		if e.W < 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return fmt.Errorf("edge (%d,%d) has invalid weight %g", e.I, e.J, e.W)
+		}
+	}
+	return nil
+}
+
+// graphWithTable interns the snapshot's IDs into vt (in slice order)
+// and builds the dense graph over every vertex interned so far —
+// vertices from earlier snapshots absent here simply carry no edges.
+// It returns the graph and the newly interned IDs in dense-index
+// order. On error vt may hold the partial interns; the caller rolls
+// back with vt.Truncate.
+func (s Snapshot) graphWithTable(vt *graph.VertexTable) (*graph.Graph, []string, error) {
+	dense := make([]int, len(s.IDs))
+	var newIDs []string
+	for i, id := range s.IDs {
+		idx, added := vt.Intern(id)
+		dense[i] = idx
+		if added {
+			newIDs = append(newIDs, id)
+		}
+	}
+	edges := make([]graph.Edge, len(s.Edges))
+	for i, e := range s.Edges {
+		edges[i] = graph.Edge{I: dense[e.I], J: dense[e.J], W: e.W}
+	}
+	g, err := graph.FromEdges(vt.Len(), edges, vt.IDs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, newIDs, nil
 }
 
 // SnapshotFromGraph converts a graph to its wire form (the client's

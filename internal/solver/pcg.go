@@ -213,7 +213,13 @@ func NewLaplacianFrom(g, prevG *graph.Graph, prev *Laplacian, opt Options) *Lapl
 	if resolvePrecond(g, opt) != prev.precond {
 		return NewLaplacian(g, opt)
 	}
-	return NewLaplacianFromDiff(g, prevG, prev, graph.DiffSupport(prevG, g), opt)
+	diff, err := graph.DiffSupport(prevG, g)
+	if err != nil {
+		// Vertex counts differ (prev.n == g.N() rules this out today,
+		// but keep the reuse path panic-free): build cold.
+		return NewLaplacian(g, opt)
+	}
+	return NewLaplacianFromDiff(g, prevG, prev, diff, opt)
 }
 
 // NewLaplacianFromDiff is NewLaplacianFrom for callers that already

@@ -62,6 +62,12 @@ type PushRecord struct {
 	// count after this push.
 	Delta   float64
 	Evicted int64
+	// NewVertexIDs lists the external IDs this push interned, in
+	// dense-index order starting at the stream's pre-push vertex count.
+	// Nil for raw index streams and for pushes that added no vertices;
+	// replay appends them to the accumulated ID table. (A gob-added
+	// field: old logs decode with it nil.)
+	NewVertexIDs []string
 	// Digest is the state-digest chain value after this record.
 	Digest uint64
 }
@@ -73,9 +79,10 @@ type PushRecord struct {
 // warm rebuilds stay bit-identical across a restart).
 type StreamSnapshot struct {
 	Config []byte
-	// N is the stream's fixed vertex count; Instances the number of
-	// graphs consumed (so the next expected instance index equals
-	// Instances); Evicted the history-window eviction count.
+	// N is the stream's current vertex count (non-decreasing over the
+	// stream's life); Instances the number of graphs consumed (so the
+	// next expected instance index equals Instances); Evicted the
+	// history-window eviction count.
 	N         int32
 	Instances int64
 	Evicted   int64
@@ -86,6 +93,10 @@ type StreamSnapshot struct {
 	// Prev is the most recent graph — the one the next arriving
 	// instance is scored against. Nil only when Instances is 0.
 	Prev *GraphData
+	// VertexIDs is the external-ID table in dense-index order (nil for
+	// raw index streams; len == N when set). A gob-added field: old
+	// logs decode with it nil.
+	VertexIDs []string
 	// Digest is the state-digest chain value at the snapshot instant;
 	// WAL records appended after the snapshot chain from it.
 	Digest uint64
